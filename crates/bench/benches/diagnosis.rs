@@ -1,0 +1,61 @@
+//! Diagnosis-query throughput: one observed signature against the full
+//! trajectory set (paper classifier) and the nearest-neighbour baseline.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ft_bench::paper_setup;
+use ft_core::{
+    measure_signature, trajectories_from_dictionary, Diagnoser, DiagnoserConfig, NnDictionary,
+    TestVector,
+};
+use ft_faults::ParametricFault;
+
+fn bench_trajectory_diagnosis(c: &mut Criterion) {
+    let setup = paper_setup();
+    let tv = TestVector::pair(0.6, 1.6);
+    let set = trajectories_from_dictionary(&setup.dict, &tv);
+    let diagnoser = Diagnoser::new(set, DiagnoserConfig::default());
+
+    let faulty = ParametricFault::from_percent("R2", 25.0)
+        .apply(&setup.bench.circuit)
+        .unwrap();
+    let sig = measure_signature(
+        &faulty,
+        &setup.bench.circuit,
+        &setup.bench.input,
+        &setup.bench.probe,
+        &tv,
+    )
+    .unwrap();
+
+    c.bench_function("diagnosis/trajectory_classifier", |b| {
+        b.iter(|| diagnoser.diagnose(black_box(&sig)))
+    });
+
+    let nn = NnDictionary::build(&setup.dict, &tv);
+    c.bench_function("diagnosis/nn_dictionary", |b| {
+        b.iter(|| nn.classify(black_box(&sig)))
+    });
+}
+
+fn bench_signature_measurement(c: &mut Criterion) {
+    let setup = paper_setup();
+    let tv = TestVector::pair(0.6, 1.6);
+    let faulty = ParametricFault::from_percent("R2", 25.0)
+        .apply(&setup.bench.circuit)
+        .unwrap();
+    c.bench_function("diagnosis/measure_signature_2freq", |b| {
+        b.iter(|| {
+            measure_signature(
+                black_box(&faulty),
+                &setup.bench.circuit,
+                &setup.bench.input,
+                &setup.bench.probe,
+                &tv,
+            )
+            .unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_trajectory_diagnosis, bench_signature_measurement);
+criterion_main!(benches);

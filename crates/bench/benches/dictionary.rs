@@ -1,0 +1,45 @@
+//! Fault-dictionary construction throughput (the paper's FS process):
+//! 56 faulty circuits × 41-point AC sweep, parallelised across threads.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ft_circuit::tow_thomas_normalized;
+use ft_faults::{DeviationGrid, FaultDictionary, FaultUniverse};
+use ft_numerics::FrequencyGrid;
+
+fn bench_dictionary_build(c: &mut Criterion) {
+    let bench = tow_thomas_normalized(1.0).unwrap();
+    let universe = FaultUniverse::new(&bench.fault_set, DeviationGrid::paper());
+    let mut group = c.benchmark_group("dictionary/build");
+    group.sample_size(20);
+    for points in [21usize, 41, 81] {
+        let grid = FrequencyGrid::log_space(0.01, 100.0, points);
+        group.bench_with_input(BenchmarkId::from_parameter(points), &points, |b, _| {
+            b.iter(|| {
+                FaultDictionary::build(
+                    black_box(&bench.circuit),
+                    &universe,
+                    &bench.input,
+                    &bench.probe,
+                    &grid,
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_dictionary_interpolation(c: &mut Criterion) {
+    let bench = tow_thomas_normalized(1.0).unwrap();
+    let universe = FaultUniverse::new(&bench.fault_set, DeviationGrid::paper());
+    let grid = FrequencyGrid::log_space(0.01, 100.0, 41);
+    let dict =
+        FaultDictionary::build(&bench.circuit, &universe, &bench.input, &bench.probe, &grid)
+            .unwrap();
+    c.bench_function("dictionary/sample_all_2freq", |b| {
+        b.iter(|| dict.sample_all(black_box(&[0.6, 1.6])))
+    });
+}
+
+criterion_group!(benches, bench_dictionary_build, bench_dictionary_interpolation);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! End-to-end figure regeneration cost: how long each paper artifact
+//! takes to produce from a prepared setup.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ft_bench::{figures, paper_setup};
+use ft_core::TestVector;
+
+fn bench_figures(c: &mut Criterion) {
+    let setup = paper_setup();
+    let tv = TestVector::pair(0.6, 1.6);
+
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(20);
+    group.bench_function("fig1_dictionary_curves", |b| {
+        b.iter(|| figures::fig1_with(black_box(&setup), "R3"))
+    });
+    group.bench_function("fig2_transformation", |b| {
+        b.iter(|| figures::fig2_with(black_box(&setup), &tv))
+    });
+    group.bench_function("fig3_trajectories", |b| {
+        b.iter(|| figures::fig3_trajectories_with(black_box(&setup), &tv))
+    });
+    group.bench_function("fig3_diagnosis", |b| {
+        b.iter(|| figures::fig3_diagnosis_with(black_box(&setup), &tv, "R2", 25.0))
+    });
+    group.finish();
+}
+
+fn bench_setup_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures/setup");
+    group.sample_size(10);
+    group.bench_function("paper_setup_full", |b| b.iter(paper_setup));
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures, bench_setup_construction);
+criterion_main!(benches);

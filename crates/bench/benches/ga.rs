@@ -1,0 +1,53 @@
+//! GA throughput: single fitness evaluations and a down-scaled ATPG run
+//! (the full §2.4 run is benchmarked once with a reduced sample count).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ft_bench::paper_setup;
+use ft_core::{
+    evaluate_fitness, select_test_vector, trajectories_from_dictionary, AtpgConfig,
+    FitnessKind, GeometryOptions, TestVector,
+};
+
+fn bench_single_fitness_eval(c: &mut Criterion) {
+    let setup = paper_setup();
+    let opts = GeometryOptions::default();
+    c.bench_function("ga/fitness_eval_one_vector", |b| {
+        b.iter(|| {
+            let tv = TestVector::pair(black_box(0.6), black_box(1.6));
+            let set = trajectories_from_dictionary(&setup.dict, &tv);
+            evaluate_fitness(&set, FitnessKind::Paper, &opts)
+        })
+    });
+}
+
+fn bench_small_atpg(c: &mut Criterion) {
+    let setup = paper_setup();
+    let mut group = c.benchmark_group("ga/atpg");
+    group.sample_size(10);
+    group.bench_function("pop16_gen4", |b| {
+        let mut cfg = AtpgConfig::paper_seeded(setup.bench.search_band, 7);
+        cfg.ga.population = 16;
+        cfg.ga.generations = 4;
+        b.iter(|| select_test_vector(black_box(&setup.dict), &cfg))
+    });
+    group.finish();
+}
+
+fn bench_paper_atpg(c: &mut Criterion) {
+    let setup = paper_setup();
+    let mut group = c.benchmark_group("ga/atpg_paper_full");
+    group.sample_size(10);
+    group.bench_function("pop128_gen15", |b| {
+        let cfg = AtpgConfig::paper_seeded(setup.bench.search_band, 7);
+        b.iter(|| select_test_vector(black_box(&setup.dict), &cfg))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_single_fitness_eval,
+    bench_small_atpg,
+    bench_paper_atpg
+);
+criterion_main!(benches);

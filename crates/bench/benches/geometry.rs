@@ -1,0 +1,45 @@
+//! Trajectory-geometry throughput: intersection counting is the inner
+//! loop of every GA fitness evaluation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ft_bench::paper_setup;
+use ft_core::{
+    count_intersections, min_separation, trajectories_from_dictionary, GeometryOptions,
+    TestVector,
+};
+
+fn bench_intersection_count(c: &mut Criterion) {
+    let setup = paper_setup();
+    let tv = TestVector::pair(0.6, 1.6);
+    let set = trajectories_from_dictionary(&setup.dict, &tv);
+    let opts = GeometryOptions::default();
+    c.bench_function("geometry/count_intersections_7x9", |b| {
+        b.iter(|| count_intersections(black_box(&set), &opts))
+    });
+}
+
+fn bench_min_separation(c: &mut Criterion) {
+    let setup = paper_setup();
+    let tv = TestVector::pair(0.6, 1.6);
+    let set = trajectories_from_dictionary(&setup.dict, &tv);
+    let opts = GeometryOptions::default();
+    c.bench_function("geometry/min_separation_7x9", |b| {
+        b.iter(|| min_separation(black_box(&set), &opts))
+    });
+}
+
+fn bench_trajectory_build(c: &mut Criterion) {
+    let setup = paper_setup();
+    let tv = TestVector::pair(0.6, 1.6);
+    c.bench_function("geometry/trajectories_from_dictionary", |b| {
+        b.iter(|| trajectories_from_dictionary(black_box(&setup.dict), &tv))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_intersection_count,
+    bench_min_separation,
+    bench_trajectory_build
+);
+criterion_main!(benches);

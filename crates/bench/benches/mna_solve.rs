@@ -1,0 +1,76 @@
+//! MNA solve throughput: single-frequency transfer-function evaluations
+//! and transient stepping — the substrate cost under every experiment.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ft_circuit::{
+    rlc_ladder_lowpass, tow_thomas_normalized, transfer, transient, Probe, TransientOptions,
+    Waveform,
+};
+
+fn bench_tow_thomas_transfer(c: &mut Criterion) {
+    let bench = tow_thomas_normalized(1.0).unwrap();
+    c.bench_function("mna/tow_thomas_transfer_1freq", |b| {
+        b.iter(|| {
+            transfer(
+                black_box(&bench.circuit),
+                &bench.input,
+                &bench.probe,
+                black_box(1.0),
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn bench_ladder_orders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mna/ladder_transfer_by_order");
+    for order in [3usize, 5, 7, 9] {
+        let bench = rlc_ladder_lowpass(order).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(order), &order, |b, _| {
+            b.iter(|| {
+                transfer(
+                    black_box(&bench.circuit),
+                    &bench.input,
+                    &bench.probe,
+                    black_box(1.0),
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_transient_rc(c: &mut Criterion) {
+    let mut ckt = ft_circuit::Circuit::new("rc");
+    ckt.voltage_source_full(
+        "V1",
+        "in",
+        "0",
+        0.0,
+        1.0,
+        0.0,
+        Some(Waveform::Sine {
+            offset: 0.0,
+            amplitude: 1.0,
+            freq_hz: 100.0,
+            phase_rad: 0.0,
+        }),
+    )
+    .unwrap();
+    ckt.resistor("R1", "in", "out", 1e3).unwrap();
+    ckt.capacitor("C1", "out", "0", 1e-6).unwrap();
+    let options = TransientOptions::new(10e-3, 1e-5).unwrap(); // 1000 steps
+    c.bench_function("mna/transient_rc_1000_steps", |b| {
+        b.iter(|| transient(black_box(&ckt), &options).unwrap())
+    });
+    let _ = Probe::node("out");
+}
+
+criterion_group!(
+    benches,
+    bench_tow_thomas_transfer,
+    bench_ladder_orders,
+    bench_transient_rc
+);
+criterion_main!(benches);

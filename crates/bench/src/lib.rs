@@ -1,0 +1,16 @@
+//! # ft-bench
+//!
+//! Benchmark harness for the fault-trajectory reproduction: shared
+//! experiment setup, the figure/table regeneration functions consumed by
+//! the `repro` binary, and plain-text/CSV reporting. Criterion
+//! performance benches live under `benches/`.
+
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod report;
+pub mod setup;
+pub mod tables;
+
+pub use report::{num, pct, Table};
+pub use setup::{ga_paper_result, paper_setup, PaperSetup, DICT_GRID_POINTS, PAPER_SEED};

@@ -1,0 +1,156 @@
+//! Plain-text table and CSV rendering for experiment output.
+//!
+//! The `repro` binary prints each figure/table of the paper as aligned
+//! text plus CSV rows so results can be piped into plotting tools.
+
+/// A simple column-aligned table.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as aligned text with the title on top.
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n", self.title));
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:>width$}", width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as CSV (header row first, title as a comment line).
+    pub fn to_csv(&self) -> String {
+        let mut out = format!("# {}\n", self.title);
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_text())
+    }
+}
+
+/// Formats a float with fixed precision, rendering NaN as `-`.
+pub fn num(x: f64, decimals: usize) -> String {
+    if x.is_nan() {
+        "-".to_string()
+    } else {
+        format!("{x:.decimals$}")
+    }
+}
+
+/// Formats a probability/rate as a percentage string.
+pub fn pct(x: f64) -> String {
+    if x.is_nan() {
+        "-".to_string()
+    } else {
+        format!("{:.1}%", 100.0 * x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.push_row(vec!["alpha".into(), "1".into()]);
+        t.push_row(vec!["b".into(), "22.5".into()]);
+        let text = t.to_text();
+        assert!(text.contains("## demo"));
+        assert!(text.contains("alpha"));
+        // Right-aligned columns: the short name is padded.
+        assert!(text.contains("    b"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_output() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("# demo\n"));
+        assert!(csv.contains("a,b\n"));
+        assert!(csv.contains("1,2\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(num(1.23456, 2), "1.23");
+        assert_eq!(num(f64::NAN, 2), "-");
+        assert_eq!(pct(0.5), "50.0%");
+        assert_eq!(pct(f64::NAN), "-");
+    }
+}

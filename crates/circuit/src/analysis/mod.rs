@@ -1,0 +1,13 @@
+//! Circuit analyses: AC sweep, DC operating point, transient, and
+//! sensitivity.
+
+pub mod ac;
+pub mod dc;
+pub mod fit;
+pub mod sensitivity;
+pub mod tran;
+
+pub use ac::{sample_at, sweep, transfer, AcSweep, Probe};
+pub use dc::{operating_point, OperatingPoint};
+pub use fit::{fit_circuit, fit_rational, FitError};
+pub use tran::{transient, TransientOptions, TransientResult};

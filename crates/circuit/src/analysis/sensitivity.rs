@@ -1,0 +1,184 @@
+//! Component sensitivity of the frequency response.
+//!
+//! The tangent direction of a fault trajectory at the origin is the
+//! gradient of the sampled response with respect to the component value.
+//! Central-difference sensitivities computed here are used by the
+//! sensitivity-based baseline test-frequency selector and by testability
+//! analysis (components with near-parallel sensitivity vectors form
+//! ambiguity groups).
+
+use crate::analysis::ac::{transfer_with_layout, Probe};
+use crate::error::Result;
+use crate::mna::MnaLayout;
+use crate::netlist::Circuit;
+
+/// Relative perturbation used by central differences.
+const REL_STEP: f64 = 1e-4;
+
+/// Sensitivity of the magnitude response (in dB) at a set of frequencies
+/// with respect to one component's value, normalised per unit *relative*
+/// deviation: `∂|H|_dB / ∂(Δp/p)`.
+///
+/// # Errors
+///
+/// Propagates unknown-component and analysis errors. Components without a
+/// principal value (sources, ideal op amps) yield
+/// [`crate::CircuitError::InvalidValue`].
+pub fn magnitude_db_sensitivity(
+    circuit: &Circuit,
+    component: &str,
+    input: &str,
+    probe: &Probe,
+    omegas: &[f64],
+) -> Result<Vec<f64>> {
+    let nominal = circuit
+        .value(component)?
+        .ok_or_else(|| crate::error::CircuitError::InvalidValue {
+            component: component.to_string(),
+            value: f64::NAN,
+            reason: "component has no principal value to perturb",
+        })?;
+
+    let mut plus = circuit.clone();
+    plus.set_value(component, nominal * (1.0 + REL_STEP))?;
+    let mut minus = circuit.clone();
+    minus.set_value(component, nominal * (1.0 - REL_STEP))?;
+
+    let layout_plus = MnaLayout::new(&plus)?;
+    let layout_minus = MnaLayout::new(&minus)?;
+
+    let mut out = Vec::with_capacity(omegas.len());
+    for &w in omegas {
+        let hp = transfer_with_layout(&plus, &layout_plus, input, probe, w)?;
+        let hm = transfer_with_layout(&minus, &layout_minus, input, probe, w)?;
+        let dhp = 20.0 * hp.abs().max(1e-300).log10();
+        let dhm = 20.0 * hm.abs().max(1e-300).log10();
+        out.push((dhp - dhm) / (2.0 * REL_STEP));
+    }
+    Ok(out)
+}
+
+/// Sensitivity matrix: rows = faultable components (insertion order),
+/// columns = frequencies. Entry `(i, j)` is the dB-magnitude sensitivity
+/// of component `i` at frequency `j`.
+///
+/// Returns the component names alongside the matrix rows.
+///
+/// # Errors
+///
+/// Propagates analysis errors from [`magnitude_db_sensitivity`].
+pub fn sensitivity_matrix(
+    circuit: &Circuit,
+    components: &[&str],
+    input: &str,
+    probe: &Probe,
+    omegas: &[f64],
+) -> Result<Vec<(String, Vec<f64>)>> {
+    components
+        .iter()
+        .map(|&name| {
+            magnitude_db_sensitivity(circuit, name, input, probe, omegas)
+                .map(|row| (name.to_string(), row))
+        })
+        .collect()
+}
+
+/// Cosine of the angle between two sensitivity vectors; values near ±1
+/// indicate components that are hard to distinguish (their trajectories
+/// leave the origin in nearly the same or opposite directions).
+///
+/// Returns 0 when either vector is (numerically) zero.
+pub fn alignment(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "sensitivity vectors must match in length");
+    let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if na < 1e-300 || nb < 1e-300 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rc() -> Circuit {
+        let mut ckt = Circuit::new("rc");
+        ckt.voltage_source("V1", "in", "0", 1.0).unwrap();
+        ckt.resistor("R1", "in", "out", 1e3).unwrap();
+        ckt.capacitor("C1", "out", "0", 1e-6).unwrap();
+        ckt
+    }
+
+    #[test]
+    fn rc_sensitivity_matches_analytic() {
+        // |H|² = 1/(1+(ωRC)²); d|H|dB/d(lnR) = −20/ln10 · (ωRC)²/(1+(ωRC)²).
+        let ckt = rc();
+        let probe = Probe::node("out");
+        let w = 1000.0; // at the corner, (ωRC)² = 1 → expected −10/ln10·ln(10)=−...
+        let s = magnitude_db_sensitivity(&ckt, "R1", "V1", &probe, &[w]).unwrap()[0];
+        let x: f64 = 1.0; // (ωRC)²
+        let expected = -20.0 / 10f64.ln() * x / (1.0 + x);
+        assert!(
+            (s - expected).abs() < 1e-3,
+            "sensitivity {s} expected {expected}"
+        );
+    }
+
+    #[test]
+    fn r_and_c_symmetric_in_rc_network() {
+        // H depends on the product RC only, so sensitivities match.
+        let ckt = rc();
+        let probe = Probe::node("out");
+        let omegas = [100.0, 1000.0, 1e4];
+        let sr = magnitude_db_sensitivity(&ckt, "R1", "V1", &probe, &omegas).unwrap();
+        let sc = magnitude_db_sensitivity(&ckt, "C1", "V1", &probe, &omegas).unwrap();
+        for (a, b) in sr.iter().zip(&sc) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+        // Perfectly aligned → an ambiguity pair.
+        assert!((alignment(&sr, &sc) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sensitivity_matrix_shape() {
+        let ckt = rc();
+        let m = sensitivity_matrix(
+            &ckt,
+            &["R1", "C1"],
+            "V1",
+            &Probe::node("out"),
+            &[10.0, 1000.0],
+        )
+        .unwrap();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[0].0, "R1");
+        assert_eq!(m[0].1.len(), 2);
+    }
+
+    #[test]
+    fn low_frequency_sensitivity_is_small() {
+        // Far below the corner the response is ~1 regardless of R.
+        let ckt = rc();
+        let s =
+            magnitude_db_sensitivity(&ckt, "R1", "V1", &Probe::node("out"), &[0.01]).unwrap()[0];
+        assert!(s.abs() < 1e-3, "{s}");
+    }
+
+    #[test]
+    fn source_has_no_sensitivity() {
+        let ckt = rc();
+        assert!(
+            magnitude_db_sensitivity(&ckt, "V1", "V1", &Probe::node("out"), &[1.0]).is_err()
+        );
+    }
+
+    #[test]
+    fn alignment_degenerate_cases() {
+        assert_eq!(alignment(&[0.0, 0.0], &[1.0, 0.0]), 0.0);
+        assert!((alignment(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-12);
+        assert!((alignment(&[1.0, 0.0], &[0.0, 1.0])).abs() < 1e-12);
+    }
+}

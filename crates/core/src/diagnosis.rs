@@ -1,0 +1,279 @@
+//! Fault diagnosis by nearest trajectory segment (paper §2.4, Fig. 3
+//! right).
+//!
+//! An observed signature (the `*` of Fig. 3) is assigned to the
+//! piecewise-linear segment at minimal perpendicular distance; the
+//! projection parameter along that segment linearly interpolates the
+//! deviation estimate. Candidates are ranked by distance, and a
+//! runner-up within `ambiguity_ratio` of the winner marks the diagnosis
+//! ambiguous.
+
+use serde::{Deserialize, Serialize};
+
+use crate::geometry::point_segment_distance;
+use crate::signature::Signature;
+use crate::trajectory::TrajectorySet;
+
+/// One ranked diagnosis candidate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Candidate {
+    /// Suspected component.
+    pub component: String,
+    /// Perpendicular distance from the observed point to this
+    /// component's trajectory (dB).
+    pub distance: f64,
+    /// Estimated parametric deviation in percent, from the projection
+    /// onto the nearest segment.
+    pub deviation_pct: f64,
+}
+
+/// A complete ranked diagnosis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Diagnosis {
+    candidates: Vec<Candidate>,
+    ambiguity_ratio: f64,
+}
+
+impl Diagnosis {
+    /// Ranked candidates, best (smallest distance) first.
+    #[inline]
+    pub fn candidates(&self) -> &[Candidate] {
+        &self.candidates
+    }
+
+    /// The top candidate.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: a diagnosis always holds at least one candidate.
+    pub fn best(&self) -> &Candidate {
+        &self.candidates[0]
+    }
+
+    /// Components whose distance is within `ambiguity_ratio` × best
+    /// distance — the ambiguity set containing the true suspect.
+    pub fn ambiguity_set(&self) -> Vec<&str> {
+        let threshold = self.best().distance.max(1e-12) * self.ambiguity_ratio;
+        self.candidates
+            .iter()
+            .filter(|c| c.distance <= threshold)
+            .map(|c| c.component.as_str())
+            .collect()
+    }
+
+    /// `true` when more than one component falls in the ambiguity set.
+    pub fn is_ambiguous(&self) -> bool {
+        self.ambiguity_set().len() > 1
+    }
+
+    /// Rank (0-based) of a component in the candidate list, if present.
+    pub fn rank_of(&self, component: &str) -> Option<usize> {
+        self.candidates
+            .iter()
+            .position(|c| c.component == component)
+    }
+}
+
+/// Diagnosis engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiagnoserConfig {
+    /// Runner-up distance ratio below which the diagnosis is reported
+    /// ambiguous.
+    pub ambiguity_ratio: f64,
+}
+
+impl Default for DiagnoserConfig {
+    fn default() -> Self {
+        DiagnoserConfig {
+            ambiguity_ratio: 1.5,
+        }
+    }
+}
+
+/// The nearest-segment classifier over a trajectory set.
+#[derive(Debug, Clone)]
+pub struct Diagnoser {
+    set: TrajectorySet,
+    config: DiagnoserConfig,
+}
+
+impl Diagnoser {
+    /// Builds a diagnoser from the trajectory set of the deployed test
+    /// vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is empty.
+    pub fn new(set: TrajectorySet, config: DiagnoserConfig) -> Self {
+        assert!(!set.is_empty(), "cannot diagnose with zero trajectories");
+        Diagnoser { set, config }
+    }
+
+    /// The trajectory set in use.
+    #[inline]
+    pub fn trajectory_set(&self) -> &TrajectorySet {
+        &self.set
+    }
+
+    /// Diagnoses an observed signature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signature dimension does not match the test vector.
+    pub fn diagnose(&self, observed: &Signature) -> Diagnosis {
+        assert_eq!(
+            observed.dim(),
+            self.set.dim(),
+            "signature dimension must match the trajectory set"
+        );
+        let mut candidates: Vec<Candidate> = self
+            .set
+            .trajectories()
+            .iter()
+            .map(|t| {
+                let mut best_dist = f64::INFINITY;
+                let mut best_dev = 0.0;
+                for (d0, p0, d1, p1) in t.segments() {
+                    let (dist, tpar) =
+                        point_segment_distance(observed.coords(), p0.coords(), p1.coords());
+                    if dist < best_dist {
+                        best_dist = dist;
+                        best_dev = d0 + tpar * (d1 - d0);
+                    }
+                }
+                Candidate {
+                    component: t.component().to_string(),
+                    distance: best_dist,
+                    deviation_pct: best_dev,
+                }
+            })
+            .collect();
+        candidates.sort_by(|a, b| {
+            a.distance
+                .partial_cmp(&b.distance)
+                .expect("finite distances")
+        });
+        Diagnosis {
+            candidates,
+            ambiguity_ratio: self.config.ambiguity_ratio,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signature::TestVector;
+    use crate::trajectory::FaultTrajectory;
+
+    fn sig(x: f64, y: f64) -> Signature {
+        Signature::new(vec![x, y])
+    }
+
+    /// Two trajectories: A along +x/−x, B along +y/−y.
+    fn cross_set() -> TrajectorySet {
+        let a = FaultTrajectory::new(
+            "A",
+            vec![-20.0, -10.0, 0.0, 10.0, 20.0],
+            vec![
+                sig(-4.0, 0.0),
+                sig(-2.0, 0.0),
+                sig(0.0, 0.0),
+                sig(2.0, 0.0),
+                sig(4.0, 0.0),
+            ],
+        );
+        let b = FaultTrajectory::new(
+            "B",
+            vec![-20.0, -10.0, 0.0, 10.0, 20.0],
+            vec![
+                sig(0.0, -4.0),
+                sig(0.0, -2.0),
+                sig(0.0, 0.0),
+                sig(0.0, 2.0),
+                sig(0.0, 4.0),
+            ],
+        );
+        TrajectorySet::new(TestVector::pair(1.0, 2.0), vec![a, b])
+    }
+
+    #[test]
+    fn nearest_trajectory_wins() {
+        let diag = Diagnoser::new(cross_set(), DiagnoserConfig::default());
+        // Point near A's positive branch.
+        let d = diag.diagnose(&sig(3.0, 0.2));
+        assert_eq!(d.best().component, "A");
+        assert!(d.best().distance < 0.3);
+        assert_eq!(d.rank_of("B"), Some(1));
+        assert!(!d.is_ambiguous());
+    }
+
+    #[test]
+    fn deviation_estimate_interpolates() {
+        let diag = Diagnoser::new(cross_set(), DiagnoserConfig::default());
+        // x = 3 is halfway between the +10% point (x=2) and +20% (x=4).
+        let d = diag.diagnose(&sig(3.0, 0.0));
+        assert_eq!(d.best().component, "A");
+        assert!((d.best().deviation_pct - 15.0).abs() < 1e-9);
+        // Negative branch.
+        let d = diag.diagnose(&sig(-2.0, 0.0));
+        assert!((d.best().deviation_pct + 10.0).abs() < 1e-9);
+        // Beyond the last point: clamped to the end of the trajectory.
+        let d = diag.diagnose(&sig(10.0, 0.0));
+        assert!((d.best().deviation_pct - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equidistant_point_is_ambiguous() {
+        let diag = Diagnoser::new(cross_set(), DiagnoserConfig::default());
+        let d = diag.diagnose(&sig(1.0, 1.0));
+        assert!(d.is_ambiguous());
+        let set = d.ambiguity_set();
+        assert!(set.contains(&"A") && set.contains(&"B"));
+    }
+
+    #[test]
+    fn ambiguity_ratio_controls_set() {
+        let tight = Diagnoser::new(
+            cross_set(),
+            DiagnoserConfig {
+                ambiguity_ratio: 1.01,
+            },
+        );
+        // Clearly closer to A, but not by a factor > 1.5.
+        let point = sig(2.0, 1.5);
+        let d = tight.diagnose(&point);
+        assert!(!d.is_ambiguous());
+        let loose = Diagnoser::new(
+            cross_set(),
+            DiagnoserConfig {
+                ambiguity_ratio: 10.0,
+            },
+        );
+        let d = loose.diagnose(&point);
+        assert!(d.is_ambiguous());
+    }
+
+    #[test]
+    fn candidates_are_sorted() {
+        let diag = Diagnoser::new(cross_set(), DiagnoserConfig::default());
+        let d = diag.diagnose(&sig(0.5, 3.0));
+        let dists: Vec<f64> = d.candidates().iter().map(|c| c.distance).collect();
+        assert!(dists.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(d.candidates().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension must match")]
+    fn dimension_checked() {
+        let diag = Diagnoser::new(cross_set(), DiagnoserConfig::default());
+        let _ = diag.diagnose(&Signature::new(vec![1.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero trajectories")]
+    fn empty_set_rejected() {
+        let set = TrajectorySet::new(TestVector::pair(1.0, 2.0), vec![]);
+        let _ = Diagnoser::new(set, DiagnoserConfig::default());
+    }
+}

@@ -1,0 +1,274 @@
+//! Multi-probe observation — the natural extension of the paper.
+//!
+//! A single output pins diagnosability to the output's transfer
+//! function: the CUT's `{R3,R5}` and `{R4,C2}` products are provably
+//! indistinguishable from the low-pass node alone. Observing a second
+//! node (e.g. the band-pass output, which most biquads expose anyway)
+//! stacks another block of coordinates onto every signature, splitting
+//! classes the single probe cannot. The trajectory geometry, fitness,
+//! and diagnosis already operate in arbitrary dimension, so the
+//! extension is purely a data-path concern handled here.
+
+use ft_circuit::{sample_at, Circuit, CircuitError, Probe};
+use ft_faults::{FaultDictionary, FaultUniverse};
+use ft_numerics::FrequencyGrid;
+use serde::{Deserialize, Serialize};
+
+use crate::signature::{signature_from_db, Signature, TestVector, DB_FLOOR};
+use crate::trajectory::{trajectories_from_dictionary, FaultTrajectory, TrajectorySet};
+
+/// One fault dictionary per observation probe, all sharing a circuit,
+/// input, universe, and grid.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProbeBank {
+    input: String,
+    probes: Vec<Probe>,
+    dicts: Vec<FaultDictionary>,
+}
+
+impl ProbeBank {
+    /// Builds one dictionary per probe.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dictionary-construction errors (unknown probe node,
+    /// singular faulty circuit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probes` is empty.
+    pub fn build(
+        circuit: &Circuit,
+        universe: &FaultUniverse,
+        input: &str,
+        probes: &[Probe],
+        grid: &FrequencyGrid,
+    ) -> Result<Self, CircuitError> {
+        assert!(!probes.is_empty(), "need at least one probe");
+        let dicts = probes
+            .iter()
+            .map(|p| FaultDictionary::build(circuit, universe, input, p, grid))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ProbeBank {
+            input: input.to_string(),
+            probes: probes.to_vec(),
+            dicts,
+        })
+    }
+
+    /// The observation probes, in stacking order.
+    #[inline]
+    pub fn probes(&self) -> &[Probe] {
+        &self.probes
+    }
+
+    /// The per-probe dictionaries, aligned with [`ProbeBank::probes`].
+    #[inline]
+    pub fn dictionaries(&self) -> &[FaultDictionary] {
+        &self.dicts
+    }
+
+    /// The test input source.
+    #[inline]
+    pub fn input(&self) -> &str {
+        &self.input
+    }
+
+    /// Number of observation channels.
+    #[inline]
+    pub fn channels(&self) -> usize {
+        self.probes.len()
+    }
+
+    /// Builds the stacked trajectory set at `tv`: each trajectory point
+    /// concatenates the golden-relative dB coordinates of every probe
+    /// (probe-major, frequency-minor).
+    pub fn trajectories(&self, tv: &TestVector) -> TrajectorySet {
+        let per_probe: Vec<TrajectorySet> = self
+            .dicts
+            .iter()
+            .map(|d| trajectories_from_dictionary(d, tv))
+            .collect();
+
+        let first = &per_probe[0];
+        let mut stacked = Vec::with_capacity(first.len());
+        for (idx, t0) in first.trajectories().iter().enumerate() {
+            let devs = t0.deviations_pct().to_vec();
+            let mut points: Vec<Vec<f64>> =
+                vec![Vec::with_capacity(tv.len() * self.channels()); devs.len()];
+            for set in &per_probe {
+                let t = &set.trajectories()[idx];
+                debug_assert_eq!(t.component(), t0.component());
+                debug_assert_eq!(t.deviations_pct(), devs.as_slice());
+                for (k, p) in t.points().iter().enumerate() {
+                    points[k].extend_from_slice(p.coords());
+                }
+            }
+            stacked.push(FaultTrajectory::new(
+                t0.component().to_string(),
+                devs,
+                points.into_iter().map(Signature::new).collect(),
+            ));
+        }
+        TrajectorySet::new(tv.clone(), stacked)
+    }
+
+    /// Measures the stacked signature of `circuit` against `golden` at
+    /// the test frequencies, by exact simulation at every probe.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors.
+    pub fn measure(
+        &self,
+        circuit: &Circuit,
+        golden: &Circuit,
+        tv: &TestVector,
+    ) -> Result<Signature, CircuitError> {
+        let mut coords = Vec::with_capacity(tv.len() * self.channels());
+        for probe in &self.probes {
+            let measured = sample_at(circuit, &self.input, probe, tv.omegas())?;
+            let reference = sample_at(golden, &self.input, probe, tv.omegas())?;
+            let m_db: Vec<f64> = measured
+                .iter()
+                .map(|v| ft_numerics::decibel::clamp_db(v.abs_db(), DB_FLOOR))
+                .collect();
+            let g_db: Vec<f64> = reference
+                .iter()
+                .map(|v| ft_numerics::decibel::clamp_db(v.abs_db(), DB_FLOOR))
+                .collect();
+            coords.extend_from_slice(signature_from_db(&m_db, &g_db).coords());
+        }
+        Ok(Signature::new(coords))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ambiguity::ambiguity_groups;
+    use crate::diagnosis::{Diagnoser, DiagnoserConfig};
+    use crate::fitness::GeometryOptions;
+    use ft_circuit::tow_thomas_normalized;
+    use ft_faults::{DeviationGrid, ParametricFault};
+
+    fn bank() -> (ft_circuit::Benchmark, FaultUniverse, ProbeBank) {
+        let bench = tow_thomas_normalized(1.0).unwrap();
+        let universe = FaultUniverse::new(&bench.fault_set, DeviationGrid::paper());
+        let grid = FrequencyGrid::log_space(0.01, 100.0, 41);
+        let probes = vec![Probe::node("lp"), Probe::node("bp"), Probe::node("inv")];
+        let bank = ProbeBank::build(&bench.circuit, &universe, &bench.input, &probes, &grid)
+            .unwrap();
+        (bench, universe, bank)
+    }
+
+    #[test]
+    fn bank_builds_per_probe_dictionaries() {
+        let (_, universe, bank) = bank();
+        assert_eq!(bank.channels(), 3);
+        assert_eq!(bank.dictionaries().len(), 3);
+        for d in bank.dictionaries() {
+            assert_eq!(d.entries().len(), universe.len());
+        }
+        assert_eq!(bank.input(), "V1");
+    }
+
+    #[test]
+    fn stacked_trajectories_have_stacked_dimension() {
+        let (_, _, bank) = bank();
+        let tv = TestVector::pair(0.6, 1.6);
+        let set = bank.trajectories(&tv);
+        assert_eq!(set.dim(), 6); // 2 freqs × 3 probes
+        assert_eq!(set.channels(), 3);
+        assert_eq!(set.len(), 7);
+        // Origin still the origin.
+        for t in set.trajectories() {
+            let origin = t.deviations_pct().iter().position(|d| *d == 0.0).unwrap();
+            assert!(t.points()[origin].norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn first_block_matches_single_probe() {
+        let (bench, universe, bank) = bank();
+        let tv = TestVector::pair(0.6, 1.6);
+        let stacked = bank.trajectories(&tv);
+        let single = trajectories_from_dictionary(
+            &FaultDictionary::build(
+                &bench.circuit,
+                &universe,
+                &bench.input,
+                &Probe::node("lp"),
+                &FrequencyGrid::log_space(0.01, 100.0, 41),
+            )
+            .unwrap(),
+            &tv,
+        );
+        for (s, t) in stacked.trajectories().iter().zip(single.trajectories()) {
+            for (ps, pt) in s.points().iter().zip(t.points()) {
+                assert!((ps.coords()[0] - pt.coords()[0]).abs() < 1e-12);
+                assert!((ps.coords()[1] - pt.coords()[1]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn multi_probe_splits_r3_r5() {
+        // The headline: with the inverter output observed, R5 separates
+        // from R3 (only their product reaches the LP node, but R5 also
+        // scales the inverter gain directly).
+        let (_, _, bank) = bank();
+        let tv = TestVector::pair(0.6, 1.6);
+        let set = bank.trajectories(&tv);
+        let groups = ambiguity_groups(&set, 1e-6, &GeometryOptions::default());
+        let r3_group = groups.group_of("R3").unwrap();
+        assert!(
+            !r3_group.contains(&"R5".to_string()),
+            "multi-probe should split R3/R5: {:?}",
+            groups.groups()
+        );
+    }
+
+    #[test]
+    fn multi_probe_diagnoses_r5_correctly() {
+        let (bench, _, bank) = bank();
+        let tv = TestVector::pair(0.6, 1.6);
+        let set = bank.trajectories(&tv);
+        let diagnoser = Diagnoser::new(set, DiagnoserConfig::default());
+
+        let fault = ParametricFault::from_percent("R5", 25.0);
+        let faulty = fault.apply(&bench.circuit).unwrap();
+        let sig = bank.measure(&faulty, &bench.circuit, &tv).unwrap();
+        assert_eq!(sig.dim(), 6);
+        let verdict = diagnoser.diagnose(&sig);
+        assert_eq!(
+            verdict.best().component,
+            "R5",
+            "single-probe cannot do this: {:?}",
+            verdict.candidates()
+        );
+        assert!((verdict.best().deviation_pct - 25.0).abs() < 5.0);
+    }
+
+    #[test]
+    fn golden_measures_as_origin() {
+        let (bench, _, bank) = bank();
+        let tv = TestVector::pair(0.6, 1.6);
+        let sig = bank.measure(&bench.circuit, &bench.circuit, &tv).unwrap();
+        assert!(sig.norm() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one probe")]
+    fn empty_probe_list_rejected() {
+        let bench = tow_thomas_normalized(1.0).unwrap();
+        let universe = FaultUniverse::new(&bench.fault_set, DeviationGrid::paper());
+        let _ = ProbeBank::build(
+            &bench.circuit,
+            &universe,
+            "V1",
+            &[],
+            &FrequencyGrid::log_space(0.01, 100.0, 11),
+        );
+    }
+}

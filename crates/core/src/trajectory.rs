@@ -1,0 +1,466 @@
+//! Fault trajectories (paper §2.3, Fig. 3).
+//!
+//! For one component, the signature points of its deviation sweep —
+//! ordered from the most negative deviation through the origin (0%) to
+//! the most positive — connect into a piecewise-linear curve: the
+//! *component parametric fault trajectory*. A [`TrajectorySet`] holds one
+//! trajectory per fault-set component for a given test vector.
+
+use ft_circuit::{Circuit, CircuitError, Probe};
+use ft_faults::{FaultDictionary, ParametricFault};
+use serde::{Deserialize, Serialize};
+
+use crate::signature::{sample_response_db, signature_from_db, Signature, TestVector};
+
+/// One component's fault trajectory in signature space.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultTrajectory {
+    component: String,
+    /// Deviations in percent, strictly ascending, containing 0.
+    deviations_pct: Vec<f64>,
+    /// Signature per deviation; the 0% entry is the origin.
+    points: Vec<Signature>,
+}
+
+impl FaultTrajectory {
+    /// Assembles a trajectory from per-deviation signatures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ, fewer than two points are given, the
+    /// deviations are not strictly ascending, or 0% is missing.
+    pub fn new(
+        component: impl Into<String>,
+        deviations_pct: Vec<f64>,
+        points: Vec<Signature>,
+    ) -> Self {
+        assert_eq!(
+            deviations_pct.len(),
+            points.len(),
+            "deviation/point count mismatch"
+        );
+        assert!(points.len() >= 2, "a trajectory needs at least two points");
+        assert!(
+            deviations_pct.windows(2).all(|w| w[0] < w[1]),
+            "deviations must be strictly ascending"
+        );
+        assert!(
+            deviations_pct.iter().any(|d| *d == 0.0),
+            "trajectory must contain the 0% (origin) point"
+        );
+        let dim = points[0].dim();
+        assert!(
+            points.iter().all(|p| p.dim() == dim),
+            "all points must share one dimension"
+        );
+        FaultTrajectory {
+            component: component.into(),
+            deviations_pct,
+            points,
+        }
+    }
+
+    /// The component this trajectory belongs to.
+    #[inline]
+    pub fn component(&self) -> &str {
+        &self.component
+    }
+
+    /// Deviations in percent, ascending.
+    #[inline]
+    pub fn deviations_pct(&self) -> &[f64] {
+        &self.deviations_pct
+    }
+
+    /// Signature points, aligned with [`deviations_pct`].
+    ///
+    /// [`deviations_pct`]: FaultTrajectory::deviations_pct
+    #[inline]
+    pub fn points(&self) -> &[Signature] {
+        &self.points
+    }
+
+    /// Signature-space dimension.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.points[0].dim()
+    }
+
+    /// Number of piecewise-linear segments.
+    #[inline]
+    pub fn segment_count(&self) -> usize {
+        self.points.len() - 1
+    }
+
+    /// The `i`-th segment as (start deviation, start point, end
+    /// deviation, end point).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn segment(&self, i: usize) -> (f64, &Signature, f64, &Signature) {
+        (
+            self.deviations_pct[i],
+            &self.points[i],
+            self.deviations_pct[i + 1],
+            &self.points[i + 1],
+        )
+    }
+
+    /// Iterator over all segments.
+    pub fn segments(
+        &self,
+    ) -> impl Iterator<Item = (f64, &Signature, f64, &Signature)> + '_ {
+        (0..self.segment_count()).map(move |i| self.segment(i))
+    }
+
+    /// Total polyline length (a proxy for fault observability: longer
+    /// trajectories are easier to resolve).
+    pub fn length(&self) -> f64 {
+        self.points
+            .windows(2)
+            .map(|w| w[0].distance(&w[1]))
+            .sum()
+    }
+
+    /// `true` when the displacement from the origin grows monotonically
+    /// with |deviation| on both branches — the "smooth and monotonic"
+    /// assumption of §2.3.
+    pub fn is_monotonic(&self) -> bool {
+        let origin_idx = self
+            .deviations_pct
+            .iter()
+            .position(|d| *d == 0.0)
+            .expect("constructor guarantees an origin point");
+        let norms: Vec<f64> = self.points.iter().map(Signature::norm).collect();
+        let pos_ok = norms[origin_idx..].windows(2).all(|w| w[1] >= w[0] - 1e-12);
+        let neg_ok = norms[..=origin_idx]
+            .windows(2)
+            .all(|w| w[0] >= w[1] - 1e-12);
+        pos_ok && neg_ok
+    }
+}
+
+/// All fault trajectories of a CUT for one test vector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrajectorySet {
+    test_vector: TestVector,
+    trajectories: Vec<FaultTrajectory>,
+}
+
+impl TrajectorySet {
+    /// Packages trajectories with the test vector that produced them.
+    ///
+    /// With a single probe the signature dimension equals the number of
+    /// test frequencies; multi-probe observation stacks one block of
+    /// frequencies per probe, so the dimension must be a positive
+    /// multiple of the test-vector length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any trajectory's dimension is not the same positive
+    /// multiple of the test-vector length.
+    pub fn new(test_vector: TestVector, trajectories: Vec<FaultTrajectory>) -> Self {
+        if let Some(first) = trajectories.first() {
+            let dim = first.dim();
+            assert!(
+                dim > 0 && dim % test_vector.len() == 0,
+                "trajectory dimension must be a positive multiple of the test-vector length"
+            );
+            assert!(
+                trajectories.iter().all(|t| t.dim() == dim),
+                "all trajectories must share one dimension"
+            );
+        }
+        TrajectorySet {
+            test_vector,
+            trajectories,
+        }
+    }
+
+    /// The test vector.
+    #[inline]
+    pub fn test_vector(&self) -> &TestVector {
+        &self.test_vector
+    }
+
+    /// Signature-space dimension (test frequencies × observation
+    /// channels). Falls back to the test-vector length for an empty set.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.trajectories
+            .first()
+            .map_or(self.test_vector.len(), FaultTrajectory::dim)
+    }
+
+    /// Number of observation channels (probes) stacked into the
+    /// signature.
+    #[inline]
+    pub fn channels(&self) -> usize {
+        self.dim() / self.test_vector.len()
+    }
+
+    /// All trajectories.
+    #[inline]
+    pub fn trajectories(&self) -> &[FaultTrajectory] {
+        &self.trajectories
+    }
+
+    /// Trajectory of a named component.
+    pub fn trajectory_of(&self, component: &str) -> Option<&FaultTrajectory> {
+        self.trajectories
+            .iter()
+            .find(|t| t.component() == component)
+    }
+
+    /// Number of trajectories.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.trajectories.len()
+    }
+
+    /// `true` when the set holds no trajectories.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.trajectories.is_empty()
+    }
+}
+
+/// Builds the trajectory set from a fault dictionary by interpolating
+/// each dictionary response at the test frequencies — the fast path used
+/// inside the GA loop.
+///
+/// The signature of each faulty circuit is its interpolated dB response
+/// minus the golden response; the 0% origin point is inserted explicitly.
+pub fn trajectories_from_dictionary(
+    dict: &FaultDictionary,
+    tv: &TestVector,
+) -> TrajectorySet {
+    let omegas = tv.omegas();
+    let golden: Vec<f64> = omegas.iter().map(|&w| dict.golden_db_at(w)).collect();
+
+    let mut trajectories = Vec::new();
+    for component in dict.universe().components() {
+        let mut devs: Vec<f64> = vec![0.0];
+        let mut points: Vec<Signature> = vec![Signature::origin(tv.len())];
+        for (idx, fault) in dict.universe().faults().iter().enumerate() {
+            if fault.component() != component {
+                continue;
+            }
+            let measured: Vec<f64> = omegas
+                .iter()
+                .map(|&w| dict.entry_db_at(idx, w))
+                .collect();
+            devs.push(fault.percent());
+            points.push(signature_from_db(&measured, &golden));
+        }
+        // Sort by deviation (origin lands in the middle).
+        let mut order: Vec<usize> = (0..devs.len()).collect();
+        order.sort_by(|&a, &b| devs[a].partial_cmp(&devs[b]).expect("finite deviations"));
+        let devs: Vec<f64> = order.iter().map(|&i| devs[i]).collect();
+        let points: Vec<Signature> = order.iter().map(|&i| points[i].clone()).collect();
+        trajectories.push(FaultTrajectory::new(component.clone(), devs, points));
+    }
+    TrajectorySet::new(tv.clone(), trajectories)
+}
+
+/// Builds the trajectory set by exact re-simulation of every fault at the
+/// test frequencies — the verification path (no interpolation error).
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn trajectories_exact(
+    circuit: &Circuit,
+    faults: &[ParametricFault],
+    components: &[String],
+    input: &str,
+    probe: &Probe,
+    tv: &TestVector,
+) -> Result<TrajectorySet, CircuitError> {
+    let golden = sample_response_db(circuit, input, probe, tv)?;
+    let mut trajectories = Vec::new();
+    for component in components {
+        let mut devs: Vec<f64> = vec![0.0];
+        let mut points: Vec<Signature> = vec![Signature::origin(tv.len())];
+        for fault in faults.iter().filter(|f| f.component() == component.as_str()) {
+            let faulty = fault.apply(circuit)?;
+            let measured = sample_response_db(&faulty, input, probe, tv)?;
+            devs.push(fault.percent());
+            points.push(signature_from_db(&measured, &golden));
+        }
+        let mut order: Vec<usize> = (0..devs.len()).collect();
+        order.sort_by(|&a, &b| devs[a].partial_cmp(&devs[b]).expect("finite deviations"));
+        let devs: Vec<f64> = order.iter().map(|&i| devs[i]).collect();
+        let points: Vec<Signature> = order.iter().map(|&i| points[i].clone()).collect();
+        trajectories.push(FaultTrajectory::new(component.clone(), devs, points));
+    }
+    Ok(TrajectorySet::new(tv.clone(), trajectories))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_circuit::tow_thomas_normalized;
+    use ft_faults::{DeviationGrid, FaultUniverse};
+    use ft_numerics::FrequencyGrid;
+
+    fn paper_setup() -> (ft_circuit::Benchmark, FaultDictionary) {
+        let bench = tow_thomas_normalized(1.0).unwrap();
+        let universe = FaultUniverse::new(&bench.fault_set, DeviationGrid::paper());
+        let grid = FrequencyGrid::log_space(0.01, 100.0, 41);
+        let dict = FaultDictionary::build(
+            &bench.circuit,
+            &universe,
+            &bench.input,
+            &bench.probe,
+            &grid,
+        )
+        .unwrap();
+        (bench, dict)
+    }
+
+    #[test]
+    fn trajectory_constructor_validates() {
+        let p = |x: f64, y: f64| Signature::new(vec![x, y]);
+        let t = FaultTrajectory::new(
+            "R1",
+            vec![-10.0, 0.0, 10.0],
+            vec![p(-1.0, -1.0), p(0.0, 0.0), p(1.0, 1.0)],
+        );
+        assert_eq!(t.component(), "R1");
+        assert_eq!(t.segment_count(), 2);
+        assert_eq!(t.dim(), 2);
+        assert!((t.length() - 2.0 * 2f64.sqrt()).abs() < 1e-12);
+        assert!(t.is_monotonic());
+        let (d0, p0, d1, _p1) = t.segment(0);
+        assert_eq!(d0, -10.0);
+        assert_eq!(d1, 0.0);
+        assert_eq!(p0.coords(), &[-1.0, -1.0]);
+        assert_eq!(t.segments().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "origin")]
+    fn missing_origin_rejected() {
+        let p = |x: f64| Signature::new(vec![x]);
+        let _ = FaultTrajectory::new("R1", vec![-10.0, 10.0], vec![p(-1.0), p(1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn unsorted_deviations_rejected() {
+        let p = |x: f64| Signature::new(vec![x]);
+        let _ = FaultTrajectory::new(
+            "R1",
+            vec![10.0, 0.0, -10.0],
+            vec![p(1.0), p(0.0), p(-1.0)],
+        );
+    }
+
+    #[test]
+    fn non_monotonic_detected() {
+        let p = |x: f64| Signature::new(vec![x]);
+        let t = FaultTrajectory::new(
+            "R1",
+            vec![-10.0, 0.0, 10.0, 20.0],
+            vec![p(-1.0), p(0.0), p(2.0), p(1.0)],
+        );
+        assert!(!t.is_monotonic());
+    }
+
+    #[test]
+    fn dictionary_trajectories_shape() {
+        let (bench, dict) = paper_setup();
+        let tv = TestVector::pair(0.5, 2.0);
+        let set = trajectories_from_dictionary(&dict, &tv);
+        assert_eq!(set.len(), bench.fault_set.len());
+        assert_eq!(set.test_vector(), &tv);
+        for t in set.trajectories() {
+            // 8 dictionary deviations + origin.
+            assert_eq!(t.points().len(), 9);
+            assert_eq!(t.dim(), 2);
+            // Origin present and exactly zero.
+            let origin_idx = t.deviations_pct().iter().position(|d| *d == 0.0).unwrap();
+            assert_eq!(origin_idx, 4);
+            assert!(t.points()[origin_idx].norm() < 1e-12);
+        }
+        assert!(set.trajectory_of("R3").is_some());
+        assert!(set.trajectory_of("R99").is_none());
+    }
+
+    #[test]
+    fn exact_and_interpolated_agree_on_grid_frequencies() {
+        let (bench, dict) = paper_setup();
+        // Pick test frequencies that are exact grid points: interpolation
+        // error vanishes and both paths must agree.
+        let grid_freqs = dict.grid().frequencies();
+        let tv = TestVector::pair(grid_freqs[10], grid_freqs[30]);
+        let interp = trajectories_from_dictionary(&dict, &tv);
+        let exact = trajectories_exact(
+            &bench.circuit,
+            dict.universe().faults(),
+            &bench.fault_set,
+            &bench.input,
+            &bench.probe,
+            &tv,
+        )
+        .unwrap();
+        for (a, b) in interp.trajectories().iter().zip(exact.trajectories()) {
+            assert_eq!(a.component(), b.component());
+            for (pa, pb) in a.points().iter().zip(b.points()) {
+                assert!(
+                    pa.distance(pb) < 1e-9,
+                    "{}: {pa} vs {pb}",
+                    a.component()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trajectories_are_monotonic_for_the_cut() {
+        // §2.3: smooth/monotonic responses for linear continuous-time
+        // circuits — verify for the paper CUT at a generic test vector.
+        let (_bench, dict) = paper_setup();
+        let tv = TestVector::pair(0.7, 1.8);
+        let set = trajectories_from_dictionary(&dict, &tv);
+        for t in set.trajectories() {
+            assert!(t.is_monotonic(), "{} not monotonic", t.component());
+        }
+    }
+
+    #[test]
+    fn different_components_have_distinct_trajectories() {
+        let (_bench, dict) = paper_setup();
+        let tv = TestVector::pair(0.5, 2.0);
+        let set = trajectories_from_dictionary(&dict, &tv);
+        // R3 and C1 endpoints differ markedly.
+        let r3 = set.trajectory_of("R3").unwrap();
+        let c1 = set.trajectory_of("C1").unwrap();
+        let d = r3.points().last().unwrap().distance(c1.points().last().unwrap());
+        assert!(d > 0.05, "endpoint distance {d}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive multiple")]
+    fn set_dimension_checked() {
+        let p = |x: f64| Signature::new(vec![x]);
+        let t = FaultTrajectory::new("R1", vec![-10.0, 0.0], vec![p(-1.0), p(0.0)]);
+        let _ = TrajectorySet::new(TestVector::pair(1.0, 2.0), vec![t]);
+    }
+
+    #[test]
+    fn stacked_dimension_and_channels() {
+        // A 4-D trajectory over a 2-frequency test vector = 2 channels.
+        let p = |x: f64| Signature::new(vec![x, x, -x, 2.0 * x]);
+        let t = FaultTrajectory::new("R1", vec![-10.0, 0.0], vec![p(-1.0), p(0.0)]);
+        let set = TrajectorySet::new(TestVector::pair(1.0, 2.0), vec![t]);
+        assert_eq!(set.dim(), 4);
+        assert_eq!(set.channels(), 2);
+        // Empty set falls back to the test-vector length.
+        let empty = TrajectorySet::new(TestVector::pair(1.0, 2.0), vec![]);
+        assert_eq!(empty.dim(), 2);
+        assert_eq!(empty.channels(), 1);
+    }
+}

@@ -1,0 +1,338 @@
+//! Fault dictionary construction — the paper's fault-simulation (FS)
+//! process.
+//!
+//! For every fault in a [`FaultUniverse`], the faulty circuit's magnitude
+//! response (dB) is computed on a frequency grid and stored together with
+//! the golden response. Construction parallelises across faults with
+//! crossbeam scoped threads; each fault is an independent AC sweep.
+
+use crossbeam::thread;
+use ft_circuit::{sweep, Circuit, CircuitError, Probe};
+use ft_numerics::interp::PiecewiseLinear;
+use ft_numerics::FrequencyGrid;
+use serde::{Deserialize, Serialize};
+
+use crate::model::ParametricFault;
+use crate::universe::FaultUniverse;
+
+/// One dictionary item: a fault and its sampled magnitude response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DictionaryEntry {
+    fault: ParametricFault,
+    magnitude_db: Vec<f64>,
+}
+
+impl DictionaryEntry {
+    /// The fault this entry describes.
+    #[inline]
+    pub fn fault(&self) -> &ParametricFault {
+        &self.fault
+    }
+
+    /// Magnitude response in dB on the dictionary grid.
+    #[inline]
+    pub fn magnitude_db(&self) -> &[f64] {
+        &self.magnitude_db
+    }
+}
+
+/// A complete fault dictionary for one circuit / input / probe.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultDictionary {
+    grid: FrequencyGrid,
+    golden_db: Vec<f64>,
+    entries: Vec<DictionaryEntry>,
+    universe: FaultUniverse,
+    input: String,
+    probe: Probe,
+}
+
+impl FaultDictionary {
+    /// Builds the dictionary by simulating the golden circuit and every
+    /// fault in `universe` on `grid`, in parallel.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first simulation error (unknown component in the
+    /// universe, singular faulty circuit, bad probe).
+    pub fn build(
+        circuit: &Circuit,
+        universe: &FaultUniverse,
+        input: &str,
+        probe: &Probe,
+        grid: &FrequencyGrid,
+    ) -> Result<Self, CircuitError> {
+        let golden_db = sweep(circuit, input, probe, grid)?.magnitude_db();
+
+        let faults = universe.faults();
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(faults.len().max(1));
+        let chunk = faults.len().div_ceil(workers.max(1)).max(1);
+
+        let results: Vec<Result<Vec<DictionaryEntry>, CircuitError>> =
+            thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for faults_chunk in faults.chunks(chunk) {
+                    handles.push(scope.spawn(move |_| {
+                        let mut out = Vec::with_capacity(faults_chunk.len());
+                        for fault in faults_chunk {
+                            let faulty = fault.apply(circuit)?;
+                            let response = sweep(&faulty, input, probe, grid)?;
+                            out.push(DictionaryEntry {
+                                fault: fault.clone(),
+                                magnitude_db: response.magnitude_db(),
+                            });
+                        }
+                        Ok(out)
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("fault-sim worker panicked"))
+                    .collect()
+            })
+            .expect("crossbeam scope panicked");
+
+        let mut entries = Vec::with_capacity(faults.len());
+        for r in results {
+            entries.extend(r?);
+        }
+
+        Ok(FaultDictionary {
+            grid: grid.clone(),
+            golden_db,
+            entries,
+            universe: universe.clone(),
+            input: input.to_string(),
+            probe: probe.clone(),
+        })
+    }
+
+    /// The dictionary's frequency grid.
+    #[inline]
+    pub fn grid(&self) -> &FrequencyGrid {
+        &self.grid
+    }
+
+    /// Golden magnitude response (dB) on the grid.
+    #[inline]
+    pub fn golden_db(&self) -> &[f64] {
+        &self.golden_db
+    }
+
+    /// All entries, ordered as the universe enumerates faults.
+    #[inline]
+    pub fn entries(&self) -> &[DictionaryEntry] {
+        &self.entries
+    }
+
+    /// The fault universe the dictionary covers.
+    #[inline]
+    pub fn universe(&self) -> &FaultUniverse {
+        &self.universe
+    }
+
+    /// The test input source name.
+    #[inline]
+    pub fn input(&self) -> &str {
+        &self.input
+    }
+
+    /// The observation probe.
+    #[inline]
+    pub fn probe(&self) -> &Probe {
+        &self.probe
+    }
+
+    /// Entries describing faults of one component, ordered by deviation.
+    pub fn entries_of(&self, component: &str) -> Vec<&DictionaryEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.fault.component() == component)
+            .collect()
+    }
+
+    /// Interpolates the golden response (dB) at angular frequency `omega`
+    /// (log-frequency linear interpolation, Bode-style).
+    pub fn golden_db_at(&self, omega: f64) -> f64 {
+        interp_log(&self.grid, &self.golden_db, omega)
+    }
+
+    /// Interpolates entry `index`'s response (dB) at `omega`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn entry_db_at(&self, index: usize, omega: f64) -> f64 {
+        interp_log(&self.grid, &self.entries[index].magnitude_db, omega)
+    }
+
+    /// Interpolated responses of every entry at a set of frequencies:
+    /// `result[i][j]` = entry `i` at `omegas[j]`. The golden response is
+    /// returned alongside.
+    pub fn sample_all(&self, omegas: &[f64]) -> (Vec<f64>, Vec<Vec<f64>>) {
+        let golden = omegas.iter().map(|&w| self.golden_db_at(w)).collect();
+        let per_entry = self
+            .entries
+            .iter()
+            .map(|e| {
+                omegas
+                    .iter()
+                    .map(|&w| interp_log(&self.grid, &e.magnitude_db, w))
+                    .collect()
+            })
+            .collect();
+        (golden, per_entry)
+    }
+
+    /// Serialises grid + golden + all entries as CSV (`omega` column,
+    /// `golden` column, one column per fault).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("omega_rad_s,golden_db");
+        for e in &self.entries {
+            out.push(',');
+            out.push_str(&e.fault.to_string());
+        }
+        out.push('\n');
+        for (j, &w) in self.grid.frequencies().iter().enumerate() {
+            out.push_str(&format!("{w:.6e},{:.6}", self.golden_db[j]));
+            for e in &self.entries {
+                out.push_str(&format!(",{:.6}", e.magnitude_db[j]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn interp_log(grid: &FrequencyGrid, ys: &[f64], omega: f64) -> f64 {
+    debug_assert_eq!(grid.len(), ys.len());
+    let log_xs: Vec<f64> = grid.frequencies().iter().map(|w| w.log10()).collect();
+    let pl = PiecewiseLinear::new(log_xs, ys.to_vec()).expect("grid is a valid knot set");
+    pl.eval(omega.log10())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::DeviationGrid;
+
+    fn rc() -> Circuit {
+        let mut ckt = Circuit::new("rc");
+        ckt.voltage_source("V1", "in", "0", 1.0).unwrap();
+        ckt.resistor("R1", "in", "out", 1e3).unwrap();
+        ckt.capacitor("C1", "out", "0", 1e-6).unwrap();
+        ckt
+    }
+
+    fn build_rc_dictionary() -> FaultDictionary {
+        let ckt = rc();
+        let universe = FaultUniverse::new(&["R1", "C1"], DeviationGrid::paper());
+        let grid = FrequencyGrid::log_space(1.0, 1e6, 25);
+        FaultDictionary::build(&ckt, &universe, "V1", &Probe::node("out"), &grid).unwrap()
+    }
+
+    #[test]
+    fn builds_all_entries() {
+        let dict = build_rc_dictionary();
+        assert_eq!(dict.entries().len(), 16);
+        assert_eq!(dict.golden_db().len(), 25);
+        assert_eq!(dict.entries_of("R1").len(), 8);
+        assert_eq!(dict.input(), "V1");
+        // Entry order matches the universe.
+        for (e, f) in dict.entries().iter().zip(dict.universe().faults()) {
+            assert_eq!(e.fault(), f);
+        }
+    }
+
+    #[test]
+    fn golden_matches_direct_sweep() {
+        let dict = build_rc_dictionary();
+        let direct = sweep(
+            &rc(),
+            "V1",
+            &Probe::node("out"),
+            &FrequencyGrid::log_space(1.0, 1e6, 25),
+        )
+        .unwrap()
+        .magnitude_db();
+        assert_eq!(dict.golden_db(), &direct[..]);
+    }
+
+    #[test]
+    fn faulty_entries_differ_from_golden() {
+        let dict = build_rc_dictionary();
+        for e in dict.entries() {
+            let max_delta = e
+                .magnitude_db()
+                .iter()
+                .zip(dict.golden_db())
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
+            assert!(
+                max_delta > 0.1,
+                "{} indistinguishable from golden",
+                e.fault()
+            );
+        }
+    }
+
+    #[test]
+    fn interpolation_exact_on_grid_points() {
+        let dict = build_rc_dictionary();
+        let w = dict.grid().frequencies()[7];
+        assert!((dict.golden_db_at(w) - dict.golden_db()[7]).abs() < 1e-9);
+        assert!((dict.entry_db_at(3, w) - dict.entries()[3].magnitude_db()[7]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interpolation_between_points_is_sane() {
+        let dict = build_rc_dictionary();
+        // At the corner (1000 rad/s) the golden response is −3.01 dB;
+        // log-interp on 25 points/6 decades is within a couple tenths.
+        let v = dict.golden_db_at(1000.0);
+        assert!((v + 3.01).abs() < 0.3, "interp {v}");
+    }
+
+    #[test]
+    fn sample_all_shapes() {
+        let dict = build_rc_dictionary();
+        let (golden, per_entry) = dict.sample_all(&[10.0, 1e3, 1e5]);
+        assert_eq!(golden.len(), 3);
+        assert_eq!(per_entry.len(), 16);
+        assert!(per_entry.iter().all(|r| r.len() == 3));
+        // High frequency: −40% R1 (faster corner... actually higher
+        // corner) attenuates less than golden.
+        let idx_minus40 = dict
+            .universe()
+            .faults()
+            .iter()
+            .position(|f| f.component() == "R1" && f.percent() == -40.0)
+            .unwrap();
+        assert!(per_entry[idx_minus40][2] > golden[2]);
+    }
+
+    #[test]
+    fn csv_export_shape() {
+        let dict = build_rc_dictionary();
+        let csv = dict.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 26); // header + 25 grid rows
+        let header_cols = lines[0].split(',').count();
+        assert_eq!(header_cols, 2 + 16);
+        assert!(lines[0].starts_with("omega_rad_s,golden_db"));
+        assert!(lines[0].contains("R1+40%"));
+    }
+
+    #[test]
+    fn unknown_component_in_universe_errors() {
+        let ckt = rc();
+        let universe = FaultUniverse::new(&["R9"], DeviationGrid::paper());
+        let grid = FrequencyGrid::log_space(1.0, 1e3, 5);
+        assert!(
+            FaultDictionary::build(&ckt, &universe, "V1", &Probe::node("out"), &grid).is_err()
+        );
+    }
+}

@@ -1,0 +1,303 @@
+//! The parametric fault model.
+//!
+//! Following the paper's functional-parametric-fault paradigm (FFM,
+//! Calvano et al. 2001): a fault is a percentage deviation of one
+//! component's value. Faults on passives deviate R/C/L; faults on active
+//! devices deviate macromodel parameters (which the op-amp expansion in
+//! `ft-circuit` exposes as ordinary primitive components).
+
+use std::fmt;
+
+use ft_circuit::{Circuit, CircuitError};
+use serde::{Deserialize, Serialize};
+
+/// A single parametric fault: `component` deviates by `deviation`
+/// (fractional: `+0.3` = +30% of nominal, `-0.4` = −40%).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParametricFault {
+    component: String,
+    deviation: f64,
+}
+
+impl ParametricFault {
+    /// Creates a fault; `deviation` is fractional (−0.4 = −40%).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deviation <= -1` (a deviation of −100% or more is a
+    /// catastrophic fault, not a parametric one) or is not finite.
+    pub fn new(component: impl Into<String>, deviation: f64) -> Self {
+        assert!(
+            deviation.is_finite() && deviation > -1.0,
+            "parametric deviation must be finite and > -100%"
+        );
+        ParametricFault {
+            component: component.into(),
+            deviation,
+        }
+    }
+
+    /// Creates a fault from a percentage (`30.0` = +30%).
+    ///
+    /// # Panics
+    ///
+    /// As [`ParametricFault::new`].
+    pub fn from_percent(component: impl Into<String>, percent: f64) -> Self {
+        ParametricFault::new(component, percent / 100.0)
+    }
+
+    /// The faulted component's name.
+    #[inline]
+    pub fn component(&self) -> &str {
+        &self.component
+    }
+
+    /// Fractional deviation (−0.4 = −40%).
+    #[inline]
+    pub fn deviation(&self) -> f64 {
+        self.deviation
+    }
+
+    /// Deviation as a percentage.
+    #[inline]
+    pub fn percent(&self) -> f64 {
+        self.deviation * 100.0
+    }
+
+    /// Multiplier applied to the nominal value (`1 + deviation`).
+    #[inline]
+    pub fn multiplier(&self) -> f64 {
+        1.0 + self.deviation
+    }
+
+    /// `true` when the deviation is zero — the golden circuit.
+    #[inline]
+    pub fn is_nominal(&self) -> bool {
+        self.deviation == 0.0
+    }
+
+    /// Applies this fault to a clone of `circuit`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownComponent`] when the component does
+    /// not exist and [`CircuitError::InvalidValue`] when it has no
+    /// principal value.
+    pub fn apply(&self, circuit: &Circuit) -> Result<Circuit, CircuitError> {
+        let mut faulty = circuit.clone();
+        self.apply_in_place(&mut faulty)?;
+        Ok(faulty)
+    }
+
+    /// Applies this fault to `circuit` in place.
+    ///
+    /// # Errors
+    ///
+    /// As [`ParametricFault::apply`].
+    pub fn apply_in_place(&self, circuit: &mut Circuit) -> Result<(), CircuitError> {
+        let nominal = circuit
+            .value(&self.component)?
+            .ok_or_else(|| CircuitError::InvalidValue {
+                component: self.component.clone(),
+                value: f64::NAN,
+                reason: "component has no principal value to deviate",
+            })?;
+        circuit.set_value(&self.component, nominal * self.multiplier())
+    }
+}
+
+impl fmt::Display for ParametricFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{:+.0}%", self.component, self.percent())
+    }
+}
+
+/// A catastrophic (hard) fault: the component value driven to an extreme.
+///
+/// Opens and shorts of two-terminal elements are approximated by scaling
+/// the principal value by a large factor (documented substitution: a true
+/// topological open/short would change the netlist; the ×10⁶ scaling
+/// produces the same response to within measurement resolution for the
+/// benchmark filters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HardFaultKind {
+    /// Element effectively removed (R→∞, C→0, L→0 behaviourally).
+    Open,
+    /// Element effectively shorted (R→0, C→∞, L→... see scaling note).
+    Short,
+}
+
+/// A hard fault on a named component.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HardFault {
+    component: String,
+    kind: HardFaultKind,
+}
+
+/// Scale factor used to approximate opens/shorts.
+pub const HARD_FAULT_SCALE: f64 = 1e6;
+
+impl HardFault {
+    /// Creates a hard fault.
+    pub fn new(component: impl Into<String>, kind: HardFaultKind) -> Self {
+        HardFault {
+            component: component.into(),
+            kind,
+        }
+    }
+
+    /// The faulted component's name.
+    #[inline]
+    pub fn component(&self) -> &str {
+        &self.component
+    }
+
+    /// Open or short.
+    #[inline]
+    pub fn kind(&self) -> HardFaultKind {
+        self.kind
+    }
+
+    /// Applies to a clone of `circuit`.
+    ///
+    /// For resistors, `Open` scales R up and `Short` scales R down; for
+    /// capacitors and inductors the impedance relationship inverts the
+    /// scaling (an open capacitor has *less* capacitance).
+    ///
+    /// # Errors
+    ///
+    /// As [`ParametricFault::apply`].
+    pub fn apply(&self, circuit: &Circuit) -> Result<Circuit, CircuitError> {
+        let mut faulty = circuit.clone();
+        let nominal = faulty
+            .value(&self.component)?
+            .ok_or_else(|| CircuitError::InvalidValue {
+                component: self.component.clone(),
+                value: f64::NAN,
+                reason: "component has no principal value",
+            })?;
+        let comp = faulty.component_by_name(&self.component)?;
+        let is_capacitor = matches!(
+            comp.element(),
+            ft_circuit::Element::Capacitor { .. }
+        );
+        let scale_up = match (self.kind, is_capacitor) {
+            // Open resistor/inductor: impedance up → value up (R, L).
+            (HardFaultKind::Open, false) => true,
+            // Open capacitor: impedance up → capacitance down.
+            (HardFaultKind::Open, true) => false,
+            (HardFaultKind::Short, false) => false,
+            (HardFaultKind::Short, true) => true,
+        };
+        let value = if scale_up {
+            nominal * HARD_FAULT_SCALE
+        } else {
+            nominal / HARD_FAULT_SCALE
+        };
+        faulty.set_value(&self.component, value)?;
+        Ok(faulty)
+    }
+}
+
+impl fmt::Display for HardFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            HardFaultKind::Open => write!(f, "{} open", self.component),
+            HardFaultKind::Short => write!(f, "{} short", self.component),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_circuit::{transfer, Probe};
+
+    fn rc() -> Circuit {
+        let mut ckt = Circuit::new("rc");
+        ckt.voltage_source("V1", "in", "0", 1.0).unwrap();
+        ckt.resistor("R1", "in", "out", 1e3).unwrap();
+        ckt.capacitor("C1", "out", "0", 1e-6).unwrap();
+        ckt
+    }
+
+    #[test]
+    fn constructors_and_accessors() {
+        let f = ParametricFault::new("R1", 0.3);
+        assert_eq!(f.component(), "R1");
+        assert_eq!(f.deviation(), 0.3);
+        assert_eq!(f.percent(), 30.0);
+        assert_eq!(f.multiplier(), 1.3);
+        assert!(!f.is_nominal());
+        let g = ParametricFault::from_percent("C1", -40.0);
+        assert_eq!(g.deviation(), -0.4);
+        assert!(ParametricFault::new("R1", 0.0).is_nominal());
+    }
+
+    #[test]
+    #[should_panic(expected = "-100%")]
+    fn full_negative_deviation_rejected() {
+        let _ = ParametricFault::new("R1", -1.0);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(ParametricFault::new("R3", 0.2).to_string(), "R3+20%");
+        assert_eq!(ParametricFault::new("C1", -0.1).to_string(), "C1-10%");
+    }
+
+    #[test]
+    fn apply_changes_value_and_response() {
+        let ckt = rc();
+        let fault = ParametricFault::new("R1", 0.5);
+        let faulty = fault.apply(&ckt).unwrap();
+        assert_eq!(faulty.value("R1").unwrap(), Some(1.5e3));
+        // Original untouched.
+        assert_eq!(ckt.value("R1").unwrap(), Some(1e3));
+        // Corner moves down: response at the nominal corner is lower.
+        let g = transfer(&ckt, "V1", &Probe::node("out"), 1000.0).unwrap();
+        let f = transfer(&faulty, "V1", &Probe::node("out"), 1000.0).unwrap();
+        assert!(f.abs() < g.abs());
+    }
+
+    #[test]
+    fn apply_unknown_component() {
+        let ckt = rc();
+        assert!(ParametricFault::new("R9", 0.1).apply(&ckt).is_err());
+        assert!(ParametricFault::new("V1", 0.1).apply(&ckt).is_err());
+    }
+
+    #[test]
+    fn hard_fault_open_resistor() {
+        let ckt = rc();
+        let faulty = HardFault::new("R1", HardFaultKind::Open).apply(&ckt).unwrap();
+        assert_eq!(faulty.value("R1").unwrap(), Some(1e3 * HARD_FAULT_SCALE));
+        // Output collapses with the series R open.
+        let f = transfer(&faulty, "V1", &Probe::node("out"), 100.0).unwrap();
+        assert!(f.abs() < 1e-2);
+    }
+
+    #[test]
+    fn hard_fault_capacitor_scaling_inverts() {
+        let ckt = rc();
+        let open_c = HardFault::new("C1", HardFaultKind::Open).apply(&ckt).unwrap();
+        assert!(open_c.value("C1").unwrap().unwrap() < 1e-6);
+        let short_c = HardFault::new("C1", HardFaultKind::Short).apply(&ckt).unwrap();
+        assert!(short_c.value("C1").unwrap().unwrap() > 1e-6);
+        // Shorted cap kills the output at all frequencies of interest.
+        let f = transfer(&short_c, "V1", &Probe::node("out"), 1000.0).unwrap();
+        assert!(f.abs() < 1e-2);
+    }
+
+    #[test]
+    fn hard_fault_display() {
+        assert_eq!(
+            HardFault::new("R1", HardFaultKind::Open).to_string(),
+            "R1 open"
+        );
+        assert_eq!(
+            HardFault::new("C2", HardFaultKind::Short).to_string(),
+            "C2 short"
+        );
+    }
+}

@@ -1,0 +1,181 @@
+//! Multiple simultaneous parametric faults.
+//!
+//! The paper's diagnosis assumes "just one circuit's component is faulty
+//! at a time"; this module provides the machinery to *break* that
+//! assumption on purpose: inject two (or more) concurrent deviations and
+//! measure how the single-fault trajectory model degrades (experiment
+//! T-J).
+
+use std::fmt;
+
+use ft_circuit::{Circuit, CircuitError};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::model::ParametricFault;
+use crate::universe::FaultUniverse;
+
+/// A set of simultaneous parametric faults on distinct components.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiFault {
+    faults: Vec<ParametricFault>,
+}
+
+impl MultiFault {
+    /// Creates a multi-fault.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `faults` is empty or two faults target the same
+    /// component.
+    pub fn new(faults: Vec<ParametricFault>) -> Self {
+        assert!(!faults.is_empty(), "multi-fault needs at least one fault");
+        for i in 0..faults.len() {
+            for j in (i + 1)..faults.len() {
+                assert_ne!(
+                    faults[i].component(),
+                    faults[j].component(),
+                    "duplicate component in multi-fault"
+                );
+            }
+        }
+        MultiFault { faults }
+    }
+
+    /// Convenience constructor for a double fault.
+    pub fn double(a: ParametricFault, b: ParametricFault) -> Self {
+        MultiFault::new(vec![a, b])
+    }
+
+    /// The constituent faults.
+    #[inline]
+    pub fn faults(&self) -> &[ParametricFault] {
+        &self.faults
+    }
+
+    /// Number of simultaneous faults.
+    #[inline]
+    pub fn order(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// The faulted component names.
+    pub fn components(&self) -> Vec<&str> {
+        self.faults.iter().map(ParametricFault::component).collect()
+    }
+
+    /// Applies every constituent fault to a clone of `circuit`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates injection errors.
+    pub fn apply(&self, circuit: &Circuit) -> Result<Circuit, CircuitError> {
+        let mut faulty = circuit.clone();
+        for f in &self.faults {
+            f.apply_in_place(&mut faulty)?;
+        }
+        Ok(faulty)
+    }
+}
+
+impl fmt::Display for MultiFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, fault) in self.faults.iter().enumerate() {
+            if i > 0 {
+                write!(f, " & ")?;
+            }
+            write!(f, "{fault}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Draws a random double fault from a universe: two distinct components,
+/// off-grid deviations of magnitude ≥ `min_abs_pct`.
+pub fn sample_double<R: Rng + ?Sized>(
+    universe: &FaultUniverse,
+    rng: &mut R,
+    min_abs_pct: f64,
+) -> MultiFault {
+    assert!(
+        universe.components().len() >= 2,
+        "need at least two components for a double fault"
+    );
+    loop {
+        let a = universe.sample_unknown(rng, min_abs_pct);
+        let b = universe.sample_unknown(rng, min_abs_pct);
+        if a.component() != b.component() {
+            return MultiFault::double(a, b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::DeviationGrid;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rc() -> Circuit {
+        let mut ckt = Circuit::new("rc");
+        ckt.voltage_source("V1", "in", "0", 1.0).unwrap();
+        ckt.resistor("R1", "in", "out", 1e3).unwrap();
+        ckt.capacitor("C1", "out", "0", 1e-6).unwrap();
+        ckt
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let mf = MultiFault::double(
+            ParametricFault::from_percent("R1", 20.0),
+            ParametricFault::from_percent("C1", -30.0),
+        );
+        assert_eq!(mf.order(), 2);
+        assert_eq!(mf.components(), vec!["R1", "C1"]);
+        assert_eq!(mf.to_string(), "R1+20% & C1-30%");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate component")]
+    fn duplicate_component_rejected() {
+        let _ = MultiFault::double(
+            ParametricFault::from_percent("R1", 20.0),
+            ParametricFault::from_percent("R1", -20.0),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one fault")]
+    fn empty_rejected() {
+        let _ = MultiFault::new(vec![]);
+    }
+
+    #[test]
+    fn apply_compounds_both_faults() {
+        let ckt = rc();
+        let mf = MultiFault::double(
+            ParametricFault::from_percent("R1", 20.0),
+            ParametricFault::from_percent("C1", -30.0),
+        );
+        let faulty = mf.apply(&ckt).unwrap();
+        assert!((faulty.value("R1").unwrap().unwrap() - 1.2e3).abs() < 1e-9);
+        assert!((faulty.value("C1").unwrap().unwrap() - 0.7e-6).abs() < 1e-15);
+        // Original untouched.
+        assert_eq!(ckt.value("R1").unwrap(), Some(1e3));
+    }
+
+    #[test]
+    fn sample_double_distinct_components() {
+        let u = FaultUniverse::new(&["R1", "C1", "R2"], DeviationGrid::paper());
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let mf = sample_double(&u, &mut rng, 10.0);
+            assert_eq!(mf.order(), 2);
+            assert_ne!(mf.faults()[0].component(), mf.faults()[1].component());
+            for f in mf.faults() {
+                assert!(f.percent().abs() >= 10.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,682 @@
+//! Dense matrices over real or complex scalars.
+//!
+//! The MNA formulation of a linear circuit produces a dense (for the sizes
+//! relevant here: tens of unknowns) system matrix that is real for DC and
+//! transient analysis and complex for AC analysis. [`Matrix`] is generic
+//! over the [`Scalar`] field so that one implementation (storage, indexing,
+//! elementary row operations) serves both.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+use crate::complex::Complex64;
+
+/// A field scalar usable as a matrix element.
+///
+/// This trait is sealed: it is implemented for `f64` and [`Complex64`] and
+/// not intended for downstream implementation.
+pub trait Scalar:
+    Copy
+    + PartialEq
+    + fmt::Debug
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + private::Sealed
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+
+    /// Magnitude used for pivot selection and singularity detection.
+    fn magnitude(self) -> f64;
+
+    /// `true` when the value contains no NaN/∞ component.
+    fn is_finite_scalar(self) -> bool;
+}
+
+mod private {
+    pub trait Sealed {}
+    impl Sealed for f64 {}
+    impl Sealed for super::Complex64 {}
+}
+
+impl Scalar for f64 {
+    const ZERO: f64 = 0.0;
+    const ONE: f64 = 1.0;
+
+    #[inline]
+    fn magnitude(self) -> f64 {
+        self.abs()
+    }
+
+    #[inline]
+    fn is_finite_scalar(self) -> bool {
+        self.is_finite()
+    }
+}
+
+impl Scalar for Complex64 {
+    const ZERO: Complex64 = Complex64 { re: 0.0, im: 0.0 };
+    const ONE: Complex64 = Complex64 { re: 1.0, im: 0.0 };
+
+    #[inline]
+    fn magnitude(self) -> f64 {
+        self.abs()
+    }
+
+    #[inline]
+    fn is_finite_scalar(self) -> bool {
+        self.is_finite()
+    }
+}
+
+/// Dense row-major matrix over a [`Scalar`] field.
+///
+/// # Examples
+///
+/// ```
+/// use ft_numerics::Matrix;
+///
+/// let mut a = Matrix::<f64>::zeros(2, 2);
+/// a[(0, 0)] = 2.0;
+/// a[(1, 1)] = 3.0;
+/// let b = a.mul_vec(&[1.0, 1.0]);
+/// assert_eq!(b, vec![2.0, 3.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix<T: Scalar> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+/// Real dense matrix.
+pub type RMatrix = Matrix<f64>;
+/// Complex dense matrix.
+pub type CMatrix = Matrix<Complex64>;
+
+impl<T: Scalar> Matrix<T> {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows * cols` overflows `usize`.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        let len = rows
+            .checked_mul(cols)
+            .expect("matrix dimensions overflow usize");
+        Matrix {
+            rows,
+            cols,
+            data: vec![T::ZERO; len],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = T::ONE;
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<T>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "data length {} does not match {rows}x{cols}",
+            data.len()
+        );
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` for every entry.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m[(r, c)] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `true` when the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrow of the underlying row-major storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Checked element access.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> Option<&T> {
+        if row < self.rows && col < self.cols {
+            Some(&self.data[row * self.cols + col])
+        } else {
+            None
+        }
+    }
+
+    /// Sets every entry back to zero, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.data.fill(T::ZERO);
+    }
+
+    /// Adds `value` to entry `(row, col)` — the elementary "stamping"
+    /// operation of MNA assembly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the position is out of bounds.
+    #[inline]
+    pub fn add_at(&mut self, row: usize, col: usize, value: T) {
+        self[(row, col)] += value;
+    }
+
+    /// Borrow of one row as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[T] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Swaps two rows in place.
+    pub fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        let (a, b) = (a.min(b), a.max(b));
+        let (head, tail) = self.data.split_at_mut(b * self.cols);
+        head[a * self.cols..(a + 1) * self.cols].swap_with_slice(&mut tail[..self.cols]);
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Matrix<T> {
+        Matrix::from_fn(self.cols, self.rows, |r, c| self[(c, r)])
+    }
+
+    /// Matrix–vector product `A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn mul_vec(&self, x: &[T]) -> Vec<T> {
+        assert_eq!(x.len(), self.cols, "vector length mismatch");
+        let mut y = vec![T::ZERO; self.rows];
+        for r in 0..self.rows {
+            let row = self.row(r);
+            let mut acc = T::ZERO;
+            for (a, b) in row.iter().zip(x.iter()) {
+                acc += *a * *b;
+            }
+            y[r] = acc;
+        }
+        y
+    }
+
+    /// Matrix–matrix product `A·B`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn mul_mat(&self, rhs: &Matrix<T>) -> Matrix<T> {
+        assert_eq!(self.cols, rhs.rows, "inner dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(r, k)];
+                if a == T::ZERO {
+                    continue;
+                }
+                for c in 0..rhs.cols {
+                    out[(r, c)] += a * rhs[(k, c)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Maximum entry magnitude (∞-norm of the vectorised matrix).
+    pub fn max_abs(&self) -> f64 {
+        self.data
+            .iter()
+            .map(|v| v.magnitude())
+            .fold(0.0, f64::max)
+    }
+
+    /// `true` when every entry is finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite_scalar())
+    }
+}
+
+impl<T: Scalar> Index<(usize, usize)> for Matrix<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &T {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl<T: Scalar> IndexMut<(usize, usize)> for Matrix<T> {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut T {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl<T: Scalar> fmt::Display for Matrix<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..self.rows {
+            write!(f, "[")?;
+            for c in 0..self.cols {
+                if c > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:?}", self[(r, c)])?;
+            }
+            writeln!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+/// Error returned by the LU factorisation when the matrix is singular (or
+/// numerically indistinguishable from singular).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SingularMatrixError {
+    /// Elimination column at which no usable pivot was found.
+    pub column: usize,
+}
+
+impl fmt::Display for SingularMatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "matrix is singular: no usable pivot in column {}",
+            self.column
+        )
+    }
+}
+
+impl std::error::Error for SingularMatrixError {}
+
+/// LU factorisation with partial pivoting, `P·A = L·U`.
+///
+/// Factor once, then solve against many right-hand sides — the usage
+/// pattern of transient analysis (fixed conductance matrix, new source
+/// vector every timestep).
+///
+/// # Examples
+///
+/// ```
+/// use ft_numerics::{Lu, Matrix};
+///
+/// let a = Matrix::from_rows(2, 2, vec![4.0, 3.0, 6.0, 3.0]);
+/// let lu = Lu::factor(&a)?;
+/// let x = lu.solve(&[10.0, 12.0]);
+/// assert!((x[0] - 1.0).abs() < 1e-12);
+/// assert!((x[1] - 2.0).abs() < 1e-12);
+/// # Ok::<(), ft_numerics::SingularMatrixError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lu<T: Scalar> {
+    lu: Matrix<T>,
+    perm: Vec<usize>,
+    /// Sign of the permutation: +1 for even, −1 for odd.
+    perm_sign: i32,
+}
+
+/// Relative pivot threshold below which elimination reports singularity.
+const PIVOT_RTOL: f64 = 1e-13;
+
+impl<T: Scalar> Lu<T> {
+    /// Factors `a` in `P·A = L·U` form with partial (row) pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] when no pivot of sufficient relative
+    /// magnitude exists in some column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not square.
+    pub fn factor(a: &Matrix<T>) -> Result<Self, SingularMatrixError> {
+        assert!(a.is_square(), "LU requires a square matrix");
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1;
+        let scale = lu.max_abs().max(f64::MIN_POSITIVE);
+
+        for k in 0..n {
+            // Pivot search: largest magnitude in column k at/below the diagonal.
+            let mut p = k;
+            let mut best = lu[(k, k)].magnitude();
+            for r in (k + 1)..n {
+                let m = lu[(r, k)].magnitude();
+                if m > best {
+                    best = m;
+                    p = r;
+                }
+            }
+            if !best.is_finite() || best <= PIVOT_RTOL * scale {
+                return Err(SingularMatrixError { column: k });
+            }
+            if p != k {
+                lu.swap_rows(p, k);
+                perm.swap(p, k);
+                perm_sign = -perm_sign;
+            }
+            let pivot = lu[(k, k)];
+            for r in (k + 1)..n {
+                let factor = lu[(r, k)] / pivot;
+                lu[(r, k)] = factor;
+                if factor == T::ZERO {
+                    continue;
+                }
+                for c in (k + 1)..n {
+                    let u = lu[(k, c)];
+                    lu[(r, c)] -= factor * u;
+                }
+            }
+        }
+        Ok(Lu { lu, perm, perm_sign })
+    }
+
+    /// Dimension of the factored system.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A·x = b` using the stored factors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[T]) -> Vec<T> {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "rhs length mismatch");
+        // Apply permutation.
+        let mut x: Vec<T> = self.perm.iter().map(|&p| b[p]).collect();
+        // Forward substitution (L has unit diagonal).
+        for r in 1..n {
+            let mut acc = x[r];
+            for c in 0..r {
+                acc -= self.lu[(r, c)] * x[c];
+            }
+            x[r] = acc;
+        }
+        // Backward substitution.
+        for r in (0..n).rev() {
+            let mut acc = x[r];
+            for c in (r + 1)..n {
+                acc -= self.lu[(r, c)] * x[c];
+            }
+            x[r] = acc / self.lu[(r, r)];
+        }
+        x
+    }
+
+    /// Solves in place, reusing the caller's buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != self.dim()`.
+    pub fn solve_in_place(&self, b: &mut [T]) {
+        let x = self.solve(b);
+        b.copy_from_slice(&x);
+    }
+
+    /// Determinant of the original matrix (product of pivots times the
+    /// permutation sign).
+    pub fn det(&self) -> T {
+        let mut d = T::ONE;
+        for k in 0..self.dim() {
+            d *= self.lu[(k, k)];
+        }
+        if self.perm_sign < 0 {
+            -d
+        } else {
+            d
+        }
+    }
+
+    /// Inverse of the original matrix (column-by-column solve).
+    pub fn inverse(&self) -> Matrix<T> {
+        let n = self.dim();
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![T::ZERO; n];
+        for c in 0..n {
+            e.fill(T::ZERO);
+            e[c] = T::ONE;
+            let col = self.solve(&e);
+            for r in 0..n {
+                inv[(r, c)] = col[r];
+            }
+        }
+        inv
+    }
+}
+
+/// Convenience one-shot solve of `A·x = b`.
+///
+/// # Errors
+///
+/// Returns [`SingularMatrixError`] when `a` is singular.
+pub fn solve<T: Scalar>(a: &Matrix<T>, b: &[T]) -> Result<Vec<T>, SingularMatrixError> {
+    Ok(Lu::factor(a)?.solve(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::Complex64;
+
+    #[test]
+    fn zeros_identity_shape() {
+        let m = RMatrix::zeros(2, 3);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert!(!m.is_square());
+        let i = RMatrix::identity(3);
+        assert!(i.is_square());
+        assert_eq!(i[(1, 1)], 1.0);
+        assert_eq!(i[(0, 1)], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "data length")]
+    fn from_rows_length_checked() {
+        let _ = RMatrix::from_rows(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn stamping_accumulates() {
+        let mut m = RMatrix::zeros(2, 2);
+        m.add_at(0, 0, 2.0);
+        m.add_at(0, 0, 3.0);
+        assert_eq!(m[(0, 0)], 5.0);
+    }
+
+    #[test]
+    fn get_bounds() {
+        let m = RMatrix::identity(2);
+        assert_eq!(m.get(1, 1), Some(&1.0));
+        assert_eq!(m.get(2, 0), None);
+        assert_eq!(m.get(0, 2), None);
+    }
+
+    #[test]
+    fn swap_rows_works() {
+        let mut m = RMatrix::from_rows(3, 2, vec![1., 2., 3., 4., 5., 6.]);
+        m.swap_rows(0, 2);
+        assert_eq!(m.row(0), &[5., 6.]);
+        assert_eq!(m.row(2), &[1., 2.]);
+        m.swap_rows(1, 1); // no-op
+        assert_eq!(m.row(1), &[3., 4.]);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let m = RMatrix::from_rows(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let t = m.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t[(2, 1)], 6.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn mat_vec_product() {
+        let m = RMatrix::from_rows(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let y = m.mul_vec(&[1.0, 0.0, -1.0]);
+        assert_eq!(y, vec![-2.0, -2.0]);
+    }
+
+    #[test]
+    fn mat_mat_product_identity() {
+        let m = RMatrix::from_rows(2, 2, vec![1., 2., 3., 4.]);
+        let i = RMatrix::identity(2);
+        assert_eq!(m.mul_mat(&i), m);
+        assert_eq!(i.mul_mat(&m), m);
+    }
+
+    #[test]
+    fn lu_solves_real_system() {
+        let a = RMatrix::from_rows(3, 3, vec![2., 1., 1., 4., -6., 0., -2., 7., 2.]);
+        let b = [5., -2., 9.];
+        let x = solve(&a, &b).unwrap();
+        let back = a.mul_vec(&x);
+        for (bi, yi) in b.iter().zip(back.iter()) {
+            assert!((bi - yi).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn lu_requires_pivoting() {
+        // Zero on the leading diagonal forces a row swap.
+        let a = RMatrix::from_rows(2, 2, vec![0., 1., 1., 0.]);
+        let x = solve(&a, &[3.0, 4.0]).unwrap();
+        assert_eq!(x, vec![4.0, 3.0]);
+    }
+
+    #[test]
+    fn lu_detects_singularity() {
+        let a = RMatrix::from_rows(2, 2, vec![1., 2., 2., 4.]);
+        let err = Lu::factor(&a).unwrap_err();
+        assert_eq!(err.column, 1);
+        assert!(err.to_string().contains("singular"));
+    }
+
+    #[test]
+    fn lu_determinant() {
+        let a = RMatrix::from_rows(2, 2, vec![3., 8., 4., 6.]);
+        let lu = Lu::factor(&a).unwrap();
+        assert!((lu.det() - (-14.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lu_determinant_permutation_sign() {
+        // A matrix requiring one swap: det should keep the right sign.
+        let a = RMatrix::from_rows(2, 2, vec![0., 1., 1., 0.]);
+        let lu = Lu::factor(&a).unwrap();
+        assert!((lu.det() - (-1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lu_inverse() {
+        let a = RMatrix::from_rows(2, 2, vec![4., 7., 2., 6.]);
+        let inv = Lu::factor(&a).unwrap().inverse();
+        let prod = a.mul_mat(&inv);
+        for r in 0..2 {
+            for c in 0..2 {
+                let expect = if r == c { 1.0 } else { 0.0 };
+                assert!((prod[(r, c)] - expect).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn complex_lu_solves() {
+        let j = Complex64::I;
+        // [[1+j, 2], [3, 4-j]] x = b
+        let a = CMatrix::from_rows(
+            2,
+            2,
+            vec![
+                Complex64::new(1.0, 1.0),
+                Complex64::new(2.0, 0.0),
+                Complex64::new(3.0, 0.0),
+                Complex64::new(4.0, -1.0),
+            ],
+        );
+        let b = [Complex64::ONE, j];
+        let x = solve(&a, &b).unwrap();
+        let back = a.mul_vec(&x);
+        for (bi, yi) in b.iter().zip(back.iter()) {
+            assert!((*bi - *yi).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn solve_in_place_matches_solve() {
+        let a = RMatrix::from_rows(2, 2, vec![2., 0., 0., 5.]);
+        let lu = Lu::factor(&a).unwrap();
+        let mut b = [4.0, 10.0];
+        lu.solve_in_place(&mut b);
+        assert_eq!(b, [2.0, 2.0]);
+    }
+
+    #[test]
+    fn max_abs_and_finite() {
+        let mut m = RMatrix::zeros(2, 2);
+        m[(0, 1)] = -7.0;
+        assert_eq!(m.max_abs(), 7.0);
+        assert!(m.is_finite());
+        m[(1, 1)] = f64::NAN;
+        assert!(!m.is_finite());
+    }
+
+    #[test]
+    fn clear_keeps_shape() {
+        let mut m = RMatrix::identity(3);
+        m.clear();
+        assert_eq!(m, RMatrix::zeros(3, 3));
+    }
+}

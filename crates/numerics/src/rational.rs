@@ -1,0 +1,283 @@
+//! Rational transfer functions `H(s) = N(s)/D(s)`.
+//!
+//! Lumped linear time-invariant networks have rational transfer functions
+//! with real coefficients. This module provides evaluation on the `jω`
+//! axis, pole/zero extraction, and the second-order descriptors (ω₀, Q)
+//! used to sanity-check the circuit simulator against closed forms.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::complex::Complex64;
+use crate::poly::Poly;
+
+/// A rational function of the Laplace variable with real coefficients.
+///
+/// # Examples
+///
+/// ```
+/// use ft_numerics::{Poly, TransferFunction};
+///
+/// // Unity-gain RC low-pass with ωc = 1: H(s) = 1 / (s + 1)
+/// let h = TransferFunction::new(Poly::constant(1.0), Poly::new(vec![1.0, 1.0]));
+/// let at_dc = h.eval_jw(0.0);
+/// assert!((at_dc.abs() - 1.0).abs() < 1e-12);
+/// let at_corner = h.eval_jw(1.0);
+/// assert!((at_corner.abs() - 1.0 / 2f64.sqrt()).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransferFunction {
+    num: Poly,
+    den: Poly,
+}
+
+impl TransferFunction {
+    /// Creates `N(s)/D(s)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the denominator is the zero polynomial.
+    pub fn new(num: Poly, den: Poly) -> Self {
+        assert!(!den.is_zero(), "transfer function denominator must be nonzero");
+        TransferFunction { num, den }
+    }
+
+    /// The canonical second-order low-pass section
+    /// `H(s) = K·ω₀² / (s² + (ω₀/Q)s + ω₀²)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w0 <= 0` or `q <= 0`.
+    pub fn lowpass_biquad(k: f64, w0: f64, q: f64) -> Self {
+        assert!(w0 > 0.0 && q > 0.0, "w0 and Q must be positive");
+        TransferFunction::new(
+            Poly::constant(k * w0 * w0),
+            Poly::new(vec![w0 * w0, w0 / q, 1.0]),
+        )
+    }
+
+    /// The canonical second-order band-pass section
+    /// `H(s) = K·(ω₀/Q)s / (s² + (ω₀/Q)s + ω₀²)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w0 <= 0` or `q <= 0`.
+    pub fn bandpass_biquad(k: f64, w0: f64, q: f64) -> Self {
+        assert!(w0 > 0.0 && q > 0.0, "w0 and Q must be positive");
+        TransferFunction::new(
+            Poly::new(vec![0.0, k * w0 / q]),
+            Poly::new(vec![w0 * w0, w0 / q, 1.0]),
+        )
+    }
+
+    /// Numerator polynomial.
+    #[inline]
+    pub fn num(&self) -> &Poly {
+        &self.num
+    }
+
+    /// Denominator polynomial.
+    #[inline]
+    pub fn den(&self) -> &Poly {
+        &self.den
+    }
+
+    /// Evaluates `H(s)` at an arbitrary complex `s`.
+    pub fn eval(&self, s: Complex64) -> Complex64 {
+        self.num.eval(s) / self.den.eval(s)
+    }
+
+    /// Evaluates `H(jω)` at angular frequency `omega` (rad/s).
+    pub fn eval_jw(&self, omega: f64) -> Complex64 {
+        self.eval(Complex64::jw(omega))
+    }
+
+    /// Gain magnitude in dB at angular frequency `omega`.
+    pub fn gain_db(&self, omega: f64) -> f64 {
+        self.eval_jw(omega).abs_db()
+    }
+
+    /// Phase in degrees at angular frequency `omega`.
+    pub fn phase_deg(&self, omega: f64) -> f64 {
+        self.eval_jw(omega).arg_deg()
+    }
+
+    /// DC gain `H(0)`; may be ±∞ for differentiating/integrating networks.
+    pub fn dc_gain(&self) -> f64 {
+        let n = self.num.eval_real(0.0);
+        let d = self.den.eval_real(0.0);
+        n / d
+    }
+
+    /// Finite zeros (roots of the numerator).
+    pub fn zeros(&self) -> Vec<Complex64> {
+        if self.num.is_zero() {
+            Vec::new()
+        } else {
+            self.num.roots()
+        }
+    }
+
+    /// Poles (roots of the denominator).
+    pub fn poles(&self) -> Vec<Complex64> {
+        self.den.roots()
+    }
+
+    /// `true` when all poles have strictly negative real parts (BIBO
+    /// stability of the network function).
+    pub fn is_stable(&self) -> bool {
+        self.poles().iter().all(|p| p.re < 0.0)
+    }
+
+    /// For a second-order denominator `a₂s² + a₁s + a₀`, the natural
+    /// frequency `ω₀ = √(a₀/a₂)` and quality factor
+    /// `Q = √(a₀·a₂)/a₁`. Returns `None` for other orders.
+    pub fn second_order_descriptors(&self) -> Option<SecondOrder> {
+        if self.den.degree() != 2 {
+            return None;
+        }
+        let c = self.den.coeffs();
+        let (a0, a1, a2) = (c[0], c[1], c[2]);
+        if a0 / a2 <= 0.0 {
+            return None;
+        }
+        let w0 = (a0 / a2).sqrt();
+        let q = (a0 * a2).sqrt() / a1;
+        Some(SecondOrder { w0, q })
+    }
+
+    /// The −3 dB cut-off (relative to DC gain) found by bisection on
+    /// `[lo, hi]` (rad/s). Returns `None` if the magnitude does not cross
+    /// the −3 dB level monotonically in the bracket.
+    pub fn cutoff_3db(&self, lo: f64, hi: f64) -> Option<f64> {
+        let target = self.dc_gain().abs() / std::f64::consts::SQRT_2;
+        if !target.is_finite() || target == 0.0 {
+            return None;
+        }
+        let f = |w: f64| self.eval_jw(w).abs() - target;
+        let (mut a, mut b) = (lo, hi);
+        let (fa, fb) = (f(a), f(b));
+        if fa * fb > 0.0 {
+            return None;
+        }
+        for _ in 0..200 {
+            let m = 0.5 * (a + b);
+            let fm = f(m);
+            if fm == 0.0 || (b - a) / m.max(f64::MIN_POSITIVE) < 1e-12 {
+                return Some(m);
+            }
+            if fa * fm < 0.0 {
+                b = m;
+            } else {
+                a = m;
+            }
+        }
+        Some(0.5 * (a + b))
+    }
+}
+
+impl fmt::Display for TransferFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}) / ({})", self.num, self.den)
+    }
+}
+
+/// Natural frequency and quality factor of a second-order section.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SecondOrder {
+    /// Natural (pole) frequency ω₀ in rad/s.
+    pub w0: f64,
+    /// Quality factor Q.
+    pub q: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rc_lowpass_magnitudes() {
+        let h = TransferFunction::new(Poly::constant(1.0), Poly::new(vec![1.0, 1.0]));
+        assert!((h.dc_gain() - 1.0).abs() < 1e-15);
+        assert!((h.gain_db(1.0) - (-3.0103)).abs() < 1e-3);
+        // One decade above the corner: −20 dB/dec slope.
+        assert!((h.gain_db(10.0) - (-20.043)).abs() < 0.01);
+        assert!((h.phase_deg(1.0) - (-45.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn biquad_constructor_descriptors() {
+        let h = TransferFunction::lowpass_biquad(2.0, 1000.0, 0.707);
+        let so = h.second_order_descriptors().unwrap();
+        assert!((so.w0 - 1000.0).abs() < 1e-9);
+        assert!((so.q - 0.707).abs() < 1e-12);
+        assert!((h.dc_gain() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bandpass_peak_at_w0() {
+        let h = TransferFunction::bandpass_biquad(1.0, 100.0, 5.0);
+        let peak = h.eval_jw(100.0).abs();
+        assert!((peak - 1.0).abs() < 1e-12);
+        assert!(h.eval_jw(10.0).abs() < peak);
+        assert!(h.eval_jw(1000.0).abs() < peak);
+        assert_eq!(h.dc_gain(), 0.0);
+    }
+
+    #[test]
+    fn poles_and_zeros() {
+        // H(s) = s / (s+1)(s+2)
+        let h = TransferFunction::new(
+            Poly::new(vec![0.0, 1.0]),
+            Poly::from_real_roots(&[-1.0, -2.0]),
+        );
+        let zeros = h.zeros();
+        assert_eq!(zeros.len(), 1);
+        assert!(zeros[0].abs() < 1e-12);
+        let mut poles: Vec<f64> = h.poles().iter().map(|p| p.re).collect();
+        poles.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((poles[0] + 2.0).abs() < 1e-9);
+        assert!((poles[1] + 1.0).abs() < 1e-9);
+        assert!(h.is_stable());
+    }
+
+    #[test]
+    fn instability_detected() {
+        // Pole in the right half plane.
+        let h = TransferFunction::new(Poly::constant(1.0), Poly::new(vec![-1.0, 1.0]));
+        assert!(!h.is_stable());
+    }
+
+    #[test]
+    fn cutoff_bisection_matches_analytic() {
+        let h = TransferFunction::new(Poly::constant(1.0), Poly::new(vec![1.0, 1.0]));
+        let wc = h.cutoff_3db(0.01, 100.0).unwrap();
+        assert!((wc - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cutoff_none_when_no_crossing() {
+        let h = TransferFunction::new(Poly::constant(1.0), Poly::new(vec![1.0, 1.0]));
+        assert_eq!(h.cutoff_3db(0.001, 0.01), None);
+    }
+
+    #[test]
+    fn second_order_none_for_first_order() {
+        let h = TransferFunction::new(Poly::constant(1.0), Poly::new(vec![1.0, 1.0]));
+        assert!(h.second_order_descriptors().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator")]
+    fn zero_denominator_rejected() {
+        let _ = TransferFunction::new(Poly::constant(1.0), Poly::zero());
+    }
+
+    #[test]
+    fn display() {
+        let h = TransferFunction::new(Poly::constant(1.0), Poly::new(vec![1.0, 1.0]));
+        let s = h.to_string();
+        assert!(s.contains('/'), "{s}");
+    }
+}

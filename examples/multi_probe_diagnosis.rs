@@ -1,0 +1,59 @@
+//! Multi-probe diagnosis: lifting the CUT's structural ambiguity ceiling
+//! by observing more than one op-amp output.
+//!
+//! From the low-pass node alone, R3/R5 and R4/C2 enter the response only
+//! as products and are provably indistinguishable. Observing the
+//! inverter output as well separates R3 from R5 (R5 scales the inverter
+//! gain directly); R4/C2 remain a true time-constant ambiguity at every
+//! voltage node.
+//!
+//! ```sh
+//! cargo run --release --example multi_probe_diagnosis
+//! ```
+
+use fault_trajectory::core::ProbeBank;
+use fault_trajectory::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bench = tow_thomas_normalized(1.0)?;
+    let universe = FaultUniverse::new(&bench.fault_set, DeviationGrid::paper());
+    let grid = FrequencyGrid::log_space(0.01, 100.0, 41);
+    let tv = TestVector::pair(0.98, 2.5);
+
+    for (label, probes) in [
+        ("single probe (lp) — the paper's setup", vec![Probe::node("lp")]),
+        (
+            "three probes (lp, bp, inv) — the extension",
+            vec![Probe::node("lp"), Probe::node("bp"), Probe::node("inv")],
+        ),
+    ] {
+        println!("=== {label} ===");
+        let bank = ProbeBank::build(&bench.circuit, &universe, &bench.input, &probes, &grid)?;
+        let set = bank.trajectories(&tv);
+        let groups = ambiguity_groups(&set, 1e-6, &GeometryOptions::default());
+        println!("ambiguity classes ({}):", groups.len());
+        for g in groups.groups() {
+            println!("  {{{}}}", g.join(", "));
+        }
+
+        let diagnoser = Diagnoser::new(set, DiagnoserConfig::default());
+        // The decisive case: a fault on R5.
+        let fault = ParametricFault::from_percent("R5", 25.0);
+        let faulty = fault.apply(&bench.circuit)?;
+        let sig = bank.measure(&faulty, &bench.circuit, &tv)?;
+        let verdict = diagnoser.diagnose(&sig);
+        println!(
+            "diagnosing {fault}: top-1 = {} ({:+.1}%), runner-up = {}\n",
+            verdict.best().component,
+            verdict.best().deviation_pct,
+            verdict.candidates()[1].component,
+        );
+    }
+
+    println!(
+        "R4/C2 stay merged even with every op-amp output observed: they \
+         form the second integrator's time constant and only their product \
+         reaches any voltage node — a genuine limit of voltage-only test."
+    );
+    Ok(())
+}

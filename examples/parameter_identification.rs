@@ -1,0 +1,94 @@
+//! Parameter identification as a diagnosis cross-check: fit the faulty
+//! unit's full response to a rational function, read off (K, ω₀, Q), and
+//! invert the Tow-Thomas design equations to locate the fault.
+//!
+//! This is the "full information" alternative to the paper's method — it
+//! needs a complete sweep (61 frequencies here) instead of two tones, and
+//! it hits exactly the same structural wall: (K, ω₀, Q) has three degrees
+//! of freedom, so only the five parameter *classes* are identifiable.
+//!
+//! ```sh
+//! cargo run --release --example parameter_identification
+//! ```
+
+use fault_trajectory::circuit::fit_circuit;
+use fault_trajectory::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bench = tow_thomas_normalized(1.0)?;
+    let omegas = FrequencyGrid::log_space(0.01, 100.0, 61)
+        .frequencies()
+        .to_vec();
+
+    // Golden reference descriptors.
+    let golden = fit_circuit(&bench.circuit, &bench.input, &bench.probe, &omegas, 0, 2)?;
+    let g = golden.second_order_descriptors().expect("second order");
+    println!(
+        "golden: K = {:.4}, ω₀ = {:.4}, Q = {:.4}\n",
+        golden.dc_gain(),
+        g.w0,
+        g.q
+    );
+
+    println!(
+        "{:<12} {:>8} {:>8} {:>8}   diagnosis from (ΔK, Δω₀, ΔQ)",
+        "true fault", "ΔK%", "Δω₀%", "ΔQ%"
+    );
+    for (component, pct) in [
+        ("R1", 25.0),
+        ("R2", 25.0),
+        ("C1", 25.0),
+        ("R3", 25.0),
+        ("R4", 25.0),
+    ] {
+        let fault = ParametricFault::from_percent(component, pct);
+        let faulty = fault.apply(&bench.circuit)?;
+        let tf = fit_circuit(&faulty, &bench.input, &bench.probe, &omegas, 0, 2)?;
+        let so = tf.second_order_descriptors().expect("second order");
+
+        let dk = 100.0 * (tf.dc_gain() / golden.dc_gain() - 1.0);
+        let dw = 100.0 * (so.w0 / g.w0 - 1.0);
+        let dq = 100.0 * (so.q / g.q - 1.0);
+
+        // Invert the Tow-Thomas sensitivity pattern:
+        //   R1: K only.           R2: Q only.
+        //   C1: ω₀ down, Q up.    R3 (·R5): K up, ω₀ down, Q down.
+        //   R4 (·C2): ω₀ down, Q down, K flat.
+        let verdict = classify(dk, dw, dq);
+        println!(
+            "{:<12} {:>7.1}% {:>7.1}% {:>7.1}%   → {verdict}",
+            format!("{fault}"),
+            dk,
+            dw,
+            dq
+        );
+    }
+
+    println!(
+        "\nthe same five classes as the trajectory method — collapsing a \
+         61-point sweep to three descriptors cannot beat the information \
+         limit; the paper's two well-chosen tones already extract it."
+    );
+    Ok(())
+}
+
+/// Signature-pattern classifier on descriptor shifts (threshold 2%).
+fn classify(dk: f64, dw: f64, dq: f64) -> &'static str {
+    let sig = |x: f64| {
+        if x > 2.0 {
+            1i8
+        } else if x < -2.0 {
+            -1
+        } else {
+            0
+        }
+    };
+    match (sig(dk), sig(dw), sig(dq)) {
+        (_, 0, 0) if sig(dk) != 0 => "R1 (gain only)",
+        (0, 0, _) if sig(dq) != 0 => "R2 (Q only)",
+        (0, w, q) if w != 0 && q == -w => "C1 (ω₀ vs Q opposed)",
+        (k, w, q) if k != 0 && w != 0 && q == w => "R3·R5 class",
+        (0, w, q) if w != 0 && q == w => "R4·C2 class",
+        _ => "nominal / unclassified",
+    }
+}

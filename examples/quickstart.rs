@@ -1,0 +1,65 @@
+//! Quickstart: build the paper's CUT, pick a test vector, and diagnose an
+//! unknown parametric fault.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use fault_trajectory::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The circuit under test: normalized Tow-Thomas biquad low-pass
+    //    (ω₀ = 1 rad/s, Q = 1), seven diagnosable passive components.
+    let bench = tow_thomas_normalized(1.0)?;
+    println!("CUT: {}", bench.description);
+    println!("fault set: {:?}\n", bench.fault_set);
+
+    // 2. Fault simulation: each component deviated ±40% in 10% steps.
+    let universe = FaultUniverse::new(&bench.fault_set, DeviationGrid::paper());
+    println!("fault universe: {} faulty circuits", universe.len());
+    let dict = FaultDictionary::build(
+        &bench.circuit,
+        &universe,
+        &bench.input,
+        &bench.probe,
+        &FrequencyGrid::log_space(0.01, 100.0, 41),
+    )?;
+
+    // 3. Deploy a two-frequency test vector around the corner frequency.
+    let tv = TestVector::pair(0.98, 2.5);
+    let set = trajectories_from_dictionary(&dict, &tv);
+    let diagnoser = Diagnoser::new(set, DiagnoserConfig::default());
+    println!("test vector: {tv}\n");
+
+    // 4. Something breaks in the field: R2 drifts +25% (not a dictionary
+    //    point). Measure the response and diagnose.
+    let mut field_unit = bench.circuit.clone();
+    field_unit.set_value("R2", 1.25)?;
+    let observed = measure_signature(
+        &field_unit,
+        &bench.circuit,
+        &bench.input,
+        &bench.probe,
+        &tv,
+    )?;
+    println!("observed signature: {observed}");
+
+    let verdict = diagnoser.diagnose(&observed);
+    println!("\nranked diagnosis:");
+    for (rank, c) in verdict.candidates().iter().enumerate() {
+        println!(
+            "  {}. {:<4} distance {:.4} dB, estimated deviation {:+.1}%",
+            rank + 1,
+            c.component,
+            c.distance,
+            c.deviation_pct
+        );
+    }
+    println!(
+        "\nverdict: {} at {:+.1}% (true fault: R2 at +25%)",
+        verdict.best().component,
+        verdict.best().deviation_pct
+    );
+    assert_eq!(verdict.best().component, "R2");
+    Ok(())
+}

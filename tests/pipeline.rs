@@ -1,0 +1,210 @@
+//! End-to-end pipeline integration tests: CUT → dictionary → test vector
+//! → trajectories → diagnosis, across the whole public API.
+
+use fault_trajectory::prelude::*;
+
+struct Pipeline {
+    bench: Benchmark,
+    universe: FaultUniverse,
+    dict: FaultDictionary,
+}
+
+fn build_pipeline() -> Pipeline {
+    let bench = tow_thomas_normalized(1.0).expect("benchmark builds");
+    let universe = FaultUniverse::new(&bench.fault_set, DeviationGrid::paper());
+    let dict = FaultDictionary::build(
+        &bench.circuit,
+        &universe,
+        &bench.input,
+        &bench.probe,
+        &FrequencyGrid::log_space(0.01, 100.0, 41),
+    )
+    .expect("dictionary builds");
+    Pipeline {
+        bench,
+        universe,
+        dict,
+    }
+}
+
+#[test]
+fn paper_universe_has_56_faults() {
+    let p = build_pipeline();
+    assert_eq!(p.universe.len(), 56);
+    assert_eq!(p.dict.entries().len(), 56);
+    assert_eq!(p.bench.fault_set.len(), 7);
+}
+
+#[test]
+fn singleton_class_faults_diagnose_to_component() {
+    // R1, R2, C1 are singleton ambiguity classes: large off-grid faults
+    // on them must be identified exactly, with a decent deviation
+    // estimate.
+    let p = build_pipeline();
+    let tv = TestVector::pair(0.98, 2.5);
+    let set = trajectories_from_dictionary(&p.dict, &tv);
+    let diagnoser = Diagnoser::new(set, DiagnoserConfig::default());
+
+    for (component, pct) in [("R1", 33.0), ("R2", -27.0), ("C1", 18.0), ("R2", 35.0)] {
+        let fault = ParametricFault::from_percent(component, pct);
+        let faulty = fault.apply(&p.bench.circuit).expect("fault applies");
+        let sig = measure_signature(
+            &faulty,
+            &p.bench.circuit,
+            &p.bench.input,
+            &p.bench.probe,
+            &tv,
+        )
+        .expect("measurement");
+        let verdict = diagnoser.diagnose(&sig);
+        assert_eq!(
+            verdict.best().component, component,
+            "misdiagnosed {fault}: {:?}",
+            verdict.candidates()
+        );
+        assert!(
+            (verdict.best().deviation_pct - pct).abs() < 5.0,
+            "{fault}: estimated {:+.1}%",
+            verdict.best().deviation_pct
+        );
+    }
+}
+
+#[test]
+fn paired_class_faults_diagnose_to_class() {
+    // {R3,R5} and {R4,C2} are structural pairs: the true component must
+    // appear in the ambiguity set and the deviation estimate must match.
+    let p = build_pipeline();
+    let tv = TestVector::pair(0.98, 2.5);
+    let set = trajectories_from_dictionary(&p.dict, &tv);
+    let diagnoser = Diagnoser::new(set, DiagnoserConfig::default());
+
+    for (component, pct) in [("R3", 25.0), ("R5", -33.0), ("R4", 25.0), ("C2", -15.0)] {
+        let fault = ParametricFault::from_percent(component, pct);
+        let faulty = fault.apply(&p.bench.circuit).expect("fault applies");
+        let sig = measure_signature(
+            &faulty,
+            &p.bench.circuit,
+            &p.bench.input,
+            &p.bench.probe,
+            &tv,
+        )
+        .expect("measurement");
+        let verdict = diagnoser.diagnose(&sig);
+        let ambiguity = verdict.ambiguity_set();
+        assert!(
+            ambiguity.contains(&component),
+            "{fault}: ambiguity set {ambiguity:?} misses the truth"
+        );
+        assert!(
+            (verdict.best().deviation_pct - pct).abs() < 5.0,
+            "{fault}: estimated {:+.1}%",
+            verdict.best().deviation_pct
+        );
+    }
+}
+
+#[test]
+fn full_ga_pipeline_beats_chance() {
+    let p = build_pipeline();
+    let mut config = AtpgConfig::paper_seeded(p.bench.search_band, 11);
+    config.ga.population = 32;
+    config.ga.generations = 6;
+    let atpg = select_test_vector(&p.dict, &config);
+    let diagnoser = Diagnoser::new(atpg.trajectories.clone(), DiagnoserConfig::default());
+    let report = evaluate_classifier(
+        &p.bench.circuit,
+        &p.universe,
+        &diagnoser,
+        &p.bench.input,
+        &p.bench.probe,
+        &EvalConfig::clean(80, 5),
+    )
+    .expect("evaluation runs");
+    // Chance over 7 components is 14%; the pipeline should be far above.
+    assert!(report.top1 > 0.5, "top1 {}", report.top1);
+    assert!(report.top2 > 0.8, "top2 {}", report.top2);
+    assert!(report.top2 >= report.top1);
+}
+
+#[test]
+fn golden_circuit_reads_as_nominal() {
+    // The golden circuit's signature is the origin; every candidate's
+    // deviation estimate is (near) zero.
+    let p = build_pipeline();
+    let tv = TestVector::pair(0.98, 2.5);
+    let set = trajectories_from_dictionary(&p.dict, &tv);
+    let diagnoser = Diagnoser::new(set, DiagnoserConfig::default());
+    let sig = measure_signature(
+        &p.bench.circuit,
+        &p.bench.circuit,
+        &p.bench.input,
+        &p.bench.probe,
+        &tv,
+    )
+    .expect("measurement");
+    assert!(sig.norm() < 1e-12);
+    let verdict = diagnoser.diagnose(&sig);
+    for c in verdict.candidates() {
+        assert!(
+            c.deviation_pct.abs() < 1.0,
+            "{}: nominal read as {:+.1}%",
+            c.component,
+            c.deviation_pct
+        );
+    }
+}
+
+#[test]
+fn ambiguity_groups_match_structural_prediction() {
+    let p = build_pipeline();
+    let tv = TestVector::pair(0.98, 2.5);
+    let set = trajectories_from_dictionary(&p.dict, &tv);
+    let groups = ambiguity_groups(&set, 1e-6, &GeometryOptions::default());
+    assert_eq!(groups.len(), 5, "{:?}", groups.groups());
+    assert!(groups
+        .group_of("R3")
+        .is_some_and(|g| g.contains(&"R5".to_string())));
+    assert!(groups
+        .group_of("R4")
+        .is_some_and(|g| g.contains(&"C2".to_string())));
+}
+
+#[test]
+fn nn_dictionary_and_trajectory_agree_on_grid_points() {
+    // For measurements exactly at dictionary faults, both classifiers
+    // must return the right class at (near-)zero distance.
+    let p = build_pipeline();
+    let tv = TestVector::pair(0.98, 2.5);
+    let set = trajectories_from_dictionary(&p.dict, &tv);
+    let trajectory = Diagnoser::new(set, DiagnoserConfig::default());
+    let nn = NnDictionary::build(&p.dict, &tv);
+
+    let groups = ambiguity_groups(
+        trajectory.trajectory_set(),
+        1e-6,
+        &GeometryOptions::default(),
+    );
+    for fault in p.universe.faults().iter().step_by(7) {
+        let faulty = fault.apply(&p.bench.circuit).expect("fault applies");
+        let sig = measure_signature(
+            &faulty,
+            &p.bench.circuit,
+            &p.bench.input,
+            &p.bench.probe,
+            &tv,
+        )
+        .expect("measurement");
+        let t_best = trajectory.diagnose(&sig);
+        let n_best = &nn.classify(&sig)[0];
+        let group = groups.group_of(fault.component()).expect("group exists");
+        assert!(
+            group.contains(&t_best.best().component),
+            "trajectory misclassified {fault}"
+        );
+        assert!(
+            group.contains(&n_best.component),
+            "nn misclassified {fault}"
+        );
+    }
+}

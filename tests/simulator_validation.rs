@@ -1,0 +1,216 @@
+//! Cross-validation of the MNA simulator against closed-form transfer
+//! functions and structural invariants of linear networks.
+
+use fault_trajectory::numerics::{Poly, TransferFunction};
+use fault_trajectory::prelude::*;
+
+/// The Tow-Thomas LP output must equal the analytic rational function
+/// over the whole band, for several parameter sets.
+#[test]
+fn tow_thomas_matches_rational_closed_form() {
+    for &(q, r1, r3) in &[(0.707, 1.0, 1.0), (2.0, 0.5, 1.0), (1.0, 1.0, 2.0)] {
+        let mut params = TowThomasParams::normalized(q);
+        params.r1 = r1;
+        params.r3 = r3;
+        let ckt = tow_thomas(&params).expect("params valid");
+
+        // H(s) = (1/(R1 C1 R4 C2)) / (s² + s/(R2 C1) + k/(R3 R4 C1 C2))
+        let k = params.r6 / params.r5;
+        let num = Poly::constant(1.0 / (params.r1 * params.c1 * params.r4 * params.c2));
+        let den = Poly::new(vec![
+            k / (params.r3 * params.r4 * params.c1 * params.c2),
+            1.0 / (params.r2 * params.c1),
+            1.0,
+        ]);
+        let analytic = TransferFunction::new(num, den);
+
+        for &w in &[0.01, 0.1, 0.5, 1.0, 2.0, 10.0, 100.0] {
+            let sim = transfer(&ckt, "V1", &Probe::node("lp"), w).expect("solves");
+            let exact = analytic.eval_jw(w);
+            assert!(
+                (sim.abs() - exact.abs()).abs() < 1e-9,
+                "Q={q} R1={r1} R3={r3} ω={w}: |sim| {} vs |exact| {}",
+                sim.abs(),
+                exact.abs()
+            );
+        }
+    }
+}
+
+/// Sallen-Key (unity gain): H(s) = 1/(s²R1R2C1C2 + sC2(R1+R2) + 1).
+#[test]
+fn sallen_key_matches_rational_closed_form() {
+    let (r1, r2, c1, c2) = (2.0, 0.5, 1.5, 0.4);
+    let bench = sallen_key_lowpass_custom(r1, r2, c1, c2);
+    let analytic = TransferFunction::new(
+        Poly::constant(1.0),
+        Poly::new(vec![1.0, c2 * (r1 + r2), r1 * r2 * c1 * c2]),
+    );
+    for &w in &[0.01, 0.3, 1.0, 3.0, 30.0] {
+        let sim = transfer(&bench.circuit, "V1", &bench.probe, w).expect("solves");
+        let exact = analytic.eval_jw(w);
+        assert!(
+            (sim - Complex64::new(exact.re, exact.im)).abs() < 1e-9,
+            "ω={w}: {sim} vs {exact}"
+        );
+    }
+}
+
+fn sallen_key_lowpass_custom(r1: f64, r2: f64, c1: f64, c2: f64) -> Benchmark {
+    fault_trajectory::circuit::sallen_key_lowpass(r1, r2, c1, c2).expect("builds")
+}
+
+/// MFB low-pass: closed form from the module docs.
+#[test]
+fn mfb_matches_rational_closed_form() {
+    let (r1, r2, r3, c1, c2) = (1.0, 2.0, 0.5, 3.0, 0.25);
+    let bench = fault_trajectory::circuit::mfb_lowpass(r1, r2, r3, c1, c2).expect("builds");
+    let analytic = TransferFunction::new(
+        Poly::constant(-1.0 / (r1 * r3 * c1 * c2)),
+        Poly::new(vec![
+            1.0 / (r2 * r3 * c1 * c2),
+            (1.0 / r1 + 1.0 / r2 + 1.0 / r3) / c1,
+            1.0,
+        ]),
+    );
+    for &w in &[0.01, 0.2, 1.0, 5.0, 50.0] {
+        let sim = transfer(&bench.circuit, "V1", &bench.probe, w).expect("solves");
+        let exact = analytic.eval_jw(w);
+        assert!(
+            (sim - Complex64::new(exact.re, exact.im)).abs() < 1e-9,
+            "ω={w}: {sim} vs {exact}"
+        );
+    }
+}
+
+/// Impedance scaling invariance: multiplying every R by k and dividing
+/// every C by k leaves all voltage transfer functions untouched.
+#[test]
+fn impedance_scaling_invariance() {
+    let base = tow_thomas_normalized(1.0).expect("builds");
+    let k = 7.3;
+    let mut scaled = base.circuit.clone();
+    for name in scaled.passive_components().iter().map(|s| s.to_string()).collect::<Vec<_>>() {
+        let v = scaled.value(&name).unwrap().unwrap();
+        let comp = scaled.component_by_name(&name).unwrap();
+        let is_r = matches!(comp.element(), Element::Resistor { .. });
+        scaled
+            .set_value(&name, if is_r { v * k } else { v / k })
+            .unwrap();
+    }
+    for &w in &[0.05, 0.5, 1.0, 5.0] {
+        let a = transfer(&base.circuit, "V1", &base.probe, w).expect("solves");
+        let b = transfer(&scaled, "V1", &base.probe, w).expect("solves");
+        assert!((a - b).abs() < 1e-9, "scaling broke H at ω={w}");
+    }
+}
+
+/// Frequency scaling: dividing every capacitor by k scales the frequency
+/// axis by k: H_scaled(k·ω) = H_base(ω).
+#[test]
+fn frequency_scaling_shifts_response() {
+    let base = tow_thomas_normalized(1.0).expect("builds");
+    let k = 12.5;
+    let mut scaled = base.circuit.clone();
+    for name in ["C1", "C2"] {
+        let v = scaled.value(name).unwrap().unwrap();
+        scaled.set_value(name, v / k).unwrap();
+    }
+    for &w in &[0.1, 0.5, 1.0, 3.0] {
+        let a = transfer(&base.circuit, "V1", &base.probe, w).expect("solves");
+        let b = transfer(&scaled, "V1", &base.probe, w * k).expect("solves");
+        assert!(
+            (a.abs() - b.abs()).abs() < 1e-9,
+            "frequency scaling broke |H| at ω={w}"
+        );
+    }
+}
+
+/// DC operating point of the ladder matches the resistive divider it
+/// degenerates to (inductors short, capacitors open).
+#[test]
+fn ladder_dc_reduces_to_divider() {
+    let bench = rlc_ladder_lowpass(5).expect("builds");
+    let op = operating_point(&bench.circuit).expect("solves");
+    // Doubly terminated: Vout(DC) = Vin·RL/(RS+RL) = 0.5.
+    let Probe::Node(out) = &bench.probe else {
+        panic!("ladder probe is a node");
+    };
+    let v = op.voltage_by_name(&bench.circuit, out).expect("node exists");
+    assert!((v - 0.5).abs() < 1e-12, "DC {v}");
+}
+
+/// Transient and AC agree on steady-state amplitude for the CUT at the
+/// test frequencies (the measurement-path equivalence on a faulty unit).
+#[test]
+fn transient_ac_equivalence_on_faulty_unit() {
+    use fault_trajectory::circuit::Waveform;
+    use fault_trajectory::numerics::dsp;
+
+    let bench = tow_thomas_normalized(1.0).expect("builds");
+    let fault = ParametricFault::from_percent("R2", 30.0);
+    let faulty = fault.apply(&bench.circuit).expect("applies");
+
+    let w = 1.3; // rad/s
+    let f_hz = w / std::f64::consts::TAU;
+
+    // AC reference.
+    let ac = transfer(&faulty, "V1", &bench.probe, w).expect("solves").abs();
+
+    // Time domain: rebuild with a sine source.
+    let mut driven = Circuit::new("driven");
+    driven
+        .voltage_source_full(
+            "V1",
+            "in",
+            "0",
+            0.0,
+            1.0,
+            0.0,
+            Some(Waveform::Sine {
+                offset: 0.0,
+                amplitude: 1.0,
+                freq_hz: f_hz,
+                phase_rad: 0.0,
+            }),
+        )
+        .unwrap();
+    for comp in faulty.components() {
+        if comp.name() == "V1" {
+            continue;
+        }
+        let nodes: Vec<String> = comp
+            .nodes()
+            .iter()
+            .map(|&n| faulty.node_name(n).to_string())
+            .collect();
+        match comp.element() {
+            Element::Resistor { r } => {
+                driven.resistor(comp.name(), &nodes[0], &nodes[1], *r).unwrap();
+            }
+            Element::Capacitor { c } => {
+                driven.capacitor(comp.name(), &nodes[0], &nodes[1], *c).unwrap();
+            }
+            Element::IdealOpAmp => {
+                driven
+                    .ideal_opamp(comp.name(), &nodes[0], &nodes[1], &nodes[2])
+                    .unwrap();
+            }
+            other => panic!("unexpected element {other:?}"),
+        }
+    }
+
+    let period = 1.0 / f_hz;
+    let options = TransientOptions::new(40.0 * period, period / 256.0).expect("valid");
+    let result = fault_trajectory::circuit::transient(&driven, &options).expect("runs");
+    let out = result.node_by_name(&driven, "lp").expect("node exists");
+    let tail_periods = 8;
+    let samples_per_period = 256;
+    let tail = &out[out.len() - tail_periods * samples_per_period..];
+    let amp = dsp::tone_amplitude(tail, f_hz, result.sample_rate(), dsp::Window::Rectangular);
+
+    assert!(
+        (amp - ac).abs() < 5e-3,
+        "transient amplitude {amp} vs AC {ac}"
+    );
+}
