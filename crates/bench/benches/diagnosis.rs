@@ -57,5 +57,9 @@ fn bench_signature_measurement(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_trajectory_diagnosis, bench_signature_measurement);
+criterion_group!(
+    benches,
+    bench_trajectory_diagnosis,
+    bench_signature_measurement
+);
 criterion_main!(benches);

@@ -33,13 +33,16 @@ fn bench_dictionary_interpolation(c: &mut Criterion) {
     let bench = tow_thomas_normalized(1.0).unwrap();
     let universe = FaultUniverse::new(&bench.fault_set, DeviationGrid::paper());
     let grid = FrequencyGrid::log_space(0.01, 100.0, 41);
-    let dict =
-        FaultDictionary::build(&bench.circuit, &universe, &bench.input, &bench.probe, &grid)
-            .unwrap();
+    let dict = FaultDictionary::build(&bench.circuit, &universe, &bench.input, &bench.probe, &grid)
+        .unwrap();
     c.bench_function("dictionary/sample_all_2freq", |b| {
         b.iter(|| dict.sample_all(black_box(&[0.6, 1.6])))
     });
 }
 
-criterion_group!(benches, bench_dictionary_build, bench_dictionary_interpolation);
+criterion_group!(
+    benches,
+    bench_dictionary_build,
+    bench_dictionary_interpolation
+);
 criterion_main!(benches);

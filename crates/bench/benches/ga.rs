@@ -4,8 +4,8 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use ft_bench::paper_setup;
 use ft_core::{
-    evaluate_fitness, select_test_vector, trajectories_from_dictionary, AtpgConfig,
-    FitnessKind, GeometryOptions, TestVector,
+    evaluate_fitness, select_test_vector, trajectories_from_dictionary, AtpgConfig, FitnessKind,
+    GeometryOptions, TestVector,
 };
 
 fn bench_single_fitness_eval(c: &mut Criterion) {

@@ -4,8 +4,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use ft_bench::paper_setup;
 use ft_core::{
-    count_intersections, min_separation, trajectories_from_dictionary, GeometryOptions,
-    TestVector,
+    count_intersections, min_separation, trajectories_from_dictionary, GeometryOptions, TestVector,
 };
 
 fn bench_intersection_count(c: &mut Criterion) {

@@ -90,18 +90,22 @@ fn run(experiment: &str, csv: bool) -> Result<(), String> {
     Ok(())
 }
 
+const USAGE: &str = "usage: repro <experiment> [--csv]\n\
+     experiments: fig1 fig2 fig3 ga table-accuracy table-nfreq \
+     table-circuits table-fitness table-step table-noise table-methods \
+     table-multiprobe table-encoding table-double all";
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
     let csv = args.iter().any(|a| a == "--csv");
     let experiments: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
 
     if experiments.is_empty() {
-        eprintln!(
-            "usage: repro <experiment> [--csv]\n\
-             experiments: fig1 fig2 fig3 ga table-accuracy table-nfreq \
-             table-circuits table-fitness table-step table-noise table-methods \
-             table-multiprobe table-encoding table-double all"
-        );
+        eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     }
     for experiment in experiments {

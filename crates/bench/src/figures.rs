@@ -68,14 +68,27 @@ pub fn fig2_with(setup: &PaperSetup, tv: &TestVector) -> Table {
     let fault = ParametricFault::from_percent("R3", 30.0);
     let faulty = fault.apply(&setup.bench.circuit).expect("R3 exists");
 
-    let h = sample_response_db(&setup.bench.circuit, &setup.bench.input, &setup.bench.probe, tv)
-        .expect("golden samples");
+    let h = sample_response_db(
+        &setup.bench.circuit,
+        &setup.bench.input,
+        &setup.bench.probe,
+        tv,
+    )
+    .expect("golden samples");
     let k = sample_response_db(&faulty, &setup.bench.input, &setup.bench.probe, tv)
         .expect("faulty samples");
 
     let mut table = Table::new(
         "Figure 2 — sampling transformation into coordinate data",
-        &["curve", "f1_rad_s", "f2_rad_s", "X_dB", "Y_dB", "X-origin_dB", "Y-origin_dB"],
+        &[
+            "curve",
+            "f1_rad_s",
+            "f2_rad_s",
+            "X_dB",
+            "Y_dB",
+            "X-origin_dB",
+            "Y-origin_dB",
+        ],
     );
     let (f1, f2) = (tv.omegas()[0], tv.omegas()[1]);
     table.push_row(vec![
@@ -167,7 +180,13 @@ pub fn fig3_diagnosis_with(
             num(observed.coords()[0], 4),
             num(observed.coords()[1], 4),
         ),
-        &["rank", "component", "perp_distance_dB", "estimated_deviation_pct", "in_ambiguity_set"],
+        &[
+            "rank",
+            "component",
+            "perp_distance_dB",
+            "estimated_deviation_pct",
+            "in_ambiguity_set",
+        ],
     );
     let ambiguity: Vec<&str> = verdict.ambiguity_set();
     for (rank, c) in verdict.candidates().iter().enumerate() {
@@ -212,7 +231,13 @@ pub fn ga24_with(setup: &PaperSetup) -> (Table, Table) {
 
     let mut summary = Table::new(
         "Section 2.4 — selected test vector",
-        &["f1_rad_s", "f2_rad_s", "intersections_I", "fitness_1/(1+I)", "evaluations"],
+        &[
+            "f1_rad_s",
+            "f2_rad_s",
+            "intersections_I",
+            "fitness_1/(1+I)",
+            "evaluations",
+        ],
     );
     summary.push_row(vec![
         num(result.test_vector.omegas()[0], 4),

@@ -13,9 +13,7 @@ use ft_core::{
     AtpgConfig, ConfusionMatrix, Diagnoser, DiagnoserConfig, EvalConfig, FitnessKind,
     GeometryOptions, NnDictionary, SignatureClassifier, TestVector,
 };
-use ft_faults::{
-    DeviationGrid, FaultDictionary, FaultUniverse, MeasurementNoise, Tolerance,
-};
+use ft_faults::{DeviationGrid, FaultDictionary, FaultUniverse, MeasurementNoise, Tolerance};
 use ft_numerics::FrequencyGrid;
 
 use crate::report::{num, pct, Table};
@@ -108,8 +106,16 @@ pub fn table_accuracy() -> Table {
     let mut table = Table::new(
         "T-A — test-vector selectors on the Tow-Thomas CUT (clean measurements)",
         &[
-            "method", "f1_rad_s", "f2_rad_s", "I", "fitness", "evals",
-            "top1", "top2", "class_acc", "dev_err_pct",
+            "method",
+            "f1_rad_s",
+            "f2_rad_s",
+            "I",
+            "fitness",
+            "evals",
+            "top1",
+            "top2",
+            "class_acc",
+            "dev_err_pct",
         ],
     );
 
@@ -126,7 +132,13 @@ pub fn table_accuracy() -> Table {
     ));
 
     let random = random_search(
-        &setup.dict, 2, band, ga.evaluations, FitnessKind::Paper, &geo, PAPER_SEED,
+        &setup.dict,
+        2,
+        band,
+        ga.evaluations,
+        FitnessKind::Paper,
+        &geo,
+        PAPER_SEED,
     );
     let (report, classes) = evaluate_tv(&setup, &random.test_vector, &eval);
     table.push_row(accuracy_row(
@@ -172,7 +184,16 @@ pub fn table_nfreq() -> Table {
     let eval = EvalConfig::clean(TRIALS, PAPER_SEED);
     let mut table = Table::new(
         "T-B — number of test frequencies",
-        &["n_freqs", "I", "fitness", "classes", "top1", "top2", "class_acc", "dev_err_pct"],
+        &[
+            "n_freqs",
+            "I",
+            "fitness",
+            "classes",
+            "top1",
+            "top2",
+            "class_acc",
+            "dev_err_pct",
+        ],
     );
     for n in 1..=4 {
         let mut cfg = AtpgConfig::paper_seeded(setup.bench.search_band, PAPER_SEED + n as u64);
@@ -198,25 +219,23 @@ pub fn table_circuits() -> Table {
     let mut table = Table::new(
         "T-C — fault-trajectory diagnosis across circuits",
         &[
-            "circuit", "faults", "classes", "I", "fitness",
-            "top1", "top2", "class_acc",
+            "circuit",
+            "faults",
+            "classes",
+            "I",
+            "fitness",
+            "top1",
+            "top2",
+            "class_acc",
         ],
     );
     for bench in all_benchmarks().expect("stock benchmarks build") {
         let universe = FaultUniverse::new(&bench.fault_set, DeviationGrid::paper());
-        let grid = FrequencyGrid::log_space(
-            bench.search_band.0,
-            bench.search_band.1,
-            DICT_GRID_POINTS,
-        );
-        let dict = FaultDictionary::build(
-            &bench.circuit,
-            &universe,
-            &bench.input,
-            &bench.probe,
-            &grid,
-        )
-        .expect("dictionary builds");
+        let grid =
+            FrequencyGrid::log_space(bench.search_band.0, bench.search_band.1, DICT_GRID_POINTS);
+        let dict =
+            FaultDictionary::build(&bench.circuit, &universe, &bench.input, &bench.probe, &grid)
+                .expect("dictionary builds");
         let cfg = AtpgConfig::paper_seeded(bench.search_band, PAPER_SEED);
         let result = select_test_vector(&dict, &cfg);
 
@@ -252,7 +271,14 @@ pub fn table_fitness() -> Table {
     let eval = EvalConfig::clean(TRIALS, PAPER_SEED);
     let mut table = Table::new(
         "T-D — fitness formulation ablation",
-        &["fitness_kind", "I", "min_sep_dB", "top1", "top2", "class_acc"],
+        &[
+            "fitness_kind",
+            "I",
+            "min_sep_dB",
+            "top1",
+            "top2",
+            "class_acc",
+        ],
     );
     let kinds: [(&str, FitnessKind); 3] = [
         ("paper 1/(1+I)", FitnessKind::Paper),
@@ -283,23 +309,29 @@ pub fn table_step() -> Table {
     let bench = ft_circuit::tow_thomas_normalized(1.0).expect("benchmark builds");
     let mut table = Table::new(
         "T-E — dictionary deviation grid ablation",
-        &["range_pct", "step_pct", "dict_size", "I", "top1", "top2", "class_acc"],
+        &[
+            "range_pct",
+            "step_pct",
+            "dict_size",
+            "I",
+            "top1",
+            "top2",
+            "class_acc",
+        ],
     );
-    for (range, step) in [(40.0, 5.0), (40.0, 10.0), (40.0, 20.0), (20.0, 10.0), (20.0, 5.0)] {
+    for (range, step) in [
+        (40.0, 5.0),
+        (40.0, 10.0),
+        (40.0, 20.0),
+        (20.0, 10.0),
+        (20.0, 5.0),
+    ] {
         let universe = FaultUniverse::new(&bench.fault_set, DeviationGrid::new(range, step));
-        let grid = FrequencyGrid::log_space(
-            bench.search_band.0,
-            bench.search_band.1,
-            DICT_GRID_POINTS,
-        );
-        let dict = FaultDictionary::build(
-            &bench.circuit,
-            &universe,
-            &bench.input,
-            &bench.probe,
-            &grid,
-        )
-        .expect("dictionary builds");
+        let grid =
+            FrequencyGrid::log_space(bench.search_band.0, bench.search_band.1, DICT_GRID_POINTS);
+        let dict =
+            FaultDictionary::build(&bench.circuit, &universe, &bench.input, &bench.probe, &grid)
+                .expect("dictionary builds");
         let cfg = AtpgConfig::paper_seeded(bench.search_band, PAPER_SEED);
         let result = select_test_vector(&dict, &cfg);
         let set = trajectories_from_dictionary(&dict, &result.test_vector);
@@ -337,7 +369,14 @@ pub fn table_noise() -> Table {
     let tv = ga_paper_result(&setup).test_vector;
     let mut table = Table::new(
         "T-F — noise & tolerance robustness at the GA test vector",
-        &["noise_sigma_dB", "tolerance_pct", "top1", "top2", "class_acc", "dev_err_pct"],
+        &[
+            "noise_sigma_dB",
+            "tolerance_pct",
+            "top1",
+            "top2",
+            "class_acc",
+            "dev_err_pct",
+        ],
     );
     for sigma in [0.0, 0.1, 0.5, 1.0, 2.0] {
         for tol in [0.0, 1.0, 5.0] {
@@ -411,7 +450,15 @@ pub fn table_multiprobe() -> Table {
 
     let mut table = Table::new(
         "T-H — multi-probe observation at the GA test vector (clean)",
-        &["probes", "classes", "I", "top1", "top2", "class_acc", "dev_err_pct"],
+        &[
+            "probes",
+            "classes",
+            "I",
+            "top1",
+            "top2",
+            "class_acc",
+            "dev_err_pct",
+        ],
     );
 
     let probe_stacks: Vec<(&str, Vec<Probe>)> = vec![
@@ -433,8 +480,7 @@ pub fn table_multiprobe() -> Table {
         )
         .expect("bank builds");
         let set = bank.trajectories(&tv);
-        let intersections =
-            ft_core::count_intersections(&set, &GeometryOptions::default());
+        let intersections = ft_core::count_intersections(&set, &GeometryOptions::default());
         let classes = ambiguity_groups(&set, 1e-6, &GeometryOptions::default());
         let diagnoser = Diagnoser::new(set, DiagnoserConfig::default());
 
@@ -493,7 +539,9 @@ pub fn table_encoding() -> Table {
     let eval = EvalConfig::clean(TRIALS, PAPER_SEED);
     let mut table = Table::new(
         "T-I — GA genome encoding ablation (paper §2.4 parameters)",
-        &["encoding", "f1_rad_s", "f2_rad_s", "I", "fitness", "top1", "top2"],
+        &[
+            "encoding", "f1_rad_s", "f2_rad_s", "I", "fitness", "top1", "top2",
+        ],
     );
 
     let cfg = AtpgConfig::paper_seeded(setup.bench.search_band, PAPER_SEED);
@@ -566,12 +614,7 @@ pub fn table_double_faults() -> Table {
         )
         .expect("measures");
         let verdict = diagnoser.diagnose(&sig);
-        score_any(
-            &mut single,
-            &verdict,
-            &[fault.component()],
-            &classes,
-        );
+        score_any(&mut single, &verdict, &[fault.component()], &classes);
     }
     push_any_row(&mut table, "single (reference)", single, TRIALS);
 
@@ -624,12 +667,7 @@ fn score_any(
     acc.3 += best.distance;
 }
 
-fn push_any_row(
-    table: &mut Table,
-    label: &str,
-    acc: (usize, usize, usize, f64),
-    trials: usize,
-) {
+fn push_any_row(table: &mut Table, label: &str, acc: (usize, usize, usize, f64), trials: usize) {
     table.push_row(vec![
         label.to_string(),
         pct(acc.0 as f64 / trials as f64),
@@ -664,11 +702,8 @@ mod tests {
 
     #[test]
     fn class_accuracy_counts_groups() {
-        let mut m = ConfusionMatrix::new(vec![
-            "R3".to_string(),
-            "R5".to_string(),
-            "R2".to_string(),
-        ]);
+        let mut m =
+            ConfusionMatrix::new(vec!["R3".to_string(), "R5".to_string(), "R2".to_string()]);
         m.record("R3", "R5"); // same class: counts as correct
         m.record("R3", "R3");
         m.record("R2", "R3"); // wrong class

@@ -64,12 +64,7 @@ impl Probe {
 /// # Errors
 ///
 /// Propagates layout, probe, and singularity errors.
-pub fn transfer(
-    circuit: &Circuit,
-    input: &str,
-    probe: &Probe,
-    omega: f64,
-) -> Result<Complex64> {
+pub fn transfer(circuit: &Circuit, input: &str, probe: &Probe, omega: f64) -> Result<Complex64> {
     let layout = MnaLayout::new(circuit)?;
     transfer_with_layout(circuit, &layout, input, probe, omega)
 }
@@ -269,16 +264,14 @@ mod tests {
         let ckt = rc();
         let err = transfer(&ckt, "V1", &Probe::node("missing"), 1.0).unwrap_err();
         assert!(matches!(err, CircuitError::UnknownNode(_)));
-        let err =
-            transfer(&ckt, "V1", &Probe::differential("in", "zz"), 1.0).unwrap_err();
+        let err = transfer(&ckt, "V1", &Probe::differential("in", "zz"), 1.0).unwrap_err();
         assert!(matches!(err, CircuitError::UnknownNode(_)));
     }
 
     #[test]
     fn sample_at_arbitrary_frequencies() {
         let ckt = rc();
-        let samples =
-            sample_at(&ckt, "V1", &Probe::node("out"), &[2000.0, 10.0, 500.0]).unwrap();
+        let samples = sample_at(&ckt, "V1", &Probe::node("out"), &[2000.0, 10.0, 500.0]).unwrap();
         assert_eq!(samples.len(), 3);
         // Order preserved: first sample is the highest frequency (lowest gain).
         assert!(samples[0].abs() < samples[1].abs());

@@ -75,8 +75,7 @@ pub fn fit_rational(
     }
 
     // Normalise frequencies by the geometric mean for conditioning.
-    let log_mean =
-        omegas.iter().map(|w| w.ln()).sum::<f64>() / omegas.len() as f64;
+    let log_mean = omegas.iter().map(|w| w.ln()).sum::<f64>() / omegas.len() as f64;
     let w_scale = log_mean.exp();
 
     // Normal equations AᵀA·x = Aᵀy assembled sample by sample.
@@ -193,7 +192,9 @@ mod tests {
     use ft_numerics::FrequencyGrid;
 
     fn grid() -> Vec<f64> {
-        FrequencyGrid::log_space(0.01, 100.0, 61).frequencies().to_vec()
+        FrequencyGrid::log_space(0.01, 100.0, 61)
+            .frequencies()
+            .to_vec()
     }
 
     #[test]
@@ -243,8 +244,7 @@ mod tests {
     fn fits_bandpass_with_numerator_zero() {
         let bench = tow_thomas_normalized(2.0).unwrap();
         let omegas = grid();
-        let tf = fit_circuit(&bench.circuit, "V1", &Probe::node("bp"), &omegas, 1, 2)
-            .unwrap();
+        let tf = fit_circuit(&bench.circuit, "V1", &Probe::node("bp"), &omegas, 1, 2).unwrap();
         // Band-pass numerator ∝ s: constant term ≈ 0.
         let n = tf.num().coeffs();
         assert!(n[0].abs() < 1e-6 * n[1].abs(), "numerator {n:?}");
@@ -256,13 +256,7 @@ mod tests {
 
     #[test]
     fn too_few_samples_rejected() {
-        let err = fit_rational(
-            &[1.0],
-            &[Complex64::ONE],
-            2,
-            3,
-        )
-        .unwrap_err();
+        let err = fit_rational(&[1.0], &[Complex64::ONE], 2, 3).unwrap_err();
         assert!(matches!(err, FitError::TooFewSamples { .. }));
         assert!(err.to_string().contains("samples"));
     }

@@ -31,13 +31,14 @@ pub fn magnitude_db_sensitivity(
     probe: &Probe,
     omegas: &[f64],
 ) -> Result<Vec<f64>> {
-    let nominal = circuit
-        .value(component)?
-        .ok_or_else(|| crate::error::CircuitError::InvalidValue {
-            component: component.to_string(),
-            value: f64::NAN,
-            reason: "component has no principal value to perturb",
-        })?;
+    let nominal =
+        circuit
+            .value(component)?
+            .ok_or_else(|| crate::error::CircuitError::InvalidValue {
+                component: component.to_string(),
+                value: f64::NAN,
+                reason: "component has no principal value to perturb",
+            })?;
 
     let mut plus = circuit.clone();
     plus.set_value(component, nominal * (1.0 + REL_STEP))?;
@@ -170,9 +171,7 @@ mod tests {
     #[test]
     fn source_has_no_sensitivity() {
         let ckt = rc();
-        assert!(
-            magnitude_db_sensitivity(&ckt, "V1", "V1", &Probe::node("out"), &[1.0]).is_err()
-        );
+        assert!(magnitude_db_sensitivity(&ckt, "V1", "V1", &Probe::node("out"), &[1.0]).is_err());
     }
 
     #[test]

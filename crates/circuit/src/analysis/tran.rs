@@ -167,8 +167,12 @@ pub fn transient(circuit: &Circuit, options: &TransientOptions) -> Result<Transi
     let op = {
         let mut at0 = circuit.clone();
         for comp in circuit.components() {
-            if let Element::VoltageSource { waveform: Some(_), .. }
-            | Element::CurrentSource { waveform: Some(_), .. } = comp.element()
+            if let Element::VoltageSource {
+                waveform: Some(_), ..
+            }
+            | Element::CurrentSource {
+                waveform: Some(_), ..
+            } = comp.element()
             {
                 let v0 = tran_source_value(comp.element(), 0.0);
                 at0.set_source_dc(comp.name(), v0)?;
@@ -290,8 +294,8 @@ pub fn transient(circuit: &Circuit, options: &TransientOptions) -> Result<Transi
 
     // Record initial point.
     times.push(0.0);
-    for node_idx in 0..n_nodes {
-        voltages[node_idx].push(op.voltage(NodeId(node_idx)));
+    for (node_idx, v) in voltages.iter_mut().enumerate() {
+        v.push(op.voltage(NodeId(node_idx)));
     }
 
     let mut rhs = vec![0.0f64; dim];
@@ -328,9 +332,7 @@ pub fn transient(circuit: &Circuit, options: &TransientOptions) -> Result<Transi
         let x = lu.solve(&rhs);
 
         // State updates.
-        let node_v = |node: NodeId| -> f64 {
-            layout.node_row(node).map_or(0.0, |r| x[r])
-        };
+        let node_v = |node: NodeId| -> f64 { layout.node_row(node).map_or(0.0, |r| x[r]) };
         for cap in &mut caps {
             let v_new = node_v(cap.p) - node_v(cap.n);
             let i_new = cap.geq * (v_new - cap.v_prev) - cap.i_prev;
@@ -347,11 +349,11 @@ pub fn transient(circuit: &Circuit, options: &TransientOptions) -> Result<Transi
         if step % options.record_every == 0 {
             times.push(t);
             voltages[0].push(0.0);
-            for node_idx in 1..n_nodes {
+            for (node_idx, v) in voltages.iter_mut().enumerate().skip(1) {
                 let r = layout
                     .node_row(NodeId(node_idx))
                     .expect("non-ground node has a row");
-                voltages[node_idx].push(x[r]);
+                v.push(x[r]);
             }
         }
     }
@@ -402,7 +404,10 @@ mod tests {
             .unwrap()
             .record_every(0)
             .is_err());
-        let o = TransientOptions::new(1.0, 0.1).unwrap().record_every(2).unwrap();
+        let o = TransientOptions::new(1.0, 0.1)
+            .unwrap()
+            .record_every(2)
+            .unwrap();
         assert_eq!(o.record_every, 2);
     }
 
@@ -431,8 +436,7 @@ mod tests {
         let v = result.node_by_name(&ckt, "out").unwrap();
         let t = result.times();
         // Compare at t = τ and t = 3τ.
-        for &(t_check, expect) in &[(1e-3, 1.0 - (-1.0f64).exp()), (3e-3, 1.0 - (-3.0f64).exp())]
-        {
+        for &(t_check, expect) in &[(1e-3, 1.0 - (-1.0f64).exp()), (3e-3, 1.0 - (-3.0f64).exp())] {
             let idx = t
                 .iter()
                 .position(|&x| (x - t_check).abs() < 1e-9)

@@ -216,9 +216,9 @@ impl Element {
             Element::Vccs { gm } => Some(*gm),
             Element::Cccs { gain, .. } => Some(*gain),
             Element::Ccvs { r, .. } => Some(*r),
-            Element::VoltageSource { .. }
-            | Element::CurrentSource { .. }
-            | Element::IdealOpAmp => None,
+            Element::VoltageSource { .. } | Element::CurrentSource { .. } | Element::IdealOpAmp => {
+                None
+            }
         }
     }
 
@@ -233,9 +233,9 @@ impl Element {
             Element::Vccs { gm } => *gm = value,
             Element::Cccs { gain, .. } => *gain = value,
             Element::Ccvs { r, .. } => *r = value,
-            Element::VoltageSource { .. }
-            | Element::CurrentSource { .. }
-            | Element::IdealOpAmp => return false,
+            Element::VoltageSource { .. } | Element::CurrentSource { .. } | Element::IdealOpAmp => {
+                return false
+            }
         }
         true
     }
@@ -295,8 +295,8 @@ mod tests {
             freqs_hz: vec![1.0, 3.0],
             phases_rad: vec![0.0, 0.0],
         };
-        let expected = (std::f64::consts::TAU * 0.1).sin()
-            + (std::f64::consts::TAU * 3.0 * 0.1).sin();
+        let expected =
+            (std::f64::consts::TAU * 0.1).sin() + (std::f64::consts::TAU * 3.0 * 0.1).sin();
         assert!((w.eval(0.1) - expected).abs() < 1e-12);
     }
 

@@ -143,10 +143,7 @@ mod tests {
             ),
         ];
         for (err, frag) in cases {
-            assert!(
-                err.to_string().contains(frag),
-                "`{err}` missing `{frag}`"
-            );
+            assert!(err.to_string().contains(frag), "`{err}` missing `{frag}`");
         }
     }
 

@@ -188,7 +188,10 @@ pub fn sallen_key_lowpass(r1: f64, r2: f64, c1: f64, c2: f64) -> Result<Benchmar
         circuit: ckt,
         input: "V1".into(),
         probe: Probe::node("out"),
-        fault_set: ["R1", "R2", "C1", "C2"].iter().map(|s| s.to_string()).collect(),
+        fault_set: ["R1", "R2", "C1", "C2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
         description: "Unity-gain Sallen-Key second-order low-pass".into(),
         search_band: (0.01, 100.0),
     })
@@ -201,7 +204,12 @@ pub fn sallen_key_lowpass(r1: f64, r2: f64, c1: f64, c2: f64) -> Result<Benchmar
 ///
 /// Never fails for the normalized parameters.
 pub fn sallen_key_normalized() -> Result<Benchmark> {
-    sallen_key_lowpass(1.0, 1.0, std::f64::consts::SQRT_2, 1.0 / std::f64::consts::SQRT_2)
+    sallen_key_lowpass(
+        1.0,
+        1.0,
+        std::f64::consts::SQRT_2,
+        1.0 / std::f64::consts::SQRT_2,
+    )
 }
 
 /// Multiple-feedback (infinite-gain negative-feedback) low-pass.
@@ -396,7 +404,11 @@ mod tests {
         let probe = Probe::node("lp");
         // DC gain.
         let dc = transfer(&ckt, "V1", &probe, 1e-6).unwrap();
-        assert!((dc.abs() - params.dc_gain()).abs() < 1e-6, "dc {}", dc.abs());
+        assert!(
+            (dc.abs() - params.dc_gain()).abs() < 1e-6,
+            "dc {}",
+            dc.abs()
+        );
         // At ω₀ the low-pass magnitude equals Q·|H(0)|.
         let at_w0 = transfer(&ckt, "V1", &probe, params.w0()).unwrap();
         assert!(

@@ -149,7 +149,13 @@ pub fn assemble(
         let nodes = comp.nodes();
         match comp.element() {
             Element::Resistor { r } => {
-                stamp_admittance(&mut a, layout, nodes[0], nodes[1], Complex64::from_real(1.0 / r));
+                stamp_admittance(
+                    &mut a,
+                    layout,
+                    nodes[0],
+                    nodes[1],
+                    Complex64::from_real(1.0 / r),
+                );
             }
             Element::Capacitor { c } => {
                 stamp_admittance(&mut a, layout, nodes[0], nodes[1], s.scale(*c));
@@ -167,13 +173,7 @@ pub fn assemble(
             } => {
                 let k = layout.branch_row(id).expect("vsource has branch");
                 stamp_branch_voltage(&mut a, layout, nodes[0], nodes[1], k);
-                z[k] = source_value(
-                    comp.name(),
-                    *dc,
-                    *ac_mag,
-                    *ac_phase,
-                    excitation,
-                );
+                z[k] = source_value(comp.name(), *dc, *ac_mag, *ac_phase, excitation);
             }
             Element::CurrentSource {
                 dc,
@@ -276,13 +276,7 @@ fn source_value(
 }
 
 /// Stamps the conductance pattern of a two-terminal admittance `y`.
-fn stamp_admittance(
-    a: &mut CMatrix,
-    layout: &MnaLayout,
-    p: NodeId,
-    n: NodeId,
-    y: Complex64,
-) {
+fn stamp_admittance(a: &mut CMatrix, layout: &MnaLayout, p: NodeId, n: NodeId, y: Complex64) {
     let (rp, rn) = (layout.node_row(p), layout.node_row(n));
     if let Some(i) = rp {
         a[(i, i)] += y;
@@ -299,13 +293,7 @@ fn stamp_admittance(
 /// Stamps the branch-voltage pattern shared by V sources, inductors,
 /// VCVS, and CCVS: the branch current enters the node equations and the
 /// node voltages enter the branch equation.
-fn stamp_branch_voltage(
-    a: &mut CMatrix,
-    layout: &MnaLayout,
-    p: NodeId,
-    n: NodeId,
-    k: usize,
-) {
+fn stamp_branch_voltage(a: &mut CMatrix, layout: &MnaLayout, p: NodeId, n: NodeId, k: usize) {
     if let Some(i) = layout.node_row(p) {
         a[(i, k)] += Complex64::ONE;
         a[(k, i)] += Complex64::ONE;
@@ -362,9 +350,7 @@ pub fn solve(
     let x = lu.solve(&system.rhs);
 
     let mut voltages = vec![Complex64::ZERO; circuit.node_count()];
-    for node_idx in 1..circuit.node_count() {
-        voltages[node_idx] = x[node_idx - 1];
-    }
+    voltages[1..].copy_from_slice(&x[..circuit.node_count() - 1]);
     let mut currents = HashMap::new();
     for (idx, _) in circuit.components().iter().enumerate() {
         let id = ComponentId(idx);

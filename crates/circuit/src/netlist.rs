@@ -275,7 +275,13 @@ impl Circuit {
     /// # Errors
     ///
     /// Returns an error if the name is taken or `value` is not finite.
-    pub fn voltage_source(&mut self, name: &str, p: &str, n: &str, value: f64) -> Result<ComponentId> {
+    pub fn voltage_source(
+        &mut self,
+        name: &str,
+        p: &str,
+        n: &str,
+        value: f64,
+    ) -> Result<ComponentId> {
         Self::check_finite(name, value, "source value must be finite")?;
         let nodes = vec![self.node(p), self.node(n)];
         self.insert(
@@ -296,6 +302,7 @@ impl Circuit {
     /// # Errors
     ///
     /// Returns an error if the name is taken or any value is not finite.
+    #[allow(clippy::too_many_arguments)]
     pub fn voltage_source_full(
         &mut self,
         name: &str,
@@ -328,7 +335,13 @@ impl Circuit {
     /// # Errors
     ///
     /// Returns an error if the name is taken or `value` is not finite.
-    pub fn current_source(&mut self, name: &str, p: &str, n: &str, value: f64) -> Result<ComponentId> {
+    pub fn current_source(
+        &mut self,
+        name: &str,
+        p: &str,
+        n: &str,
+        value: f64,
+    ) -> Result<ComponentId> {
         Self::check_finite(name, value, "source value must be finite")?;
         let nodes = vec![self.node(p), self.node(n)];
         self.insert(
@@ -450,7 +463,13 @@ impl Circuit {
     /// # Errors
     ///
     /// Returns an error if the name is taken.
-    pub fn ideal_opamp(&mut self, name: &str, in_p: &str, in_n: &str, out: &str) -> Result<ComponentId> {
+    pub fn ideal_opamp(
+        &mut self,
+        name: &str,
+        in_p: &str,
+        in_n: &str,
+        out: &str,
+    ) -> Result<ComponentId> {
         let nodes = vec![self.node(in_p), self.node(in_n), self.node(out)];
         self.insert(name, Element::IdealOpAmp, nodes)
     }
@@ -640,10 +659,7 @@ impl Circuit {
                     let ctrl = self
                         .find(control)
                         .ok_or_else(|| CircuitError::UnknownComponent(control.clone()))?;
-                    if !matches!(
-                        self.component(ctrl).element,
-                        Element::VoltageSource { .. }
-                    ) {
+                    if !matches!(self.component(ctrl).element, Element::VoltageSource { .. }) {
                         return Err(CircuitError::InvalidControl {
                             component: comp.name.clone(),
                             control: control.clone(),
@@ -831,9 +847,7 @@ mod tests {
             );
         }
         // Macromodel parameters are faultable.
-        assert!(ckt
-            .faultable_components()
-            .contains(&"U1.rp"));
+        assert!(ckt.faultable_components().contains(&"U1.rp"));
     }
 
     #[test]

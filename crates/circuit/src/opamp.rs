@@ -10,10 +10,11 @@
 use serde::{Deserialize, Serialize};
 
 /// Behavioural model of an op amp.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum OpAmpModel {
     /// Ideal nullor: infinite gain and input impedance, zero output
     /// impedance. One MNA branch unknown, no internal nodes.
+    #[default]
     Ideal,
     /// Single-pole finite-gain macromodel
     /// `A(s) = A0 / (1 + s·A0/GBW)` with resistive input/output.
@@ -55,12 +56,6 @@ impl OpAmpModel {
             OpAmpModel::Ideal => None,
             OpAmpModel::SinglePole { a0, gbw_rad, .. } => Some(gbw_rad / a0),
         }
-    }
-}
-
-impl Default for OpAmpModel {
-    fn default() -> Self {
-        OpAmpModel::Ideal
     }
 }
 

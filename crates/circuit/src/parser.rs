@@ -260,7 +260,11 @@ pub fn parse_netlist(text: &str) -> Result<Circuit, ParseError> {
                 }
                 circuit
                     .vcvs(
-                        name, fields[1], fields[2], fields[3], fields[4],
+                        name,
+                        fields[1],
+                        fields[2],
+                        fields[3],
+                        fields[4],
                         num(fields[5])?,
                     )
                     .map_err(err_circuit)?;
@@ -271,7 +275,11 @@ pub fn parse_netlist(text: &str) -> Result<Circuit, ParseError> {
                 }
                 circuit
                     .vccs(
-                        name, fields[1], fields[2], fields[3], fields[4],
+                        name,
+                        fields[1],
+                        fields[2],
+                        fields[3],
+                        fields[4],
                         num(fields[5])?,
                     )
                     .map_err(err_circuit)?;
@@ -436,13 +444,7 @@ pub fn write_netlist(circuit: &Circuit) -> String {
                 control,
                 fmt_num(*r)
             ),
-            Element::IdealOpAmp => format!(
-                "{} {} {} {}",
-                comp.name(),
-                node(0),
-                node(1),
-                node(2)
-            ),
+            Element::IdealOpAmp => format!("{} {} {} {}", comp.name(), node(0), node(1), node(2)),
         };
         out.push_str(&line);
         out.push('\n');

@@ -87,17 +87,14 @@ pub fn pair_separation(
             .map(crate::signature::Signature::norm)
             .fold(0.0f64, f64::max)
     };
-    let radius = opts
-        .origin_exclusion
-        .min(0.5 * reach(ta).min(reach(tb)));
+    let radius = opts.origin_exclusion.min(0.5 * reach(ta).min(reach(tb)));
     if radius <= 0.0 {
         // At least one trajectory never leaves the origin: unobservable.
         return Some(0.0);
     }
     let mut best = f64::INFINITY;
     for (_, a0, _, a1) in ta.segments() {
-        let Some((ca0, ca1)) = clip_segment_outside_ball(a0.coords(), a1.coords(), radius)
-        else {
+        let Some((ca0, ca1)) = clip_segment_outside_ball(a0.coords(), a1.coords(), radius) else {
             continue;
         };
         for (_, b0, _, b1) in tb.segments() {
@@ -126,7 +123,7 @@ pub fn ambiguity_groups(
     let n = names.len();
     let mut parent: Vec<usize> = (0..n).collect();
 
-    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
         while parent[x] != x {
             parent[x] = parent[parent[x]];
             x = parent[x];
@@ -134,9 +131,9 @@ pub fn ambiguity_groups(
         x
     }
 
-    for i in 0..n {
-        for j in (i + 1)..n {
-            let sep = pair_separation(set, &names[i], &names[j], opts).unwrap_or(0.0);
+    for (i, name_i) in names.iter().enumerate() {
+        for (j, name_j) in names.iter().enumerate().skip(i + 1) {
+            let sep = pair_separation(set, name_i, name_j, opts).unwrap_or(0.0);
             if sep < threshold {
                 let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
                 if ri != rj {
@@ -148,9 +145,9 @@ pub fn ambiguity_groups(
 
     let mut by_root: std::collections::HashMap<usize, Vec<String>> =
         std::collections::HashMap::new();
-    for i in 0..n {
+    for (i, name) in names.iter().enumerate() {
         let root = find(&mut parent, i);
-        by_root.entry(root).or_default().push(names[i].clone());
+        by_root.entry(root).or_default().push(name.clone());
     }
     let mut groups: Vec<Vec<String>> = by_root.into_values().collect();
     for g in &mut groups {
@@ -174,7 +171,11 @@ mod tests {
         FaultTrajectory::new(
             name,
             vec![-20.0, 0.0, 20.0],
-            vec![sig(-2.0 * dx, -2.0 * dy), sig(0.0, 0.0), sig(2.0 * dx, 2.0 * dy)],
+            vec![
+                sig(-2.0 * dx, -2.0 * dy),
+                sig(0.0, 0.0),
+                sig(2.0 * dx, 2.0 * dy),
+            ],
         )
     }
 
@@ -258,10 +259,7 @@ mod tests {
 
     #[test]
     fn threshold_stored() {
-        let set = TrajectorySet::new(
-            TestVector::pair(1.0, 2.0),
-            vec![straight("A", 1.0, 0.0)],
-        );
+        let set = TrajectorySet::new(TestVector::pair(1.0, 2.0), vec![straight("A", 1.0, 0.0)]);
         let groups = ambiguity_groups(&set, 0.25, &GeometryOptions::default());
         assert_eq!(groups.threshold(), 0.25);
         assert_eq!(groups.len(), 1);

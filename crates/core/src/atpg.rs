@@ -115,10 +115,7 @@ pub fn select_test_vector(dict: &FaultDictionary, config: &AtpgConfig) -> AtpgRe
 /// # Panics
 ///
 /// Panics on invalid configuration (zero frequencies, bad band).
-pub fn select_test_vector_from<S: TrajectorySource>(
-    source: &S,
-    config: &AtpgConfig,
-) -> AtpgResult {
+pub fn select_test_vector_from<S: TrajectorySource>(source: &S, config: &AtpgConfig) -> AtpgResult {
     assert!(config.n_frequencies >= 1, "need at least one frequency");
     let (lo, hi) = config.band;
     assert!(lo > 0.0 && hi > lo, "band must satisfy 0 < ω_min < ω_max");
@@ -250,9 +247,7 @@ mod tests {
         assert_eq!(result.history.len(), 9);
         assert!(result.evaluations >= 24);
         // Fitness is consistent with the intersection count.
-        assert!(
-            (result.fitness - 1.0 / (1.0 + result.intersections as f64)).abs() < 1e-12
-        );
+        assert!((result.fitness - 1.0 / (1.0 + result.intersections as f64)).abs() < 1e-12);
         // The Tow-Thomas CUT has two structurally coincident trajectory
         // pairs ({R3,R5} and {R4,C2} enter the LP response only as
         // products), which puts a floor of ~20 overlap intersections

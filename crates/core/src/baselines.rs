@@ -29,7 +29,12 @@ pub struct BaselineResult {
     pub evaluations: usize,
 }
 
-fn score(dict: &FaultDictionary, tv: &TestVector, kind: FitnessKind, geo: &GeometryOptions) -> (f64, usize) {
+fn score(
+    dict: &FaultDictionary,
+    tv: &TestVector,
+    kind: FitnessKind,
+    geo: &GeometryOptions,
+) -> (f64, usize) {
     let set = trajectories_from_dictionary(dict, tv);
     (
         evaluate_fitness(&set, kind, geo),
@@ -128,7 +133,7 @@ pub fn grid_search(
                 return result;
             }
             k -= 1;
-            if indices[k] + 1 <= grid_points - (n_frequencies - k) {
+            if indices[k] < grid_points - (n_frequencies - k) {
                 indices[k] += 1;
                 for j in (k + 1)..n_frequencies {
                     indices[j] = indices[j - 1] + 1;
@@ -227,8 +232,7 @@ pub fn sensitivity_heuristic(
         loop {
             if k == 0 {
                 let tv = best_tv.expect("non-empty grid");
-                let (fitness, intersections) =
-                    score(dict, &tv, FitnessKind::Paper, geo);
+                let (fitness, intersections) = score(dict, &tv, FitnessKind::Paper, geo);
                 return BaselineResult {
                     test_vector: tv,
                     fitness,
@@ -237,7 +241,7 @@ pub fn sensitivity_heuristic(
                 };
             }
             k -= 1;
-            if indices[k] + 1 <= grid_points - (n_frequencies - k) {
+            if indices[k] < grid_points - (n_frequencies - k) {
                 indices[k] += 1;
                 for j in (k + 1)..n_frequencies {
                     indices[j] = indices[j - 1] + 1;
@@ -272,8 +276,7 @@ impl NnDictionary {
             .iter()
             .enumerate()
             .map(|(idx, fault)| {
-                let measured: Vec<f64> =
-                    omegas.iter().map(|&w| dict.entry_db_at(idx, w)).collect();
+                let measured: Vec<f64> = omegas.iter().map(|&w| dict.entry_db_at(idx, w)).collect();
                 let sig = crate::signature::signature_from_db(&measured, &golden);
                 (fault.component().to_string(), fault.percent(), sig)
             })
@@ -405,8 +408,13 @@ mod tests {
     fn zero_budget_rejected() {
         let d = dict();
         let _ = random_search(
-            &d, 2, (0.01, 100.0), 0, FitnessKind::Paper,
-            &GeometryOptions::default(), 1,
+            &d,
+            2,
+            (0.01, 100.0),
+            0,
+            FitnessKind::Paper,
+            &GeometryOptions::default(),
+            1,
         );
     }
 }

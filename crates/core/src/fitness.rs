@@ -21,7 +21,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::geometry::{segment_segment_distance, segments_intersect_2d, norm};
+use crate::geometry::{norm, segment_segment_distance, segments_intersect_2d};
 use crate::trajectory::TrajectorySet;
 
 /// Geometric tolerances for trajectory analysis.
@@ -54,11 +54,7 @@ impl Default for GeometryOptions {
 
 /// Clips segment `(p0, p1)` against the origin ball of radius `r`,
 /// returning the part outside the ball (or `None` when fully inside).
-pub fn clip_segment_outside_ball(
-    p0: &[f64],
-    p1: &[f64],
-    r: f64,
-) -> Option<(Vec<f64>, Vec<f64>)> {
+pub fn clip_segment_outside_ball(p0: &[f64], p1: &[f64], r: f64) -> Option<(Vec<f64>, Vec<f64>)> {
     let inside0 = norm(p0) < r;
     let inside1 = norm(p1) < r;
     if !inside0 && !inside1 {
@@ -84,9 +80,7 @@ pub fn clip_segment_outside_ball(
     let sqrt_disc = disc.sqrt();
     let t1 = (-b - sqrt_disc) / (2.0 * a);
     let t2 = (-b + sqrt_disc) / (2.0 * a);
-    let boundary = |t: f64| -> Vec<f64> {
-        (0..n).map(|i| p0[i] + t * d[i]).collect()
-    };
+    let boundary = |t: f64| -> Vec<f64> { (0..n).map(|i| p0[i] + t * d[i]).collect() };
     if inside0 {
         // Keep [t_exit, 1].
         let t = if (0.0..=1.0).contains(&t2) { t2 } else { t1 };
@@ -115,11 +109,9 @@ pub fn count_intersections(set: &TrajectorySet, opts: &GeometryOptions) -> usize
                     continue;
                 };
                 for (_, b0, _, b1) in trajectories[j].segments() {
-                    let Some((cb0, cb1)) = clip_segment_outside_ball(
-                        b0.coords(),
-                        b1.coords(),
-                        opts.origin_exclusion,
-                    ) else {
+                    let Some((cb0, cb1)) =
+                        clip_segment_outside_ball(b0.coords(), b1.coords(), opts.origin_exclusion)
+                    else {
                         continue;
                     };
                     // Common pathway: closer than pathway_eps anywhere.
@@ -162,11 +154,9 @@ pub fn pairwise_separations(set: &TrajectorySet, opts: &GeometryOptions) -> Vec<
                     continue;
                 };
                 for (_, b0, _, b1) in trajectories[j].segments() {
-                    let Some((cb0, cb1)) = clip_segment_outside_ball(
-                        b0.coords(),
-                        b1.coords(),
-                        opts.origin_exclusion,
-                    ) else {
+                    let Some((cb0, cb1)) =
+                        clip_segment_outside_ball(b0.coords(), b1.coords(), opts.origin_exclusion)
+                    else {
                         continue;
                     };
                     best = best.min(segment_segment_distance(&ca0, &ca1, &cb0, &cb1));
@@ -193,11 +183,9 @@ pub fn min_separation(set: &TrajectorySet, opts: &GeometryOptions) -> f64 {
                     continue;
                 };
                 for (_, b0, _, b1) in trajectories[j].segments() {
-                    let Some((cb0, cb1)) = clip_segment_outside_ball(
-                        b0.coords(),
-                        b1.coords(),
-                        opts.origin_exclusion,
-                    ) else {
+                    let Some((cb0, cb1)) =
+                        clip_segment_outside_ball(b0.coords(), b1.coords(), opts.origin_exclusion)
+                    else {
                         continue;
                     };
                     let d = segment_segment_distance(&ca0, &ca1, &cb0, &cb1);
@@ -216,9 +204,10 @@ pub fn min_separation(set: &TrajectorySet, opts: &GeometryOptions) -> f64 {
 }
 
 /// The fitness formulation used to score a test vector.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum FitnessKind {
     /// The paper's `1/(1+I)`.
+    #[default]
     Paper,
     /// Continuous separation margin. Structurally coincident pairs (like
     /// the CUT's `{R3,R5}` and `{R4,C2}`) would pin a naive minimum at
@@ -236,18 +225,8 @@ pub enum FitnessKind {
     },
 }
 
-impl Default for FitnessKind {
-    fn default() -> Self {
-        FitnessKind::Paper
-    }
-}
-
 /// Scores a trajectory set; higher is better, always in `(0, 1]`.
-pub fn evaluate_fitness(
-    set: &TrajectorySet,
-    kind: FitnessKind,
-    opts: &GeometryOptions,
-) -> f64 {
+pub fn evaluate_fitness(set: &TrajectorySet, kind: FitnessKind, opts: &GeometryOptions) -> f64 {
     match kind {
         FitnessKind::Paper => {
             let i = count_intersections(set, opts);
@@ -378,11 +357,7 @@ mod tests {
             vec![0.0, 10.0, 20.0],
             vec![sig(0.0, 0.0), sig(1.0, 1.0), sig(2.0, 0.5)],
         );
-        let b = FaultTrajectory::new(
-            "B",
-            vec![0.0, 10.0],
-            vec![sig(0.0, 0.0), sig(2.0, 1.4)],
-        );
+        let b = FaultTrajectory::new("B", vec![0.0, 10.0], vec![sig(0.0, 0.0), sig(2.0, 1.4)]);
         let set = TrajectorySet::new(TestVector::pair(1.0, 2.0), vec![a, b]);
         assert_eq!(count_intersections(&set, &opts), 1);
     }
@@ -418,10 +393,7 @@ mod tests {
         ] {
             let fg = evaluate_fitness(&good, kind, &opts);
             let fb = evaluate_fitness(&bad, kind, &opts);
-            assert!(
-                fg > fb,
-                "{kind:?}: good {fg} should beat bad {fb}"
-            );
+            assert!(fg > fb, "{kind:?}: good {fg} should beat bad {fb}");
             assert!((0.0..=1.0).contains(&fg));
             assert!((0.0..=1.0).contains(&fb));
         }
@@ -434,8 +406,8 @@ mod tests {
         let opts = GeometryOptions::default();
         let kind = FitnessKind::Margin { scale: 0.5 };
         let mut last = -1.0;
-        for &angle_deg in &[5.0, 15.0, 30.0, 60.0, 90.0] {
-            let rad = (angle_deg as f64).to_radians();
+        for &angle_deg in &[5.0f64, 15.0, 30.0, 60.0, 90.0] {
+            let rad = angle_deg.to_radians();
             let set = line_set((1.0, 0.0), (rad.cos(), rad.sin()));
             let f = evaluate_fitness(&set, kind, &opts);
             assert!(f > last, "fitness not increasing at {angle_deg}°: {f}");

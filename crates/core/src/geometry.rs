@@ -17,9 +17,10 @@ pub type P2 = [f64; 2];
 /// ≈ 0 collinear (within `eps` scaled by the operand magnitude).
 pub fn orientation(a: P2, b: P2, c: P2, eps: f64) -> i8 {
     let v = (b[0] - a[0]) * (c[1] - a[1]) - (b[1] - a[1]) * (c[0] - a[0]);
-    let scale = (b[0] - a[0]).abs().max((b[1] - a[1]).abs()).max(
-        (c[0] - a[0]).abs().max((c[1] - a[1]).abs()),
-    );
+    let scale = (b[0] - a[0])
+        .abs()
+        .max((b[1] - a[1]).abs())
+        .max((c[0] - a[0]).abs().max((c[1] - a[1]).abs()));
     let tol = eps * scale.max(1.0);
     if v > tol {
         1
@@ -286,9 +287,7 @@ mod tests {
         // Parallel → None.
         assert!(intersection_point_2d([0.0, 0.0], [1.0, 0.0], [0.0, 1.0], [1.0, 1.0]).is_none());
         // Non-crossing lines whose extension crosses → None.
-        assert!(
-            intersection_point_2d([0.0, 0.0], [0.1, 0.1], [0.0, 1.0], [1.0, 0.0]).is_none()
-        );
+        assert!(intersection_point_2d([0.0, 0.0], [0.1, 0.1], [0.0, 1.0], [1.0, 0.0]).is_none());
     }
 
     #[test]
@@ -313,8 +312,7 @@ mod tests {
 
     #[test]
     fn point_segment_distance_3d() {
-        let (d, t) =
-            point_segment_distance(&[0.0, 1.0, 0.0], &[0.0, 0.0, -1.0], &[0.0, 0.0, 1.0]);
+        let (d, t) = point_segment_distance(&[0.0, 1.0, 0.0], &[0.0, 0.0, -1.0], &[0.0, 0.0, 1.0]);
         assert!((d - 1.0).abs() < 1e-12);
         assert!((t - 0.5).abs() < 1e-12);
     }

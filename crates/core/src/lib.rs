@@ -81,10 +81,9 @@ pub mod trajectory;
 
 pub use ambiguity::{ambiguity_groups, pair_separation, AmbiguityGroups};
 pub use atpg::{
-    genome_to_test_vector, select_test_vector, select_test_vector_binary,
-    select_test_vector_from, AtpgConfig, AtpgResult, TrajectorySource,
+    genome_to_test_vector, select_test_vector, select_test_vector_binary, select_test_vector_from,
+    AtpgConfig, AtpgResult, TrajectorySource,
 };
-pub use multiprobe::ProbeBank;
 pub use baselines::{
     grid_search, random_search, sensitivity_heuristic, BaselineResult, NnDictionary,
 };
@@ -96,6 +95,7 @@ pub use fitness::{
 pub use metrics::{
     evaluate_classifier, AccuracyReport, ConfusionMatrix, EvalConfig, SignatureClassifier,
 };
+pub use multiprobe::ProbeBank;
 pub use signature::{
     measure_signature, sample_response_db, signature_from_db, Signature, TestVector, DB_FLOOR,
 };

@@ -252,22 +252,13 @@ mod tests {
     use ft_faults::{DeviationGrid, FaultDictionary};
     use ft_numerics::FrequencyGrid;
 
-    fn setup() -> (
-        ft_circuit::Benchmark,
-        FaultUniverse,
-        FaultDictionary,
-    ) {
+    fn setup() -> (ft_circuit::Benchmark, FaultUniverse, FaultDictionary) {
         let bench = tow_thomas_normalized(1.0).unwrap();
         let universe = FaultUniverse::new(&bench.fault_set, DeviationGrid::paper());
         let grid = FrequencyGrid::log_space(0.01, 100.0, 41);
-        let dict = FaultDictionary::build(
-            &bench.circuit,
-            &universe,
-            &bench.input,
-            &bench.probe,
-            &grid,
-        )
-        .unwrap();
+        let dict =
+            FaultDictionary::build(&bench.circuit, &universe, &bench.input, &bench.probe, &grid)
+                .unwrap();
         (bench, universe, dict)
     }
 
@@ -328,8 +319,12 @@ mod tests {
         let set = trajectories_from_dictionary(&dict, &tv);
         let diagnoser = Diagnoser::new(set, DiagnoserConfig::default());
         let clean = evaluate_classifier(
-            &bench.circuit, &universe, &diagnoser,
-            &bench.input, &bench.probe, &EvalConfig::clean(50, 7),
+            &bench.circuit,
+            &universe,
+            &diagnoser,
+            &bench.input,
+            &bench.probe,
+            &EvalConfig::clean(50, 7),
         )
         .unwrap();
         let noisy_cfg = EvalConfig {
@@ -337,8 +332,12 @@ mod tests {
             ..EvalConfig::clean(50, 7)
         };
         let noisy = evaluate_classifier(
-            &bench.circuit, &universe, &diagnoser,
-            &bench.input, &bench.probe, &noisy_cfg,
+            &bench.circuit,
+            &universe,
+            &diagnoser,
+            &bench.input,
+            &bench.probe,
+            &noisy_cfg,
         )
         .unwrap();
         assert!(
@@ -357,13 +356,21 @@ mod tests {
         let diagnoser = Diagnoser::new(set, DiagnoserConfig::default());
         let cfg = EvalConfig::clean(20, 3);
         let a = evaluate_classifier(
-            &bench.circuit, &universe, &diagnoser,
-            &bench.input, &bench.probe, &cfg,
+            &bench.circuit,
+            &universe,
+            &diagnoser,
+            &bench.input,
+            &bench.probe,
+            &cfg,
         )
         .unwrap();
         let b = evaluate_classifier(
-            &bench.circuit, &universe, &diagnoser,
-            &bench.input, &bench.probe, &cfg,
+            &bench.circuit,
+            &universe,
+            &diagnoser,
+            &bench.input,
+            &bench.probe,
+            &cfg,
         )
         .unwrap();
         assert_eq!(a.top1, b.top1);
@@ -376,8 +383,12 @@ mod tests {
         let tv = TestVector::pair(0.6, 1.6);
         let nn = NnDictionary::build(&dict, &tv);
         let report = evaluate_classifier(
-            &bench.circuit, &universe, &nn,
-            &bench.input, &bench.probe, &EvalConfig::clean(40, 5),
+            &bench.circuit,
+            &universe,
+            &nn,
+            &bench.input,
+            &bench.probe,
+            &EvalConfig::clean(40, 5),
         )
         .unwrap();
         assert!(report.top1 > 0.2, "nn top1 {}", report.top1);

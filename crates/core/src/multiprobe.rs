@@ -157,8 +157,8 @@ mod tests {
         let universe = FaultUniverse::new(&bench.fault_set, DeviationGrid::paper());
         let grid = FrequencyGrid::log_space(0.01, 100.0, 41);
         let probes = vec![Probe::node("lp"), Probe::node("bp"), Probe::node("inv")];
-        let bank = ProbeBank::build(&bench.circuit, &universe, &bench.input, &probes, &grid)
-            .unwrap();
+        let bank =
+            ProbeBank::build(&bench.circuit, &universe, &bench.input, &probes, &grid).unwrap();
         (bench, universe, bank)
     }
 

@@ -38,7 +38,10 @@ impl TestVector {
     /// Panics if `omegas` is empty or contains non-finite/non-positive
     /// values.
     pub fn new(omegas: Vec<f64>) -> Self {
-        assert!(!omegas.is_empty(), "test vector needs at least one frequency");
+        assert!(
+            !omegas.is_empty(),
+            "test vector needs at least one frequency"
+        );
         assert!(
             omegas.iter().all(|w| w.is_finite() && *w > 0.0),
             "test frequencies must be positive and finite"
@@ -287,8 +290,8 @@ mod tests {
         let tv = TestVector::pair(0.5, 2.0);
         let mut faulty = bench.circuit.clone();
         faulty.set_value("R3", 1.3).unwrap();
-        let s = measure_signature(&faulty, &bench.circuit, &bench.input, &bench.probe, &tv)
-            .unwrap();
+        let s =
+            measure_signature(&faulty, &bench.circuit, &bench.input, &bench.probe, &tv).unwrap();
         assert!(s.norm() > 0.1, "norm {}", s.norm());
     }
 
@@ -303,8 +306,8 @@ mod tests {
         let mut faulty = bench.circuit.clone();
         faulty.set_value("R3", 1.3).unwrap();
         let faulty_raw = sample_response_db(&faulty, &bench.input, &bench.probe, &tv).unwrap();
-        let sig = measure_signature(&faulty, &bench.circuit, &bench.input, &bench.probe, &tv)
-            .unwrap();
+        let sig =
+            measure_signature(&faulty, &bench.circuit, &bench.input, &bench.probe, &tv).unwrap();
         for i in 0..2 {
             assert!((sig.coords()[i] - (faulty_raw[i] - golden_raw[i])).abs() < 1e-12);
         }

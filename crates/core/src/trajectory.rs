@@ -45,7 +45,7 @@ impl FaultTrajectory {
             "deviations must be strictly ascending"
         );
         assert!(
-            deviations_pct.iter().any(|d| *d == 0.0),
+            deviations_pct.contains(&0.0),
             "trajectory must contain the 0% (origin) point"
         );
         let dim = points[0].dim();
@@ -108,19 +108,14 @@ impl FaultTrajectory {
     }
 
     /// Iterator over all segments.
-    pub fn segments(
-        &self,
-    ) -> impl Iterator<Item = (f64, &Signature, f64, &Signature)> + '_ {
+    pub fn segments(&self) -> impl Iterator<Item = (f64, &Signature, f64, &Signature)> + '_ {
         (0..self.segment_count()).map(move |i| self.segment(i))
     }
 
     /// Total polyline length (a proxy for fault observability: longer
     /// trajectories are easier to resolve).
     pub fn length(&self) -> f64 {
-        self.points
-            .windows(2)
-            .map(|w| w[0].distance(&w[1]))
-            .sum()
+        self.points.windows(2).map(|w| w[0].distance(&w[1])).sum()
     }
 
     /// `true` when the displacement from the origin grows monotonically
@@ -232,10 +227,7 @@ impl TrajectorySet {
 ///
 /// The signature of each faulty circuit is its interpolated dB response
 /// minus the golden response; the 0% origin point is inserted explicitly.
-pub fn trajectories_from_dictionary(
-    dict: &FaultDictionary,
-    tv: &TestVector,
-) -> TrajectorySet {
+pub fn trajectories_from_dictionary(dict: &FaultDictionary, tv: &TestVector) -> TrajectorySet {
     let omegas = tv.omegas();
     let golden: Vec<f64> = omegas.iter().map(|&w| dict.golden_db_at(w)).collect();
 
@@ -247,10 +239,7 @@ pub fn trajectories_from_dictionary(
             if fault.component() != component {
                 continue;
             }
-            let measured: Vec<f64> = omegas
-                .iter()
-                .map(|&w| dict.entry_db_at(idx, w))
-                .collect();
+            let measured: Vec<f64> = omegas.iter().map(|&w| dict.entry_db_at(idx, w)).collect();
             devs.push(fault.percent());
             points.push(signature_from_db(&measured, &golden));
         }
@@ -283,7 +272,10 @@ pub fn trajectories_exact(
     for component in components {
         let mut devs: Vec<f64> = vec![0.0];
         let mut points: Vec<Signature> = vec![Signature::origin(tv.len())];
-        for fault in faults.iter().filter(|f| f.component() == component.as_str()) {
+        for fault in faults
+            .iter()
+            .filter(|f| f.component() == component.as_str())
+        {
             let faulty = fault.apply(circuit)?;
             let measured = sample_response_db(&faulty, input, probe, tv)?;
             devs.push(fault.percent());
@@ -309,14 +301,9 @@ mod tests {
         let bench = tow_thomas_normalized(1.0).unwrap();
         let universe = FaultUniverse::new(&bench.fault_set, DeviationGrid::paper());
         let grid = FrequencyGrid::log_space(0.01, 100.0, 41);
-        let dict = FaultDictionary::build(
-            &bench.circuit,
-            &universe,
-            &bench.input,
-            &bench.probe,
-            &grid,
-        )
-        .unwrap();
+        let dict =
+            FaultDictionary::build(&bench.circuit, &universe, &bench.input, &bench.probe, &grid)
+                .unwrap();
         (bench, dict)
     }
 
@@ -351,11 +338,7 @@ mod tests {
     #[should_panic(expected = "ascending")]
     fn unsorted_deviations_rejected() {
         let p = |x: f64| Signature::new(vec![x]);
-        let _ = FaultTrajectory::new(
-            "R1",
-            vec![10.0, 0.0, -10.0],
-            vec![p(1.0), p(0.0), p(-1.0)],
-        );
+        let _ = FaultTrajectory::new("R1", vec![10.0, 0.0, -10.0], vec![p(1.0), p(0.0), p(-1.0)]);
     }
 
     #[test]
@@ -409,11 +392,7 @@ mod tests {
         for (a, b) in interp.trajectories().iter().zip(exact.trajectories()) {
             assert_eq!(a.component(), b.component());
             for (pa, pb) in a.points().iter().zip(b.points()) {
-                assert!(
-                    pa.distance(pb) < 1e-9,
-                    "{}: {pa} vs {pb}",
-                    a.component()
-                );
+                assert!(pa.distance(pb) < 1e-9, "{}: {pa} vs {pb}", a.component());
             }
         }
     }
@@ -438,7 +417,11 @@ mod tests {
         // R3 and C1 endpoints differ markedly.
         let r3 = set.trajectory_of("R3").unwrap();
         let c1 = set.trajectory_of("C1").unwrap();
-        let d = r3.points().last().unwrap().distance(c1.points().last().unwrap());
+        let d = r3
+            .points()
+            .last()
+            .unwrap()
+            .distance(c1.points().last().unwrap());
         assert!(d > 0.05, "endpoint distance {d}");
     }
 

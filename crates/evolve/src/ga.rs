@@ -126,14 +126,12 @@ where
         None => StdRng::from_entropy(),
     };
 
-    let mut population: Vec<S::Genome> =
-        (0..config.population).map(|_| species.random(&mut rng)).collect();
+    let mut population: Vec<S::Genome> = (0..config.population)
+        .map(|_| species.random(&mut rng))
+        .collect();
     let mut scores: Vec<f64> = population.iter().map(&mut fitness).collect();
     let mut evaluations = population.len();
-    assert!(
-        scores.iter().all(|s| !s.is_nan()),
-        "fitness returned NaN"
-    );
+    assert!(scores.iter().all(|s| !s.is_nan()), "fitness returned NaN");
 
     let mut history = Vec::with_capacity(config.generations + 1);
     let (mut best, mut best_fitness) = snapshot(&population, &scores);
@@ -141,8 +139,7 @@ where
 
     for generation in 1..=config.generations {
         // --- Survivor / offspring split. ---
-        let n_offspring = ((config.population as f64 * config.reproduction_rate).round()
-            as usize)
+        let n_offspring = ((config.population as f64 * config.reproduction_rate).round() as usize)
             .clamp(0, config.population - config.elitism);
         let n_survivors = config.population - n_offspring;
 

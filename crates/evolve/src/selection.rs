@@ -7,10 +7,11 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// Parent-selection strategy.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum Selection {
     /// Fitness-proportionate sampling (requires non-negative fitness;
     /// negative values are shifted before sampling).
+    #[default]
     RouletteWheel,
     /// Best of `k` uniformly drawn contestants.
     Tournament(usize),
@@ -19,12 +20,6 @@ pub enum Selection {
         /// Selection pressure: 1 = uniform, 2 = maximal.
         pressure: f64,
     },
-}
-
-impl Default for Selection {
-    fn default() -> Self {
-        Selection::RouletteWheel
-    }
 }
 
 impl Selection {
@@ -37,7 +32,10 @@ impl Selection {
     /// parameters are invalid (`Tournament(0)`, pressure outside
     /// `[1, 2]`).
     pub fn pick<R: Rng + ?Sized>(&self, fitness: &[f64], rng: &mut R) -> usize {
-        assert!(!fitness.is_empty(), "cannot select from an empty population");
+        assert!(
+            !fitness.is_empty(),
+            "cannot select from an empty population"
+        );
         assert!(
             fitness.iter().all(|f| !f.is_nan()),
             "fitness must not contain NaN"
@@ -91,9 +89,7 @@ fn rank_select<R: Rng + ?Sized>(fitness: &[f64], pressure: f64, rng: &mut R) -> 
     order.sort_by(|&a, &b| fitness[a].partial_cmp(&fitness[b]).expect("no NaN"));
     // Linear ranking weights: worst gets 2−sp, best gets sp.
     let weights: Vec<f64> = (0..n)
-        .map(|rank| {
-            2.0 - pressure + 2.0 * (pressure - 1.0) * rank as f64 / (n.max(2) - 1) as f64
-        })
+        .map(|rank| 2.0 - pressure + 2.0 * (pressure - 1.0) * rank as f64 / (n.max(2) - 1) as f64)
         .collect();
     let total: f64 = weights.iter().sum();
     let mut spin = rng.gen::<f64>() * total;
@@ -163,11 +159,7 @@ mod tests {
     fn rank_ignores_fitness_scale() {
         // Huge fitness gaps don't change rank selection probabilities.
         let a = pick_histogram(Selection::Rank { pressure: 1.8 }, &[1.0, 2.0, 3.0], 30_000);
-        let b = pick_histogram(
-            Selection::Rank { pressure: 1.8 },
-            &[1.0, 1e6, 1e12],
-            30_000,
-        );
+        let b = pick_histogram(Selection::Rank { pressure: 1.8 }, &[1.0, 1e6, 1e12], 30_000);
         for (x, y) in a.iter().zip(&b) {
             assert!(
                 ((*x as f64) - (*y as f64)).abs() / 30_000.0 < 0.02,

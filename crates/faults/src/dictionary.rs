@@ -4,9 +4,8 @@
 //! For every fault in a [`FaultUniverse`], the faulty circuit's magnitude
 //! response (dB) is computed on a frequency grid and stored together with
 //! the golden response. Construction parallelises across faults with
-//! crossbeam scoped threads; each fault is an independent AC sweep.
+//! std scoped threads; each fault is an independent AC sweep.
 
-use crossbeam::thread;
 use ft_circuit::{sweep, Circuit, CircuitError, Probe};
 use ft_numerics::interp::PiecewiseLinear;
 use ft_numerics::FrequencyGrid;
@@ -72,10 +71,10 @@ impl FaultDictionary {
         let chunk = faults.len().div_ceil(workers.max(1)).max(1);
 
         let results: Vec<Result<Vec<DictionaryEntry>, CircuitError>> =
-            thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 let mut handles = Vec::new();
                 for faults_chunk in faults.chunks(chunk) {
-                    handles.push(scope.spawn(move |_| {
+                    handles.push(scope.spawn(move || {
                         let mut out = Vec::with_capacity(faults_chunk.len());
                         for fault in faults_chunk {
                             let faulty = fault.apply(circuit)?;
@@ -92,8 +91,7 @@ impl FaultDictionary {
                     .into_iter()
                     .map(|h| h.join().expect("fault-sim worker panicked"))
                     .collect()
-            })
-            .expect("crossbeam scope panicked");
+            });
 
         let mut entries = Vec::with_capacity(faults.len());
         for r in results {
@@ -331,8 +329,6 @@ mod tests {
         let ckt = rc();
         let universe = FaultUniverse::new(&["R9"], DeviationGrid::paper());
         let grid = FrequencyGrid::log_space(1.0, 1e3, 5);
-        assert!(
-            FaultDictionary::build(&ckt, &universe, "V1", &Probe::node("out"), &grid).is_err()
-        );
+        assert!(FaultDictionary::build(&ckt, &universe, "V1", &Probe::node("out"), &grid).is_err());
     }
 }

@@ -95,13 +95,14 @@ impl ParametricFault {
     ///
     /// As [`ParametricFault::apply`].
     pub fn apply_in_place(&self, circuit: &mut Circuit) -> Result<(), CircuitError> {
-        let nominal = circuit
-            .value(&self.component)?
-            .ok_or_else(|| CircuitError::InvalidValue {
-                component: self.component.clone(),
-                value: f64::NAN,
-                reason: "component has no principal value to deviate",
-            })?;
+        let nominal =
+            circuit
+                .value(&self.component)?
+                .ok_or_else(|| CircuitError::InvalidValue {
+                    component: self.component.clone(),
+                    value: f64::NAN,
+                    reason: "component has no principal value to deviate",
+                })?;
         circuit.set_value(&self.component, nominal * self.multiplier())
     }
 }
@@ -177,10 +178,7 @@ impl HardFault {
                 reason: "component has no principal value",
             })?;
         let comp = faulty.component_by_name(&self.component)?;
-        let is_capacitor = matches!(
-            comp.element(),
-            ft_circuit::Element::Capacitor { .. }
-        );
+        let is_capacitor = matches!(comp.element(), ft_circuit::Element::Capacitor { .. });
         let scale_up = match (self.kind, is_capacitor) {
             // Open resistor/inductor: impedance up → value up (R, L).
             (HardFaultKind::Open, false) => true,
@@ -270,7 +268,9 @@ mod tests {
     #[test]
     fn hard_fault_open_resistor() {
         let ckt = rc();
-        let faulty = HardFault::new("R1", HardFaultKind::Open).apply(&ckt).unwrap();
+        let faulty = HardFault::new("R1", HardFaultKind::Open)
+            .apply(&ckt)
+            .unwrap();
         assert_eq!(faulty.value("R1").unwrap(), Some(1e3 * HARD_FAULT_SCALE));
         // Output collapses with the series R open.
         let f = transfer(&faulty, "V1", &Probe::node("out"), 100.0).unwrap();
@@ -280,9 +280,13 @@ mod tests {
     #[test]
     fn hard_fault_capacitor_scaling_inverts() {
         let ckt = rc();
-        let open_c = HardFault::new("C1", HardFaultKind::Open).apply(&ckt).unwrap();
+        let open_c = HardFault::new("C1", HardFaultKind::Open)
+            .apply(&ckt)
+            .unwrap();
         assert!(open_c.value("C1").unwrap().unwrap() < 1e-6);
-        let short_c = HardFault::new("C1", HardFaultKind::Short).apply(&ckt).unwrap();
+        let short_c = HardFault::new("C1", HardFaultKind::Short)
+            .apply(&ckt)
+            .unwrap();
         assert!(short_c.value("C1").unwrap().unwrap() > 1e-6);
         // Shorted cap kills the output at all frequencies of interest.
         let f = transfer(&short_c, "V1", &Probe::node("out"), 1000.0).unwrap();

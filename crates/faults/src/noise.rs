@@ -137,11 +137,13 @@ pub fn measure_faulty<R: Rng + ?Sized>(
         if name == fault.component() {
             continue;
         }
-        let nominal = instance.value(name)?.ok_or_else(|| CircuitError::InvalidValue {
-            component: name.clone(),
-            value: f64::NAN,
-            reason: "tolerance-set component has no principal value",
-        })?;
+        let nominal = instance
+            .value(name)?
+            .ok_or_else(|| CircuitError::InvalidValue {
+                component: name.clone(),
+                value: f64::NAN,
+                reason: "tolerance-set component has no principal value",
+            })?;
         let dev = tolerance.sample(rng);
         instance.set_value(name, nominal * (1.0 + dev))?;
     }
@@ -188,7 +190,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let noise = MeasurementNoise::new(0.5);
         let n = 10_000;
-        let devs: Vec<f64> = (0..n).map(|_| noise.perturb(-10.0, &mut rng) + 10.0).collect();
+        let devs: Vec<f64> = (0..n)
+            .map(|_| noise.perturb(-10.0, &mut rng) + 10.0)
+            .collect();
         let sd = (devs.iter().map(|d| d * d).sum::<f64>() / n as f64).sqrt();
         assert!((sd - 0.5).abs() < 0.02, "sd {sd}");
     }
@@ -257,13 +261,27 @@ mod tests {
         let t = Tolerance::new(5.0);
         let set = vec!["C1".to_string()];
         let a = measure_faulty(
-            &ckt, &fault, &set, t, MeasurementNoise::none(),
-            "V1", &Probe::node("out"), &omegas, &mut rng,
+            &ckt,
+            &fault,
+            &set,
+            t,
+            MeasurementNoise::none(),
+            "V1",
+            &Probe::node("out"),
+            &omegas,
+            &mut rng,
         )
         .unwrap();
         let b = measure_faulty(
-            &ckt, &fault, &set, t, MeasurementNoise::none(),
-            "V1", &Probe::node("out"), &omegas, &mut rng,
+            &ckt,
+            &fault,
+            &set,
+            t,
+            MeasurementNoise::none(),
+            "V1",
+            &Probe::node("out"),
+            &omegas,
+            &mut rng,
         )
         .unwrap();
         assert_ne!(a, b, "tolerance draws should differ");
@@ -278,8 +296,15 @@ mod tests {
         let fault = ParametricFault::new("R1", 0.4);
         let set = vec!["R1".to_string(), "C1".to_string()];
         let measured = measure_faulty(
-            &ckt, &fault, &set, Tolerance::exact(), MeasurementNoise::none(),
-            "V1", &Probe::node("out"), &[1000.0], &mut rng,
+            &ckt,
+            &fault,
+            &set,
+            Tolerance::exact(),
+            MeasurementNoise::none(),
+            "V1",
+            &Probe::node("out"),
+            &[1000.0],
+            &mut rng,
         )
         .unwrap();
         let faulty = fault.apply(&ckt).unwrap();

@@ -110,8 +110,7 @@ impl FaultUniverse {
     /// Enumerates `grid` over `components` (insertion order preserved:
     /// all deviations of component 0, then component 1, …).
     pub fn new<S: AsRef<str>>(components: &[S], grid: DeviationGrid) -> Self {
-        let components: Vec<String> =
-            components.iter().map(|s| s.as_ref().to_string()).collect();
+        let components: Vec<String> = components.iter().map(|s| s.as_ref().to_string()).collect();
         let mut faults = Vec::new();
         for comp in &components {
             for pct in grid.percentages() {

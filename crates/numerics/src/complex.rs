@@ -344,6 +344,7 @@ impl Mul<Complex64> for f64 {
 impl Div for Complex64 {
     type Output = Complex64;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: Complex64) -> Complex64 {
         self * rhs.recip()
     }
@@ -555,7 +556,10 @@ mod tests {
         let s: Complex64 = v.iter().copied().sum();
         assert!(close(s, Complex64::new(3.0, 3.0)));
         let p: Complex64 = v.iter().copied().product();
-        assert!(close(p, Complex64::new(0.0, 1.0) * Complex64::new(2.0, 2.0)));
+        assert!(close(
+            p,
+            Complex64::new(0.0, 1.0) * Complex64::new(2.0, 2.0)
+        ));
     }
 
     #[test]

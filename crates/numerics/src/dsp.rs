@@ -125,13 +125,7 @@ pub fn rms(samples: &[f64]) -> f64 {
 /// # Panics
 ///
 /// Panics if the three slices have different lengths.
-pub fn multitone(
-    amps: &[f64],
-    freqs_hz: &[f64],
-    phases: &[f64],
-    n: usize,
-    fs_hz: f64,
-) -> Vec<f64> {
+pub fn multitone(amps: &[f64], freqs_hz: &[f64], phases: &[f64], n: usize, fs_hz: f64) -> Vec<f64> {
     assert_eq!(amps.len(), freqs_hz.len(), "amps/freqs length mismatch");
     assert_eq!(amps.len(), phases.len(), "amps/phases length mismatch");
     (0..n)

@@ -50,9 +50,7 @@ impl FrequencyGrid {
         assert!(n >= 2, "grid needs at least two points");
         let (l0, l1) = (w_min.log10(), w_max.log10());
         let step = (l1 - l0) / (n - 1) as f64;
-        let freqs = (0..n)
-            .map(|i| 10f64.powf(l0 + step * i as f64))
-            .collect();
+        let freqs = (0..n).map(|i| 10f64.powf(l0 + step * i as f64)).collect();
         FrequencyGrid {
             freqs,
             spacing: Spacing::Logarithmic,

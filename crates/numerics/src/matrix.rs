@@ -236,13 +236,13 @@ impl<T: Scalar> Matrix<T> {
     pub fn mul_vec(&self, x: &[T]) -> Vec<T> {
         assert_eq!(x.len(), self.cols, "vector length mismatch");
         let mut y = vec![T::ZERO; self.rows];
-        for r in 0..self.rows {
+        for (r, yr) in y.iter_mut().enumerate() {
             let row = self.row(r);
             let mut acc = T::ZERO;
             for (a, b) in row.iter().zip(x.iter()) {
                 acc += *a * *b;
             }
-            y[r] = acc;
+            *yr = acc;
         }
         y
     }
@@ -271,10 +271,7 @@ impl<T: Scalar> Matrix<T> {
 
     /// Maximum entry magnitude (∞-norm of the vectorised matrix).
     pub fn max_abs(&self) -> f64 {
-        self.data
-            .iter()
-            .map(|v| v.magnitude())
-            .fold(0.0, f64::max)
+        self.data.iter().map(|v| v.magnitude()).fold(0.0, f64::max)
     }
 
     /// `true` when every entry is finite.
@@ -287,7 +284,10 @@ impl<T: Scalar> Index<(usize, usize)> for Matrix<T> {
     type Output = T;
     #[inline]
     fn index(&self, (r, c): (usize, usize)) -> &T {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &self.data[r * self.cols + c]
     }
 }
@@ -295,7 +295,10 @@ impl<T: Scalar> Index<(usize, usize)> for Matrix<T> {
 impl<T: Scalar> IndexMut<(usize, usize)> for Matrix<T> {
     #[inline]
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut T {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &mut self.data[r * self.cols + c]
     }
 }
@@ -416,7 +419,11 @@ impl<T: Scalar> Lu<T> {
                 }
             }
         }
-        Ok(Lu { lu, perm, perm_sign })
+        Ok(Lu {
+            lu,
+            perm,
+            perm_sign,
+        })
     }
 
     /// Dimension of the factored system.
@@ -430,6 +437,9 @@ impl<T: Scalar> Lu<T> {
     /// # Panics
     ///
     /// Panics if `b.len() != self.dim()`.
+    // Triangular substitution indexes `x[c]` while writing `x[r]`; the
+    // index form mirrors the textbook recurrence.
+    #[allow(clippy::needless_range_loop)]
     pub fn solve(&self, b: &[T]) -> Vec<T> {
         let n = self.dim();
         assert_eq!(b.len(), n, "rhs length mismatch");

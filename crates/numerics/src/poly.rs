@@ -151,7 +151,10 @@ impl Poly {
     ///
     /// Panics if called on the zero polynomial (whose root set is ℂ).
     pub fn roots(&self) -> Vec<Complex64> {
-        assert!(!self.is_zero(), "the zero polynomial has no finite root set");
+        assert!(
+            !self.is_zero(),
+            "the zero polynomial has no finite root set"
+        );
         let n = self.degree();
         if n == 0 {
             return Vec::new();
@@ -171,15 +174,11 @@ impl Poly {
 
         // Initial guesses on a circle of radius derived from the Cauchy
         // bound, with an irrational angle offset to break symmetry.
-        let radius = 1.0
-            + poly.coeffs[..n]
-                .iter()
-                .map(|c| c.abs())
-                .fold(0.0, f64::max);
+        let radius = 1.0 + poly.coeffs[..n].iter().map(|c| c.abs()).fold(0.0, f64::max);
         let mut z: Vec<Complex64> = (0..n)
             .map(|k| {
                 let theta = 2.0 * std::f64::consts::PI * (k as f64) / (n as f64) + 0.35;
-                Complex64::from_polar(radius.min(1e6).max(0.5), theta)
+                Complex64::from_polar(radius.clamp(0.5, 1e6), theta)
             })
             .collect();
 

@@ -39,7 +39,10 @@ impl TransferFunction {
     ///
     /// Panics if the denominator is the zero polynomial.
     pub fn new(num: Poly, den: Poly) -> Self {
-        assert!(!den.is_zero(), "transfer function denominator must be nonzero");
+        assert!(
+            !den.is_zero(),
+            "transfer function denominator must be nonzero"
+        );
         TransferFunction { num, den }
     }
 

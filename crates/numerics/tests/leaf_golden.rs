@@ -1,0 +1,196 @@
+//! Integration tests exercising the ft-numerics leaf modules through the
+//! crate's public API: golden-value checks for `poly`, `interp`, and
+//! `stats`, plus a property test pinning the Goertzel recurrence to the
+//! naive DFT.
+
+use ft_numerics::dsp::{dft_at, goertzel, rms};
+use ft_numerics::interp::{lerp, lerp_at, PiecewiseLinear};
+use ft_numerics::stats::{self, OnlineStats};
+use ft_numerics::{Complex64, Poly};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// poly.rs — evaluation and root finding against closed forms.
+// ---------------------------------------------------------------------
+
+fn sorted_real_parts(mut roots: Vec<Complex64>) -> Vec<f64> {
+    roots.sort_by(|a, b| a.re.partial_cmp(&b.re).unwrap());
+    roots.iter().map(|r| r.re).collect()
+}
+
+#[test]
+fn poly_eval_matches_horner_golden() {
+    // p(s) = 2 − 3s + s³
+    let p = Poly::new(vec![2.0, -3.0, 0.0, 1.0]);
+    assert_eq!(p.degree(), 3);
+    assert!((p.eval_real(0.0) - 2.0).abs() < 1e-15);
+    assert!((p.eval_real(2.0) - 4.0).abs() < 1e-15);
+    assert!((p.eval_real(-2.0) - 0.0).abs() < 1e-15);
+    // Complex evaluation: p(j) = 2 − 3j + j³ = 2 − 4j.
+    let v = p.eval(Complex64::new(0.0, 1.0));
+    assert!((v - Complex64::new(2.0, -4.0)).abs() < 1e-15);
+}
+
+#[test]
+fn poly_quadratic_roots_golden() {
+    // (s − 3)(s + 5) = s² + 2s − 15
+    let p = Poly::new(vec![-15.0, 2.0, 1.0]);
+    let roots = sorted_real_parts(p.roots());
+    assert_eq!(roots.len(), 2);
+    assert!((roots[0] + 5.0).abs() < 1e-12);
+    assert!((roots[1] - 3.0).abs() < 1e-12);
+}
+
+#[test]
+fn poly_complex_conjugate_roots_golden() {
+    // s² + 2s + 5 → roots −1 ± 2j.
+    let p = Poly::new(vec![5.0, 2.0, 1.0]);
+    let roots = p.roots();
+    assert_eq!(roots.len(), 2);
+    for r in &roots {
+        assert!((r.re + 1.0).abs() < 1e-12);
+        assert!((r.im.abs() - 2.0).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn poly_durand_kerner_recovers_constructed_roots() {
+    // Degree 5 forces the Durand–Kerner path (degrees ≤ 2 are closed-form).
+    let truth = [-4.0, -1.5, 0.25, 2.0, 6.0];
+    let p = Poly::from_real_roots(&truth);
+    let got = sorted_real_parts(p.roots());
+    assert_eq!(got.len(), truth.len());
+    for (g, t) in got.iter().zip(truth) {
+        assert!((g - t).abs() < 1e-8, "root {g} vs {t}");
+    }
+    // Every reported root really is a root.
+    for r in p.roots() {
+        assert!(p.eval(r).abs() < 1e-7);
+    }
+}
+
+#[test]
+fn poly_derivative_golden() {
+    // d/ds (2 − 3s + s³) = −3 + 3s²
+    let p = Poly::new(vec![2.0, -3.0, 0.0, 1.0]).derivative();
+    assert_eq!(p.coeffs(), &[-3.0, 0.0, 3.0]);
+}
+
+// ---------------------------------------------------------------------
+// interp.rs — knot hits, interior interpolation, boundary extrapolation.
+// ---------------------------------------------------------------------
+
+#[test]
+fn piecewise_linear_golden_points() {
+    let pl = PiecewiseLinear::new(vec![0.0, 1.0, 3.0], vec![0.0, 10.0, 30.0]).unwrap();
+    // Exact knots.
+    assert_eq!(pl.eval(1.0), 10.0);
+    // Interior midpoints.
+    assert!((pl.eval(0.5) - 5.0).abs() < 1e-12);
+    assert!((pl.eval(2.0) - 20.0).abs() < 1e-12);
+    // Constant-slope extrapolation beyond both ends.
+    assert!((pl.eval(-1.0) + 10.0).abs() < 1e-12);
+    assert!((pl.eval(4.0) - 40.0).abs() < 1e-12);
+}
+
+#[test]
+fn interp_log_abscissa_golden() {
+    // Knots given in log10(x): a decade per 20 units of y.
+    let pl = PiecewiseLinear::new(vec![-1.0, 0.0, 1.0], vec![-20.0, 0.0, 20.0]).unwrap();
+    assert!((pl.eval_log(1.0) - 0.0).abs() < 1e-12);
+    assert!((pl.eval_log(10.0) - 20.0).abs() < 1e-12);
+    assert!((pl.eval_log(10f64.sqrt()) - 10.0).abs() < 1e-12);
+}
+
+#[test]
+fn lerp_helpers_golden() {
+    assert!((lerp(2.0, 6.0, 0.25) - 3.0).abs() < 1e-15);
+    assert!((lerp_at(&[0.0, 2.0], &[1.0, 5.0], 1.0) - 3.0).abs() < 1e-15);
+}
+
+// ---------------------------------------------------------------------
+// stats.rs — descriptive statistics on a fixed sample.
+// ---------------------------------------------------------------------
+
+#[test]
+fn descriptive_stats_golden() {
+    let xs = [4.0, 1.0, 7.0, 2.0, 6.0];
+    assert!((stats::mean(&xs).unwrap() - 4.0).abs() < 1e-12);
+    // Sample variance: Σ(x−4)² / (n−1) = (0+9+9+4+4)/4 = 6.5
+    assert!((stats::variance(&xs).unwrap() - 6.5).abs() < 1e-12);
+    assert!((stats::std_dev(&xs).unwrap() - 6.5f64.sqrt()).abs() < 1e-12);
+    assert_eq!(stats::min(&xs), Some(1.0));
+    assert_eq!(stats::max(&xs), Some(7.0));
+    assert_eq!(stats::median(&xs), Some(4.0));
+    // Interpolated percentile: rank 0.25·4 = 1 → sorted[1] = 2.
+    assert_eq!(stats::percentile(&xs, 25.0), Some(2.0));
+    // Between sorted[2]=4 and sorted[3]=6 at t=0.6 → 5.2.
+    assert!((stats::percentile(&xs, 65.0).unwrap() - 5.2).abs() < 1e-12);
+    assert_eq!(stats::mean(&[]), None);
+    assert_eq!(stats::variance(&[3.0]), None);
+}
+
+#[test]
+fn online_stats_matches_batch_and_merges() {
+    let xs: Vec<f64> = (0..40)
+        .map(|i| ((i * 37) % 17) as f64 * 0.5 - 3.0)
+        .collect();
+    let mut all = OnlineStats::new();
+    let (mut left, mut right) = (OnlineStats::new(), OnlineStats::new());
+    for (i, &x) in xs.iter().enumerate() {
+        all.push(x);
+        if i < 13 {
+            left.push(x)
+        } else {
+            right.push(x)
+        }
+    }
+    assert_eq!(all.count(), 40);
+    assert!((all.mean() - stats::mean(&xs).unwrap()).abs() < 1e-12);
+    assert!((all.variance().unwrap() - stats::variance(&xs).unwrap()).abs() < 1e-12);
+    assert_eq!(all.min(), stats::min(&xs));
+    assert_eq!(all.max(), stats::max(&xs));
+    // Welford merge must agree with the single-pass accumulator.
+    left.merge(&right);
+    assert_eq!(left.count(), all.count());
+    assert!((left.mean() - all.mean()).abs() < 1e-12);
+    assert!((left.variance().unwrap() - all.variance().unwrap()).abs() < 1e-10);
+}
+
+// ---------------------------------------------------------------------
+// dsp.rs — Goertzel vs naive DFT (the ISSUE's property test) and a
+// coherent-tone golden value.
+// ---------------------------------------------------------------------
+
+#[test]
+fn goertzel_coherent_tone_golden() {
+    // 8 cycles of cos in 64 samples: X(f) = A/2 at the tone, ~0 elsewhere.
+    let fs = 64.0;
+    let samples: Vec<f64> = (0..64)
+        .map(|n| (std::f64::consts::TAU * 8.0 * n as f64 / fs).cos())
+        .collect();
+    let at_tone = goertzel(&samples, 8.0, fs);
+    assert!((at_tone.abs() - 0.5).abs() < 1e-12);
+    let off_tone = goertzel(&samples, 13.0, fs);
+    assert!(off_tone.abs() < 1e-12);
+    assert!((rms(&samples) - 0.5f64.sqrt()).abs() < 1e-12);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn goertzel_matches_naive_dft(
+        samples in proptest::collection::vec(-1.0f64..1.0, 8usize..64),
+        f_frac in 0.0f64..0.5
+    ) {
+        let fs = 1000.0;
+        let f = f_frac * fs;
+        let fast = goertzel(&samples, f, fs);
+        let slow = dft_at(&samples, &[f], fs)[0];
+        prop_assert!(
+            (fast - slow).abs() < 1e-9,
+            "goertzel {fast:?} vs dft {slow:?} at f={f}"
+        );
+    }
+}

@@ -44,7 +44,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
     let mut component_hits = 0;
     let mut class_hits = 0;
-    println!("{:<12} {:<10} {:<22} class-correct", "true fault", "top-1", "estimate");
+    println!(
+        "{:<12} {:<10} {:<22} class-correct",
+        "true fault", "top-1", "estimate"
+    );
     for (component, pct) in &cases {
         let fault = ParametricFault::from_percent(*component, *pct);
         let faulty = fault.apply(&bench.circuit)?;

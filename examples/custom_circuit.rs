@@ -26,7 +26,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("parsed netlist:\n{circuit}");
 
     let probe = Probe::node("out");
-    let fault_set: Vec<String> = circuit.passive_components().iter().map(|s| s.to_string()).collect();
+    let fault_set: Vec<String> = circuit
+        .passive_components()
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     println!("fault set: {fault_set:?}");
 
     // This filter lives around ω₀ ≈ 10⁴ rad/s; search 10²–10⁶.

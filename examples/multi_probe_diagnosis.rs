@@ -21,7 +21,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tv = TestVector::pair(0.98, 2.5);
 
     for (label, probes) in [
-        ("single probe (lp) — the paper's setup", vec![Probe::node("lp")]),
+        (
+            "single probe (lp) — the paper's setup",
+            vec![Probe::node("lp")],
+        ),
         (
             "three probes (lp, bp, inv) — the extension",
             vec![Probe::node("lp"), Probe::node("bp"), Probe::node("inv")],

@@ -35,13 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    point). Measure the response and diagnose.
     let mut field_unit = bench.circuit.clone();
     field_unit.set_value("R2", 1.25)?;
-    let observed = measure_signature(
-        &field_unit,
-        &bench.circuit,
-        &bench.input,
-        &bench.probe,
-        &tv,
-    )?;
+    let observed = measure_signature(&field_unit, &bench.circuit, &bench.input, &bench.probe, &tv)?;
     println!("observed signature: {observed}");
 
     let verdict = diagnoser.diagnose(&observed);

@@ -17,7 +17,11 @@ fn measure_time_domain(
     circuit: &Circuit,
     tv: &TestVector,
 ) -> Result<Vec<f64>, Box<dyn std::error::Error>> {
-    let f_hz: Vec<f64> = tv.omegas().iter().map(|w| w / std::f64::consts::TAU).collect();
+    let f_hz: Vec<f64> = tv
+        .omegas()
+        .iter()
+        .map(|w| w / std::f64::consts::TAU)
+        .collect();
 
     // Drive with a unit-amplitude two-tone and simulate long enough to
     // reach steady state (the CUT's slowest pole is near ω = 1 rad/s).
@@ -106,7 +110,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let td_db = measure_time_domain(&bench.circuit, &tv)?;
 
     println!("golden CUT, test vector {tv}");
-    println!("{:>12} {:>14} {:>14} {:>10}", "omega", "AC |H| dB", "tran+Goertzel", "delta");
+    println!(
+        "{:>12} {:>14} {:>14} {:>10}",
+        "omega", "AC |H| dB", "tran+Goertzel", "delta"
+    );
     for i in 0..tv.len() {
         println!(
             "{:>12.4} {:>14.4} {:>14.4} {:>10.4}",

@@ -58,10 +58,10 @@ pub use ft_numerics as numerics;
 /// Commonly used items, re-exported flat.
 pub mod prelude {
     pub use ft_circuit::{
-        all_benchmarks, khn_state_variable, mfb_normalized, operating_point,
-        rlc_ladder_lowpass, sallen_key_normalized, sample_at, sweep, tow_thomas,
-        tow_thomas_normalized, transfer, transient, twin_t_notch, Benchmark, Circuit,
-        CircuitError, Element, OpAmpModel, Probe, TowThomasParams, TransientOptions, Waveform,
+        all_benchmarks, khn_state_variable, mfb_normalized, operating_point, rlc_ladder_lowpass,
+        sallen_key_normalized, sample_at, sweep, tow_thomas, tow_thomas_normalized, transfer,
+        transient, twin_t_notch, Benchmark, Circuit, CircuitError, Element, OpAmpModel, Probe,
+        TowThomasParams, TransientOptions, Waveform,
     };
     pub use ft_core::{
         ambiguity_groups, evaluate_classifier, grid_search, measure_signature, random_search,
@@ -71,8 +71,7 @@ pub mod prelude {
     };
     pub use ft_evolve::{GaConfig, Selection};
     pub use ft_faults::{
-        DeviationGrid, FaultDictionary, FaultUniverse, MeasurementNoise, ParametricFault,
-        Tolerance,
+        DeviationGrid, FaultDictionary, FaultUniverse, MeasurementNoise, ParametricFault, Tolerance,
     };
     pub use ft_numerics::{Complex64, FrequencyGrid, TransferFunction};
 }

@@ -108,9 +108,7 @@ fn table_double_faults_shows_degradation() {
     assert_eq!(t.len(), 2);
     let csv = t.to_csv();
     let rows: Vec<&str> = csv.lines().skip(2).collect();
-    let residual = |row: &str| -> f64 {
-        row.split(',').nth(4).unwrap().parse().unwrap()
-    };
+    let residual = |row: &str| -> f64 { row.split(',').nth(4).unwrap().parse().unwrap() };
     // Double-fault residual distance is far larger than single-fault:
     // the trajectory model detects its own assumption violation.
     assert!(residual(rows[1]) > 10.0 * residual(rows[0]));

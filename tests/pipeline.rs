@@ -58,7 +58,8 @@ fn singleton_class_faults_diagnose_to_component() {
         .expect("measurement");
         let verdict = diagnoser.diagnose(&sig);
         assert_eq!(
-            verdict.best().component, component,
+            verdict.best().component,
+            component,
             "misdiagnosed {fault}: {:?}",
             verdict.candidates()
         );

@@ -90,7 +90,12 @@ fn impedance_scaling_invariance() {
     let base = tow_thomas_normalized(1.0).expect("builds");
     let k = 7.3;
     let mut scaled = base.circuit.clone();
-    for name in scaled.passive_components().iter().map(|s| s.to_string()).collect::<Vec<_>>() {
+    for name in scaled
+        .passive_components()
+        .iter()
+        .map(|s| s.to_string())
+        .collect::<Vec<_>>()
+    {
         let v = scaled.value(&name).unwrap().unwrap();
         let comp = scaled.component_by_name(&name).unwrap();
         let is_r = matches!(comp.element(), Element::Resistor { .. });
@@ -136,7 +141,9 @@ fn ladder_dc_reduces_to_divider() {
     let Probe::Node(out) = &bench.probe else {
         panic!("ladder probe is a node");
     };
-    let v = op.voltage_by_name(&bench.circuit, out).expect("node exists");
+    let v = op
+        .voltage_by_name(&bench.circuit, out)
+        .expect("node exists");
     assert!((v - 0.5).abs() < 1e-12, "DC {v}");
 }
 
@@ -155,7 +162,9 @@ fn transient_ac_equivalence_on_faulty_unit() {
     let f_hz = w / std::f64::consts::TAU;
 
     // AC reference.
-    let ac = transfer(&faulty, "V1", &bench.probe, w).expect("solves").abs();
+    let ac = transfer(&faulty, "V1", &bench.probe, w)
+        .expect("solves")
+        .abs();
 
     // Time domain: rebuild with a sine source.
     let mut driven = Circuit::new("driven");
@@ -186,10 +195,14 @@ fn transient_ac_equivalence_on_faulty_unit() {
             .collect();
         match comp.element() {
             Element::Resistor { r } => {
-                driven.resistor(comp.name(), &nodes[0], &nodes[1], *r).unwrap();
+                driven
+                    .resistor(comp.name(), &nodes[0], &nodes[1], *r)
+                    .unwrap();
             }
             Element::Capacitor { c } => {
-                driven.capacitor(comp.name(), &nodes[0], &nodes[1], *c).unwrap();
+                driven
+                    .capacitor(comp.name(), &nodes[0], &nodes[1], *c)
+                    .unwrap();
             }
             Element::IdealOpAmp => {
                 driven

@@ -1,0 +1,298 @@
+//! Offline minimal bench harness exposing the subset of the `criterion`
+//! API the workspace benches use: `Criterion::bench_function`,
+//! `benchmark_group` (with `sample_size` / `bench_with_input` / `finish`),
+//! `Bencher::iter`, `BenchmarkId`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Instead of criterion's full statistical pipeline this shim runs a short
+//! calibrated measurement (warm-up, then timed batches) and prints
+//! `name  time: [median mean max]`-style lines. It honours `--bench`
+//! (ignored), treats any free argument as a substring filter, and supports
+//! `--quick` for a single-iteration smoke run.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement settings; a trimmed stand-in for criterion's `Criterion`.
+pub struct Criterion {
+    filter: Option<String>,
+    quick: bool,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut quick = false;
+        let mut sample_size = 50;
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--bench" | "--test" => {}
+                "--quick" => quick = true,
+                "--sample-size" => {
+                    if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                        sample_size = n;
+                    }
+                }
+                s if s.starts_with("--") => {
+                    // Unknown criterion flag: swallow a value if one follows.
+                    if args.peek().is_some_and(|v| !v.starts_with("--")) {
+                        let _ = args.next();
+                    }
+                }
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Criterion {
+            filter,
+            quick,
+            sample_size,
+        }
+    }
+}
+
+impl Criterion {
+    fn enabled(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&self, id: &str, mut f: F) {
+        if !self.enabled(id) {
+            return;
+        }
+        let mut bencher = Bencher {
+            quick: self.quick,
+            samples: self.sample_size,
+            measurements: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(id);
+    }
+
+    /// Benchmark a single function under the given id.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.run_one(id, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    /// Criterion's builder-style final configuration hook (no-op here).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    fn scoped(&self, id: &str) -> String {
+        format!("{}/{}", self.name, id)
+    }
+
+    fn effective(&self) -> Criterion {
+        Criterion {
+            filter: self.parent.filter.clone(),
+            quick: self.parent.quick,
+            sample_size: self.sample_size.unwrap_or(self.parent.sample_size),
+        }
+    }
+
+    /// Benchmark a function inside this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = self.scoped(&id.into().0);
+        self.effective().run_one(&id, f);
+        self
+    }
+
+    /// Benchmark a function parameterised by an input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = self.scoped(&id.0);
+        self.effective().run_one(&id, |b| f(b, input));
+        self
+    }
+
+    /// Close the group (formatting no-op).
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter` style id.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+
+    /// Id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+/// Timing loop handle passed to each benchmark closure.
+pub struct Bencher {
+    quick: bool,
+    samples: usize,
+    measurements: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time repeated invocations of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.quick {
+            let start = Instant::now();
+            black_box(routine());
+            self.measurements.push(start.elapsed());
+            return;
+        }
+        // Calibrate the per-call cost so each sample takes ~1 ms and the
+        // whole benchmark stays within tens of milliseconds.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let per_sample = (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 10_000);
+        let samples = self.samples.min(
+            (Duration::from_millis(200).as_nanos() / (once.as_nanos() * per_sample)).max(1)
+                as usize,
+        );
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            self.measurements.push(start.elapsed() / per_sample as u32);
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.measurements.is_empty() {
+            println!("{id:<50} (no measurement)");
+            return;
+        }
+        let mut sorted = self.measurements.clone();
+        sorted.sort();
+        let median = sorted[sorted.len() / 2];
+        let min = sorted[0];
+        let max = sorted[sorted.len() - 1];
+        println!(
+            "{id:<50} time: [{} {} {}]",
+            fmt_duration(min),
+            fmt_duration(median),
+            fmt_duration(max)
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declare a group of benchmark functions, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the bench binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_measurements() {
+        let mut b = Bencher {
+            quick: false,
+            samples: 5,
+            measurements: Vec::new(),
+        };
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_add(1);
+            acc
+        });
+        assert!(!b.measurements.is_empty());
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).0, "f/3");
+        assert_eq!(BenchmarkId::from_parameter(41).0, "41");
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert_eq!(fmt_duration(Duration::from_nanos(10)), "10 ns");
+        assert!(fmt_duration(Duration::from_micros(5)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(5)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(2)).ends_with(" s"));
+    }
+}

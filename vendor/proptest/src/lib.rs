@@ -1,0 +1,358 @@
+//! Offline minimal property-testing harness exposing the subset of the
+//! `proptest` API this workspace's tests use: the `proptest!` macro (with
+//! optional `#![proptest_config(...)]`), range and tuple strategies,
+//! `prop_map`, `collection::vec`, `sample::select`, and the
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros.
+//!
+//! Unlike real proptest there is no shrinking: a failing case panics with
+//! the sampled values left in the assertion message. Case generation is
+//! deterministic per test name, so failures reproduce across runs.
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng as _};
+
+/// Deterministic per-test random source driving all strategies.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Seed deterministically from the (unique) test name.
+    pub fn deterministic(test_name: &str) -> Self {
+        // FNV-1a over the test name: stable across runs and platforms.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(h))
+    }
+
+    fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        self.0.gen_range(lo..hi)
+    }
+
+    fn usize_below(&mut self, n: usize) -> usize {
+        self.0.gen_range(0..n)
+    }
+}
+
+/// A generator of values of type `Value`.
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f` (no shrinking to preserve).
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        rng.f64_in(self.start, self.end)
+    }
+}
+
+impl Strategy for Range<i64> {
+    type Value = i64;
+
+    fn sample(&self, rng: &mut TestRng) -> i64 {
+        rng.0.gen_range(self.start..self.end)
+    }
+}
+
+impl Strategy for Range<usize> {
+    type Value = usize;
+
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        rng.0.gen_range(self.start..self.end)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident / $idx:tt),+))+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy! {
+    (A/0)
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+    (A/0, B/1, C/2, D/3, E/4, F/5)
+}
+
+/// A strategy producing one fixed value (proptest's `Just`).
+#[derive(Clone, Copy)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Sizes accepted by [`vec`]: a fixed length or a half-open range.
+    pub trait IntoSizeRange {
+        /// Draw a concrete length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl IntoSizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty size range");
+            self.start + rng.usize_below(self.end - self.start)
+        }
+    }
+
+    /// Strategy for `Vec`s of values drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange + 'static) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: Box::new(size),
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Box<dyn IntoSizeRange>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies (`proptest::sample`).
+pub mod sample {
+    use super::{Strategy, TestRng};
+
+    /// Uniformly select one of the given values.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select() needs at least one option");
+        Select(options)
+    }
+
+    /// Strategy returned by [`select`].
+    pub struct Select<T>(Vec<T>);
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.0[rng.usize_below(self.0.len())].clone()
+        }
+    }
+}
+
+/// Per-test configuration (`cases` only).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases each test must run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` accepted cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Marker for a case rejected by `prop_assume!`.
+#[derive(Debug)]
+pub struct Rejected;
+
+/// Everything tests normally import, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::sample;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+    pub use crate::{Just, ProptestConfig, Strategy};
+
+    /// The `prop` path alias real proptest exposes from its prelude.
+    pub mod prop {
+        pub use crate::{collection, sample};
+    }
+}
+
+/// Define property tests over sampled inputs, proptest-style.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with($cfg) $($rest)*);
+    };
+    (@with($cfg:expr) $($(#[$meta:meta])+ fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])+
+            #[allow(clippy::redundant_closure_call)]
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+                let mut accepted: u32 = 0;
+                let mut attempts: u32 = 0;
+                let max_attempts = config.cases.saturating_mul(20).max(100);
+                while accepted < config.cases && attempts < max_attempts {
+                    attempts += 1;
+                    $(let $pat = $crate::Strategy::sample(&($strategy), &mut rng);)+
+                    let outcome: ::std::result::Result<(), $crate::Rejected> = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if outcome.is_ok() {
+                        accepted += 1;
+                    }
+                }
+                assert!(
+                    accepted >= config.cases,
+                    "prop_assume! rejected too many cases: only {accepted} of the \
+                     configured {} accepted after {attempts} attempts",
+                    config.cases
+                );
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Assert inside a property test (panics with the formatted message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Assert equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Reject the current case unless `cond` holds (does not count it).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        // `if cond {} else { return }` instead of `if !cond` so that
+        // partial-ord comparisons in `cond` don't trip clippy's
+        // `neg_cmp_op_on_partial_ord` at every expansion site.
+        if $cond {
+        } else {
+            return ::std::result::Result::Err($crate::Rejected);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in -3.0f64..3.0, n in 1usize..10) {
+            prop_assert!((-3.0..3.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+        }
+
+        #[test]
+        fn prop_map_applies(p in (0.0f64..1.0, 0.0f64..1.0).prop_map(|(a, b)| [a, b])) {
+            prop_assert!(p[0] >= 0.0 && p[1] < 1.0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0.0f64..1.0) {
+            prop_assume!(x > 0.5);
+            prop_assert!(x > 0.5);
+        }
+    }
+
+    #[test]
+    fn select_draws_from_options() {
+        let strategy = sample::select(vec![1, 2, 3]);
+        let mut rng = crate::TestRng::deterministic("select_draws_from_options");
+        for _ in 0..50 {
+            let v = crate::Strategy::sample(&strategy, &mut rng);
+            assert!([1, 2, 3].contains(&v));
+        }
+    }
+
+    #[test]
+    fn vec_respects_size_range() {
+        let strategy = crate::collection::vec(0.0f64..1.0, 2usize..5);
+        let mut rng = crate::TestRng::deterministic("vec_respects_size_range");
+        for _ in 0..50 {
+            let v = crate::Strategy::sample(&strategy, &mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn deterministic_rng_reproduces() {
+        let mut a = crate::TestRng::deterministic("same");
+        let mut b = crate::TestRng::deterministic("same");
+        for _ in 0..10 {
+            assert_eq!(a.f64_in(0.0, 1.0), b.f64_in(0.0, 1.0));
+        }
+    }
+}

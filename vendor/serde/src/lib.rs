@@ -1,0 +1,17 @@
+//! Offline marker-trait subset of `serde`.
+//!
+//! The build environment has no registry access. This shim lets the
+//! workspace keep its `#[derive(Serialize, Deserialize)]` annotations
+//! compiling: the derives (see `serde_derive`) emit empty marker impls of
+//! the two traits below. No actual serialization is provided; swapping in
+//! the real `serde` later requires only replacing the two vendored crates.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,134 @@
+//! Offline no-op replacements for serde's derive macros.
+//!
+//! The build environment has no registry access, so real `serde` cannot be
+//! compiled. The workspace keeps its `#[derive(Serialize, Deserialize)]`
+//! and `#[serde(...)]` annotations as markers for a future PR that swaps in
+//! the real crate; these derives accept the annotations and emit marker
+//! trait impls only — no serialization machinery is generated.
+
+use proc_macro::{Spacing, TokenStream, TokenTree};
+
+struct Item {
+    name: String,
+    /// Full generics text including bounds, e.g. `T: Scalar, 'a`.
+    params: Vec<String>,
+}
+
+/// Extract the item name and its generic parameter list (with bounds) from
+/// a struct/enum definition token stream.
+fn parse_item(input: TokenStream) -> Option<Item> {
+    let mut iter = input.into_iter().peekable();
+    let mut name = None;
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let s = id.to_string();
+            if s == "struct" || s == "enum" || s == "union" {
+                if let Some(TokenTree::Ident(n)) = iter.next() {
+                    name = Some(n.to_string());
+                }
+                break;
+            }
+        }
+    }
+    let name = name?;
+
+    let mut params = Vec::new();
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        iter.next();
+        let mut depth = 1usize;
+        let mut current = String::new();
+        let mut prev_joint_dash = false;
+        for tt in iter.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                let c = p.as_char();
+                // `->` inside e.g. `F: Fn() -> T` must not close the list.
+                let arrow = c == '>' && prev_joint_dash;
+                prev_joint_dash = c == '-' && p.spacing() == Spacing::Joint;
+                if !arrow {
+                    match c {
+                        '<' => depth += 1,
+                        '>' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        ',' if depth == 1 => {
+                            if !current.trim().is_empty() {
+                                params.push(current.trim().to_string());
+                            }
+                            current.clear();
+                            continue;
+                        }
+                        _ => {}
+                    }
+                }
+            } else {
+                prev_joint_dash = false;
+            }
+            current.push_str(&tt.to_string());
+            // Joint puncts (the `'` of a lifetime, `::`, `->`) must stay
+            // glued to the next token to re-lex correctly.
+            match &tt {
+                TokenTree::Punct(p) if p.spacing() == Spacing::Joint => {}
+                _ => current.push(' '),
+            }
+        }
+        if !current.trim().is_empty() {
+            params.push(current.trim().to_string());
+        }
+    }
+    Some(Item { name, params })
+}
+
+/// First identifier (or lifetime) of a generic parameter declaration:
+/// `T: Scalar` → `T`, `'a` → `'a`, `const N: usize` → `const` is skipped
+/// to yield `N`.
+fn param_name(param: &str) -> String {
+    let head = param.split([':', '=']).next().unwrap_or(param).trim();
+    let head = head.strip_prefix("const ").unwrap_or(head).trim();
+    head.to_string()
+}
+
+fn marker_impl(input: TokenStream, trait_path: &str, de_lifetime: bool) -> TokenStream {
+    let Some(item) = parse_item(input) else {
+        return TokenStream::new();
+    };
+    let mut impl_params: Vec<String> = Vec::new();
+    if de_lifetime {
+        impl_params.push("'de".to_string());
+    }
+    impl_params.extend(item.params.iter().cloned());
+    let ty_args: Vec<String> = item.params.iter().map(|p| param_name(p)).collect();
+
+    let impl_generics = if impl_params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", impl_params.join(", "))
+    };
+    let ty_generics = if ty_args.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", ty_args.join(", "))
+    };
+    let trait_generics = if de_lifetime { "<'de>" } else { "" };
+    let name = &item.name;
+    format!(
+        "#[automatically_derived] impl{impl_generics} {trait_path}{trait_generics} \
+         for {name}{ty_generics} {{}}"
+    )
+    .parse()
+    .unwrap_or_default()
+}
+
+/// No-op `Serialize` derive: emits a marker `impl serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Serialize", false)
+}
+
+/// No-op `Deserialize` derive: emits a marker `impl serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Deserialize", true)
+}
