@@ -1,0 +1,82 @@
+//! Serving-layer throughput: linear scan vs spatial index, single-query
+//! vs batched, plus bank codec round-trip cost.
+//!
+//! The index's win is measured on a production-scale synthetic bank
+//! (8 trajectories × 128 segments = 1024 segments — the paper CUT's
+//! component count with a production-dense deviation sweep) and
+//! sanity-checked on the real paper bank (56 segments), where the
+//! linear scan is expected to stay competitive.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ft_bench::paper_setup;
+use ft_core::{Diagnoser, DiagnoserConfig, TestVector};
+use ft_serve::{
+    diagnose_batch_with, synthetic_queries, synthetic_trajectory_set, SegmentIndex, TrajectoryBank,
+};
+
+fn bench_scan_vs_index_1k(c: &mut Criterion) {
+    let set = synthetic_trajectory_set(8, 64, 2, 7);
+    assert!(set.total_segments() >= 1000);
+    let index = SegmentIndex::build(&set);
+    let queries = synthetic_queries(&set, 64, 8);
+    let diagnoser = Diagnoser::new(set, DiagnoserConfig::default());
+
+    let mut group = c.benchmark_group("serve");
+    group.bench_function("linear_scan_1k_segments", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % queries.len();
+            diagnoser.diagnose(black_box(&queries[i]))
+        })
+    });
+    group.bench_function("indexed_1k_segments", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % queries.len();
+            diagnoser.diagnose_with(&index, black_box(&queries[i]))
+        })
+    });
+    group.bench_function("batch64_linear_1k_segments", |b| {
+        b.iter(|| diagnose_batch_with(&diagnoser, &ft_core::LinearScan, black_box(&queries), None))
+    });
+    group.bench_function("batch64_indexed_1k_segments", |b| {
+        b.iter(|| diagnose_batch_with(&diagnoser, &index, black_box(&queries), None))
+    });
+    group.finish();
+}
+
+fn bench_paper_bank(c: &mut Criterion) {
+    let setup = paper_setup();
+    let tv = TestVector::pair(0.6, 1.6);
+    let bank = TrajectoryBank::build(setup.dict, &tv);
+    let index = SegmentIndex::build(bank.trajectory_set());
+    let queries = synthetic_queries(bank.trajectory_set(), 16, 11);
+    let diagnoser = Diagnoser::new(bank.trajectory_set().clone(), DiagnoserConfig::default());
+
+    let mut group = c.benchmark_group("serve");
+    group.bench_function("linear_scan_paper_bank", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % queries.len();
+            diagnoser.diagnose(black_box(&queries[i]))
+        })
+    });
+    group.bench_function("indexed_paper_bank", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % queries.len();
+            diagnoser.diagnose_with(&index, black_box(&queries[i]))
+        })
+    });
+    group.bench_function("bank_encode_paper", |b| {
+        b.iter(|| black_box(&bank).to_bytes())
+    });
+    let bytes = bank.to_bytes();
+    group.bench_function("bank_decode_paper", |b| {
+        b.iter(|| TrajectoryBank::from_bytes(black_box(&bytes)).expect("valid bank"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scan_vs_index_1k, bench_paper_bank);
+criterion_main!(benches);

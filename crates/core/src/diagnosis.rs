@@ -72,6 +72,76 @@ impl Diagnosis {
             .iter()
             .position(|c| c.component == component)
     }
+
+    /// Assembles a diagnosis from unranked candidates, sorting by
+    /// distance (stable, so equal distances keep their input order).
+    ///
+    /// This is the single ranking path shared by every query backend:
+    /// two backends that produce identical per-candidate distances are
+    /// guaranteed identical rankings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `candidates` is empty or contains a non-finite distance.
+    pub fn from_candidates(mut candidates: Vec<Candidate>, ambiguity_ratio: f64) -> Self {
+        assert!(
+            !candidates.is_empty(),
+            "a diagnosis needs at least one candidate"
+        );
+        candidates.sort_by(|a, b| {
+            a.distance
+                .partial_cmp(&b.distance)
+                .expect("finite distances")
+        });
+        Diagnosis {
+            candidates,
+            ambiguity_ratio,
+        }
+    }
+}
+
+/// A pluggable nearest-segment search strategy.
+///
+/// Given an observed signature, a backend reports, for every trajectory
+/// of the set **in trajectory order**, the minimal perpendicular distance
+/// over that trajectory's segments together with the interpolated
+/// deviation estimate at the closest point. [`LinearScan`] is the
+/// exhaustive reference; `ft-serve` supplies a spatial index that must
+/// reproduce its results exactly.
+pub trait SegmentQuery {
+    /// Best `(distance, deviation_pct)` per trajectory, in set order.
+    ///
+    /// Ties between segments of one trajectory must resolve to the
+    /// lowest segment index (the order [`FaultTrajectory::segments`]
+    /// iterates), so that all backends agree bit-for-bit.
+    ///
+    /// [`FaultTrajectory::segments`]: crate::trajectory::FaultTrajectory::segments
+    fn best_per_trajectory(&self, set: &TrajectorySet, observed: &Signature) -> Vec<(f64, f64)>;
+}
+
+/// The exhaustive backend: scans every segment of every trajectory.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinearScan;
+
+impl SegmentQuery for LinearScan {
+    fn best_per_trajectory(&self, set: &TrajectorySet, observed: &Signature) -> Vec<(f64, f64)> {
+        set.trajectories()
+            .iter()
+            .map(|t| {
+                let mut best_dist = f64::INFINITY;
+                let mut best_dev = 0.0;
+                for (d0, p0, d1, p1) in t.segments() {
+                    let (dist, tpar) =
+                        point_segment_distance(observed.coords(), p0.coords(), p1.coords());
+                    if dist < best_dist {
+                        best_dist = dist;
+                        best_dev = d0 + tpar * (d1 - d0);
+                    }
+                }
+                (best_dist, best_dev)
+            })
+            .collect()
+    }
 }
 
 /// Diagnosis engine configuration.
@@ -115,48 +185,58 @@ impl Diagnoser {
         &self.set
     }
 
-    /// Diagnoses an observed signature.
+    /// The configuration in force.
+    #[inline]
+    pub fn config(&self) -> DiagnoserConfig {
+        self.config
+    }
+
+    /// Diagnoses an observed signature with the exhaustive
+    /// [`LinearScan`] backend.
     ///
     /// # Panics
     ///
     /// Panics if the signature dimension does not match the test vector.
     pub fn diagnose(&self, observed: &Signature) -> Diagnosis {
+        self.diagnose_with(&LinearScan, observed)
+    }
+
+    /// Diagnoses an observed signature through a pluggable query
+    /// backend. Any backend honouring the [`SegmentQuery`] contract
+    /// yields results identical to [`Diagnoser::diagnose`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signature dimension does not match the test vector
+    /// or the backend does not report one result per trajectory.
+    pub fn diagnose_with<B: SegmentQuery + ?Sized>(
+        &self,
+        backend: &B,
+        observed: &Signature,
+    ) -> Diagnosis {
         assert_eq!(
             observed.dim(),
             self.set.dim(),
             "signature dimension must match the trajectory set"
         );
-        let mut candidates: Vec<Candidate> = self
+        let best = backend.best_per_trajectory(&self.set, observed);
+        assert_eq!(
+            best.len(),
+            self.set.len(),
+            "backend must report one result per trajectory"
+        );
+        let candidates: Vec<Candidate> = self
             .set
             .trajectories()
             .iter()
-            .map(|t| {
-                let mut best_dist = f64::INFINITY;
-                let mut best_dev = 0.0;
-                for (d0, p0, d1, p1) in t.segments() {
-                    let (dist, tpar) =
-                        point_segment_distance(observed.coords(), p0.coords(), p1.coords());
-                    if dist < best_dist {
-                        best_dist = dist;
-                        best_dev = d0 + tpar * (d1 - d0);
-                    }
-                }
-                Candidate {
-                    component: t.component().to_string(),
-                    distance: best_dist,
-                    deviation_pct: best_dev,
-                }
+            .zip(best)
+            .map(|(t, (distance, deviation_pct))| Candidate {
+                component: t.component().to_string(),
+                distance,
+                deviation_pct,
             })
             .collect();
-        candidates.sort_by(|a, b| {
-            a.distance
-                .partial_cmp(&b.distance)
-                .expect("finite distances")
-        });
-        Diagnosis {
-            candidates,
-            ambiguity_ratio: self.config.ambiguity_ratio,
-        }
+        Diagnosis::from_candidates(candidates, self.config.ambiguity_ratio)
     }
 }
 
@@ -268,6 +348,59 @@ mod tests {
     fn dimension_checked() {
         let diag = Diagnoser::new(cross_set(), DiagnoserConfig::default());
         let _ = diag.diagnose(&Signature::new(vec![1.0]));
+    }
+
+    /// A backend that mislabels everything — proves `diagnose_with`
+    /// really routes through the supplied backend.
+    struct ConstantBackend;
+
+    impl SegmentQuery for ConstantBackend {
+        fn best_per_trajectory(&self, set: &TrajectorySet, _: &Signature) -> Vec<(f64, f64)> {
+            (0..set.len()).map(|i| (i as f64, 7.0)).collect()
+        }
+    }
+
+    #[test]
+    fn diagnose_with_uses_the_backend() {
+        let diag = Diagnoser::new(cross_set(), DiagnoserConfig::default());
+        let d = diag.diagnose_with(&ConstantBackend, &sig(3.0, 0.2));
+        assert_eq!(d.best().component, "A");
+        assert_eq!(d.best().distance, 0.0);
+        assert_eq!(d.best().deviation_pct, 7.0);
+    }
+
+    #[test]
+    fn linear_scan_backend_matches_diagnose() {
+        let diag = Diagnoser::new(cross_set(), DiagnoserConfig::default());
+        for point in [sig(3.0, 0.2), sig(-1.0, 2.5), sig(0.3, -0.1)] {
+            assert_eq!(
+                diag.diagnose(&point),
+                diag.diagnose_with(&LinearScan, &point)
+            );
+        }
+    }
+
+    #[test]
+    fn from_candidates_sorts_stably() {
+        let mk = |name: &str, d: f64| Candidate {
+            component: name.to_string(),
+            distance: d,
+            deviation_pct: 0.0,
+        };
+        let diag = Diagnosis::from_candidates(vec![mk("X", 2.0), mk("Y", 1.0), mk("Z", 1.0)], 1.5);
+        let order: Vec<&str> = diag
+            .candidates()
+            .iter()
+            .map(|c| c.component.as_str())
+            .collect();
+        // Y and Z tie; stable sort keeps Y (earlier in trajectory order) first.
+        assert_eq!(order, ["Y", "Z", "X"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one candidate")]
+    fn from_candidates_rejects_empty() {
+        let _ = Diagnosis::from_candidates(vec![], 1.5);
     }
 
     #[test]

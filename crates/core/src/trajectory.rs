@@ -219,6 +219,29 @@ impl TrajectorySet {
     pub fn is_empty(&self) -> bool {
         self.trajectories.is_empty()
     }
+
+    /// Total number of piecewise-linear segments across all trajectories
+    /// — the size of the search space a diagnosis query scans.
+    pub fn total_segments(&self) -> usize {
+        self.trajectories
+            .iter()
+            .map(FaultTrajectory::segment_count)
+            .sum()
+    }
+
+    /// Flat iterator over every segment of every trajectory as
+    /// `(trajectory index, segment index, start deviation, start point,
+    /// end deviation, end point)`, in trajectory-major order — the
+    /// enumeration spatial index builders consume.
+    pub fn all_segments(
+        &self,
+    ) -> impl Iterator<Item = (usize, usize, f64, &Signature, f64, &Signature)> + '_ {
+        self.trajectories.iter().enumerate().flat_map(|(ti, t)| {
+            t.segments()
+                .enumerate()
+                .map(move |(si, (d0, p0, d1, p1))| (ti, si, d0, p0, d1, p1))
+        })
+    }
 }
 
 /// Builds the trajectory set from a fault dictionary by interpolating
@@ -325,6 +348,27 @@ mod tests {
         assert_eq!(d1, 0.0);
         assert_eq!(p0.coords(), &[-1.0, -1.0]);
         assert_eq!(t.segments().count(), 2);
+    }
+
+    #[test]
+    fn flat_segment_enumeration_covers_the_set() {
+        let p = |x: f64, y: f64| Signature::new(vec![x, y]);
+        let a = FaultTrajectory::new(
+            "A",
+            vec![-10.0, 0.0, 10.0],
+            vec![p(-1.0, 0.0), p(0.0, 0.0), p(1.0, 0.0)],
+        );
+        let b = FaultTrajectory::new("B", vec![0.0, 10.0], vec![p(0.0, 0.0), p(0.0, 2.0)]);
+        let set = TrajectorySet::new(TestVector::pair(1.0, 2.0), vec![a, b]);
+        assert_eq!(set.total_segments(), 3);
+        let flat: Vec<(usize, usize, f64, f64)> = set
+            .all_segments()
+            .map(|(ti, si, d0, _, d1, _)| (ti, si, d0, d1))
+            .collect();
+        assert_eq!(
+            flat,
+            vec![(0, 0, -10.0, 0.0), (0, 1, 0.0, 10.0), (1, 0, 0.0, 10.0),]
+        );
     }
 
     #[test]

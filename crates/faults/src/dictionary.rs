@@ -22,6 +22,17 @@ pub struct DictionaryEntry {
 }
 
 impl DictionaryEntry {
+    /// Assembles an entry from its parts — the deserialisation
+    /// counterpart of [`DictionaryEntry::fault`] /
+    /// [`DictionaryEntry::magnitude_db`], used by the `ft-serve` bank
+    /// codec.
+    pub fn new(fault: ParametricFault, magnitude_db: Vec<f64>) -> Self {
+        DictionaryEntry {
+            fault,
+            magnitude_db,
+        }
+    }
+
     /// The fault this entry describes.
     #[inline]
     pub fn fault(&self) -> &ParametricFault {
@@ -106,6 +117,54 @@ impl FaultDictionary {
             input: input.to_string(),
             probe: probe.clone(),
         })
+    }
+
+    /// Reassembles a dictionary from persisted parts without
+    /// re-simulating anything — the deserialisation counterpart of the
+    /// public accessors, used by the `ft-serve` bank codec.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the parts are mutually inconsistent: golden/entry
+    /// response lengths must match the grid, and the entries must mirror
+    /// the universe's fault enumeration one-to-one, in order.
+    pub fn from_parts(
+        grid: FrequencyGrid,
+        golden_db: Vec<f64>,
+        entries: Vec<DictionaryEntry>,
+        universe: FaultUniverse,
+        input: String,
+        probe: Probe,
+    ) -> Self {
+        assert_eq!(
+            golden_db.len(),
+            grid.len(),
+            "golden response length must match the grid"
+        );
+        assert_eq!(
+            entries.len(),
+            universe.len(),
+            "entry count must match the universe"
+        );
+        for (entry, fault) in entries.iter().zip(universe.faults()) {
+            assert_eq!(
+                &entry.fault, fault,
+                "entries must mirror the universe's fault order"
+            );
+            assert_eq!(
+                entry.magnitude_db.len(),
+                grid.len(),
+                "entry response length must match the grid"
+            );
+        }
+        FaultDictionary {
+            grid,
+            golden_db,
+            entries,
+            universe,
+            input,
+            probe,
+        }
     }
 
     /// The dictionary's frequency grid.
@@ -243,6 +302,36 @@ mod tests {
         for (e, f) in dict.entries().iter().zip(dict.universe().faults()) {
             assert_eq!(e.fault(), f);
         }
+    }
+
+    #[test]
+    fn from_parts_reassembles_identically() {
+        let dict = build_rc_dictionary();
+        let back = FaultDictionary::from_parts(
+            dict.grid().clone(),
+            dict.golden_db().to_vec(),
+            dict.entries().to_vec(),
+            dict.universe().clone(),
+            dict.input().to_string(),
+            dict.probe().clone(),
+        );
+        assert_eq!(dict, back);
+    }
+
+    #[test]
+    #[should_panic(expected = "fault order")]
+    fn from_parts_rejects_shuffled_entries() {
+        let dict = build_rc_dictionary();
+        let mut entries = dict.entries().to_vec();
+        entries.reverse();
+        let _ = FaultDictionary::from_parts(
+            dict.grid().clone(),
+            dict.golden_db().to_vec(),
+            entries,
+            dict.universe().clone(),
+            dict.input().to_string(),
+            dict.probe().clone(),
+        );
     }
 
     #[test]

@@ -110,6 +110,21 @@ impl FrequencyGrid {
         }
     }
 
+    /// Reassembles a grid from persisted parts (frequencies plus the
+    /// spacing rule they were generated with) — the deserialisation
+    /// counterpart of [`FrequencyGrid::frequencies`] /
+    /// [`FrequencyGrid::spacing`], used by the `ft-serve` bank codec.
+    ///
+    /// # Panics
+    ///
+    /// As [`FrequencyGrid::from_frequencies`]: panics if `freqs` is
+    /// empty, unsorted, or contains non-positive or non-finite entries.
+    pub fn from_parts(freqs: Vec<f64>, spacing: Spacing) -> Self {
+        let mut grid = FrequencyGrid::from_frequencies(freqs);
+        grid.spacing = spacing;
+        grid
+    }
+
     /// The angular frequencies (rad/s), strictly increasing.
     #[inline]
     pub fn frequencies(&self) -> &[f64] {
@@ -201,6 +216,16 @@ pub fn rad_to_hz(w: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn from_parts_round_trips_spacing() {
+        let g = FrequencyGrid::log_space(0.01, 100.0, 9);
+        let back = FrequencyGrid::from_parts(g.frequencies().to_vec(), g.spacing());
+        assert_eq!(g, back);
+        let lin = FrequencyGrid::lin_space(1.0, 10.0, 4);
+        let back = FrequencyGrid::from_parts(lin.frequencies().to_vec(), lin.spacing());
+        assert_eq!(lin, back);
+    }
 
     #[test]
     fn log_space_endpoints_and_midpoint() {

@@ -1,0 +1,460 @@
+//! The trajectory bank: the offline phase's artifacts, persisted.
+//!
+//! A bank packages a [`FaultDictionary`] (the expensive fault-simulation
+//! product) with the [`TrajectorySet`] materialised at the deployed test
+//! vector, so the online phase loads both from disk instead of
+//! re-simulating. Serialisation uses the [`codec`](crate::codec)
+//! container; every structural invariant is re-checked on load before
+//! any panicking constructor runs, so a hostile or corrupt file yields a
+//! [`CodecError`], never a panic.
+
+use std::path::Path;
+
+use ft_circuit::Probe;
+use ft_core::{
+    trajectories_from_dictionary, FaultTrajectory, Signature, TestVector, TrajectorySet,
+};
+use ft_faults::{DeviationGrid, DictionaryEntry, FaultDictionary, FaultUniverse};
+use ft_numerics::{FrequencyGrid, Spacing};
+
+use crate::codec::{CodecError, Decoder, Encoder};
+
+/// Probe encoding tags.
+const PROBE_NODE: u8 = 0;
+const PROBE_DIFFERENTIAL: u8 = 1;
+
+/// Spacing encoding tags.
+const SPACING_LINEAR: u8 = 0;
+const SPACING_LOGARITHMIC: u8 = 1;
+
+fn ensure(cond: bool, what: &str) -> Result<(), CodecError> {
+    if cond {
+        Ok(())
+    } else {
+        Err(CodecError::Malformed(what.into()))
+    }
+}
+
+/// A persistent diagnosis artifact: fault dictionary + the trajectory
+/// set of the deployed test vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrajectoryBank {
+    dict: FaultDictionary,
+    set: TrajectorySet,
+}
+
+impl TrajectoryBank {
+    /// Builds a bank by materialising the dictionary's trajectories at
+    /// `tv` — the offline step of the serving pipeline.
+    pub fn build(dict: FaultDictionary, tv: &TestVector) -> Self {
+        let set = trajectories_from_dictionary(&dict, tv);
+        TrajectoryBank { dict, set }
+    }
+
+    /// Packages an already-materialised trajectory set with its
+    /// dictionary (e.g. a set built by `trajectories_exact`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is empty — an empty bank cannot serve diagnoses.
+    pub fn from_parts(dict: FaultDictionary, set: TrajectorySet) -> Self {
+        assert!(!set.is_empty(), "a bank needs at least one trajectory");
+        TrajectoryBank { dict, set }
+    }
+
+    /// The fault dictionary.
+    #[inline]
+    pub fn dictionary(&self) -> &FaultDictionary {
+        &self.dict
+    }
+
+    /// The trajectory set served by this bank.
+    #[inline]
+    pub fn trajectory_set(&self) -> &TrajectorySet {
+        &self.set
+    }
+
+    /// The deployed test vector.
+    #[inline]
+    pub fn test_vector(&self) -> &TestVector {
+        self.set.test_vector()
+    }
+
+    /// Serialises the bank into a self-describing container.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+
+        // --- dictionary section -------------------------------------
+        let grid = self.dict.grid();
+        enc.put_u8(match grid.spacing() {
+            Spacing::Linear => SPACING_LINEAR,
+            Spacing::Logarithmic => SPACING_LOGARITHMIC,
+        });
+        enc.put_f64s(grid.frequencies());
+        enc.put_f64s(self.dict.golden_db());
+        enc.put_str(self.dict.input());
+        match self.dict.probe() {
+            Probe::Node(n) => {
+                enc.put_u8(PROBE_NODE);
+                enc.put_str(n);
+            }
+            Probe::Differential(p, n) => {
+                enc.put_u8(PROBE_DIFFERENTIAL);
+                enc.put_str(p);
+                enc.put_str(n);
+            }
+        }
+        let universe = self.dict.universe();
+        enc.put_u32(universe.components().len() as u32);
+        for comp in universe.components() {
+            enc.put_str(comp);
+        }
+        enc.put_f64(universe.grid().max_pct());
+        enc.put_f64(universe.grid().step_pct());
+        // The entries mirror the universe's fault enumeration (an
+        // invariant `FaultDictionary::from_parts` re-asserts), so only
+        // the responses need storing.
+        enc.put_u32(self.dict.entries().len() as u32);
+        for entry in self.dict.entries() {
+            enc.put_f64s(entry.magnitude_db());
+        }
+
+        // --- trajectory-set section ---------------------------------
+        enc.put_f64s(self.set.test_vector().omegas());
+        enc.put_u32(self.set.len() as u32);
+        for t in self.set.trajectories() {
+            enc.put_str(t.component());
+            enc.put_f64s(t.deviations_pct());
+            enc.put_u32(t.dim() as u32);
+            for p in t.points() {
+                for &x in p.coords() {
+                    enc.put_f64(x);
+                }
+            }
+        }
+
+        enc.finish()
+    }
+
+    /// Deserialises a bank, verifying the container header, checksum,
+    /// and every structural invariant of the decoded data.
+    ///
+    /// # Errors
+    ///
+    /// Any corruption or inconsistency yields a [`CodecError`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut dec = Decoder::open(bytes)?;
+
+        // --- dictionary section -------------------------------------
+        let spacing = match dec.get_u8()? {
+            SPACING_LINEAR => Spacing::Linear,
+            SPACING_LOGARITHMIC => Spacing::Logarithmic,
+            tag => {
+                return Err(CodecError::Malformed(format!("unknown spacing tag {tag}")));
+            }
+        };
+        let freqs = dec.get_f64s()?;
+        ensure(!freqs.is_empty(), "frequency grid is empty")?;
+        ensure(
+            freqs.iter().all(|w| w.is_finite() && *w > 0.0),
+            "grid frequencies must be positive and finite",
+        )?;
+        ensure(
+            freqs.windows(2).all(|w| w[0] < w[1]),
+            "grid frequencies must be strictly increasing",
+        )?;
+        let grid = FrequencyGrid::from_parts(freqs, spacing);
+
+        let golden_db = dec.get_f64s()?;
+        ensure(
+            golden_db.len() == grid.len(),
+            "golden response length must match the grid",
+        )?;
+        ensure(
+            golden_db.iter().all(|x| x.is_finite()),
+            "golden response must be finite",
+        )?;
+        let input = dec.get_str()?;
+        let probe = match dec.get_u8()? {
+            PROBE_NODE => Probe::Node(dec.get_str()?),
+            PROBE_DIFFERENTIAL => Probe::Differential(dec.get_str()?, dec.get_str()?),
+            tag => {
+                return Err(CodecError::Malformed(format!("unknown probe tag {tag}")));
+            }
+        };
+
+        let n_components = dec.get_count(5)?; // len prefix + ≥1 byte per name
+        let mut components = Vec::with_capacity(n_components);
+        for _ in 0..n_components {
+            components.push(dec.get_str()?);
+        }
+        ensure(!components.is_empty(), "universe has no components")?;
+        let max_pct = dec.get_f64()?;
+        let step_pct = dec.get_f64()?;
+        ensure(
+            max_pct.is_finite()
+                && step_pct.is_finite()
+                && step_pct > 0.0
+                && step_pct <= max_pct
+                && max_pct < 100.0,
+            "deviation grid must satisfy 0 < step <= max < 100",
+        )?;
+        // Bound the fault enumeration before materialising it, so a
+        // crafted step cannot make `FaultUniverse::new` allocate an
+        // astronomically large fault list (or overflow its capacity).
+        ensure(
+            max_pct / step_pct <= 5_000.0,
+            "deviation grid is implausibly fine",
+        )?;
+        let universe = FaultUniverse::new(&components, DeviationGrid::new(max_pct, step_pct));
+
+        let n_entries = dec.get_count(4)?;
+        ensure(
+            n_entries == universe.len(),
+            "entry count must match the universe",
+        )?;
+        let mut entries = Vec::with_capacity(n_entries);
+        for fault in universe.faults() {
+            let magnitude_db = dec.get_f64s()?;
+            ensure(
+                magnitude_db.len() == grid.len(),
+                "entry response length must match the grid",
+            )?;
+            ensure(
+                magnitude_db.iter().all(|x| x.is_finite()),
+                "entry response must be finite",
+            )?;
+            entries.push(DictionaryEntry::new(fault.clone(), magnitude_db));
+        }
+        let dict = FaultDictionary::from_parts(grid, golden_db, entries, universe, input, probe);
+
+        // --- trajectory-set section ---------------------------------
+        let omegas = dec.get_f64s()?;
+        ensure(!omegas.is_empty(), "test vector is empty")?;
+        ensure(
+            omegas.iter().all(|w| w.is_finite() && *w > 0.0),
+            "test frequencies must be positive and finite",
+        )?;
+        let tv = TestVector::new(omegas);
+
+        let n_traj = dec.get_count(9)?;
+        ensure(n_traj > 0, "bank holds no trajectories")?;
+        let mut trajectories = Vec::with_capacity(n_traj);
+        let mut set_dim: Option<usize> = None;
+        for _ in 0..n_traj {
+            let component = dec.get_str()?;
+            let devs = dec.get_f64s()?;
+            ensure(devs.len() >= 2, "a trajectory needs at least two points")?;
+            ensure(
+                devs.windows(2).all(|w| w[0] < w[1]),
+                "trajectory deviations must be strictly ascending",
+            )?;
+            ensure(
+                devs.contains(&0.0),
+                "trajectory must contain the 0% origin point",
+            )?;
+            ensure(
+                devs.iter().all(|d| d.is_finite()),
+                "trajectory deviations must be finite",
+            )?;
+            let dim = dec.get_u32()? as usize;
+            ensure(dim > 0, "trajectory dimension must be positive")?;
+            // Bound the per-point allocation by the payload actually
+            // present (each coordinate takes 8 bytes), as get_count
+            // does for prefixed fields.
+            ensure(
+                dim <= dec.remaining() / 8,
+                "trajectory dimension exceeds the remaining payload",
+            )?;
+            ensure(
+                dim.is_multiple_of(tv.len()),
+                "trajectory dimension must be a multiple of the test-vector length",
+            )?;
+            ensure(
+                set_dim.replace(dim).is_none_or(|prev| prev == dim),
+                "all trajectories must share one dimension",
+            )?;
+            let mut points = Vec::with_capacity(devs.len());
+            for _ in 0..devs.len() {
+                let mut coords = Vec::with_capacity(dim);
+                for _ in 0..dim {
+                    coords.push(dec.get_f64()?);
+                }
+                ensure(
+                    coords.iter().all(|x| x.is_finite()),
+                    "trajectory points must be finite",
+                )?;
+                points.push(Signature::new(coords));
+            }
+            trajectories.push(FaultTrajectory::new(component, devs, points));
+        }
+        let set = TrajectorySet::new(tv, trajectories);
+
+        dec.finish()?;
+        Ok(TrajectoryBank { dict, set })
+    }
+
+    /// Writes the bank to a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CodecError> {
+        std::fs::write(path, self.to_bytes())?;
+        Ok(())
+    }
+
+    /// Reads and verifies a bank from a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures and every decode error of
+    /// [`TrajectoryBank::from_bytes`].
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, CodecError> {
+        let bytes = std::fs::read(path)?;
+        TrajectoryBank::from_bytes(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_numerics::FrequencyGrid;
+
+    fn rc_bank() -> TrajectoryBank {
+        let mut ckt = ft_circuit::Circuit::new("rc");
+        ckt.voltage_source("V1", "in", "0", 1.0).unwrap();
+        ckt.resistor("R1", "in", "out", 1e3).unwrap();
+        ckt.capacitor("C1", "out", "0", 1e-6).unwrap();
+        let universe = FaultUniverse::new(&["R1", "C1"], DeviationGrid::paper());
+        let grid = FrequencyGrid::log_space(1.0, 1e6, 15);
+        let dict =
+            FaultDictionary::build(&ckt, &universe, "V1", &Probe::node("out"), &grid).unwrap();
+        TrajectoryBank::build(dict, &TestVector::pair(100.0, 1e4))
+    }
+
+    #[test]
+    fn round_trip_is_identity() {
+        let bank = rc_bank();
+        let bytes = bank.to_bytes();
+        let back = TrajectoryBank::from_bytes(&bytes).unwrap();
+        assert_eq!(bank, back);
+        // And encoding is deterministic.
+        assert_eq!(bytes, back.to_bytes());
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let bank = rc_bank();
+        let path = std::env::temp_dir().join("ft_serve_bank_test.ftb");
+        bank.save(&path).unwrap();
+        let back = TrajectoryBank::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(bank, back);
+    }
+
+    #[test]
+    fn differential_probe_round_trips() {
+        let bank = rc_bank();
+        let dict = bank.dictionary();
+        let diff = FaultDictionary::from_parts(
+            dict.grid().clone(),
+            dict.golden_db().to_vec(),
+            dict.entries().to_vec(),
+            dict.universe().clone(),
+            dict.input().to_string(),
+            Probe::differential("in", "out"),
+        );
+        let bank = TrajectoryBank::from_parts(diff, bank.trajectory_set().clone());
+        let back = TrajectoryBank::from_bytes(&bank.to_bytes()).unwrap();
+        assert_eq!(bank, back);
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected_or_harmless() {
+        // Corruption anywhere in the container must surface as an error
+        // (header fields and payload are both covered; a flip can never
+        // silently yield a *different valid* bank).
+        let bank = rc_bank();
+        let bytes = bank.to_bytes();
+        // Sample positions across the container, always including the
+        // header and both section boundaries.
+        for pos in (0..bytes.len()).step_by(97).chain([0, 9, 17, 25]) {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= 0x01;
+            assert!(
+                TrajectoryBank::from_bytes(&corrupt).is_err(),
+                "flip at byte {pos} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_file_is_detected() {
+        let bytes = rc_bank().to_bytes();
+        for cut in [0, 10, bytes.len() / 2, bytes.len() - 1] {
+            assert!(TrajectoryBank::from_bytes(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        let err = TrajectoryBank::load("/nonexistent/bank.ftb").unwrap_err();
+        assert!(matches!(err, CodecError::Io(_)));
+    }
+
+    /// Encodes a minimal single-component bank by hand, letting tests
+    /// inject hostile field values the public API can never produce.
+    fn hostile_bank(step_pct: f64, traj_dim: u32, coord: f64) -> Vec<u8> {
+        use crate::codec::Encoder;
+        let mut enc = Encoder::new();
+        enc.put_u8(1); // logarithmic spacing
+        enc.put_f64s(&[1.0, 2.0]);
+        enc.put_f64s(&[-3.0, -9.0]); // golden
+        enc.put_str("V1");
+        enc.put_u8(0); // node probe
+        enc.put_str("out");
+        enc.put_u32(1); // one component
+        enc.put_str("R1");
+        enc.put_f64(40.0); // max_pct
+        enc.put_f64(step_pct);
+        let n_entries = if step_pct == 10.0 { 8 } else { 0 };
+        enc.put_u32(n_entries);
+        for _ in 0..n_entries {
+            enc.put_f64s(&[-2.0, -8.0]);
+        }
+        enc.put_f64s(&[1.0, 2.0]); // test vector
+        enc.put_u32(1); // one trajectory
+        enc.put_str("R1");
+        enc.put_f64s(&[-10.0, 0.0, 10.0]);
+        enc.put_u32(traj_dim);
+        if traj_dim == 2 {
+            for &c in &[-1.0, -1.0, 0.0, 0.0, coord, 1.0] {
+                enc.put_f64(c);
+            }
+        }
+        enc.finish()
+    }
+
+    #[test]
+    fn hand_encoded_baseline_decodes() {
+        // Sanity-check the hostile encoder against the real format.
+        let bank = TrajectoryBank::from_bytes(&hostile_bank(10.0, 2, 1.0)).unwrap();
+        assert_eq!(bank.trajectory_set().len(), 1);
+        assert_eq!(bank.dictionary().entries().len(), 8);
+    }
+
+    #[test]
+    fn hostile_fields_error_instead_of_panicking() {
+        // Implausibly fine deviation grid: must not attempt to
+        // enumerate ~10^300 faults.
+        assert!(TrajectoryBank::from_bytes(&hostile_bank(5e-324, 2, 1.0)).is_err());
+        assert!(TrajectoryBank::from_bytes(&hostile_bank(1e-9, 2, 1.0)).is_err());
+        // Declared dimension far beyond the payload: must not allocate.
+        assert!(TrajectoryBank::from_bytes(&hostile_bank(10.0, u32::MAX, 1.0)).is_err());
+        // Non-finite trajectory coordinate: must not load a bank that
+        // would panic the diagnosis path later.
+        assert!(TrajectoryBank::from_bytes(&hostile_bank(10.0, 2, f64::NAN)).is_err());
+        assert!(TrajectoryBank::from_bytes(&hostile_bank(10.0, 2, f64::INFINITY)).is_err());
+    }
+}

@@ -1,0 +1,8 @@
+//! `ftd` — build, query, and benchmark persistent trajectory banks.
+//!
+//! See `ftd --help` (or [`ft_serve::cli`]) for the subcommands.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(ft_serve::cli::main_from_args(args));
+}

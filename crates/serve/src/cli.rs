@@ -1,0 +1,560 @@
+//! The `ftd` command-line front end.
+//!
+//! Three subcommands mirror the serving lifecycle:
+//!
+//! * `ftd build-bank` — offline phase: simulate the paper CUT's fault
+//!   dictionary, materialise trajectories, persist the bank.
+//! * `ftd diagnose` — online phase: load a bank, simulate observed
+//!   signatures for requested or random faults, answer them in a batch.
+//! * `ftd bench-scan-vs-index` — measure the spatial index against the
+//!   linear scan on a production-scale synthetic bank.
+//!
+//! Argument parsing is hand-rolled (the environment is offline; no
+//! `clap`). Errors print to stderr; exit codes are `0` success, `1`
+//! runtime failure, `2` usage error.
+
+use std::time::Instant;
+
+use ft_circuit::tow_thomas_normalized;
+use ft_core::{
+    measure_signature, Diagnoser, DiagnoserConfig, Diagnosis, LinearScan, Signature, TestVector,
+};
+use ft_faults::{DeviationGrid, FaultDictionary, FaultUniverse, MeasurementNoise, ParametricFault};
+use ft_numerics::FrequencyGrid;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::bank::TrajectoryBank;
+use crate::engine::{diagnose_batch_with, DiagnosisEngine, EngineConfig};
+use crate::index::SegmentIndex;
+use crate::synthetic::{synthetic_queries, synthetic_trajectory_set};
+
+const USAGE: &str = "\
+ftd — fault-trajectory diagnosis engine
+
+USAGE:
+  ftd build-bank [--out PATH] [--f1 W] [--f2 W] [--grid-points N] [--q Q]
+  ftd diagnose --bank PATH [--fault COMP:PCT]... [--random N]
+               [--noise-db S] [--seed N] [--workers N] [--linear] [--q Q]
+  ftd bench-scan-vs-index [--components N] [--points N] [--dim D]
+               [--queries N] [--seed N] [--workers N] [--leaf N]
+  ftd help | --help
+
+SUBCOMMANDS:
+  build-bank           Simulate the Tow-Thomas CUT's fault dictionary,
+                       materialise the fault trajectories at the test
+                       vector {--f1, --f2}, and persist the bank.
+  diagnose             Load a bank, measure signatures for the requested
+                       (--fault R2:+25) and/or --random sampled unknown
+                       faults on the same CUT, and diagnose them as one
+                       batch (spatial index unless --linear).
+  bench-scan-vs-index  Time linear scan vs spatial index, single-query
+                       and batched, on a synthetic >=1k-segment bank.
+";
+
+/// Entry point for the `ftd` binary: parses `args` (without the program
+/// name) and runs the requested subcommand.
+///
+/// Returns the process exit code.
+pub fn main_from_args(args: Vec<String>) -> i32 {
+    let (cmd, rest) = match args.split_first() {
+        None => {
+            eprint!("{USAGE}");
+            return 2;
+        }
+        Some((cmd, rest)) => (cmd.as_str(), rest),
+    };
+    if matches!(cmd, "help" | "--help" | "-h") {
+        print!("{USAGE}");
+        return 0;
+    }
+    let run = match cmd {
+        "build-bank" => build_bank(rest),
+        "diagnose" => diagnose(rest),
+        "bench-scan-vs-index" => bench_scan_vs_index(rest),
+        other => {
+            eprintln!("ftd: unknown subcommand `{other}`\n");
+            eprint!("{USAGE}");
+            return 2;
+        }
+    };
+    match run {
+        Ok(()) => 0,
+        Err(CliError::Usage(msg)) => {
+            eprintln!("ftd: {msg}\n");
+            eprint!("{USAGE}");
+            2
+        }
+        Err(CliError::Runtime(msg)) => {
+            eprintln!("ftd: {msg}");
+            1
+        }
+    }
+}
+
+#[derive(Debug)]
+enum CliError {
+    Usage(String),
+    Runtime(String),
+}
+
+fn usage(msg: impl Into<String>) -> CliError {
+    CliError::Usage(msg.into())
+}
+
+fn runtime(msg: impl std::fmt::Display) -> CliError {
+    CliError::Runtime(msg.to_string())
+}
+
+/// Minimal flag cursor: `--flag value` pairs plus repeatable flags.
+struct Flags<'a> {
+    args: std::slice::Iter<'a, String>,
+}
+
+impl<'a> Flags<'a> {
+    fn new(args: &'a [String]) -> Self {
+        Flags { args: args.iter() }
+    }
+
+    fn next_flag(&mut self) -> Option<&'a str> {
+        self.args.next().map(String::as_str)
+    }
+
+    fn value(&mut self, flag: &str) -> Result<&'a str, CliError> {
+        self.args
+            .next()
+            .map(String::as_str)
+            .ok_or_else(|| usage(format!("{flag} needs a value")))
+    }
+
+    fn parse<T: std::str::FromStr>(&mut self, flag: &str) -> Result<T, CliError> {
+        let raw = self.value(flag)?;
+        raw.parse()
+            .map_err(|_| usage(format!("{flag}: cannot parse `{raw}`")))
+    }
+}
+
+/// Parses `COMP:PCT` fault specs (`R2:+25`, `C1:-12.5`, `R3:30%`).
+fn parse_fault(spec: &str) -> Result<ParametricFault, CliError> {
+    let (comp, pct) = spec
+        .split_once(':')
+        .ok_or_else(|| usage(format!("--fault expects COMP:PCT, got `{spec}`")))?;
+    let pct: f64 = pct
+        .trim_end_matches('%')
+        .parse()
+        .map_err(|_| usage(format!("--fault {spec}: bad percentage")))?;
+    if comp.is_empty() || !pct.is_finite() || pct <= -100.0 {
+        return Err(usage(format!("--fault {spec}: invalid fault")));
+    }
+    Ok(ParametricFault::from_percent(comp, pct))
+}
+
+fn build_bank(args: &[String]) -> Result<(), CliError> {
+    let mut out = "bank.ftb".to_string();
+    let mut f1 = 0.6f64;
+    let mut f2 = 1.6f64;
+    let mut grid_points = 41usize;
+    let mut q = 1.0f64;
+    let mut flags = Flags::new(args);
+    while let Some(flag) = flags.next_flag() {
+        match flag {
+            "--out" => out = flags.value("--out")?.to_string(),
+            "--f1" => f1 = flags.parse("--f1")?,
+            "--f2" => f2 = flags.parse("--f2")?,
+            "--grid-points" => grid_points = flags.parse("--grid-points")?,
+            "--q" => q = flags.parse("--q")?,
+            other => return Err(usage(format!("build-bank: unknown flag `{other}`"))),
+        }
+    }
+    if !(f1.is_finite() && f2.is_finite() && f1 > 0.0 && f2 > f1) {
+        return Err(usage("need 0 < --f1 < --f2"));
+    }
+    if grid_points < 2 {
+        return Err(usage("--grid-points must be at least 2"));
+    }
+
+    let started = Instant::now();
+    let bench = tow_thomas_normalized(q).map_err(runtime)?;
+    let universe = FaultUniverse::new(&bench.fault_set, DeviationGrid::paper());
+    let grid = FrequencyGrid::log_space(bench.search_band.0, bench.search_band.1, grid_points);
+    let dict = FaultDictionary::build(&bench.circuit, &universe, &bench.input, &bench.probe, &grid)
+        .map_err(runtime)?;
+    let bank = TrajectoryBank::build(dict, &TestVector::pair(f1, f2));
+    let bytes = bank.to_bytes();
+    std::fs::write(&out, &bytes).map_err(runtime)?;
+
+    println!(
+        "built bank `{out}`: {} faults x {} grid points, {} trajectories / {} segments at tv {}, {} bytes, {:.2?}",
+        bank.dictionary().entries().len(),
+        bank.dictionary().grid().len(),
+        bank.trajectory_set().len(),
+        bank.trajectory_set().total_segments(),
+        bank.test_vector(),
+        bytes.len(),
+        started.elapsed(),
+    );
+    Ok(())
+}
+
+fn diagnose(args: &[String]) -> Result<(), CliError> {
+    let mut bank_path: Option<String> = None;
+    let mut faults: Vec<ParametricFault> = Vec::new();
+    let mut random = 0usize;
+    let mut noise_db = 0.0f64;
+    let mut seed = 2005u64;
+    let mut workers: Option<usize> = None;
+    let mut linear = false;
+    let mut q = 1.0f64;
+    let mut flags = Flags::new(args);
+    while let Some(flag) = flags.next_flag() {
+        match flag {
+            "--bank" => bank_path = Some(flags.value("--bank")?.to_string()),
+            "--fault" => faults.push(parse_fault(flags.value("--fault")?)?),
+            "--random" => random = flags.parse("--random")?,
+            "--noise-db" => noise_db = flags.parse("--noise-db")?,
+            "--seed" => seed = flags.parse("--seed")?,
+            "--workers" => workers = Some(flags.parse("--workers")?),
+            "--linear" => linear = true,
+            "--q" => q = flags.parse("--q")?,
+            other => return Err(usage(format!("diagnose: unknown flag `{other}`"))),
+        }
+    }
+    let bank_path = bank_path.ok_or_else(|| usage("diagnose needs --bank PATH"))?;
+    if !(noise_db.is_finite() && noise_db >= 0.0) {
+        return Err(usage("--noise-db must be non-negative"));
+    }
+    if faults.is_empty() && random == 0 {
+        random = 8;
+    }
+
+    let engine = DiagnosisEngine::load(
+        &bank_path,
+        EngineConfig {
+            diagnoser: DiagnoserConfig::default(),
+            workers,
+        },
+    )
+    .map_err(runtime)?;
+    let bank = engine.bank();
+    println!(
+        "loaded `{bank_path}`: {} trajectories / {} segments at tv {}",
+        bank.trajectory_set().len(),
+        bank.trajectory_set().total_segments(),
+        bank.test_vector(),
+    );
+
+    // The bank stores responses, not the netlist; observations are
+    // simulated on a rebuilt CUT, which must be the circuit the bank
+    // was built from. Verify that by reproducing the bank's stored
+    // golden response — a `--q` mismatch fails loudly here instead of
+    // silently skewing every diagnosis.
+    let bench = tow_thomas_normalized(q).map_err(runtime)?;
+    let golden = ft_circuit::sweep(
+        &bench.circuit,
+        bank.dictionary().input(),
+        bank.dictionary().probe(),
+        bank.dictionary().grid(),
+    )
+    .map_err(runtime)?
+    .magnitude_db();
+    let drift = golden
+        .iter()
+        .zip(bank.dictionary().golden_db())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max);
+    if drift > 1e-6 {
+        return Err(runtime(format!(
+            "bank golden response does not match the Q={q} CUT (max drift {drift:.3} dB); \
+             was the bank built with a different --q?"
+        )));
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..random {
+        faults.push(bank.dictionary().universe().sample_unknown(&mut rng, 5.0));
+    }
+
+    let tv = bank.test_vector().clone();
+    let noise = MeasurementNoise::new(noise_db);
+    let mut signatures = Vec::with_capacity(faults.len());
+    for fault in &faults {
+        let faulty = fault.apply(&bench.circuit).map_err(runtime)?;
+        let mut sig = measure_signature(&faulty, &bench.circuit, &bench.input, &bench.probe, &tv)
+            .map_err(runtime)?;
+        if noise_db > 0.0 {
+            sig = Signature::new(
+                sig.coords()
+                    .iter()
+                    .map(|&x| noise.perturb(x, &mut rng))
+                    .collect::<Vec<f64>>(),
+            );
+        }
+        signatures.push(sig);
+    }
+
+    let started = Instant::now();
+    let results = if linear {
+        engine.diagnose_batch_linear(&signatures)
+    } else {
+        engine.diagnose_batch(&signatures)
+    };
+    let elapsed = started.elapsed();
+
+    let mut top1 = 0usize;
+    let mut in_set = 0usize;
+    println!("true fault      predicted            est.dev   distance  ambiguity set");
+    for (fault, diagnosis) in faults.iter().zip(&results) {
+        let best = diagnosis.best();
+        let hit = best.component == fault.component();
+        let set_hit = diagnosis.ambiguity_set().contains(&fault.component());
+        top1 += hit as usize;
+        in_set += set_hit as usize;
+        println!(
+            "{:<15} {:<20} {:>+7.1}%  {:>8.4}  {{{}}}{}",
+            fault.to_string(),
+            best.component,
+            best.deviation_pct,
+            best.distance,
+            diagnosis.ambiguity_set().join(", "),
+            if hit {
+                ""
+            } else if set_hit {
+                "  (in set)"
+            } else {
+                "  MISS"
+            },
+        );
+    }
+    println!(
+        "{}/{} top-1, {}/{} in ambiguity set, {} path, {:.2?} for the batch",
+        top1,
+        results.len(),
+        in_set,
+        results.len(),
+        if linear { "linear" } else { "indexed" },
+        elapsed,
+    );
+    Ok(())
+}
+
+fn bench_scan_vs_index(args: &[String]) -> Result<(), CliError> {
+    // Default shape: the paper-like CUT (a handful of components) with a
+    // production-dense deviation sweep — 8 × 128 = 1024 segments.
+    let mut components = 8usize;
+    let mut points = 64usize;
+    let mut dim = 2usize;
+    let mut queries = 200usize;
+    let mut seed = 7u64;
+    let mut workers: Option<usize> = None;
+    let mut leaf = 0usize;
+    let mut flags = Flags::new(args);
+    while let Some(flag) = flags.next_flag() {
+        match flag {
+            "--components" => components = flags.parse("--components")?,
+            "--points" => points = flags.parse("--points")?,
+            "--dim" => dim = flags.parse("--dim")?,
+            "--queries" => queries = flags.parse("--queries")?,
+            "--seed" => seed = flags.parse("--seed")?,
+            "--workers" => workers = Some(flags.parse("--workers")?),
+            "--leaf" => leaf = flags.parse("--leaf")?,
+            other => {
+                return Err(usage(format!(
+                    "bench-scan-vs-index: unknown flag `{other}`"
+                )));
+            }
+        }
+    }
+    if components == 0 || points == 0 || dim == 0 || queries == 0 {
+        return Err(usage(
+            "--components/--points/--dim/--queries must be positive",
+        ));
+    }
+
+    let set = synthetic_trajectory_set(components, points, dim, seed);
+    let qs = synthetic_queries(&set, queries, seed.wrapping_add(1));
+    let index = if leaf == 0 {
+        SegmentIndex::build(&set)
+    } else {
+        SegmentIndex::with_leaf_size(&set, leaf)
+    };
+    let diagnoser = Diagnoser::new(set.clone(), DiagnoserConfig::default());
+    println!(
+        "bank: {} trajectories x {} segments = {} segments, dim {}, {} tree nodes",
+        components,
+        set.total_segments() / components,
+        set.total_segments(),
+        dim,
+        index.node_count(),
+    );
+
+    // Warm-up + exactness self-check: the two paths must agree
+    // bit-for-bit before any timing is worth reporting.
+    let mut linear_results: Vec<Diagnosis> = Vec::with_capacity(qs.len());
+    let t_linear = Instant::now();
+    for q in &qs {
+        linear_results.push(diagnoser.diagnose(q));
+    }
+    let t_linear = t_linear.elapsed();
+    let mut indexed_results: Vec<Diagnosis> = Vec::with_capacity(qs.len());
+    let t_indexed = Instant::now();
+    for q in &qs {
+        indexed_results.push(diagnoser.diagnose_with(&index, q));
+    }
+    let t_indexed = t_indexed.elapsed();
+    if linear_results != indexed_results {
+        return Err(runtime("indexed path diverged from the linear scan"));
+    }
+
+    let mut examined = 0usize;
+    for q in &qs {
+        examined += index.query_stats(q).1.segments_examined;
+    }
+    let frac = examined as f64 / (index.len() * qs.len()) as f64;
+
+    let t_batch_linear = Instant::now();
+    let batch_linear = diagnose_batch_with(&diagnoser, &LinearScan, &qs, workers);
+    let t_batch_linear = t_batch_linear.elapsed();
+    let t_batch_indexed = Instant::now();
+    let batch_indexed = diagnose_batch_with(&diagnoser, &index, &qs, workers);
+    let t_batch_indexed = t_batch_indexed.elapsed();
+    if batch_linear != linear_results || batch_indexed != indexed_results {
+        return Err(runtime(
+            "batched results diverged from single-query results",
+        ));
+    }
+
+    let per = |d: std::time::Duration| d.as_secs_f64() * 1e6 / qs.len() as f64;
+    println!("{} queries, results identical on every path", qs.len());
+    println!("  linear scan    : {:>9.1} us/query", per(t_linear));
+    println!(
+        "  spatial index  : {:>9.1} us/query  ({:.1}x, examined {:.1}% of segments)",
+        per(t_indexed),
+        per(t_linear) / per(t_indexed).max(1e-12),
+        frac * 100.0,
+    );
+    println!("  batch linear   : {:>9.1} us/query", per(t_batch_linear));
+    println!(
+        "  batch indexed  : {:>9.1} us/query  ({:.1}x vs single linear)",
+        per(t_batch_indexed),
+        per(t_linear) / per(t_batch_indexed).max(1e-12),
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_spec_parsing() {
+        let f = parse_fault("R2:+25").unwrap();
+        assert_eq!(f.component(), "R2");
+        assert_eq!(f.percent(), 25.0);
+        let f = parse_fault("C1:-12.5%").unwrap();
+        assert_eq!(f.component(), "C1");
+        assert_eq!(f.percent(), -12.5);
+        assert!(parse_fault("R2").is_err());
+        assert!(parse_fault(":25").is_err());
+        assert!(parse_fault("R2:abc").is_err());
+        assert!(parse_fault("R2:-100").is_err());
+    }
+
+    #[test]
+    fn help_and_unknown_commands() {
+        assert_eq!(main_from_args(vec!["--help".into()]), 0);
+        assert_eq!(main_from_args(vec!["help".into()]), 0);
+        assert_eq!(main_from_args(vec![]), 2);
+        assert_eq!(main_from_args(vec!["frobnicate".into()]), 2);
+    }
+
+    #[test]
+    fn usage_errors_are_exit_2() {
+        assert_eq!(
+            main_from_args(vec!["diagnose".into()]), // missing --bank
+            2
+        );
+        assert_eq!(
+            main_from_args(vec!["build-bank".into(), "--bogus".into()]),
+            2
+        );
+        assert_eq!(
+            main_from_args(vec![
+                "build-bank".into(),
+                "--f1".into(),
+                "2.0".into(),
+                "--f2".into(),
+                "1.0".into(),
+            ]),
+            2
+        );
+    }
+
+    #[test]
+    fn missing_bank_file_is_exit_1() {
+        assert_eq!(
+            main_from_args(vec![
+                "diagnose".into(),
+                "--bank".into(),
+                "/nonexistent/bank.ftb".into(),
+            ]),
+            1
+        );
+    }
+
+    #[test]
+    fn bench_subcommand_runs_small() {
+        assert_eq!(
+            main_from_args(vec![
+                "bench-scan-vs-index".into(),
+                "--components".into(),
+                "8".into(),
+                "--points".into(),
+                "3".into(),
+                "--queries".into(),
+                "5".into(),
+            ]),
+            0
+        );
+    }
+
+    #[test]
+    fn build_and_diagnose_round_trip() {
+        let path = std::env::temp_dir().join("ftd_cli_test_bank.ftb");
+        let path_str = path.to_string_lossy().to_string();
+        assert_eq!(
+            main_from_args(vec![
+                "build-bank".into(),
+                "--out".into(),
+                path_str.clone(),
+                "--grid-points".into(),
+                "21".into(),
+            ]),
+            0
+        );
+        assert_eq!(
+            main_from_args(vec![
+                "diagnose".into(),
+                "--bank".into(),
+                path_str.clone(),
+                "--fault".into(),
+                "R2:+25".into(),
+                "--random".into(),
+                "3".into(),
+            ]),
+            0
+        );
+        // Diagnosing against a different CUT (Q mismatch) must fail
+        // loudly instead of silently skewing results.
+        assert_eq!(
+            main_from_args(vec![
+                "diagnose".into(),
+                "--bank".into(),
+                path_str.clone(),
+                "--q".into(),
+                "2.0".into(),
+            ]),
+            1
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}

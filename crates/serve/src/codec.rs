@@ -1,0 +1,474 @@
+//! Self-contained binary codec for trajectory banks.
+//!
+//! The vendored `serde` is a marker-only shim (see `vendor/README.md`),
+//! so persistence is hand-rolled: a fixed container layout with a
+//! versioned header, length-prefixed fields, and a checksum over the
+//! payload, decoded by a corruption-detecting reader that never trusts a
+//! length it has not bounds-checked.
+//!
+//! ## Container layout
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"FTBANK\r\n"
+//! 8       2     format version (u16 LE)
+//! 10      8     payload length in bytes (u64 LE)
+//! 18      8     FNV-1a 64 checksum of the payload (u64 LE)
+//! 26      n     payload (length-prefixed fields, little-endian)
+//! ```
+//!
+//! Within the payload every variable-length field carries a `u32 LE`
+//! count prefix; scalars are fixed-width little-endian. All reads are
+//! bounds-checked and a decode must consume the payload exactly.
+
+use std::fmt;
+
+/// Container magic. The `\r\n` tail catches text-mode transfer mangling,
+/// PNG-style.
+pub const BANK_MAGIC: [u8; 8] = *b"FTBANK\r\n";
+
+/// Current container format version.
+pub const BANK_VERSION: u16 = 1;
+
+/// Size of the fixed container header in bytes.
+pub const HEADER_LEN: usize = 8 + 2 + 8 + 8;
+
+/// Errors surfaced while encoding to or decoding from the container
+/// format.
+#[derive(Debug)]
+pub enum CodecError {
+    /// Underlying file I/O failed.
+    Io(std::io::Error),
+    /// The container does not start with [`BANK_MAGIC`].
+    BadMagic,
+    /// The container's format version is newer than this reader.
+    UnsupportedVersion(u16),
+    /// The container or a field within it is shorter than declared.
+    Truncated {
+        /// Bytes the decoder needed.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// The payload checksum does not match the header.
+    ChecksumMismatch {
+        /// Checksum stored in the header.
+        stored: u64,
+        /// Checksum recomputed over the payload.
+        computed: u64,
+    },
+    /// The payload decoded cleanly but bytes were left over.
+    TrailingBytes(usize),
+    /// A field violated a structural invariant (bad tag, bad UTF-8,
+    /// inconsistent counts, non-finite value where one is required, …).
+    Malformed(String),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Io(e) => write!(f, "bank I/O error: {e}"),
+            CodecError::BadMagic => write!(f, "not a trajectory bank (bad magic)"),
+            CodecError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported bank format version {v} (reader supports {BANK_VERSION})"
+                )
+            }
+            CodecError::Truncated { needed, available } => {
+                write!(
+                    f,
+                    "truncated bank: needed {needed} bytes, found {available}"
+                )
+            }
+            CodecError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "bank payload corrupted: checksum {computed:#018x} != stored {stored:#018x}"
+            ),
+            CodecError::TrailingBytes(n) => write!(f, "bank payload has {n} trailing bytes"),
+            CodecError::Malformed(what) => write!(f, "malformed bank: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CodecError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CodecError {
+    fn from(e: std::io::Error) -> Self {
+        CodecError::Io(e)
+    }
+}
+
+/// FNV-1a 64-bit checksum — small, dependency-free, and plenty to catch
+/// the bit rot and truncation a dictionary artifact can suffer on disk.
+pub fn checksum(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Appends length-prefixed little-endian fields to a payload buffer.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// A fresh, empty payload.
+    pub fn new() -> Self {
+        Encoder::default()
+    }
+
+    /// Appends a raw byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32` (LE).
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64` (LE).
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern (LE) — exact, so a
+    /// round trip is bit-identical.
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the string exceeds `u32::MAX` bytes.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u32(u32::try_from(s.len()).expect("string fits u32 length prefix"));
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Appends a length-prefixed `f64` slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice exceeds `u32::MAX` elements.
+    pub fn put_f64s(&mut self, xs: &[f64]) {
+        self.put_u32(u32::try_from(xs.len()).expect("slice fits u32 length prefix"));
+        for &x in xs {
+            self.put_f64(x);
+        }
+    }
+
+    /// Current payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when nothing has been encoded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Seals the payload into a full container: header (magic, version,
+    /// length, checksum) followed by the payload bytes.
+    pub fn finish(self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN + self.buf.len());
+        out.extend_from_slice(&BANK_MAGIC);
+        out.extend_from_slice(&BANK_VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.buf.len() as u64).to_le_bytes());
+        out.extend_from_slice(&checksum(&self.buf).to_le_bytes());
+        out.extend_from_slice(&self.buf);
+        out
+    }
+}
+
+/// Bounds-checked reader over a verified container payload.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Verifies a container (magic, version, declared length, checksum)
+    /// and returns a decoder positioned at the start of the payload.
+    ///
+    /// # Errors
+    ///
+    /// Any header or checksum violation is reported before a single
+    /// payload field is parsed.
+    pub fn open(container: &'a [u8]) -> Result<Self, CodecError> {
+        if container.len() < HEADER_LEN {
+            return Err(CodecError::Truncated {
+                needed: HEADER_LEN,
+                available: container.len(),
+            });
+        }
+        if container[..8] != BANK_MAGIC {
+            return Err(CodecError::BadMagic);
+        }
+        let version = u16::from_le_bytes([container[8], container[9]]);
+        if version != BANK_VERSION {
+            return Err(CodecError::UnsupportedVersion(version));
+        }
+        let declared = u64::from_le_bytes(container[10..18].try_into().expect("8 bytes"));
+        let payload = &container[HEADER_LEN..];
+        if declared != payload.len() as u64 {
+            return Err(CodecError::Truncated {
+                needed: HEADER_LEN + declared as usize,
+                available: container.len(),
+            });
+        }
+        let stored = u64::from_le_bytes(container[18..26].try_into().expect("8 bytes"));
+        let computed = checksum(payload);
+        if stored != computed {
+            return Err(CodecError::ChecksumMismatch { stored, computed });
+        }
+        Ok(Decoder {
+            buf: payload,
+            pos: 0,
+        })
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        let end = self.pos.checked_add(n).ok_or(CodecError::Truncated {
+            needed: usize::MAX,
+            available: self.buf.len(),
+        })?;
+        if end > self.buf.len() {
+            return Err(CodecError::Truncated {
+                needed: end,
+                available: self.buf.len(),
+            });
+        }
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] at end of payload.
+    pub fn get_u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `u32` (LE).
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] at end of payload.
+    pub fn get_u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Reads a `u64` (LE).
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] at end of payload.
+    pub fn get_u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads an `f64` bit pattern (LE).
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] at end of payload.
+    pub fn get_f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads a length-prefixed count and sanity-checks it against the
+    /// bytes remaining (each element at least `elem_size` bytes), so a
+    /// corrupt count cannot trigger a huge allocation.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] when the declared count cannot fit in
+    /// the remaining payload.
+    pub fn get_count(&mut self, elem_size: usize) -> Result<usize, CodecError> {
+        let n = self.get_u32()? as usize;
+        let needed = n.saturating_mul(elem_size.max(1));
+        let available = self.buf.len() - self.pos;
+        if needed > available {
+            return Err(CodecError::Truncated {
+                needed: self.pos + needed,
+                available: self.buf.len(),
+            });
+        }
+        Ok(n)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] or [`CodecError::Malformed`] on invalid
+    /// UTF-8.
+    pub fn get_str(&mut self) -> Result<String, CodecError> {
+        let n = self.get_count(1)?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| CodecError::Malformed("string field is not valid UTF-8".into()))
+    }
+
+    /// Reads a length-prefixed `f64` vector.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] when the declared length overruns the
+    /// payload.
+    pub fn get_f64s(&mut self) -> Result<Vec<f64>, CodecError> {
+        let n = self.get_count(8)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.get_f64()?);
+        }
+        Ok(out)
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Asserts the payload was consumed exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::TrailingBytes`] when bytes are left over.
+    pub fn finish(self) -> Result<(), CodecError> {
+        if self.pos != self.buf.len() {
+            return Err(CodecError::TrailingBytes(self.buf.len() - self.pos));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_container() -> Vec<u8> {
+        let mut enc = Encoder::new();
+        enc.put_u8(3);
+        enc.put_u32(77);
+        enc.put_u64(1 << 40);
+        enc.put_f64(-2.5);
+        enc.put_str("R3+20%");
+        enc.put_f64s(&[0.0, 1.5, f64::MAX]);
+        enc.finish()
+    }
+
+    #[test]
+    fn primitive_round_trip() {
+        let bytes = sample_container();
+        let mut dec = Decoder::open(&bytes).unwrap();
+        assert_eq!(dec.get_u8().unwrap(), 3);
+        assert_eq!(dec.get_u32().unwrap(), 77);
+        assert_eq!(dec.get_u64().unwrap(), 1 << 40);
+        assert_eq!(dec.get_f64().unwrap(), -2.5);
+        assert_eq!(dec.get_str().unwrap(), "R3+20%");
+        assert_eq!(dec.get_f64s().unwrap(), vec![0.0, 1.5, f64::MAX]);
+        assert_eq!(dec.remaining(), 0);
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = sample_container();
+        bytes[0] ^= 0xff;
+        assert!(matches!(Decoder::open(&bytes), Err(CodecError::BadMagic)));
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let mut bytes = sample_container();
+        bytes[8] = 0xfe;
+        bytes[9] = 0x01;
+        // Version bytes sit in the header, outside the checksum.
+        assert!(matches!(
+            Decoder::open(&bytes),
+            Err(CodecError::UnsupportedVersion(0x01fe))
+        ));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let bytes = sample_container();
+        for cut in [0, HEADER_LEN - 1, bytes.len() - 1] {
+            assert!(matches!(
+                Decoder::open(&bytes[..cut]),
+                Err(CodecError::Truncated { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn payload_corruption_detected() {
+        let mut bytes = sample_container();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x10;
+        assert!(matches!(
+            Decoder::open(&bytes),
+            Err(CodecError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_count_rejected_before_allocating() {
+        let mut enc = Encoder::new();
+        enc.put_u32(u32::MAX); // declares ~4 billion elements
+        let bytes = enc.finish();
+        let mut dec = Decoder::open(&bytes).unwrap();
+        assert!(matches!(dec.get_f64s(), Err(CodecError::Truncated { .. })));
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let bytes = sample_container();
+        let mut dec = Decoder::open(&bytes).unwrap();
+        let _ = dec.get_u8().unwrap();
+        assert!(matches!(dec.finish(), Err(CodecError::TrailingBytes(_))));
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut enc = Encoder::new();
+        enc.put_u32(2);
+        enc.put_u8(0xff);
+        enc.put_u8(0xfe);
+        let bytes = enc.finish();
+        let mut dec = Decoder::open(&bytes).unwrap();
+        assert!(matches!(dec.get_str(), Err(CodecError::Malformed(_))));
+    }
+
+    #[test]
+    fn checksum_is_order_sensitive() {
+        assert_ne!(checksum(b"ab"), checksum(b"ba"));
+        assert_ne!(checksum(b""), checksum(b"\0"));
+    }
+}

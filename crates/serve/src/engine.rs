@@ -1,0 +1,261 @@
+//! The online diagnosis engine: a loaded bank behind an index, serving
+//! single and batched queries.
+//!
+//! The engine owns one immutable [`TrajectoryBank`] plus its
+//! [`SegmentIndex`]; batched queries fan out over `std::thread::scope`
+//! workers that share the engine by reference (everything inside is
+//! plain immutable data, so the borrow is free) and write results into
+//! disjoint output slots, preserving input order.
+
+use std::path::Path;
+
+use ft_core::{Diagnoser, DiagnoserConfig, Diagnosis, SegmentQuery, Signature};
+
+use crate::bank::TrajectoryBank;
+use crate::codec::CodecError;
+use crate::index::SegmentIndex;
+
+/// Diagnoses a batch of signatures through an arbitrary query backend
+/// with `std::thread::scope` workers, returning results in input order.
+/// This is the engine's fan-out machinery exposed standalone so
+/// benchmarks and the CLI can drive bare [`Diagnoser`] + backend pairs.
+///
+/// # Panics
+///
+/// Panics on signature dimension mismatch or if a worker panics.
+pub fn diagnose_batch_with<B>(
+    diagnoser: &Diagnoser,
+    backend: &B,
+    observed: &[Signature],
+    workers: Option<usize>,
+) -> Vec<Diagnosis>
+where
+    B: SegmentQuery + Sync + ?Sized,
+{
+    let n = observed.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        })
+        .clamp(1, n);
+    let chunk = n.div_ceil(workers);
+    let mut out: Vec<Option<Diagnosis>> = vec![None; n];
+    std::thread::scope(|scope| {
+        for (in_chunk, out_chunk) in observed.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (sig, slot) in in_chunk.iter().zip(out_chunk.iter_mut()) {
+                    *slot = Some(diagnoser.diagnose_with(backend, sig));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|d| d.expect("every batch slot is filled by exactly one worker"))
+        .collect()
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EngineConfig {
+    /// Diagnosis configuration (ambiguity ratio).
+    pub diagnoser: DiagnoserConfig,
+    /// Worker threads for batched queries; `None` uses the machine's
+    /// available parallelism.
+    pub workers: Option<usize>,
+}
+
+/// A persistent, indexed, batched diagnosis engine over one bank.
+#[derive(Debug, Clone)]
+pub struct DiagnosisEngine {
+    bank: TrajectoryBank,
+    index: SegmentIndex,
+    diagnoser: Diagnoser,
+    config: EngineConfig,
+}
+
+impl DiagnosisEngine {
+    /// Builds the engine (and its spatial index) over a bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bank's trajectory set is empty.
+    pub fn new(bank: TrajectoryBank, config: EngineConfig) -> Self {
+        let index = SegmentIndex::build(bank.trajectory_set());
+        let diagnoser = Diagnoser::new(bank.trajectory_set().clone(), config.diagnoser);
+        DiagnosisEngine {
+            bank,
+            index,
+            diagnoser,
+            config,
+        }
+    }
+
+    /// Loads a bank file and builds the engine over it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bank I/O and decode errors.
+    pub fn load(path: impl AsRef<Path>, config: EngineConfig) -> Result<Self, CodecError> {
+        Ok(DiagnosisEngine::new(TrajectoryBank::load(path)?, config))
+    }
+
+    /// The underlying bank.
+    #[inline]
+    pub fn bank(&self) -> &TrajectoryBank {
+        &self.bank
+    }
+
+    /// The spatial index in use.
+    #[inline]
+    pub fn index(&self) -> &SegmentIndex {
+        &self.index
+    }
+
+    /// The engine configuration.
+    #[inline]
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// Diagnoses one observed signature through the spatial index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on signature dimension mismatch.
+    pub fn diagnose(&self, observed: &Signature) -> Diagnosis {
+        self.diagnoser.diagnose_with(&self.index, observed)
+    }
+
+    /// Diagnoses one observed signature with the exhaustive linear scan
+    /// — the reference path the index must agree with bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics on signature dimension mismatch.
+    pub fn diagnose_linear(&self, observed: &Signature) -> Diagnosis {
+        self.diagnoser.diagnose(observed)
+    }
+
+    /// Diagnoses a batch of observed signatures concurrently, returning
+    /// results in input order.
+    ///
+    /// # Panics
+    ///
+    /// Panics on signature dimension mismatch or if a worker panics.
+    pub fn diagnose_batch(&self, observed: &[Signature]) -> Vec<Diagnosis> {
+        self.batch(observed, true)
+    }
+
+    /// [`DiagnosisEngine::diagnose_batch`] over the linear path — kept
+    /// for benchmarking the index's win under identical threading.
+    ///
+    /// # Panics
+    ///
+    /// As [`DiagnosisEngine::diagnose_batch`].
+    pub fn diagnose_batch_linear(&self, observed: &[Signature]) -> Vec<Diagnosis> {
+        self.batch(observed, false)
+    }
+
+    fn batch(&self, observed: &[Signature], indexed: bool) -> Vec<Diagnosis> {
+        if indexed {
+            diagnose_batch_with(&self.diagnoser, &self.index, observed, self.config.workers)
+        } else {
+            diagnose_batch_with(
+                &self.diagnoser,
+                &ft_core::LinearScan,
+                observed,
+                self.config.workers,
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::synthetic_trajectory_set;
+    use ft_core::TestVector;
+    use ft_faults::{DeviationGrid, FaultDictionary, FaultUniverse};
+    use ft_numerics::FrequencyGrid;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn rc_engine(workers: Option<usize>) -> DiagnosisEngine {
+        let mut ckt = ft_circuit::Circuit::new("rc");
+        ckt.voltage_source("V1", "in", "0", 1.0).unwrap();
+        ckt.resistor("R1", "in", "out", 1e3).unwrap();
+        ckt.capacitor("C1", "out", "0", 1e-6).unwrap();
+        let universe = FaultUniverse::new(&["R1", "C1"], DeviationGrid::paper());
+        let grid = FrequencyGrid::log_space(1.0, 1e6, 15);
+        let dict = FaultDictionary::build(
+            &ckt,
+            &universe,
+            "V1",
+            &ft_circuit::Probe::node("out"),
+            &grid,
+        )
+        .unwrap();
+        let bank = TrajectoryBank::build(dict, &TestVector::pair(100.0, 1e4));
+        DiagnosisEngine::new(
+            bank,
+            EngineConfig {
+                workers,
+                ..EngineConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn indexed_and_linear_paths_agree() {
+        let engine = rc_engine(Some(2));
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let sig = Signature::new(vec![rng.gen_range(-6.0..6.0), rng.gen_range(-6.0..6.0)]);
+            assert_eq!(engine.diagnose(&sig), engine.diagnose_linear(&sig));
+        }
+    }
+
+    #[test]
+    fn batch_preserves_input_order() {
+        let engine = rc_engine(Some(3));
+        let mut rng = StdRng::seed_from_u64(6);
+        let sigs: Vec<Signature> = (0..23)
+            .map(|_| Signature::new(vec![rng.gen_range(-6.0..6.0), rng.gen_range(-6.0..6.0)]))
+            .collect();
+        let batched = engine.diagnose_batch(&sigs);
+        assert_eq!(batched.len(), sigs.len());
+        for (sig, got) in sigs.iter().zip(&batched) {
+            assert_eq!(&engine.diagnose(sig), got, "order or result drift");
+        }
+        // Linear batch agrees too.
+        assert_eq!(engine.diagnose_batch_linear(&sigs), batched);
+    }
+
+    #[test]
+    fn batch_edge_cases() {
+        let engine = rc_engine(None);
+        assert!(engine.diagnose_batch(&[]).is_empty());
+        let one = vec![Signature::new(vec![1.0, -1.0])];
+        assert_eq!(engine.diagnose_batch(&one).len(), 1);
+        // More workers than work.
+        let engine = rc_engine(Some(64));
+        assert_eq!(engine.diagnose_batch(&one).len(), 1);
+    }
+
+    #[test]
+    fn engine_over_synthetic_bank_is_exact() {
+        let set = synthetic_trajectory_set(24, 6, 2, 99);
+        let idx = SegmentIndex::build(&set);
+        let diag = Diagnoser::new(set, DiagnoserConfig::default());
+        let mut rng = StdRng::seed_from_u64(100);
+        for _ in 0..40 {
+            let sig = Signature::new(vec![rng.gen_range(-8.0..8.0), rng.gen_range(-8.0..8.0)]);
+            assert_eq!(diag.diagnose(&sig), diag.diagnose_with(&idx, &sig));
+        }
+    }
+}

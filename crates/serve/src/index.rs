@@ -1,0 +1,449 @@
+//! Spatial index over trajectory segments: a forest of per-trajectory
+//! AABB trees in signature space.
+//!
+//! The linear diagnosis path scans every segment of every trajectory for
+//! each query. A full ranked diagnosis needs the **exact** nearest
+//! segment of *every* trajectory (not just the globally closest one), so
+//! the index is organised the way the answer is: per trajectory. Each
+//! trajectory's segments — contiguous along its polyline — are boxed
+//! into a balanced binary AABB tree (a k-d-style structure over
+//! signature space), and a query runs branch-and-bound down each tree:
+//! a subtree is skipped only when the distance from the observation to
+//! its bounding box (a lower bound on the distance to every segment
+//! inside, with a safety margin on top) already exceeds the best
+//! distance found for that trajectory. Per trajectory this is
+//! `O(log n + k)` instead of `O(n)`, independent of how far the
+//! observation sits from the rest of the bank — the property a *global*
+//! spatial structure cannot offer for full rankings, where the search
+//! radius is set by the worst component.
+//!
+//! Descent is best-first (the child box nearer the observation is
+//! explored before its sibling), so the running best converges in one
+//! dive and the sibling subtrees prune at the highest possible level.
+//! Results are nonetheless **bit-identical** to the linear scan:
+//!
+//! * distances come from the same [`point_segment_distance`] calls on
+//!   the same coordinates;
+//! * the running best carries the segment index it came from, and a
+//!   later segment replaces it only with a strictly smaller distance or
+//!   an equal distance at a smaller index — the same winner the
+//!   linear scan's first-wins rule picks, independent of visit order;
+//! * a pruned subtree satisfies `box distance > best + slack`, and the
+//!   box distance lower-bounds every segment inside, so a pruned
+//!   segment could never have improved *or tied* the running best.
+
+use ft_core::geometry::point_segment_distance;
+use ft_core::{SegmentQuery, Signature, TrajectorySet};
+
+/// Default maximum number of segments per leaf node.
+const DEFAULT_LEAF_SIZE: usize = 4;
+
+/// Conservative slack added to pruning bounds so floating-point rounding
+/// can never skip a segment the linear scan would have preferred.
+fn prune_slack(d: f64) -> f64 {
+    1e-9 + 1e-12 * d.abs()
+}
+
+/// Instrumentation of one index query.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Tree nodes whose bounding box was tested.
+    pub nodes_visited: usize,
+    /// Segments whose exact distance was computed.
+    pub segments_examined: usize,
+}
+
+/// One AABB-tree node covering the contiguous segment range
+/// `[seg_lo, seg_hi)` of a single trajectory. `left == u32::MAX` marks
+/// a leaf; the bounding box lives in the parallel `boxes` array.
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    left: u32,
+    right: u32,
+    seg_lo: u32,
+    seg_hi: u32,
+}
+
+/// A per-trajectory AABB-tree index over all segments of a
+/// [`TrajectorySet`].
+#[derive(Debug, Clone)]
+pub struct SegmentIndex {
+    dim: usize,
+    n_traj: usize,
+    /// Root node id per trajectory.
+    roots: Vec<u32>,
+    /// Tree nodes, all trajectories pooled.
+    nodes: Vec<Node>,
+    /// Node bounding boxes, stride `2 * dim`: lower then upper corner.
+    boxes: Vec<f64>,
+    /// Segment id → (start, end) deviation percentages; ids are
+    /// trajectory-major, matching `TrajectorySet::all_segments`.
+    seg_dev: Vec<(f64, f64)>,
+    /// Flat endpoint store, stride `2 * dim`: `a` then `b`.
+    coords: Vec<f64>,
+}
+
+impl SegmentIndex {
+    /// Builds the index with the default leaf size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is empty.
+    pub fn build(set: &TrajectorySet) -> Self {
+        Self::with_leaf_size(set, DEFAULT_LEAF_SIZE)
+    }
+
+    /// Builds the index with an explicit maximum leaf size (smaller
+    /// leaves prune harder but test more boxes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is empty or `leaf_size` is zero.
+    pub fn with_leaf_size(set: &TrajectorySet, leaf_size: usize) -> Self {
+        assert!(!set.is_empty(), "cannot index an empty trajectory set");
+        assert!(leaf_size > 0, "leaf size must be positive");
+        let dim = set.dim();
+        let mut index = SegmentIndex {
+            dim,
+            n_traj: set.len(),
+            roots: Vec::with_capacity(set.len()),
+            nodes: Vec::new(),
+            boxes: Vec::new(),
+            seg_dev: Vec::new(),
+            coords: Vec::new(),
+        };
+        for (_, _, d0, p0, d1, p1) in set.all_segments() {
+            index.seg_dev.push((d0, d1));
+            index.coords.extend_from_slice(p0.coords());
+            index.coords.extend_from_slice(p1.coords());
+        }
+        let mut seg_base = 0u32;
+        for t in set.trajectories() {
+            let n = t.segment_count() as u32;
+            let root = index.build_node(seg_base, seg_base + n, leaf_size as u32);
+            index.roots.push(root);
+            seg_base += n;
+        }
+        index
+    }
+
+    /// Recursively builds the subtree over global segment ids
+    /// `[seg_lo, seg_hi)` and returns its node id.
+    fn build_node(&mut self, seg_lo: u32, seg_hi: u32, leaf_size: u32) -> u32 {
+        let (left, right) = if seg_hi - seg_lo <= leaf_size {
+            (u32::MAX, u32::MAX)
+        } else {
+            let mid = seg_lo + (seg_hi - seg_lo) / 2;
+            (
+                self.build_node(seg_lo, mid, leaf_size),
+                self.build_node(mid, seg_hi, leaf_size),
+            )
+        };
+        let id = self.nodes.len() as u32;
+        self.nodes.push(Node {
+            left,
+            right,
+            seg_lo,
+            seg_hi,
+        });
+        // Bounding box over every endpoint of the range.
+        let lo_at = self.boxes.len();
+        self.boxes
+            .extend(std::iter::repeat_n(f64::INFINITY, self.dim));
+        self.boxes
+            .extend(std::iter::repeat_n(f64::NEG_INFINITY, self.dim));
+        for s in seg_lo..seg_hi {
+            let base = s as usize * 2 * self.dim;
+            for k in 0..self.dim {
+                for &x in &[self.coords[base + k], self.coords[base + self.dim + k]] {
+                    self.boxes[lo_at + k] = self.boxes[lo_at + k].min(x);
+                    self.boxes[lo_at + self.dim + k] = self.boxes[lo_at + self.dim + k].max(x);
+                }
+            }
+        }
+        id
+    }
+
+    /// Number of indexed segments.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.seg_dev.len()
+    }
+
+    /// `true` when no segments are indexed (never, for built indexes).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.seg_dev.is_empty()
+    }
+
+    /// Signature-space dimension.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of trajectories covered.
+    #[inline]
+    pub fn trajectory_count(&self) -> usize {
+        self.n_traj
+    }
+
+    /// Total tree nodes across all trajectories.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Distance from `q` to node `n`'s bounding box (zero inside).
+    fn box_distance(&self, n: usize, q: &[f64]) -> f64 {
+        let base = n * 2 * self.dim;
+        let mut d2 = 0.0;
+        for (k, &qk) in q.iter().enumerate() {
+            let lo = self.boxes[base + k];
+            let hi = self.boxes[base + self.dim + k];
+            let delta = (lo - qk).max(qk - hi).max(0.0);
+            d2 += delta * delta;
+        }
+        d2.sqrt()
+    }
+
+    /// Best `(distance, deviation)` per trajectory, as
+    /// [`SegmentQuery::best_per_trajectory`], discarding statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn query(&self, observed: &Signature) -> Vec<(f64, f64)> {
+        self.query_stats(observed).0
+    }
+
+    /// [`SegmentIndex::query`] plus instrumentation: how many node boxes
+    /// were tested and how many exact segment distances were computed.
+    /// On a large bank `segments_examined` is a small fraction of
+    /// [`SegmentIndex::len`] — that fraction *is* the speed-up.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn query_stats(&self, observed: &Signature) -> (Vec<(f64, f64)>, QueryStats) {
+        assert_eq!(
+            observed.dim(),
+            self.dim,
+            "signature dimension must match the index"
+        );
+        let q = observed.coords();
+        let mut stats = QueryStats::default();
+        let mut best = Vec::with_capacity(self.n_traj);
+
+        for &root in &self.roots {
+            let mut cur = Best {
+                dist: f64::INFINITY,
+                dev: 0.0,
+                seg: u32::MAX,
+            };
+            stats.nodes_visited += 1;
+            self.descend(root as usize, q, &mut cur, &mut stats);
+            best.push((cur.dist, cur.dev));
+        }
+        (best, stats)
+    }
+
+    /// Best-first branch-and-bound over one subtree. The caller has
+    /// already established that the subtree may matter (or that the
+    /// best is still infinite).
+    fn descend(&self, nid: usize, q: &[f64], cur: &mut Best, stats: &mut QueryStats) {
+        let node = self.nodes[nid];
+        if node.left == u32::MAX {
+            for s in node.seg_lo..node.seg_hi {
+                let base = s as usize * 2 * self.dim;
+                let a = &self.coords[base..base + self.dim];
+                let b = &self.coords[base + self.dim..base + 2 * self.dim];
+                let (dist, tpar) = point_segment_distance(q, a, b);
+                stats.segments_examined += 1;
+                if dist < cur.dist || (dist == cur.dist && s < cur.seg) {
+                    let (d0, d1) = self.seg_dev[s as usize];
+                    cur.dist = dist;
+                    cur.dev = d0 + tpar * (d1 - d0);
+                    cur.seg = s;
+                }
+            }
+            return;
+        }
+        let (l, r) = (node.left as usize, node.right as usize);
+        let dl = self.box_distance(l, q);
+        let dr = self.box_distance(r, q);
+        stats.nodes_visited += 2;
+        let (first, d_first, second, d_second) = if dl <= dr {
+            (l, dl, r, dr)
+        } else {
+            (r, dr, l, dl)
+        };
+        if d_first <= cur.dist + prune_slack(cur.dist) {
+            self.descend(first, q, cur, stats);
+        }
+        if d_second <= cur.dist + prune_slack(cur.dist) {
+            self.descend(second, q, cur, stats);
+        }
+    }
+}
+
+/// Running per-trajectory best during descent; `seg` breaks exact
+/// distance ties toward the lowest segment index, as the linear scan's
+/// first-wins rule does.
+struct Best {
+    dist: f64,
+    dev: f64,
+    seg: u32,
+}
+
+impl SegmentQuery for SegmentIndex {
+    fn best_per_trajectory(&self, set: &TrajectorySet, observed: &Signature) -> Vec<(f64, f64)> {
+        assert!(
+            set.len() == self.n_traj && set.dim() == self.dim && set.total_segments() == self.len(),
+            "index was built over a different trajectory set"
+        );
+        self.query(observed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_core::{Diagnoser, DiagnoserConfig, FaultTrajectory, LinearScan, TestVector};
+
+    fn sig(x: f64, y: f64) -> Signature {
+        Signature::new(vec![x, y])
+    }
+
+    /// Two crossing trajectories, as in the ft-core diagnosis tests.
+    fn cross_set() -> TrajectorySet {
+        let a = FaultTrajectory::new(
+            "A",
+            vec![-20.0, -10.0, 0.0, 10.0, 20.0],
+            vec![
+                sig(-4.0, 0.0),
+                sig(-2.0, 0.0),
+                sig(0.0, 0.0),
+                sig(2.0, 0.0),
+                sig(4.0, 0.0),
+            ],
+        );
+        let b = FaultTrajectory::new(
+            "B",
+            vec![-20.0, -10.0, 0.0, 10.0, 20.0],
+            vec![
+                sig(0.0, -4.0),
+                sig(0.0, -2.0),
+                sig(0.0, 0.0),
+                sig(0.0, 2.0),
+                sig(0.0, 4.0),
+            ],
+        );
+        TrajectorySet::new(TestVector::pair(1.0, 2.0), vec![a, b])
+    }
+
+    #[test]
+    fn index_shape() {
+        let set = cross_set();
+        let idx = SegmentIndex::build(&set);
+        assert_eq!(idx.len(), 8);
+        assert_eq!(idx.dim(), 2);
+        assert_eq!(idx.trajectory_count(), 2);
+        assert!(idx.node_count() >= 2);
+        assert!(!idx.is_empty());
+    }
+
+    #[test]
+    fn indexed_matches_linear_exactly() {
+        let set = cross_set();
+        let queries = [
+            sig(3.0, 0.2),
+            sig(-2.0, 0.0),
+            sig(1.0, 1.0),
+            sig(0.5, 3.0),
+            sig(10.0, 0.0),
+            sig(-7.3, -9.9),
+            sig(0.0, 0.0),
+        ];
+        // Over a spread of leaf sizes, including degenerate 1-segment
+        // leaves and everything-in-one-leaf.
+        for leaf in [1, 2, 3, 8, 64] {
+            let idx = SegmentIndex::with_leaf_size(&set, leaf);
+            for q in &queries {
+                let lin = LinearScan.best_per_trajectory(&set, q);
+                let fast = idx.best_per_trajectory(&set, q);
+                assert_eq!(lin, fast, "divergence at {q} (leaf {leaf})");
+            }
+        }
+    }
+
+    #[test]
+    fn diagnose_with_index_is_byte_identical() {
+        let set = cross_set();
+        let idx = SegmentIndex::build(&set);
+        let diag = Diagnoser::new(set, DiagnoserConfig::default());
+        for q in [sig(3.0, 0.2), sig(1.0, 1.0), sig(-0.1, 2.3)] {
+            assert_eq!(diag.diagnose(&q), diag.diagnose_with(&idx, &q));
+        }
+    }
+
+    #[test]
+    fn pruning_actually_skips_segments() {
+        // Long dense trajectories: a query near one end must not touch
+        // the far segments of any trajectory.
+        let mut trajectories = Vec::new();
+        for i in 0..32 {
+            let angle = i as f64 * 0.19;
+            let (s, c) = angle.sin_cos();
+            let devs: Vec<f64> = (-40..=40).map(|k| k as f64).collect();
+            let points: Vec<Signature> = (-40..=40)
+                .map(|k| {
+                    let r = k as f64 / 5.0;
+                    sig(c * r + 0.001 * i as f64, s * r)
+                })
+                .collect();
+            trajectories.push(FaultTrajectory::new(format!("T{i}"), devs, points));
+        }
+        let set = TrajectorySet::new(TestVector::pair(1.0, 2.0), trajectories);
+        let idx = SegmentIndex::build(&set);
+        let (best, stats) = idx.query_stats(&sig(0.4, 0.1));
+        assert_eq!(best.len(), 32);
+        assert!(
+            stats.segments_examined < idx.len() / 2,
+            "weak pruning: examined {} of {}",
+            stats.segments_examined,
+            idx.len()
+        );
+        // Exactness is not traded away.
+        let lin = LinearScan.best_per_trajectory(&set, &sig(0.4, 0.1));
+        assert_eq!(lin, best);
+    }
+
+    #[test]
+    fn degenerate_flat_set_still_works() {
+        // All points on one axis: zero extent along y.
+        let t = FaultTrajectory::new(
+            "A",
+            vec![-10.0, 0.0, 10.0],
+            vec![sig(-1.0, 0.0), sig(0.0, 0.0), sig(1.0, 0.0)],
+        );
+        let set = TrajectorySet::new(TestVector::pair(1.0, 2.0), vec![t]);
+        let idx = SegmentIndex::build(&set);
+        let lin = LinearScan.best_per_trajectory(&set, &sig(0.3, 5.0));
+        assert_eq!(idx.query(&sig(0.3, 5.0)), lin);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_set_rejected() {
+        let set = TrajectorySet::new(TestVector::pair(1.0, 2.0), vec![]);
+        let _ = SegmentIndex::build(&set);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension")]
+    fn dimension_mismatch_rejected() {
+        let idx = SegmentIndex::build(&cross_set());
+        let _ = idx.query(&Signature::new(vec![1.0]));
+    }
+}

@@ -1,0 +1,75 @@
+//! # ft-serve
+//!
+//! The serving layer over the fault-trajectory method: the paper's
+//! pipeline splits into an expensive offline phase (fault simulation →
+//! signatures → trajectories) and a cheap online phase (nearest-segment
+//! lookup). This crate turns that split into an engine:
+//!
+//! * [`TrajectoryBank`] — dictionary + trajectories persisted to disk
+//!   through a self-contained binary [`codec`] (versioned header,
+//!   length-prefixed fields, checksum, corruption-detecting reader; the
+//!   vendored `serde` is a marker-only shim, so the codec is
+//!   hand-rolled).
+//! * [`SegmentIndex`] — a spatial index over signature space (a forest
+//!   of per-trajectory AABB trees) that answers nearest-segment queries
+//!   without scanning every segment, while staying **bit-identical** to
+//!   the linear scan.
+//! * [`DiagnosisEngine`] — single and batched diagnosis over a shared
+//!   loaded bank, fanning batches out over `std::thread::scope` workers
+//!   in input order.
+//! * the `ftd` binary ([`cli`]) — `build-bank`, `diagnose`, and
+//!   `bench-scan-vs-index` front ends over the same API.
+//!
+//! ## Example
+//!
+//! ```
+//! use ft_circuit::tow_thomas_normalized;
+//! use ft_core::TestVector;
+//! use ft_faults::{DeviationGrid, FaultDictionary, FaultUniverse};
+//! use ft_numerics::FrequencyGrid;
+//! use ft_serve::{DiagnosisEngine, EngineConfig, TrajectoryBank};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let bench = tow_thomas_normalized(1.0)?;
+//! let universe = FaultUniverse::new(&bench.fault_set, DeviationGrid::paper());
+//! let dict = FaultDictionary::build(
+//!     &bench.circuit,
+//!     &universe,
+//!     &bench.input,
+//!     &bench.probe,
+//!     &FrequencyGrid::log_space(0.01, 100.0, 21),
+//! )?;
+//!
+//! // Offline: build and persist the bank.
+//! let bank = TrajectoryBank::build(dict, &TestVector::pair(0.6, 1.6));
+//! let bytes = bank.to_bytes();
+//!
+//! // Online: reload and serve.
+//! let bank = TrajectoryBank::from_bytes(&bytes)?;
+//! let engine = DiagnosisEngine::new(bank, EngineConfig::default());
+//! let mut faulty = bench.circuit.clone();
+//! faulty.set_value("R2", 1.25)?;
+//! let sig = ft_core::measure_signature(
+//!     &faulty, &bench.circuit, &bench.input, &bench.probe,
+//!     &TestVector::pair(0.6, 1.6),
+//! )?;
+//! let verdicts = engine.diagnose_batch(&[sig]);
+//! assert_eq!(verdicts[0].best().component, "R2");
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bank;
+pub mod cli;
+pub mod codec;
+pub mod engine;
+pub mod index;
+pub mod synthetic;
+
+pub use bank::TrajectoryBank;
+pub use codec::{checksum, CodecError, Decoder, Encoder, BANK_MAGIC, BANK_VERSION};
+pub use engine::{diagnose_batch_with, DiagnosisEngine, EngineConfig};
+pub use index::{QueryStats, SegmentIndex};
+pub use synthetic::{synthetic_queries, synthetic_trajectory_set};

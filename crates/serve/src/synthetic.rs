@@ -1,0 +1,118 @@
+//! Deterministic synthetic trajectory sets for stress tests and
+//! benchmarks.
+//!
+//! Real banks for the paper's CUT hold 7 trajectories × 8 segments; the
+//! index only shows its worth at production scale. This generator builds
+//! geometrically plausible sets of arbitrary size: every trajectory
+//! passes through the origin (the 0% point, as real fault trajectories
+//! do), radiates outward with a per-component direction, and bends
+//! slightly so segments are not collinear.
+
+use ft_core::{FaultTrajectory, Signature, TestVector, TrajectorySet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Signature-space radius the synthetic trajectories extend to (dB).
+const EXTENT_DB: f64 = 6.0;
+
+/// Builds a synthetic trajectory set: `components` trajectories of
+/// `2 * points_per_branch` segments each (deviations from −40% to +40%
+/// through the 0% origin) in a `dim`-dimensional signature space,
+/// seeded deterministically.
+///
+/// # Panics
+///
+/// Panics if `components == 0`, `points_per_branch == 0`, or `dim == 0`.
+pub fn synthetic_trajectory_set(
+    components: usize,
+    points_per_branch: usize,
+    dim: usize,
+    seed: u64,
+) -> TrajectorySet {
+    assert!(components > 0, "need at least one component");
+    assert!(points_per_branch > 0, "need at least one point per branch");
+    assert!(dim > 0, "signature space needs at least one dimension");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = points_per_branch as i64;
+
+    let mut trajectories = Vec::with_capacity(components);
+    for c in 0..components {
+        // Random primary direction, unit length.
+        let mut u: Vec<f64> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let norm = u.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-9);
+        u.iter_mut().for_each(|x| *x /= norm);
+        // Curvature direction bends the polyline so segments differ.
+        let v: Vec<f64> = (0..dim).map(|_| rng.gen_range(-0.3..0.3)).collect();
+
+        let devs: Vec<f64> = (-n..=n).map(|k| k as f64 * (40.0 / n as f64)).collect();
+        let points: Vec<Signature> = (-n..=n)
+            .map(|k| {
+                let t = k as f64 / n as f64; // −1 ‥ +1, 0 at the origin
+                let r = t * EXTENT_DB;
+                let bend = t * t * EXTENT_DB;
+                Signature::new((0..dim).map(|d| u[d] * r + v[d] * bend).collect())
+            })
+            .collect();
+        trajectories.push(FaultTrajectory::new(format!("C{c}"), devs, points));
+    }
+
+    let tv = TestVector::new((1..=dim).map(|k| k as f64).collect());
+    TrajectorySet::new(tv, trajectories)
+}
+
+/// Draws `count` query signatures near the set's trajectories (random
+/// trajectory point plus jitter) — realistic observations for
+/// benchmarking, seeded deterministically.
+pub fn synthetic_queries(set: &TrajectorySet, count: usize, seed: u64) -> Vec<Signature> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let t = &set.trajectories()[rng.gen_range(0..set.len())];
+            let p = &t.points()[rng.gen_range(0..t.points().len())];
+            Signature::new(
+                p.coords()
+                    .iter()
+                    .map(|&x| x + rng.gen_range(-0.25..0.25))
+                    .collect::<Vec<f64>>(),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_determinism() {
+        let set = synthetic_trajectory_set(64, 8, 2, 7);
+        assert_eq!(set.len(), 64);
+        assert_eq!(set.dim(), 2);
+        assert_eq!(set.total_segments(), 64 * 16);
+        assert!(set.total_segments() >= 1000, "bench-scale bank");
+        // Every trajectory passes through the origin.
+        for t in set.trajectories() {
+            let oi = t.deviations_pct().iter().position(|d| *d == 0.0).unwrap();
+            assert!(t.points()[oi].norm() < 1e-12);
+        }
+        // Same seed, same set; different seed, different geometry.
+        assert_eq!(set, synthetic_trajectory_set(64, 8, 2, 7));
+        assert_ne!(set, synthetic_trajectory_set(64, 8, 2, 8));
+    }
+
+    #[test]
+    fn queries_are_deterministic_and_well_shaped() {
+        let set = synthetic_trajectory_set(8, 4, 3, 1);
+        let qs = synthetic_queries(&set, 10, 2);
+        assert_eq!(qs.len(), 10);
+        assert!(qs.iter().all(|q| q.dim() == 3));
+        assert_eq!(qs, synthetic_queries(&set, 10, 2));
+    }
+
+    #[test]
+    fn higher_dimensional_sets_build() {
+        let set = synthetic_trajectory_set(4, 3, 4, 3);
+        assert_eq!(set.dim(), 4);
+        assert_eq!(set.channels(), 1);
+    }
+}

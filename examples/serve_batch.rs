@@ -1,0 +1,94 @@
+//! The full serving lifecycle: build a trajectory bank, persist it,
+//! reload it, and answer a batch of 100 noisy observations through the
+//! indexed diagnosis engine.
+//!
+//! ```sh
+//! cargo run --release --example serve_batch
+//! ```
+
+use fault_trajectory::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---- offline phase: simulate once, persist the artifacts --------
+    let bench = tow_thomas_normalized(1.0)?;
+    let universe = FaultUniverse::new(&bench.fault_set, DeviationGrid::paper());
+    let dict = FaultDictionary::build(
+        &bench.circuit,
+        &universe,
+        &bench.input,
+        &bench.probe,
+        &FrequencyGrid::log_space(0.01, 100.0, 41),
+    )?;
+    let tv = TestVector::pair(0.6, 1.6);
+    let bank = TrajectoryBank::build(dict, &tv);
+
+    let path = std::env::temp_dir().join("serve_batch_example.ftb");
+    bank.save(&path)?;
+    println!(
+        "saved bank: {} trajectories / {} segments, {} bytes at {}",
+        bank.trajectory_set().len(),
+        bank.trajectory_set().total_segments(),
+        std::fs::metadata(&path)?.len(),
+        path.display()
+    );
+
+    // ---- online phase: load, index, serve ---------------------------
+    let loaded = TrajectoryBank::load(&path)?;
+    assert_eq!(loaded, bank, "disk round trip is lossless");
+    let engine = DiagnosisEngine::new(loaded, EngineConfig::default());
+
+    // 100 unknown faults, off the dictionary grid, with 0.1 dB of
+    // instrument noise on every measured magnitude.
+    let noise = MeasurementNoise::new(0.1);
+    let mut rng = StdRng::seed_from_u64(2005);
+    let mut faults = Vec::new();
+    let mut observations = Vec::new();
+    for _ in 0..100 {
+        let fault = engine
+            .bank()
+            .dictionary()
+            .universe()
+            .sample_unknown(&mut rng, 5.0);
+        let faulty = fault.apply(&bench.circuit)?;
+        let clean = measure_signature(&faulty, &bench.circuit, &bench.input, &bench.probe, &tv)?;
+        let noisy = Signature::new(
+            clean
+                .coords()
+                .iter()
+                .map(|&db| noise.perturb(db, &mut rng))
+                .collect::<Vec<f64>>(),
+        );
+        faults.push(fault);
+        observations.push(noisy);
+    }
+
+    let started = std::time::Instant::now();
+    let verdicts = engine.diagnose_batch(&observations);
+    let elapsed = started.elapsed();
+
+    // The indexed batch must agree with the exhaustive linear scan.
+    let reference = engine.diagnose_batch_linear(&observations);
+    assert_eq!(verdicts, reference, "index is exact");
+    // And with the plain single-signature Diagnoser path.
+    let diagnoser = Diagnoser::new(
+        engine.bank().trajectory_set().clone(),
+        DiagnoserConfig::default(),
+    );
+    let single: Vec<_> = observations.iter().map(|s| diagnoser.diagnose(s)).collect();
+    assert_eq!(verdicts, single, "batching preserves results and order");
+
+    let mut top1 = 0;
+    let mut in_set = 0;
+    for (fault, verdict) in faults.iter().zip(&verdicts) {
+        top1 += (verdict.best().component == fault.component()) as usize;
+        in_set += verdict.ambiguity_set().contains(&fault.component()) as usize;
+    }
+    println!(
+        "diagnosed {} noisy observations in {elapsed:.2?}: {top1}% top-1, {in_set}% within the ambiguity set",
+        verdicts.len()
+    );
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

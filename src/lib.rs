@@ -15,6 +15,8 @@
 //! * [`evolve`] — the GA framework (roulette wheel et al.).
 //! * [`core`] — the paper's method: signatures, trajectories, fitness
 //!   `1/(1+I)`, GA ATPG, perpendicular-distance diagnosis, metrics.
+//! * [`serve`] — the serving layer: persistent trajectory banks, the
+//!   segment spatial index, batched diagnosis, and the `ftd` CLI.
 //!
 //! ## Quickstart
 //!
@@ -54,6 +56,7 @@ pub use ft_core as core;
 pub use ft_evolve as evolve;
 pub use ft_faults as faults;
 pub use ft_numerics as numerics;
+pub use ft_serve as serve;
 
 /// Commonly used items, re-exported flat.
 pub mod prelude {
@@ -66,12 +69,13 @@ pub mod prelude {
     pub use ft_core::{
         ambiguity_groups, evaluate_classifier, grid_search, measure_signature, random_search,
         select_test_vector, sensitivity_heuristic, trajectories_from_dictionary, AtpgConfig,
-        Diagnoser, DiagnoserConfig, EvalConfig, FitnessKind, GeometryOptions, NnDictionary,
-        Signature, TestVector,
+        Diagnoser, DiagnoserConfig, EvalConfig, FitnessKind, GeometryOptions, LinearScan,
+        NnDictionary, SegmentQuery, Signature, TestVector,
     };
     pub use ft_evolve::{GaConfig, Selection};
     pub use ft_faults::{
         DeviationGrid, FaultDictionary, FaultUniverse, MeasurementNoise, ParametricFault, Tolerance,
     };
     pub use ft_numerics::{Complex64, FrequencyGrid, TransferFunction};
+    pub use ft_serve::{CodecError, DiagnosisEngine, EngineConfig, SegmentIndex, TrajectoryBank};
 }

@@ -1,0 +1,162 @@
+//! Property-based tests for the serving layer: bank codec round-trips,
+//! corruption detection, and indexed-vs-linear diagnosis agreement.
+
+use fault_trajectory::prelude::*;
+use fault_trajectory::serve::{synthetic_trajectory_set, SegmentIndex};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a small but structurally varied bank from a seed: random
+/// component names, deviation grid, dictionary grid, probe type, and
+/// response data — no circuit simulation, so hundreds of cases stay
+/// cheap.
+fn bank_from_seed(seed: u64) -> TrajectoryBank {
+    use fault_trajectory::faults::dictionary::DictionaryEntry;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let all_names = ["R1", "R2", "R3", "C1", "C2", "L1", "Rfb"];
+    let n_comp = rng.gen_range(1..5usize);
+    let components: Vec<String> = all_names[..n_comp].iter().map(|s| s.to_string()).collect();
+    let dev_grid = DeviationGrid::new(
+        [20.0, 40.0, 50.0][rng.gen_range(0..3usize)],
+        [5.0, 10.0][rng.gen_range(0..2usize)],
+    );
+    let universe = FaultUniverse::new(&components, dev_grid);
+
+    let n_freq = rng.gen_range(2..12usize);
+    let grid = if rng.gen_bool(0.5) {
+        FrequencyGrid::log_space(0.01, 100.0, n_freq)
+    } else {
+        FrequencyGrid::lin_space(0.5, 90.0, n_freq)
+    };
+    let golden: Vec<f64> = (0..n_freq).map(|_| rng.gen_range(-60.0..10.0)).collect();
+    let entries: Vec<DictionaryEntry> = universe
+        .faults()
+        .iter()
+        .map(|f| {
+            let mags: Vec<f64> = (0..n_freq).map(|_| rng.gen_range(-60.0..10.0)).collect();
+            DictionaryEntry::new(f.clone(), mags)
+        })
+        .collect();
+    let probe = if rng.gen_bool(0.5) {
+        Probe::node("out")
+    } else {
+        Probe::differential("outp", "outn")
+    };
+    let dict = fault_trajectory::faults::FaultDictionary::from_parts(
+        grid,
+        golden,
+        entries,
+        universe,
+        "V1".to_string(),
+        probe,
+    );
+    TrajectoryBank::build(dict, &TestVector::pair(0.6, 1.6))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `save` then `load` yields an equal bank, and re-encoding the
+    /// loaded bank reproduces the original bytes exactly.
+    #[test]
+    fn bank_codec_round_trip(seed in 0i64..1_000_000) {
+        let bank = bank_from_seed(seed as u64);
+        let bytes = bank.to_bytes();
+        let back = TrajectoryBank::from_bytes(&bytes).expect("round trip decodes");
+        prop_assert!(back == bank, "decoded bank differs for seed {seed}");
+        prop_assert_eq!(bytes, back.to_bytes());
+    }
+
+    /// Flipping any single byte of the container is detected.
+    #[test]
+    fn bank_codec_detects_single_byte_corruption(
+        seed in 0i64..1_000_000, pos01 in 0.0f64..1.0, bit in 0i64..8
+    ) {
+        let bytes = bank_from_seed(seed as u64).to_bytes();
+        let pos = ((pos01 * bytes.len() as f64) as usize).min(bytes.len() - 1);
+        let mut corrupt = bytes.clone();
+        corrupt[pos] ^= 1 << bit;
+        prop_assert!(
+            TrajectoryBank::from_bytes(&corrupt).is_err(),
+            "flip of bit {bit} at byte {pos} went undetected (seed {seed})"
+        );
+    }
+
+    /// The spatial index agrees with the exhaustive linear scan — same
+    /// distances, same deviations, same ranking — on random signatures
+    /// against random synthetic banks.
+    #[test]
+    fn indexed_diagnosis_matches_linear(
+        seed in 0i64..1_000_000,
+        components in 2usize..24,
+        points in 1usize..6,
+        x in -9.0f64..9.0, y in -9.0f64..9.0
+    ) {
+        let set = synthetic_trajectory_set(components, points, 2, seed as u64);
+        let index = SegmentIndex::build(&set);
+        let diagnoser = Diagnoser::new(set, DiagnoserConfig::default());
+        let sig = Signature::new(vec![x, y]);
+        let linear = diagnoser.diagnose(&sig);
+        let indexed = diagnoser.diagnose_with(&index, &sig);
+        prop_assert!(
+            linear == indexed,
+            "divergence at ({x}, {y}) for seed {seed}: {:?} vs {:?}",
+            linear.best(), indexed.best()
+        );
+    }
+}
+
+/// End-to-end on the real CUT: bank round-trips through disk and the
+/// indexed engine reproduces the linear path byte-for-byte on the
+/// repro circuit.
+#[test]
+fn paper_bank_round_trip_and_indexed_agreement() {
+    let bench = tow_thomas_normalized(1.0).expect("benchmark builds");
+    let universe = FaultUniverse::new(&bench.fault_set, DeviationGrid::paper());
+    let dict = FaultDictionary::build(
+        &bench.circuit,
+        &universe,
+        &bench.input,
+        &bench.probe,
+        &FrequencyGrid::log_space(0.01, 100.0, 21),
+    )
+    .expect("dictionary builds");
+    let tv = TestVector::pair(0.6, 1.6);
+    let bank = TrajectoryBank::build(dict, &tv);
+
+    let path = std::env::temp_dir().join("serve_property_paper_bank.ftb");
+    bank.save(&path).expect("saves");
+    let engine = DiagnosisEngine::load(&path, EngineConfig::default()).expect("loads");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(engine.bank(), &bank);
+
+    // Diagnose every ±25% single fault, indexed vs linear vs batch.
+    let mut observations = Vec::new();
+    let mut expected = Vec::new();
+    for comp in &bench.fault_set {
+        for pct in [-25.0, 25.0] {
+            let fault = ParametricFault::from_percent(comp.clone(), pct);
+            let faulty = fault.apply(&bench.circuit).expect("applies");
+            let sig = measure_signature(&faulty, &bench.circuit, &bench.input, &bench.probe, &tv)
+                .expect("measures");
+            expected.push(engine.diagnose_linear(&sig));
+            observations.push(sig);
+        }
+    }
+    let indexed: Vec<_> = observations.iter().map(|s| engine.diagnose(s)).collect();
+    assert_eq!(indexed, expected, "indexed path must be byte-identical");
+    let batched = engine.diagnose_batch(&observations);
+    assert_eq!(batched, expected, "batched path must be byte-identical");
+
+    // The diagnosis itself remains sound: the true component is always
+    // in the ambiguity set.
+    let per_component = bench.fault_set.iter().flat_map(|c| [c, c]);
+    for (comp, verdict) in per_component.zip(&batched) {
+        assert!(
+            verdict.ambiguity_set().contains(&comp.as_str()),
+            "{comp} missing from its own ambiguity set"
+        );
+    }
+}

@@ -47,6 +47,16 @@ fn prelude_exports_the_example_surface() {
     assert_named::<TowThomasParams>();
     assert_named::<TransientOptions>();
     assert_named::<Waveform>();
+
+    // Serving layer (ft-serve) surface.
+    assert_named::<TrajectoryBank>();
+    assert_named::<SegmentIndex>();
+    assert_named::<DiagnosisEngine>();
+    assert_named::<EngineConfig>();
+    assert_named::<CodecError>();
+    assert_named::<LinearScan>();
+    let _: fn(&TrajectoryBank) -> Vec<u8> = TrajectoryBank::to_bytes;
+    let _: fn(&[u8]) -> Result<TrajectoryBank, CodecError> = TrajectoryBank::from_bytes;
 }
 
 /// The per-crate module aliases (`fault_trajectory::circuit`, `::core`,
@@ -58,6 +68,7 @@ fn module_aliases_reach_the_member_crates() {
     let _ = fault_trajectory::faults::universe::DeviationGrid::paper;
     let _ = fault_trajectory::evolve::GaConfig::paper;
     let _ = fault_trajectory::core::fitness::evaluate_fitness;
+    let _: fn(&[u8]) -> u64 = fault_trajectory::serve::codec::checksum;
 }
 
 /// The quickstart flow from `src/lib.rs` must keep running end to end

@@ -3,8 +3,13 @@
 //! The build environment has no registry access. This shim lets the
 //! workspace keep its `#[derive(Serialize, Deserialize)]` annotations
 //! compiling: the derives (see `serde_derive`) emit empty marker impls of
-//! the two traits below. No actual serialization is provided; swapping in
-//! the real `serde` later requires only replacing the two vendored crates.
+//! the two traits below. **The derives are markers only — no
+//! serialization code is generated, and nothing in the workspace may
+//! rely on serde for persistence.** Anything that needs durable
+//! artifacts must use the hand-rolled, checksummed binary codec in
+//! `ft-serve` (`crates/serve/src/codec.rs`), which is how trajectory
+//! banks are saved and loaded today. Swapping in the real `serde` later
+//! requires only replacing the two vendored crates.
 
 #![warn(missing_docs)]
 
