@@ -1,0 +1,163 @@
+//! Stamp-split AC sweep engine vs the reference simulation path.
+//!
+//! Two workloads, both on the paper's Tow-Thomas biquad:
+//!
+//! * a single 256-point AC sweep (`engine/sweep_*`), isolating the
+//!   per-frequency cost: copy+axpy+refactor-in-place vs
+//!   assemble+allocate+factor;
+//! * a full dictionary build over the 7-component × ±40% universe on the
+//!   same 256-point grid (`engine/dictionary_build_*`), the offline-phase
+//!   hot loop — the engine path replaces per-fault circuit clones and
+//!   per-fault factorizations with the rank-1 batch fault sweep.
+//!
+//! Besides the criterion timings, the binary writes a
+//! `BENCH_engine.json` summary (median wall times and the
+//! dictionary-build speedup) to the current directory so CI and the
+//! README can quote one number.
+
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ft_circuit::{sweep_reference, tow_thomas_normalized, AcSweepEngine};
+use ft_faults::{DeviationGrid, FaultDictionary, FaultUniverse};
+use ft_numerics::FrequencyGrid;
+
+const GRID_POINTS: usize = 256;
+
+fn grid() -> FrequencyGrid {
+    FrequencyGrid::log_space(0.01, 100.0, GRID_POINTS)
+}
+
+fn bench_single_sweep(c: &mut Criterion) {
+    let bench = tow_thomas_normalized(1.0).unwrap();
+    let grid = grid();
+    let mut engine = AcSweepEngine::new(&bench.circuit, &bench.input, &bench.probe).unwrap();
+    let mut out = Vec::with_capacity(grid.len());
+    c.bench_function("engine/sweep_biquad_256", |b| {
+        b.iter(|| {
+            engine
+                .sweep_into(black_box(grid.frequencies()), &mut out)
+                .unwrap();
+            out.len()
+        })
+    });
+    c.bench_function("engine/sweep_biquad_256_reference", |b| {
+        b.iter(|| {
+            sweep_reference(black_box(&bench.circuit), &bench.input, &bench.probe, &grid)
+                .unwrap()
+                .len()
+        })
+    });
+}
+
+fn bench_dictionary_build(c: &mut Criterion) {
+    let bench = tow_thomas_normalized(1.0).unwrap();
+    let universe = FaultUniverse::new(&bench.fault_set, DeviationGrid::paper());
+    let grid = grid();
+    let mut group = c.benchmark_group("engine/dictionary_build_256");
+    group.sample_size(10);
+    group.bench_function("engine", |b| {
+        b.iter(|| {
+            FaultDictionary::build(
+                black_box(&bench.circuit),
+                &universe,
+                &bench.input,
+                &bench.probe,
+                &grid,
+            )
+            .unwrap()
+            .entries()
+            .len()
+        })
+    });
+    group.bench_function("reference", |b| {
+        b.iter(|| {
+            FaultDictionary::build_reference(
+                black_box(&bench.circuit),
+                &universe,
+                &bench.input,
+                &bench.probe,
+                &grid,
+            )
+            .unwrap()
+            .entries()
+            .len()
+        })
+    });
+    group.finish();
+}
+
+/// Median-of-N wall time of `f`, in seconds.
+fn median_secs(n: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..n)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    times[times.len() / 2]
+}
+
+/// Emits `BENCH_engine.json`: the acceptance-criterion measurement
+/// (dictionary build, full universe, 256-point grid, engine vs
+/// reference) plus single-sweep medians. Runs as the last "benchmark" so
+/// `cargo bench --bench engine` always refreshes the summary.
+fn emit_summary(_c: &mut Criterion) {
+    let bench = tow_thomas_normalized(1.0).unwrap();
+    let universe = FaultUniverse::new(&bench.fault_set, DeviationGrid::paper());
+    let grid = grid();
+
+    // Single-threaded sweep comparison.
+    let mut engine = AcSweepEngine::new(&bench.circuit, &bench.input, &bench.probe).unwrap();
+    let mut out = Vec::with_capacity(grid.len());
+    let sweep_engine_s = median_secs(9, || {
+        engine.sweep_into(grid.frequencies(), &mut out).unwrap();
+    });
+    let sweep_reference_s = median_secs(9, || {
+        sweep_reference(&bench.circuit, &bench.input, &bench.probe, &grid).unwrap();
+    });
+
+    // Offline-phase comparison (the ≥3x acceptance criterion).
+    let build_engine_s = median_secs(5, || {
+        FaultDictionary::build(&bench.circuit, &universe, &bench.input, &bench.probe, &grid)
+            .unwrap();
+    });
+    let build_reference_s = median_secs(5, || {
+        FaultDictionary::build_reference(
+            &bench.circuit,
+            &universe,
+            &bench.input,
+            &bench.probe,
+            &grid,
+        )
+        .unwrap();
+    });
+
+    let json = format!(
+        "{{\n  \"circuit\": \"tow-thomas-biquad\",\n  \"grid_points\": {GRID_POINTS},\n  \
+         \"faults\": {},\n  \"sweep_engine_s\": {sweep_engine_s:.6e},\n  \
+         \"sweep_reference_s\": {sweep_reference_s:.6e},\n  \
+         \"sweep_speedup\": {:.2},\n  \"dictionary_build_engine_s\": {build_engine_s:.6e},\n  \
+         \"dictionary_build_reference_s\": {build_reference_s:.6e},\n  \
+         \"dictionary_build_speedup\": {:.2}\n}}\n",
+        universe.len(),
+        sweep_reference_s / sweep_engine_s.max(1e-12),
+        build_reference_s / build_engine_s.max(1e-12),
+    );
+    std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
+    println!(
+        "BENCH_engine.json: sweep {:.1}x, dictionary build {:.1}x (engine vs reference)",
+        sweep_reference_s / sweep_engine_s.max(1e-12),
+        build_reference_s / build_engine_s.max(1e-12),
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_single_sweep,
+    bench_dictionary_build,
+    emit_summary
+);
+criterion_main!(benches);

@@ -71,6 +71,11 @@ pub fn transfer(circuit: &Circuit, input: &str, probe: &Probe, omega: f64) -> Re
 
 /// [`transfer`] with a pre-built layout (avoids rebuilding per frequency).
 ///
+/// The input source is resolved to a [`crate::ComponentId`] per call, so
+/// no per-frequency allocation remains; even so, each call re-assembles
+/// and re-factors the full MNA system — loops over frequencies should use
+/// [`AcSweepEngine`](crate::analysis::engine::AcSweepEngine) instead.
+///
 /// # Errors
 ///
 /// Propagates probe and singularity errors.
@@ -81,12 +86,8 @@ pub fn transfer_with_layout(
     probe: &Probe,
     omega: f64,
 ) -> Result<Complex64> {
-    let sol = solve(
-        circuit,
-        layout,
-        Complex64::jw(omega),
-        &Excitation::AcUnit(input.to_string()),
-    )?;
+    let excitation = Excitation::ac_unit(circuit, input)?;
+    let sol = solve(circuit, layout, Complex64::jw(omega), &excitation)?;
     probe.read(circuit, &sol)
 }
 
@@ -98,6 +99,12 @@ pub struct AcSweep {
 }
 
 impl AcSweep {
+    /// Packages a completed sweep (used by the AC sweep engine).
+    pub(crate) fn from_raw(omegas: Vec<f64>, values: Vec<Complex64>) -> Self {
+        debug_assert_eq!(omegas.len(), values.len());
+        AcSweep { omegas, values }
+    }
+
     /// Grid frequencies (rad/s).
     #[inline]
     pub fn omegas(&self) -> &[f64] {
@@ -152,11 +159,35 @@ impl AcSweep {
 
 /// Sweeps the transfer function `probe / input` across `grid`.
 ///
+/// Runs on the stamp-split
+/// [`AcSweepEngine`](crate::analysis::engine::AcSweepEngine): the system
+/// is stamped once and only refactored per frequency, with zero heap
+/// allocation after warm-up. [`sweep_reference`] keeps the
+/// assemble-per-frequency path as the verification oracle.
+///
 /// # Errors
 ///
 /// Propagates layout, probe, and singularity errors (a singular system at
 /// any grid point aborts the sweep).
 pub fn sweep(
+    circuit: &Circuit,
+    input: &str,
+    probe: &Probe,
+    grid: &FrequencyGrid,
+) -> Result<AcSweep> {
+    let mut engine = crate::analysis::engine::AcSweepEngine::new(circuit, input, probe)?;
+    engine.sweep(grid)
+}
+
+/// [`sweep`] on the reference path: the MNA system is re-assembled and a
+/// fresh LU factorisation taken at every grid point. This is the oracle
+/// the engine is property-tested against — slower, but with no stamp
+/// bookkeeping that could drift from the netlist.
+///
+/// # Errors
+///
+/// As [`sweep`].
+pub fn sweep_reference(
     circuit: &Circuit,
     input: &str,
     probe: &Probe,
@@ -175,7 +206,8 @@ pub fn sweep(
 
 /// Samples the transfer function at an arbitrary list of angular
 /// frequencies (not necessarily sorted) — the signature-extraction entry
-/// point used by the fault-trajectory method.
+/// point used by the fault-trajectory method. Engine-backed, like
+/// [`sweep`].
 ///
 /// # Errors
 ///
@@ -186,11 +218,10 @@ pub fn sample_at(
     probe: &Probe,
     omegas: &[f64],
 ) -> Result<Vec<Complex64>> {
-    let layout = MnaLayout::new(circuit)?;
-    omegas
-        .iter()
-        .map(|&w| transfer_with_layout(circuit, &layout, input, probe, w))
-        .collect()
+    let mut engine = crate::analysis::engine::AcSweepEngine::new(circuit, input, probe)?;
+    let mut out = Vec::with_capacity(omegas.len());
+    engine.sweep_into(omegas, &mut out)?;
+    Ok(out)
 }
 
 #[cfg(test)]

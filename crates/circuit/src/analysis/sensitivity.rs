@@ -7,13 +7,51 @@
 //! analysis (components with near-parallel sensitivity vectors form
 //! ambiguity groups).
 
-use crate::analysis::ac::{transfer_with_layout, Probe};
+use crate::analysis::ac::Probe;
+use crate::analysis::engine::AcSweepEngine;
 use crate::error::Result;
-use crate::mna::MnaLayout;
 use crate::netlist::Circuit;
 
 /// Relative perturbation used by central differences.
 const REL_STEP: f64 = 1e-4;
+
+/// One sensitivity row on a shared engine: central difference of the dB
+/// magnitude under a ±`REL_STEP` restamp of `component`.
+fn sensitivity_row(
+    engine: &mut AcSweepEngine,
+    circuit: &Circuit,
+    component: &str,
+    omegas: &[f64],
+) -> Result<Vec<f64>> {
+    let nominal =
+        circuit
+            .value(component)?
+            .ok_or_else(|| crate::error::CircuitError::InvalidValue {
+                component: component.to_string(),
+                value: f64::NAN,
+                reason: "component has no principal value to perturb",
+            })?;
+    let id = circuit
+        .find(component)
+        .expect("value() above resolved the component");
+
+    engine.restamp_component(id, nominal * (1.0 + REL_STEP))?;
+    let plus = engine.sample_at(omegas)?;
+    engine.reset();
+    engine.restamp_component(id, nominal * (1.0 - REL_STEP))?;
+    let minus = engine.sample_at(omegas)?;
+    engine.reset();
+
+    Ok(plus
+        .iter()
+        .zip(&minus)
+        .map(|(hp, hm)| {
+            let dhp = 20.0 * hp.abs().max(1e-300).log10();
+            let dhm = 20.0 * hm.abs().max(1e-300).log10();
+            (dhp - dhm) / (2.0 * REL_STEP)
+        })
+        .collect())
+}
 
 /// Sensitivity of the magnitude response (in dB) at a set of frequencies
 /// with respect to one component's value, normalised per unit *relative*
@@ -31,32 +69,10 @@ pub fn magnitude_db_sensitivity(
     probe: &Probe,
     omegas: &[f64],
 ) -> Result<Vec<f64>> {
-    let nominal =
-        circuit
-            .value(component)?
-            .ok_or_else(|| crate::error::CircuitError::InvalidValue {
-                component: component.to_string(),
-                value: f64::NAN,
-                reason: "component has no principal value to perturb",
-            })?;
-
-    let mut plus = circuit.clone();
-    plus.set_value(component, nominal * (1.0 + REL_STEP))?;
-    let mut minus = circuit.clone();
-    minus.set_value(component, nominal * (1.0 - REL_STEP))?;
-
-    let layout_plus = MnaLayout::new(&plus)?;
-    let layout_minus = MnaLayout::new(&minus)?;
-
-    let mut out = Vec::with_capacity(omegas.len());
-    for &w in omegas {
-        let hp = transfer_with_layout(&plus, &layout_plus, input, probe, w)?;
-        let hm = transfer_with_layout(&minus, &layout_minus, input, probe, w)?;
-        let dhp = 20.0 * hp.abs().max(1e-300).log10();
-        let dhm = 20.0 * hm.abs().max(1e-300).log10();
-        out.push((dhp - dhm) / (2.0 * REL_STEP));
-    }
-    Ok(out)
+    // One engine, two delta restamps: no circuit clones and no
+    // per-frequency reassembly.
+    let mut engine = AcSweepEngine::new(circuit, input, probe)?;
+    sensitivity_row(&mut engine, circuit, component, omegas)
 }
 
 /// Sensitivity matrix: rows = faultable components (insertion order),
@@ -75,11 +91,12 @@ pub fn sensitivity_matrix(
     probe: &Probe,
     omegas: &[f64],
 ) -> Result<Vec<(String, Vec<f64>)>> {
+    // One shared engine for the whole matrix; each row is a ± restamp pair.
+    let mut engine = AcSweepEngine::new(circuit, input, probe)?;
     components
         .iter()
         .map(|&name| {
-            magnitude_db_sensitivity(circuit, name, input, probe, omegas)
-                .map(|row| (name.to_string(), row))
+            sensitivity_row(&mut engine, circuit, name, omegas).map(|row| (name.to_string(), row))
         })
         .collect()
 }

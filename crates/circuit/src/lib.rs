@@ -34,8 +34,9 @@ pub mod netlist;
 pub mod opamp;
 pub mod parser;
 
-pub use analysis::ac::{sample_at, sweep, transfer, AcSweep, Probe};
+pub use analysis::ac::{sample_at, sweep, sweep_reference, transfer, AcSweep, Probe};
 pub use analysis::dc::{operating_point, OperatingPoint};
+pub use analysis::engine::AcSweepEngine;
 pub use analysis::fit::{fit_circuit, fit_rational, FitError};
 pub use analysis::tran::{transient, TransientOptions, TransientResult};
 pub use element::{Element, Waveform};

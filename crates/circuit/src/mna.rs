@@ -16,16 +16,40 @@ use crate::error::{CircuitError, Result};
 use crate::netlist::{Circuit, ComponentId, NodeId};
 
 /// Which values independent sources contribute to the right-hand side.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Excitation {
     /// DC values (operating point).
     Dc,
     /// Every source contributes its AC magnitude/phase.
     Ac,
-    /// Single-input transfer-function mode: the named source contributes
-    /// exactly `1∠0` and every other independent source is zeroed.
-    /// The solved output then *is* the transfer function to that input.
-    AcUnit(String),
+    /// Single-input transfer-function mode: the source with this id
+    /// contributes exactly `1∠0` and every other independent source is
+    /// zeroed. The solved output then *is* the transfer function to that
+    /// input. Build with [`Excitation::ac_unit`], which resolves and
+    /// validates the source name once — per-frequency callers then pay no
+    /// lookup or allocation.
+    AcUnit(ComponentId),
+}
+
+impl Excitation {
+    /// Resolves `input` to its [`ComponentId`] and validates that it is an
+    /// independent source, yielding the single-input transfer-function
+    /// excitation. Resolve once per sweep, not per frequency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownComponent`] when `input` does not
+    /// exist and [`CircuitError::NotASource`] when it is not an
+    /// independent V or I source.
+    pub fn ac_unit(circuit: &Circuit, input: &str) -> Result<Self> {
+        let id = circuit
+            .find(input)
+            .ok_or_else(|| CircuitError::UnknownComponent(input.to_string()))?;
+        if !circuit.component(id).element().is_independent_source() {
+            return Err(CircuitError::NotASource(input.to_string()));
+        }
+        Ok(Excitation::AcUnit(id))
+    }
 }
 
 /// Precomputed index map from circuit structure to MNA rows/columns.
@@ -132,12 +156,17 @@ pub fn assemble(
     s: Complex64,
     excitation: &Excitation,
 ) -> Result<MnaSystem> {
-    if let Excitation::AcUnit(name) = excitation {
-        let id = circuit
-            .find(name)
-            .ok_or_else(|| CircuitError::UnknownComponent(name.clone()))?;
-        if !circuit.component(id).element().is_independent_source() {
-            return Err(CircuitError::NotASource(name.clone()));
+    if let Excitation::AcUnit(input) = excitation {
+        if input.index() >= circuit.component_count() {
+            return Err(CircuitError::UnknownComponent(format!(
+                "component #{}",
+                input.index()
+            )));
+        }
+        if !circuit.component(*input).element().is_independent_source() {
+            return Err(CircuitError::NotASource(
+                circuit.component(*input).name().to_string(),
+            ));
         }
     }
 
@@ -173,7 +202,7 @@ pub fn assemble(
             } => {
                 let k = layout.branch_row(id).expect("vsource has branch");
                 stamp_branch_voltage(&mut a, layout, nodes[0], nodes[1], k);
-                z[k] = source_value(comp.name(), *dc, *ac_mag, *ac_phase, excitation);
+                z[k] = source_value(id, *dc, *ac_mag, *ac_phase, excitation);
             }
             Element::CurrentSource {
                 dc,
@@ -181,7 +210,7 @@ pub fn assemble(
                 ac_phase,
                 ..
             } => {
-                let i = source_value(comp.name(), *dc, *ac_mag, *ac_phase, excitation);
+                let i = source_value(id, *dc, *ac_mag, *ac_phase, excitation);
                 // Positive current flows p→n through the source: it leaves
                 // node p and enters node n.
                 if let Some(rp) = layout.node_row(nodes[0]) {
@@ -256,7 +285,7 @@ pub fn assemble(
 }
 
 fn source_value(
-    name: &str,
+    id: ComponentId,
     dc: f64,
     ac_mag: f64,
     ac_phase: f64,
@@ -266,7 +295,7 @@ fn source_value(
         Excitation::Dc => Complex64::from_real(dc),
         Excitation::Ac => Complex64::from_polar(ac_mag, ac_phase),
         Excitation::AcUnit(input) => {
-            if name == input {
+            if id == *input {
                 Complex64::ONE
             } else {
                 Complex64::ZERO
@@ -420,7 +449,7 @@ mod tests {
         ckt.resistor("R1", "in", "out", 1e3).unwrap();
         ckt.capacitor("C1", "out", "0", 1e-6).unwrap();
         let layout = MnaLayout::new(&ckt).unwrap();
-        let excitation = Excitation::AcUnit("V1".into());
+        let excitation = Excitation::ac_unit(&ckt, "V1").unwrap();
         let out = ckt.find_node("out").unwrap();
 
         let sol = solve(&ckt, &layout, Complex64::jw(1000.0), &excitation).unwrap();
@@ -453,7 +482,7 @@ mod tests {
             &ckt,
             &layout,
             Complex64::jw(1e6),
-            &Excitation::AcUnit("V1".into()),
+            &Excitation::ac_unit(&ckt, "V1").unwrap(),
         )
         .unwrap();
         assert!(hf.voltage(out).abs() < 1e-3);
@@ -576,7 +605,7 @@ mod tests {
             &ckt,
             &layout,
             Complex64::jw(1.0),
-            &Excitation::AcUnit("V1".into()),
+            &Excitation::ac_unit(&ckt, "V1").unwrap(),
         )
         .unwrap();
         assert!((sol.voltage(c).abs() - 0.5).abs() < 1e-6);
@@ -584,22 +613,31 @@ mod tests {
 
     #[test]
     fn ac_unit_unknown_source_rejected() {
-        let (ckt, layout) = divider();
-        let err = solve(
-            &ckt,
-            &layout,
-            Complex64::ZERO,
-            &Excitation::AcUnit("V99".into()),
-        )
-        .unwrap_err();
+        let (ckt, _layout) = divider();
+        let err = Excitation::ac_unit(&ckt, "V99").unwrap_err();
         assert!(matches!(err, CircuitError::UnknownComponent(_)));
-        let err = solve(
-            &ckt,
-            &layout,
-            Complex64::ZERO,
-            &Excitation::AcUnit("R1".into()),
-        )
-        .unwrap_err();
+        let err = Excitation::ac_unit(&ckt, "R1").unwrap_err();
+        assert!(matches!(err, CircuitError::NotASource(_)));
+    }
+
+    #[test]
+    fn assemble_rejects_foreign_excitation_ids() {
+        // An AcUnit id resolved against a *different* circuit must not
+        // silently excite the wrong component here.
+        let (ckt, layout) = divider();
+        let mut other = Circuit::new("other");
+        other.resistor("Ra", "a", "0", 1.0).unwrap();
+        other.resistor("Rb", "a", "b", 1.0).unwrap();
+        other.resistor("Rc", "b", "0", 1.0).unwrap();
+        other.resistor("Rd", "b", "c", 1.0).unwrap();
+        other.voltage_source("Vx", "c", "0", 1.0).unwrap();
+        let foreign = Excitation::ac_unit(&other, "Vx").unwrap();
+        // Id 4 is out of range for the 3-component divider.
+        let err = assemble(&ckt, &layout, Complex64::ZERO, &foreign).unwrap_err();
+        assert!(matches!(err, CircuitError::UnknownComponent(_)));
+        // An in-range id that is not a source is rejected too.
+        let not_source = Excitation::AcUnit(ComponentId(1)); // R1
+        let err = assemble(&ckt, &layout, Complex64::ZERO, &not_source).unwrap_err();
         assert!(matches!(err, CircuitError::NotASource(_)));
     }
 

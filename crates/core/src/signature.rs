@@ -181,6 +181,10 @@ pub fn signature_from_db(measured_db: &[f64], golden_db: &[f64]) -> Signature {
 /// Measures a circuit's signature exactly (AC solves at the test
 /// frequencies) against a golden reference circuit.
 ///
+/// Sampling runs on the stamp-split [`ft_circuit::AcSweepEngine`] (via
+/// [`sample_at`]): each circuit is stamped once and only refactored per
+/// test frequency.
+///
 /// # Errors
 ///
 /// Propagates simulation errors from either circuit.
@@ -200,6 +204,7 @@ pub fn measure_signature(
 
 /// Absolute (not golden-relative) dB samples of one circuit at the test
 /// frequencies — the raw `H(f1), H(f2), …` values of Fig. 2.
+/// Engine-backed, like [`measure_signature`].
 ///
 /// # Errors
 ///

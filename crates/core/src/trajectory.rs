@@ -6,11 +6,12 @@
 //! *component parametric fault trajectory*. A [`TrajectorySet`] holds one
 //! trajectory per fault-set component for a given test vector.
 
-use ft_circuit::{Circuit, CircuitError, Probe};
+use ft_circuit::{AcSweepEngine, Circuit, CircuitError, Probe};
 use ft_faults::{FaultDictionary, ParametricFault};
+use ft_numerics::decibel;
 use serde::{Deserialize, Serialize};
 
-use crate::signature::{sample_response_db, signature_from_db, Signature, TestVector};
+use crate::signature::{signature_from_db, Signature, TestVector, DB_FLOOR};
 
 /// One component's fault trajectory in signature space.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -279,6 +280,10 @@ pub fn trajectories_from_dictionary(dict: &FaultDictionary, tv: &TestVector) -> 
 /// Builds the trajectory set by exact re-simulation of every fault at the
 /// test frequencies — the verification path (no interpolation error).
 ///
+/// One [`AcSweepEngine`] serves the whole set: each fault is a delta
+/// restamp, a sample at the test frequencies, and a bit-exact reset — no
+/// circuit clones and no per-frequency reassembly.
+///
 /// # Errors
 ///
 /// Propagates simulation errors.
@@ -290,7 +295,20 @@ pub fn trajectories_exact(
     probe: &Probe,
     tv: &TestVector,
 ) -> Result<TrajectorySet, CircuitError> {
-    let golden = sample_response_db(circuit, input, probe, tv)?;
+    let mut engine = AcSweepEngine::new(circuit, input, probe)?;
+    let mut samples = Vec::with_capacity(tv.len());
+
+    let sample_db = |engine: &mut AcSweepEngine,
+                     samples: &mut Vec<ft_numerics::Complex64>|
+     -> Result<Vec<f64>, CircuitError> {
+        engine.sweep_into(tv.omegas(), samples)?;
+        Ok(samples
+            .iter()
+            .map(|v| decibel::clamp_db(v.abs_db(), DB_FLOOR))
+            .collect())
+    };
+
+    let golden = sample_db(&mut engine, &mut samples)?;
     let mut trajectories = Vec::new();
     for component in components {
         let mut devs: Vec<f64> = vec![0.0];
@@ -299,10 +317,21 @@ pub fn trajectories_exact(
             .iter()
             .filter(|f| f.component() == component.as_str())
         {
-            let faulty = fault.apply(circuit)?;
-            let measured = sample_response_db(&faulty, input, probe, tv)?;
+            let id = circuit
+                .find(fault.component())
+                .ok_or_else(|| CircuitError::UnknownComponent(fault.component().into()))?;
+            let nominal = engine
+                .value_of(id)
+                .ok_or_else(|| CircuitError::InvalidValue {
+                    component: fault.component().into(),
+                    value: f64::NAN,
+                    reason: "component has no principal value to deviate",
+                })?;
+            engine.restamp_component(id, nominal * fault.multiplier())?;
+            let measured = sample_db(&mut engine, &mut samples);
+            engine.reset();
             devs.push(fault.percent());
-            points.push(signature_from_db(&measured, &golden));
+            points.push(signature_from_db(&measured?, &golden));
         }
         let mut order: Vec<usize> = (0..devs.len()).collect();
         order.sort_by(|&a, &b| devs[a].partial_cmp(&devs[b]).expect("finite deviations"));

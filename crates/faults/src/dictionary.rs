@@ -3,12 +3,20 @@
 //!
 //! For every fault in a [`FaultUniverse`], the faulty circuit's magnitude
 //! response (dB) is computed on a frequency grid and stored together with
-//! the golden response. Construction parallelises across faults with
-//! std scoped threads; each fault is an independent AC sweep.
+//! the golden response. Construction parallelises across faults with std
+//! scoped threads. Each worker owns one
+//! [`AcSweepEngine`](ft_circuit::AcSweepEngine) and drives its rank-1
+//! batch fault sweep: per grid point the nominal system is factored
+//! once, each distinct component costs one extra solve, and every
+//! deviation of it is answered in O(1) by a Sherman–Morrison update —
+//! with per-fault results independent of how faults are chunked across
+//! workers, so rebuilt dictionaries are byte-identical.
+//! [`FaultDictionary::build_reference`] keeps the clone-and-reassemble
+//! path as the verification oracle.
 
-use ft_circuit::{sweep, Circuit, CircuitError, Probe};
+use ft_circuit::{AcSweepEngine, Circuit, CircuitError, ComponentId, MnaLayout, Probe};
 use ft_numerics::interp::PiecewiseLinear;
-use ft_numerics::FrequencyGrid;
+use ft_numerics::{decibel, Complex64, FrequencyGrid};
 use serde::{Deserialize, Serialize};
 
 use crate::model::ParametricFault;
@@ -61,6 +69,12 @@ impl FaultDictionary {
     /// Builds the dictionary by simulating the golden circuit and every
     /// fault in `universe` on `grid`, in parallel.
     ///
+    /// Each worker thread drives one AC sweep engine through the rank-1
+    /// batch fault sweep ([`AcSweepEngine::sweep_faults_into`]): one
+    /// factorization per grid point, one solve per distinct component,
+    /// O(1) per deviation. Entry values are independent of the worker
+    /// count and chunking.
+    ///
     /// # Errors
     ///
     /// Propagates the first simulation error (unknown component in the
@@ -72,9 +86,32 @@ impl FaultDictionary {
         probe: &Probe,
         grid: &FrequencyGrid,
     ) -> Result<Self, CircuitError> {
-        let golden_db = sweep(circuit, input, probe, grid)?.magnitude_db();
+        let layout = MnaLayout::new(circuit)?;
+        let golden_db = AcSweepEngine::with_layout(circuit, &layout, input, probe)?
+            .sweep(grid)?
+            .magnitude_db();
 
         let faults = universe.faults();
+        // Resolve every fault to its component id and faulty value once,
+        // up front — workers then never touch the name indices, and
+        // universe errors surface before any thread spawns.
+        let targets: Vec<(ComponentId, f64)> = faults
+            .iter()
+            .map(|fault| {
+                let id = circuit
+                    .find(fault.component())
+                    .ok_or_else(|| CircuitError::UnknownComponent(fault.component().into()))?;
+                let nominal = circuit.value(fault.component())?.ok_or_else(|| {
+                    CircuitError::InvalidValue {
+                        component: fault.component().into(),
+                        value: f64::NAN,
+                        reason: "component has no principal value to deviate",
+                    }
+                })?;
+                Ok((id, nominal * fault.multiplier()))
+            })
+            .collect::<Result<_, CircuitError>>()?;
+
         let workers = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
@@ -84,17 +121,31 @@ impl FaultDictionary {
         let results: Vec<Result<Vec<DictionaryEntry>, CircuitError>> =
             std::thread::scope(|scope| {
                 let mut handles = Vec::new();
-                for faults_chunk in faults.chunks(chunk) {
+                for (faults_chunk, targets_chunk) in faults.chunks(chunk).zip(targets.chunks(chunk))
+                {
+                    let layout = &layout;
                     handles.push(scope.spawn(move || {
-                        let mut out = Vec::with_capacity(faults_chunk.len());
-                        for fault in faults_chunk {
-                            let faulty = fault.apply(circuit)?;
-                            let response = sweep(&faulty, input, probe, grid)?;
-                            out.push(DictionaryEntry {
+                        let mut engine = AcSweepEngine::with_layout(circuit, layout, input, probe)?;
+                        let mut golden: Vec<Complex64> = Vec::new();
+                        let mut responses: Vec<Complex64> = Vec::new();
+                        engine.sweep_faults_into(
+                            grid.frequencies(),
+                            targets_chunk,
+                            &mut golden,
+                            &mut responses,
+                        )?;
+                        let n = grid.len();
+                        let out = faults_chunk
+                            .iter()
+                            .enumerate()
+                            .map(|(fi, fault)| DictionaryEntry {
                                 fault: fault.clone(),
-                                magnitude_db: response.magnitude_db(),
-                            });
-                        }
+                                magnitude_db: responses[fi * n..(fi + 1) * n]
+                                    .iter()
+                                    .map(|v| decibel::clamp_db(v.abs_db(), -300.0))
+                                    .collect(),
+                            })
+                            .collect();
                         Ok(out)
                     }));
                 }
@@ -109,6 +160,42 @@ impl FaultDictionary {
             entries.extend(r?);
         }
 
+        Ok(FaultDictionary {
+            grid: grid.clone(),
+            golden_db,
+            entries,
+            universe: universe.clone(),
+            input: input.to_string(),
+            probe: probe.clone(),
+        })
+    }
+
+    /// [`FaultDictionary::build`] on the reference simulation path: every
+    /// fault is applied to a clone of the circuit and swept with
+    /// [`ft_circuit::sweep_reference`] (assemble + fresh LU per
+    /// frequency). Slow, but free of engine stamp bookkeeping — the
+    /// oracle the engine path is benchmarked and property-tested against.
+    ///
+    /// # Errors
+    ///
+    /// As [`FaultDictionary::build`].
+    pub fn build_reference(
+        circuit: &Circuit,
+        universe: &FaultUniverse,
+        input: &str,
+        probe: &Probe,
+        grid: &FrequencyGrid,
+    ) -> Result<Self, CircuitError> {
+        let golden_db = ft_circuit::sweep_reference(circuit, input, probe, grid)?.magnitude_db();
+        let mut entries = Vec::with_capacity(universe.len());
+        for fault in universe.faults() {
+            let faulty = fault.apply(circuit)?;
+            let response = ft_circuit::sweep_reference(&faulty, input, probe, grid)?;
+            entries.push(DictionaryEntry {
+                fault: fault.clone(),
+                magnitude_db: response.magnitude_db(),
+            });
+        }
         Ok(FaultDictionary {
             grid: grid.clone(),
             golden_db,
@@ -275,6 +362,7 @@ fn interp_log(grid: &FrequencyGrid, ys: &[f64], omega: f64) -> f64 {
 mod tests {
     use super::*;
     use crate::universe::DeviationGrid;
+    use ft_circuit::sweep;
 
     fn rc() -> Circuit {
         let mut ckt = Circuit::new("rc");
@@ -332,6 +420,27 @@ mod tests {
             dict.input().to_string(),
             dict.probe().clone(),
         );
+    }
+
+    #[test]
+    fn engine_build_agrees_with_reference_build() {
+        let ckt = rc();
+        let universe = FaultUniverse::new(&["R1", "C1"], DeviationGrid::paper());
+        let grid = FrequencyGrid::log_space(1.0, 1e6, 25);
+        let probe = Probe::node("out");
+        let fast = FaultDictionary::build(&ckt, &universe, "V1", &probe, &grid).unwrap();
+        let oracle =
+            FaultDictionary::build_reference(&ckt, &universe, "V1", &probe, &grid).unwrap();
+        assert_eq!(fast.entries().len(), oracle.entries().len());
+        for (a, b) in fast.entries().iter().zip(oracle.entries()) {
+            assert_eq!(a.fault(), b.fault());
+            for (x, y) in a.magnitude_db().iter().zip(b.magnitude_db()) {
+                assert!((x - y).abs() < 1e-9, "{}: {x} vs {y} dB", a.fault());
+            }
+        }
+        for (x, y) in fast.golden_db().iter().zip(oracle.golden_db()) {
+            assert!((x - y).abs() < 1e-9, "golden {x} vs {y} dB");
+        }
     }
 
     #[test]

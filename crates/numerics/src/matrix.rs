@@ -196,6 +196,38 @@ impl<T: Scalar> Matrix<T> {
         self.data.fill(T::ZERO);
     }
 
+    /// Copies `other`'s contents into `self` without allocating — the
+    /// first half of the stamp-split AC assembly `A(ω) = G + jω·B`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn copy_from(&mut self, other: &Matrix<T>) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "copy_from shape mismatch"
+        );
+        self.data.copy_from_slice(&other.data);
+    }
+
+    /// Adds `k · other` entry-wise (axpy) — the second half of the
+    /// stamp-split AC assembly.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_scaled(&mut self, other: &Matrix<T>, k: T) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "add_scaled shape mismatch"
+        );
+        for (d, o) in self.data.iter_mut().zip(&other.data) {
+            *d += k * *o;
+        }
+    }
+
     /// Adds `value` to entry `(row, col)` — the elementary "stamping"
     /// operation of MNA assembly.
     ///
@@ -380,19 +412,66 @@ impl<T: Scalar> Lu<T> {
     ///
     /// Panics if `a` is not square.
     pub fn factor(a: &Matrix<T>) -> Result<Self, SingularMatrixError> {
+        let mut ws = Lu::workspace(a.rows());
+        ws.factor_into(a)?;
+        Ok(ws)
+    }
+
+    /// Creates a reusable factorisation workspace for `n × n` systems.
+    ///
+    /// The workspace holds no valid factors until the first successful
+    /// [`Lu::factor_into`]; calling [`Lu::solve`] before that yields the
+    /// (meaningless) solution of the zero-initialised system.
+    pub fn workspace(n: usize) -> Self {
+        Lu {
+            lu: Matrix::zeros(n, n),
+            perm: (0..n).collect(),
+            perm_sign: 1,
+        }
+    }
+
+    /// Factors `a` into this workspace, reusing its storage: after the
+    /// first call with a given dimension, refactoring performs zero heap
+    /// allocation — the hot-loop primitive of the AC sweep engine, where
+    /// the same-sized system is refactored at every grid frequency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] as [`Lu::factor`] does; the
+    /// workspace then holds no valid factors (a later successful
+    /// `factor_into` makes it usable again).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not square.
+    pub fn factor_into(&mut self, a: &Matrix<T>) -> Result<(), SingularMatrixError> {
         assert!(a.is_square(), "LU requires a square matrix");
         let n = a.rows();
-        let mut lu = a.clone();
-        let mut perm: Vec<usize> = (0..n).collect();
-        let mut perm_sign = 1;
-        let scale = lu.max_abs().max(f64::MIN_POSITIVE);
+        if self.lu.rows != n || self.lu.cols != n {
+            self.lu = Matrix::zeros(n, n);
+            self.perm = (0..n).collect();
+        }
+        self.lu.data.copy_from_slice(&a.data);
+        for (i, p) in self.perm.iter_mut().enumerate() {
+            *p = i;
+        }
+        self.perm_sign = 1;
+        self.eliminate()
+    }
+
+    /// Gaussian elimination with partial pivoting over the workspace
+    /// contents. Operates on row slices so the inner update runs without
+    /// per-element bounds checks.
+    fn eliminate(&mut self) -> Result<(), SingularMatrixError> {
+        let n = self.lu.rows;
+        let scale = self.lu.max_abs().max(f64::MIN_POSITIVE);
 
         for k in 0..n {
             // Pivot search: largest magnitude in column k at/below the diagonal.
             let mut p = k;
-            let mut best = lu[(k, k)].magnitude();
+            let mut best = self.lu.data[k * n + k].magnitude();
             for r in (k + 1)..n {
-                let m = lu[(r, k)].magnitude();
+                let m = self.lu.data[r * n + k].magnitude();
                 if m > best {
                     best = m;
                     p = r;
@@ -402,28 +481,25 @@ impl<T: Scalar> Lu<T> {
                 return Err(SingularMatrixError { column: k });
             }
             if p != k {
-                lu.swap_rows(p, k);
-                perm.swap(p, k);
-                perm_sign = -perm_sign;
+                self.lu.swap_rows(p, k);
+                self.perm.swap(p, k);
+                self.perm_sign = -self.perm_sign;
             }
-            let pivot = lu[(k, k)];
-            for r in (k + 1)..n {
-                let factor = lu[(r, k)] / pivot;
-                lu[(r, k)] = factor;
+            let (above, below) = self.lu.data.split_at_mut((k + 1) * n);
+            let pivot_row = &above[k * n..(k + 1) * n];
+            let pivot = pivot_row[k];
+            for row in below.chunks_exact_mut(n) {
+                let factor = row[k] / pivot;
+                row[k] = factor;
                 if factor == T::ZERO {
                     continue;
                 }
-                for c in (k + 1)..n {
-                    let u = lu[(k, c)];
-                    lu[(r, c)] -= factor * u;
+                for (x, &u) in row[k + 1..].iter_mut().zip(&pivot_row[k + 1..]) {
+                    *x -= factor * u;
                 }
             }
         }
-        Ok(Lu {
-            lu,
-            perm,
-            perm_sign,
-        })
+        Ok(())
     }
 
     /// Dimension of the factored system.
@@ -437,31 +513,44 @@ impl<T: Scalar> Lu<T> {
     /// # Panics
     ///
     /// Panics if `b.len() != self.dim()`.
-    // Triangular substitution indexes `x[c]` while writing `x[r]`; the
-    // index form mirrors the textbook recurrence.
-    #[allow(clippy::needless_range_loop)]
     pub fn solve(&self, b: &[T]) -> Vec<T> {
+        let mut x = Vec::with_capacity(self.dim());
+        self.solve_into(b, &mut x);
+        x
+    }
+
+    /// Solves `A·x = b` into a caller-owned buffer: `x` is cleared and
+    /// refilled, so after warm-up repeated solves perform zero heap
+    /// allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != self.dim()`.
+    pub fn solve_into(&self, b: &[T], x: &mut Vec<T>) {
         let n = self.dim();
         assert_eq!(b.len(), n, "rhs length mismatch");
         // Apply permutation.
-        let mut x: Vec<T> = self.perm.iter().map(|&p| b[p]).collect();
+        x.clear();
+        x.extend(self.perm.iter().map(|&p| b[p]));
+        let data = &self.lu.data;
         // Forward substitution (L has unit diagonal).
         for r in 1..n {
+            let row = &data[r * n..r * n + r];
             let mut acc = x[r];
-            for c in 0..r {
-                acc -= self.lu[(r, c)] * x[c];
+            for (l, xc) in row.iter().zip(x.iter()) {
+                acc -= *l * *xc;
             }
             x[r] = acc;
         }
         // Backward substitution.
         for r in (0..n).rev() {
+            let row = &data[r * n..(r + 1) * n];
             let mut acc = x[r];
-            for c in (r + 1)..n {
-                acc -= self.lu[(r, c)] * x[c];
+            for (u, xc) in row[r + 1..].iter().zip(x[r + 1..].iter()) {
+                acc -= *u * *xc;
             }
-            x[r] = acc / self.lu[(r, r)];
+            x[r] = acc / row[r];
         }
-        x
     }
 
     /// Solves in place, reusing the caller's buffer.
@@ -671,6 +760,68 @@ mod tests {
         let mut b = [4.0, 10.0];
         lu.solve_in_place(&mut b);
         assert_eq!(b, [2.0, 2.0]);
+    }
+
+    #[test]
+    fn factor_into_matches_factor() {
+        let a = RMatrix::from_rows(3, 3, vec![2., 1., 1., 4., -6., 0., -2., 7., 2.]);
+        let fresh = Lu::factor(&a).unwrap();
+        let mut ws = Lu::workspace(3);
+        ws.factor_into(&a).unwrap();
+        assert_eq!(ws.solve(&[5., -2., 9.]), fresh.solve(&[5., -2., 9.]));
+        assert_eq!(ws.det(), fresh.det());
+        // Refactoring a different same-sized matrix reuses the workspace.
+        let b = RMatrix::from_rows(3, 3, vec![1., 0., 0., 0., 2., 0., 0., 0., 4.]);
+        ws.factor_into(&b).unwrap();
+        assert_eq!(ws.solve(&[1., 2., 4.]), vec![1., 1., 1.]);
+        // A singular refactor errors; a later valid refactor recovers.
+        let s = RMatrix::from_rows(3, 3, vec![1., 2., 3., 2., 4., 6., 0., 0., 1.]);
+        assert!(ws.factor_into(&s).is_err());
+        ws.factor_into(&a).unwrap();
+        assert_eq!(ws.solve(&[5., -2., 9.]), fresh.solve(&[5., -2., 9.]));
+    }
+
+    #[test]
+    fn factor_into_resizes_on_dimension_change() {
+        let mut ws = Lu::workspace(2);
+        let a = RMatrix::from_rows(3, 3, vec![2., 1., 1., 4., -6., 0., -2., 7., 2.]);
+        ws.factor_into(&a).unwrap();
+        assert_eq!(ws.dim(), 3);
+        assert_eq!(
+            ws.solve(&[5., -2., 9.]),
+            Lu::factor(&a).unwrap().solve(&[5., -2., 9.])
+        );
+    }
+
+    #[test]
+    fn solve_into_reuses_buffer() {
+        let a = RMatrix::from_rows(2, 2, vec![0., 1., 1., 0.]);
+        let lu = Lu::factor(&a).unwrap();
+        let mut x = Vec::new();
+        lu.solve_into(&[3.0, 4.0], &mut x);
+        assert_eq!(x, vec![4.0, 3.0]);
+        let cap = x.capacity();
+        lu.solve_into(&[1.0, 2.0], &mut x);
+        assert_eq!(x, vec![2.0, 1.0]);
+        assert_eq!(x.capacity(), cap);
+    }
+
+    #[test]
+    fn copy_from_and_add_scaled() {
+        let g = RMatrix::from_rows(2, 2, vec![1., 2., 3., 4.]);
+        let b = RMatrix::from_rows(2, 2, vec![10., 0., 0., 10.]);
+        let mut work = RMatrix::zeros(2, 2);
+        work.copy_from(&g);
+        assert_eq!(work, g);
+        work.add_scaled(&b, 0.5);
+        assert_eq!(work, RMatrix::from_rows(2, 2, vec![6., 2., 3., 9.]));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn add_scaled_shape_checked() {
+        let mut a = RMatrix::zeros(2, 2);
+        a.add_scaled(&RMatrix::zeros(3, 3), 1.0);
     }
 
     #[test]

@@ -27,7 +27,7 @@ use rand::SeedableRng;
 use crate::bank::TrajectoryBank;
 use crate::engine::{diagnose_batch_with, DiagnosisEngine, EngineConfig};
 use crate::index::SegmentIndex;
-use crate::synthetic::{synthetic_queries, synthetic_trajectory_set};
+use crate::synthetic::{synthetic_circuit_bank, synthetic_queries, synthetic_trajectory_set};
 
 const USAGE: &str = "\
 ftd — fault-trajectory diagnosis engine
@@ -38,18 +38,26 @@ USAGE:
                [--noise-db S] [--seed N] [--workers N] [--linear] [--q Q]
   ftd bench-scan-vs-index [--components N] [--points N] [--dim D]
                [--queries N] [--seed N] [--workers N] [--leaf N]
+               [--circuit-order N]
   ftd help | --help
 
 SUBCOMMANDS:
-  build-bank           Simulate the Tow-Thomas CUT's fault dictionary,
-                       materialise the fault trajectories at the test
-                       vector {--f1, --f2}, and persist the bank.
+  build-bank           Simulate the Tow-Thomas CUT's fault dictionary on
+                       the stamp-split AC sweep engine, materialise the
+                       fault trajectories at the test vector {--f1, --f2},
+                       and persist the bank. Deterministic: repeated runs
+                       are byte-identical regardless of worker count.
   diagnose             Load a bank, measure signatures for the requested
                        (--fault R2:+25) and/or --random sampled unknown
                        faults on the same CUT, and diagnose them as one
                        batch (spatial index unless --linear).
   bench-scan-vs-index  Time linear scan vs spatial index, single-query
                        and batched, on a synthetic >=1k-segment bank.
+                       With --circuit-order N the bank is *simulated*
+                       (engine-built fault dictionary of an order-N RLC
+                       ladder) instead of generated geometrically;
+                       --points then sets the deviation count per branch
+                       (max 320) and --dim is ignored.
 ";
 
 /// Entry point for the `ftd` binary: parses `args` (without the program
@@ -347,6 +355,7 @@ fn bench_scan_vs_index(args: &[String]) -> Result<(), CliError> {
     let mut seed = 7u64;
     let mut workers: Option<usize> = None;
     let mut leaf = 0usize;
+    let mut circuit_order = 0usize;
     let mut flags = Flags::new(args);
     while let Some(flag) = flags.next_flag() {
         match flag {
@@ -357,6 +366,7 @@ fn bench_scan_vs_index(args: &[String]) -> Result<(), CliError> {
             "--seed" => seed = flags.parse("--seed")?,
             "--workers" => workers = Some(flags.parse("--workers")?),
             "--leaf" => leaf = flags.parse("--leaf")?,
+            "--circuit-order" => circuit_order = flags.parse("--circuit-order")?,
             other => {
                 return Err(usage(format!(
                     "bench-scan-vs-index: unknown flag `{other}`"
@@ -370,7 +380,33 @@ fn bench_scan_vs_index(args: &[String]) -> Result<(), CliError> {
         ));
     }
 
-    let set = synthetic_trajectory_set(components, points, dim, seed);
+    let set = if circuit_order > 0 {
+        if !(1..=9).contains(&circuit_order) {
+            return Err(usage("--circuit-order must be in 1..=9"));
+        }
+        if points > 320 {
+            return Err(usage(
+                "--circuit-order mode supports --points up to 320 (deviation step >= 0.125%)",
+            ));
+        }
+        // Simulated bank: one trajectory per ladder passive, 2·points
+        // segments each (deviation step 40/points %), built through the
+        // engine-backed offline pipeline.
+        let step = 40.0 / points as f64;
+        let bank = synthetic_circuit_bank(circuit_order, step, 41, &TestVector::pair(0.6, 1.6))
+            .map_err(runtime)?;
+        components = bank.trajectory_set().len();
+        let set = bank.trajectory_set().clone();
+        println!(
+            "simulated order-{circuit_order} RLC-ladder bank: {} faults on a {}-point grid",
+            bank.dictionary().entries().len(),
+            bank.dictionary().grid().len(),
+        );
+        set
+    } else {
+        synthetic_trajectory_set(components, points, dim, seed)
+    };
+    let dim = set.dim();
     let qs = synthetic_queries(&set, queries, seed.wrapping_add(1));
     let index = if leaf == 0 {
         SegmentIndex::build(&set)
@@ -514,6 +550,42 @@ mod tests {
                 "5".into(),
             ]),
             0
+        );
+    }
+
+    #[test]
+    fn bench_subcommand_runs_on_simulated_circuit_bank() {
+        assert_eq!(
+            main_from_args(vec![
+                "bench-scan-vs-index".into(),
+                "--circuit-order".into(),
+                "2".into(),
+                "--points".into(),
+                "4".into(),
+                "--queries".into(),
+                "5".into(),
+            ]),
+            0
+        );
+        assert_eq!(
+            main_from_args(vec![
+                "bench-scan-vs-index".into(),
+                "--circuit-order".into(),
+                "12".into(),
+            ]),
+            2
+        );
+        // --points beyond the circuit-mode cap is a usage error, not a
+        // silent clamp.
+        assert_eq!(
+            main_from_args(vec![
+                "bench-scan-vs-index".into(),
+                "--circuit-order".into(),
+                "2".into(),
+                "--points".into(),
+                "1000".into(),
+            ]),
+            2
         );
     }
 

@@ -72,4 +72,4 @@ pub use bank::TrajectoryBank;
 pub use codec::{checksum, CodecError, Decoder, Encoder, BANK_MAGIC, BANK_VERSION};
 pub use engine::{diagnose_batch_with, DiagnosisEngine, EngineConfig};
 pub use index::{QueryStats, SegmentIndex};
-pub use synthetic::{synthetic_queries, synthetic_trajectory_set};
+pub use synthetic::{synthetic_circuit_bank, synthetic_queries, synthetic_trajectory_set};

@@ -2,15 +2,24 @@
 //! benchmarks.
 //!
 //! Real banks for the paper's CUT hold 7 trajectories × 8 segments; the
-//! index only shows its worth at production scale. This generator builds
-//! geometrically plausible sets of arbitrary size: every trajectory
-//! passes through the origin (the 0% point, as real fault trajectories
-//! do), radiates outward with a per-component direction, and bends
-//! slightly so segments are not collinear.
+//! index only shows its worth at production scale. Two generators are
+//! provided: a geometric one ([`synthetic_trajectory_set`]) that builds
+//! plausible sets of arbitrary size — every trajectory passes through the
+//! origin (the 0% point, as real fault trajectories do), radiates outward
+//! with a per-component direction, and bends slightly so segments are not
+//! collinear — and a circuit-backed one ([`synthetic_circuit_bank`]) that
+//! actually simulates an RLC-ladder CUT of configurable order on the
+//! stamp-split AC sweep engine, so serving benchmarks can exercise the
+//! full offline pipeline at scale.
 
+use ft_circuit::{rlc_ladder_lowpass, CircuitError};
 use ft_core::{FaultTrajectory, Signature, TestVector, TrajectorySet};
+use ft_faults::{DeviationGrid, FaultDictionary, FaultUniverse};
+use ft_numerics::FrequencyGrid;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+use crate::bank::TrajectoryBank;
 
 /// Signature-space radius the synthetic trajectories extend to (dB).
 const EXTENT_DB: f64 = 6.0;
@@ -58,6 +67,44 @@ pub fn synthetic_trajectory_set(
 
     let tv = TestVector::new((1..=dim).map(|k| k as f64).collect());
     TrajectorySet::new(tv, trajectories)
+}
+
+/// Builds a complete, deterministic [`TrajectoryBank`] by *simulating* a
+/// doubly-terminated Butterworth RLC ladder of the given order: the full
+/// offline pipeline — engine-backed fault-dictionary build over the
+/// paper's deviation grid, trajectory materialisation at `tv` — on a CUT
+/// whose size scales with `order` (passives: `order + 2`, with inductor
+/// branch-current unknowns in the MNA system).
+///
+/// Unlike [`synthetic_trajectory_set`], the responses here are real
+/// circuit physics, so the bank also exercises the simulation layers in
+/// serving benchmarks.
+///
+/// # Errors
+///
+/// Propagates simulation errors (none occur for supported orders).
+///
+/// # Panics
+///
+/// Panics if `order` is outside the ladder library's 1–9 range, if
+/// `deviation_step_pct` does not satisfy `0 < step ≤ 40`, or if
+/// `grid_points < 2`.
+pub fn synthetic_circuit_bank(
+    order: usize,
+    deviation_step_pct: f64,
+    grid_points: usize,
+    tv: &TestVector,
+) -> Result<TrajectoryBank, CircuitError> {
+    assert!(grid_points >= 2, "need at least two grid points");
+    let bench = rlc_ladder_lowpass(order)?;
+    let universe = FaultUniverse::new(
+        &bench.fault_set,
+        DeviationGrid::new(40.0, deviation_step_pct),
+    );
+    let grid = FrequencyGrid::log_space(bench.search_band.0, bench.search_band.1, grid_points);
+    let dict =
+        FaultDictionary::build(&bench.circuit, &universe, &bench.input, &bench.probe, &grid)?;
+    Ok(TrajectoryBank::build(dict, tv))
 }
 
 /// Draws `count` query signatures near the set's trajectories (random
@@ -114,5 +161,30 @@ mod tests {
         let set = synthetic_trajectory_set(4, 3, 4, 3);
         assert_eq!(set.dim(), 4);
         assert_eq!(set.channels(), 1);
+    }
+
+    #[test]
+    fn circuit_bank_simulates_and_round_trips() {
+        let tv = TestVector::pair(0.5, 2.0);
+        let bank = synthetic_circuit_bank(3, 10.0, 11, &tv).unwrap();
+        // Order-3 ladder: RS, C1, L2, C3, RL = 5 passives × 8 deviations.
+        assert_eq!(bank.trajectory_set().len(), 5);
+        assert_eq!(bank.dictionary().entries().len(), 40);
+        assert_eq!(bank.test_vector(), &tv);
+        // Deterministic (the engine path is chunking-invariant) and
+        // codec-round-trippable like any real bank.
+        let again = synthetic_circuit_bank(3, 10.0, 11, &tv).unwrap();
+        assert_eq!(bank.to_bytes(), again.to_bytes());
+        let back = TrajectoryBank::from_bytes(&bank.to_bytes()).unwrap();
+        assert_eq!(bank, back);
+    }
+
+    #[test]
+    fn circuit_bank_scales_with_step() {
+        let tv = TestVector::pair(0.5, 2.0);
+        let dense = synthetic_circuit_bank(2, 5.0, 9, &tv).unwrap();
+        // 4 passives × 16 deviations at a 5% step.
+        assert_eq!(dense.dictionary().entries().len(), 64);
+        assert!(dense.trajectory_set().total_segments() > 60);
     }
 }
