@@ -1,0 +1,126 @@
+//! Woodbury rank-k multi-fault sweep vs the clone-and-reassemble path.
+//!
+//! Workload: the exhaustive pair-fault universe of the paper's
+//! Tow-Thomas biquad (21 component pairs × 8² deviation combinations =
+//! 1344 double faults) priced on a 64-point grid. The engine path
+//! (`MultiFaultDictionary::build`) factors the nominal system once per
+//! grid point, spends one solve per distinct component, and one 2×2
+//! dense solve per pair; the reference path (`build_reference`) clones
+//! the circuit and re-assembles + re-factors per pair per frequency.
+//!
+//! Besides the criterion timings, the binary writes a
+//! `BENCH_multifault.json` summary (median wall times and the
+//! pair-dictionary speedup) so CI and the README can quote one number.
+
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ft_circuit::tow_thomas_normalized;
+use ft_faults::{all_pairs, DeviationGrid, FaultUniverse, MultiFaultDictionary};
+use ft_numerics::FrequencyGrid;
+
+const GRID_POINTS: usize = 64;
+
+fn grid() -> FrequencyGrid {
+    FrequencyGrid::log_space(0.01, 100.0, GRID_POINTS)
+}
+
+fn bench_pair_dictionary(c: &mut Criterion) {
+    let bench = tow_thomas_normalized(1.0).unwrap();
+    let universe = FaultUniverse::new(&bench.fault_set, DeviationGrid::paper());
+    let pairs = all_pairs(&universe);
+    let grid = grid();
+    let mut group = c.benchmark_group("multifault/pair_dictionary_64");
+    group.sample_size(10);
+    group.bench_function("engine", |b| {
+        b.iter(|| {
+            MultiFaultDictionary::build(
+                black_box(&bench.circuit),
+                &pairs,
+                &bench.input,
+                &bench.probe,
+                &grid,
+            )
+            .unwrap()
+            .len()
+        })
+    });
+    group.bench_function("reference", |b| {
+        b.iter(|| {
+            MultiFaultDictionary::build_reference(
+                black_box(&bench.circuit),
+                &pairs,
+                &bench.input,
+                &bench.probe,
+                &grid,
+            )
+            .unwrap()
+            .len()
+        })
+    });
+    group.finish();
+}
+
+/// Median-of-N wall time of `f`, in seconds.
+fn median_secs(n: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..n)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    times[times.len() / 2]
+}
+
+/// Emits `BENCH_multifault.json`: the acceptance-criterion measurement
+/// (pair-fault dictionary on the biquad, engine vs clone-and-reassemble)
+/// with single-worker engine numbers so the comparison is core-for-core.
+fn emit_summary(_c: &mut Criterion) {
+    let bench = tow_thomas_normalized(1.0).unwrap();
+    let universe = FaultUniverse::new(&bench.fault_set, DeviationGrid::paper());
+    let pairs = all_pairs(&universe);
+    let grid = grid();
+
+    let build_engine_s = median_secs(5, || {
+        MultiFaultDictionary::build_with_workers(
+            &bench.circuit,
+            &pairs,
+            &bench.input,
+            &bench.probe,
+            &grid,
+            1,
+        )
+        .unwrap();
+    });
+    let build_reference_s = median_secs(3, || {
+        MultiFaultDictionary::build_reference(
+            &bench.circuit,
+            &pairs,
+            &bench.input,
+            &bench.probe,
+            &grid,
+        )
+        .unwrap();
+    });
+
+    let json = format!(
+        "{{\n  \"circuit\": \"tow-thomas-biquad\",\n  \"grid_points\": {GRID_POINTS},\n  \
+         \"pair_faults\": {},\n  \"pair_dictionary_engine_s\": {build_engine_s:.6e},\n  \
+         \"pair_dictionary_reference_s\": {build_reference_s:.6e},\n  \
+         \"pair_dictionary_speedup\": {:.2}\n}}\n",
+        pairs.len(),
+        build_reference_s / build_engine_s.max(1e-12),
+    );
+    std::fs::write("BENCH_multifault.json", &json).expect("write BENCH_multifault.json");
+    println!(
+        "BENCH_multifault.json: pair dictionary {:.1}x (engine vs clone-and-reassemble, \
+         single-core, {} pairs)",
+        build_reference_s / build_engine_s.max(1e-12),
+        pairs.len(),
+    );
+}
+
+criterion_group!(benches, bench_pair_dictionary, emit_summary);
+criterion_main!(benches);

@@ -503,8 +503,10 @@ impl AcSweepEngine {
     /// # Errors
     ///
     /// Validates every fault as [`AcSweepEngine::restamp_component`]
-    /// does; returns [`CircuitError::Singular`] when the nominal system
-    /// or a deviated system is singular at some grid point.
+    /// does; returns [`CircuitError::Singular`] when the *nominal* system
+    /// is singular at some grid point and [`CircuitError::SingularFault`]
+    /// (identifying the batch index and frequency) when a *deviated*
+    /// system is — healthy entries are never blamed for a sick one.
     pub fn sweep_faults_into(
         &mut self,
         omegas: &[f64],
@@ -518,37 +520,12 @@ impl AcSweepEngine {
         let mut uniq: Vec<usize> = Vec::new();
         let mut fault_info: Vec<(usize, f64, bool)> = Vec::with_capacity(faults.len());
         for &(id, value) in faults {
-            let idx = id.index();
-            let Some(comp) = self.components.get(idx) else {
-                return Err(CircuitError::UnknownComponent(format!("component #{idx}")));
-            };
-            let Some(old) = comp.value else {
-                return Err(CircuitError::InvalidValue {
-                    component: comp.name.clone(),
-                    value,
-                    reason: "component has no principal value to deviate",
-                });
-            };
-            if !value.is_finite() || (comp.must_be_positive && value <= 0.0) {
-                return Err(CircuitError::InvalidValue {
-                    component: comp.name.clone(),
-                    value,
-                    reason: if comp.must_be_positive {
-                        "value must be positive and finite"
-                    } else {
-                        "value must be finite"
-                    },
-                });
-            }
-            let m = match comp.stamp.map {
-                ValueMap::Inverse => 1.0 / value - 1.0 / old,
-                ValueMap::Linear => value - old,
-            };
+            let (idx, m, in_b) = self.fault_update(id, value)?;
             let slot = uniq.iter().position(|&c| c == idx).unwrap_or_else(|| {
                 uniq.push(idx);
                 uniq.len() - 1
             });
-            fault_info.push((slot, m, comp.stamp.in_b));
+            fault_info.push((slot, m, in_b));
         }
 
         // Dense u columns, one per distinct component (frequency-free).
@@ -596,10 +573,225 @@ impl AcSweepEngine {
                 let (s1, s2, s3) = scalars[slot];
                 let denom = Complex64::ONE + c * s2;
                 if denom.abs() <= 1e-13 * (1.0 + (c * s2).abs()) {
-                    // The deviated system is (numerically) singular here.
-                    return Err(CircuitError::Singular { column: 0 });
+                    // The deviated system is (numerically) singular here;
+                    // identify the offending batch entry instead of
+                    // poisoning the whole batch with a blind error.
+                    return Err(CircuitError::SingularFault {
+                        fault: fi,
+                        omega: w,
+                    });
                 }
                 out[fi * omegas.len() + wi] = s0 - c * s1 / denom * s3;
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates one batch deviation exactly as
+    /// [`AcSweepEngine::restamp_component`] does and maps it to its
+    /// update data: the component index, the mapped value delta `m`
+    /// (`1/value − 1/old` for resistors, `value − old` otherwise), and
+    /// whether the stamp lives in the susceptance part `B`.
+    fn fault_update(&self, id: ComponentId, value: f64) -> Result<(usize, f64, bool)> {
+        let idx = id.index();
+        let Some(comp) = self.components.get(idx) else {
+            return Err(CircuitError::UnknownComponent(format!("component #{idx}")));
+        };
+        let Some(old) = comp.value else {
+            return Err(CircuitError::InvalidValue {
+                component: comp.name.clone(),
+                value,
+                reason: "component has no principal value to deviate",
+            });
+        };
+        if !value.is_finite() || (comp.must_be_positive && value <= 0.0) {
+            return Err(CircuitError::InvalidValue {
+                component: comp.name.clone(),
+                value,
+                reason: if comp.must_be_positive {
+                    "value must be positive and finite"
+                } else {
+                    "value must be finite"
+                },
+            });
+        }
+        let m = match comp.stamp.map {
+            ValueMap::Inverse => 1.0 / value - 1.0 / old,
+            ValueMap::Linear => value - old,
+        };
+        Ok((idx, m, comp.stamp.in_b))
+    }
+
+    /// Sweeps a whole batch of **multi-faults** (simultaneous deviations
+    /// of `k` distinct components) in one pass — the Woodbury (rank-k)
+    /// generalisation of [`AcSweepEngine::sweep_faults_into`] and the
+    /// offline-phase hot loop behind multi-fault dictionaries.
+    ///
+    /// An order-`k` multi-fault deviates the nominal system by a rank-k
+    /// update `A(ω) + U·C·Vᵀ` (`U`/`V` the stamp factors of the touched
+    /// components, `C = diag(c₁…c_k)` the mapped value deltas, times `jω`
+    /// for reactive elements). Per grid point this method factors the
+    /// nominal system **once**, takes one extra solve per *distinct
+    /// component across the whole batch* (the shared `U`-columns), and
+    /// prices each multi-fault with one k×k dense complex solve of the
+    /// Woodbury capacitance system
+    ///
+    /// ```text
+    /// (I_k + C·Vᵀ A⁻¹ U) · w = C·Vᵀ x₀,   H = s₀ − pᵀ A⁻¹ U · w
+    /// ```
+    ///
+    /// (`x₀` the nominal solution, `p` the probe read vector, the k×k
+    /// solve via [`Lu::solve_dense_into`]). For k = 1 this reduces
+    /// algebraically to the Sherman–Morrison identity of the rank-1
+    /// sweep. `MultiFault::apply` (clone + reassemble, in `ft-faults`)
+    /// stays as the oracle this path is property-tested against.
+    ///
+    /// `golden` receives the nominal response at every frequency; `out`
+    /// is filled fault-major (`out[f * omegas.len() + w]`). An empty
+    /// tuple is priced as the golden response (a rank-0 update).
+    /// Outstanding restamps are respected, and outputs are deterministic
+    /// and independent of how callers chunk `multifaults`.
+    ///
+    /// # Errors
+    ///
+    /// Validates every deviation as [`AcSweepEngine::restamp_component`]
+    /// does, plus [`CircuitError::InvalidValue`] when one tuple deviates
+    /// the same component twice; returns [`CircuitError::Singular`] when
+    /// the nominal system is singular at some grid point and
+    /// [`CircuitError::SingularFault`] (batch index + frequency) when a
+    /// deviated system is.
+    pub fn sweep_multifaults_into(
+        &mut self,
+        omegas: &[f64],
+        multifaults: &[Vec<(ComponentId, f64)>],
+        golden: &mut Vec<Complex64>,
+        out: &mut Vec<Complex64>,
+    ) -> Result<()> {
+        let dim = self.dim();
+        // Validate every deviation; map each tuple to (unique-component
+        // slot, mapped value delta, reactive?) triples.
+        let mut uniq: Vec<usize> = Vec::new();
+        let mut tuples: Vec<Vec<(usize, f64, bool)>> = Vec::with_capacity(multifaults.len());
+        for mf in multifaults {
+            let mut infos = Vec::with_capacity(mf.len());
+            for (j, &(id, value)) in mf.iter().enumerate() {
+                let (idx, m, in_b) = self.fault_update(id, value)?;
+                if mf[..j].iter().any(|&(prev, _)| prev == id) {
+                    return Err(CircuitError::InvalidValue {
+                        component: self.components[idx].name.clone(),
+                        value,
+                        reason: "duplicate component in multi-fault",
+                    });
+                }
+                let slot = uniq.iter().position(|&c| c == idx).unwrap_or_else(|| {
+                    uniq.push(idx);
+                    uniq.len() - 1
+                });
+                infos.push((slot, m, in_b));
+            }
+            tuples.push(infos);
+        }
+        let k_u = uniq.len();
+
+        // Dense U columns, one per distinct component (accumulated so
+        // degenerate same-node stamps cancel — see sweep_faults_into).
+        let mut ucols = vec![Complex64::ZERO; k_u * dim];
+        for (slot, &idx) in uniq.iter().enumerate() {
+            for &(row, sign) in &self.components[idx].stamp.u {
+                ucols[slot * dim + row] += Complex64::from_real(sign);
+            }
+        }
+
+        golden.clear();
+        golden.reserve(omegas.len());
+        out.clear();
+        out.resize(multifaults.len() * omegas.len(), Complex64::ZERO);
+
+        // Per-frequency slot data: y_s = A⁻¹u_s (stacked in `ys`), probe
+        // reads p_s = pᵀy_s, projections t_s = v_sᵀx₀, and the Gram
+        // matrix S[i·k_u + j] = v_iᵀ y_j.
+        let mut ys = vec![Complex64::ZERO; k_u * dim];
+        let mut y: Vec<Complex64> = Vec::with_capacity(dim);
+        let mut p = vec![Complex64::ZERO; k_u];
+        let mut t = vec![Complex64::ZERO; k_u];
+        let mut gram = vec![Complex64::ZERO; k_u * k_u];
+        // Reused k×k Woodbury capacitance systems, one per tuple order
+        // seen, so mixed-order batches also stay allocation-free after
+        // the first frequency.
+        let max_k = tuples.iter().map(Vec::len).max().unwrap_or(0);
+        let mut cap_ws: Vec<Option<(CMatrix, Lu<Complex64>)>> = vec![None; max_k + 1];
+        let mut rhs_small: Vec<Complex64> = Vec::new();
+        let mut w_small: Vec<Complex64> = Vec::new();
+
+        for (wi, &w) in omegas.iter().enumerate() {
+            self.work.copy_from(&self.g);
+            self.work.add_scaled(&self.b, Complex64::jw(w));
+            self.lu.factor_into(&self.work)?;
+            self.lu.solve_into(&self.rhs, &mut self.x);
+            let s0 = self.probe_pos.map_or(Complex64::ZERO, |r| self.x[r])
+                - self.probe_neg.map_or(Complex64::ZERO, |r| self.x[r]);
+            golden.push(s0);
+            for (slot, &idx) in uniq.iter().enumerate() {
+                self.lu
+                    .solve_into(&ucols[slot * dim..(slot + 1) * dim], &mut y);
+                p[slot] = self.probe_pos.map_or(Complex64::ZERO, |r| y[r])
+                    - self.probe_neg.map_or(Complex64::ZERO, |r| y[r]);
+                t[slot] = sparse_dot(&self.components[idx].stamp.v, &self.x);
+                ys[slot * dim..(slot + 1) * dim].copy_from_slice(&y);
+            }
+            for (i, &idx) in uniq.iter().enumerate() {
+                let v = &self.components[idx].stamp.v;
+                for j in 0..k_u {
+                    gram[i * k_u + j] = sparse_dot(v, &ys[j * dim..(j + 1) * dim]);
+                }
+            }
+            for (fi, infos) in tuples.iter().enumerate() {
+                let k = infos.len();
+                if k == 0 {
+                    out[fi * omegas.len() + wi] = s0;
+                    continue;
+                }
+                let (cap, cap_lu) =
+                    cap_ws[k].get_or_insert_with(|| (CMatrix::zeros(k, k), Lu::workspace(k)));
+                rhs_small.clear();
+                // Conditioning scale: Π over rows of (1 + Σ|c_a·S_ab|),
+                // the rank-k analogue of the Sherman–Morrison check
+                // |1 + c·s₂| ≤ 1e-13·(1 + |c·s₂|) (equal to it at k=1).
+                let mut scale = 1.0_f64;
+                for (a, &(slot_a, m, in_b)) in infos.iter().enumerate() {
+                    let c = if in_b {
+                        Complex64::jw(w).scale(m)
+                    } else {
+                        Complex64::from_real(m)
+                    };
+                    let mut row_mag = 1.0_f64;
+                    for (b, &(slot_b, _, _)) in infos.iter().enumerate() {
+                        let cs = c * gram[slot_a * k_u + slot_b];
+                        row_mag += cs.abs();
+                        let delta = if a == b {
+                            Complex64::ONE
+                        } else {
+                            Complex64::ZERO
+                        };
+                        cap[(a, b)] = delta + cs;
+                    }
+                    scale *= row_mag;
+                    rhs_small.push(c * t[slot_a]);
+                }
+                let solved = cap_lu.solve_dense_into(cap, &rhs_small, &mut w_small);
+                if solved.is_err() || cap_lu.det().abs() <= 1e-13 * scale {
+                    // The deviated system is (numerically) singular here:
+                    // det(A + U·C·Vᵀ) = det(A)·det(I + C·VᵀA⁻¹U).
+                    return Err(CircuitError::SingularFault {
+                        fault: fi,
+                        omega: w,
+                    });
+                }
+                let mut h = s0;
+                for (&(slot_a, _, _), &wa) in infos.iter().zip(&w_small) {
+                    h -= p[slot_a] * wa;
+                }
+                out[fi * omegas.len() + wi] = h;
             }
         }
         Ok(())
@@ -617,34 +809,11 @@ impl AcSweepEngine {
     /// for components without a principal value or out-of-range values
     /// (R/C/L must stay positive), mirroring `Circuit::set_value`.
     pub fn restamp_component(&mut self, id: ComponentId, value: f64) -> Result<f64> {
-        let idx = id.index();
-        let Some(comp) = self.components.get(idx) else {
-            return Err(CircuitError::UnknownComponent(format!("component #{idx}")));
-        };
-        let Some(old) = comp.value else {
-            return Err(CircuitError::InvalidValue {
-                component: comp.name.clone(),
-                value,
-                reason: "component has no principal value to restamp",
-            });
-        };
-        if !value.is_finite() || (comp.must_be_positive && value <= 0.0) {
-            return Err(CircuitError::InvalidValue {
-                component: comp.name.clone(),
-                value,
-                reason: if comp.must_be_positive {
-                    "value must be positive and finite"
-                } else {
-                    "value must be finite"
-                },
-            });
-        }
-        let delta = match comp.stamp.map {
-            ValueMap::Inverse => 1.0 / value - 1.0 / old,
-            ValueMap::Linear => value - old,
-        };
+        let (idx, delta, in_b) = self.fault_update(id, value)?;
+        let old = self.components[idx]
+            .value
+            .expect("validated by fault_update");
         let entries_from = self.undo_entries.len();
-        let in_b = self.components[idx].stamp.in_b;
         for i in 0..self.components[idx].stamp.entries.len() {
             let (row, col, sign) = self.components[idx].stamp.entries[i];
             let target = if in_b { &mut self.b } else { &mut self.g };
@@ -897,6 +1066,215 @@ mod tests {
         assert_eq!(out, nominal, "degenerate deviation must be a no-op");
         engine.restamp_component(g1, 0.9).unwrap();
         assert_eq!(engine.sample_at(&omegas).unwrap(), nominal);
+    }
+
+    /// The menagerie circuit of `batch_fault_sweep_matches_restamp_path`:
+    /// every element kind with a principal value.
+    fn menagerie() -> (Circuit, Probe) {
+        let mut ckt = Circuit::new("menagerie");
+        ckt.voltage_source("V1", "in", "0", 1.0).unwrap();
+        ckt.resistor("R1", "in", "a", 1.0).unwrap();
+        ckt.capacitor("C1", "a", "0", 0.5).unwrap();
+        ckt.inductor("L1", "a", "b", 0.7).unwrap();
+        ckt.resistor("R2", "b", "0", 2.0).unwrap();
+        ckt.vcvs("E1", "c", "0", "b", "0", 1.5).unwrap();
+        ckt.resistor("R3", "c", "d", 1.0).unwrap();
+        ckt.vccs("G1", "d", "0", "a", "0", 0.3).unwrap();
+        ckt.cccs("F1", "d", "0", "V1", 0.2).unwrap();
+        ckt.ccvs("H1", "e", "0", "V1", 0.8).unwrap();
+        ckt.resistor("R4", "e", "0", 1.0).unwrap();
+        ckt.resistor("R5", "d", "0", 3.0).unwrap();
+        (ckt, Probe::node("d"))
+    }
+
+    #[test]
+    fn multifault_sweep_matches_restamp_path() {
+        let (ckt, probe) = menagerie();
+        let omegas = [0.3, 1.0, 4.0];
+        let tuple = |names: &[(&str, f64)]| -> Vec<(ComponentId, f64)> {
+            names
+                .iter()
+                .map(|&(n, v)| (ckt.find(n).unwrap(), v))
+                .collect()
+        };
+        // Doubles, a triple, a quad across G and B stamps, a rank-1
+        // tuple, a tuple reusing components of earlier tuples, and an
+        // empty tuple (priced as golden).
+        let multifaults: Vec<Vec<(ComponentId, f64)>> = vec![
+            tuple(&[("R1", 1.4), ("C1", 0.3)]),
+            tuple(&[("L1", 1.0), ("E1", 1.8)]),
+            tuple(&[("R2", 2.6), ("G1", 0.45), ("H1", 1.2)]),
+            tuple(&[("R1", 0.6), ("C1", 0.7), ("L1", 0.5), ("F1", 0.1)]),
+            tuple(&[("R5", 2.2)]),
+            tuple(&[]),
+        ];
+
+        let mut engine = AcSweepEngine::new(&ckt, "V1", &probe).unwrap();
+        let (mut golden, mut out) = (Vec::new(), Vec::new());
+        engine
+            .sweep_multifaults_into(&omegas, &multifaults, &mut golden, &mut out)
+            .unwrap();
+        assert_eq!(golden.len(), omegas.len());
+        assert_eq!(out.len(), multifaults.len() * omegas.len());
+        assert_eq!(golden, engine.sample_at(&omegas).unwrap());
+        assert!(engine.is_nominal());
+
+        for (fi, mf) in multifaults.iter().enumerate() {
+            for &(id, value) in mf {
+                engine.restamp_component(id, value).unwrap();
+            }
+            let exact = engine.sample_at(&omegas).unwrap();
+            engine.reset();
+            for (wi, (a, b)) in out[fi * omegas.len()..(fi + 1) * omegas.len()]
+                .iter()
+                .zip(&exact)
+                .enumerate()
+            {
+                assert!(
+                    (*a - *b).abs() <= 1e-11 * (1.0 + b.abs()),
+                    "multi-fault {fi} at ω={}: {a} vs {b}",
+                    omegas[wi]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multifault_sweep_reduces_to_rank1() {
+        let (ckt, probe) = menagerie();
+        let omegas = [0.5, 2.0];
+        let faults: Vec<(ComponentId, f64)> = [("R1", 1.3), ("C1", 0.4), ("E1", 1.1)]
+            .iter()
+            .map(|&(n, v)| (ckt.find(n).unwrap(), v))
+            .collect();
+        let singles: Vec<Vec<(ComponentId, f64)>> = faults.iter().map(|&f| vec![f]).collect();
+        let mut engine = AcSweepEngine::new(&ckt, "V1", &probe).unwrap();
+        let (mut g1, mut rank1) = (Vec::new(), Vec::new());
+        engine
+            .sweep_faults_into(&omegas, &faults, &mut g1, &mut rank1)
+            .unwrap();
+        let (mut g2, mut rankk) = (Vec::new(), Vec::new());
+        engine
+            .sweep_multifaults_into(&omegas, &singles, &mut g2, &mut rankk)
+            .unwrap();
+        assert_eq!(g1, g2);
+        for (a, b) in rank1.iter().zip(&rankk) {
+            assert!(
+                (*a - *b).abs() <= 1e-12 * (1.0 + b.abs()),
+                "rank-1 vs Woodbury k=1: {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn multifault_sweep_validates_like_restamp() {
+        let ckt = rc();
+        let mut engine = AcSweepEngine::new(&ckt, "V1", &Probe::node("out")).unwrap();
+        let r1 = ckt.find("R1").unwrap();
+        let c1 = ckt.find("C1").unwrap();
+        let v1 = ckt.find("V1").unwrap();
+        let (mut golden, mut out) = (Vec::new(), Vec::new());
+        // Duplicate component within one tuple.
+        assert!(matches!(
+            engine
+                .sweep_multifaults_into(
+                    &[1.0],
+                    &[vec![(r1, 2e3), (r1, 3e3)]],
+                    &mut golden,
+                    &mut out
+                )
+                .unwrap_err(),
+            CircuitError::InvalidValue { .. }
+        ));
+        // Out-of-range value, no principal value, unknown component.
+        assert!(matches!(
+            engine
+                .sweep_multifaults_into(
+                    &[1.0],
+                    &[vec![(r1, -2.0), (c1, 1e-6)]],
+                    &mut golden,
+                    &mut out
+                )
+                .unwrap_err(),
+            CircuitError::InvalidValue { .. }
+        ));
+        assert!(matches!(
+            engine
+                .sweep_multifaults_into(&[1.0], &[vec![(v1, 1.0)]], &mut golden, &mut out)
+                .unwrap_err(),
+            CircuitError::InvalidValue { .. }
+        ));
+        assert!(matches!(
+            engine
+                .sweep_multifaults_into(
+                    &[1.0],
+                    &[vec![(ComponentId(42), 1.0)]],
+                    &mut golden,
+                    &mut out
+                )
+                .unwrap_err(),
+            CircuitError::UnknownComponent(_)
+        ));
+        // The same component in *different* tuples is fine.
+        engine
+            .sweep_multifaults_into(
+                &[1.0],
+                &[vec![(r1, 2e3)], vec![(r1, 3e3), (c1, 2e-6)]],
+                &mut golden,
+                &mut out,
+            )
+            .unwrap();
+    }
+
+    /// A VCVS positive-feedback stage that is singular exactly at gain 3:
+    /// node x sees `(3 − K)·v_x = v_in` with R1 = R2 = R3 = 1.
+    fn feedback_gain_circuit(k: f64) -> Circuit {
+        let mut ckt = Circuit::new("feedback");
+        ckt.voltage_source("V1", "in", "0", 1.0).unwrap();
+        ckt.resistor("R1", "in", "x", 1.0).unwrap();
+        ckt.resistor("R2", "x", "0", 1.0).unwrap();
+        ckt.vcvs("E1", "y", "0", "x", "0", k).unwrap();
+        ckt.resistor("R3", "y", "x", 1.0).unwrap();
+        // A load on the (ideal) VCVS output: its current is absorbed by
+        // the E1 branch equation, so deviating R4 never moves the
+        // singular point — handy for multi-fault tuples.
+        ckt.resistor("R4", "y", "0", 1.0).unwrap();
+        ckt
+    }
+
+    #[test]
+    fn singular_deviation_is_attributed_to_its_batch_entry() {
+        let ckt = feedback_gain_circuit(2.5);
+        let e1 = ckt.find("E1").unwrap();
+        let r1 = ckt.find("R1").unwrap();
+        let mut engine = AcSweepEngine::new(&ckt, "V1", &Probe::node("x")).unwrap();
+        // Healthy entries before and after the sick one (E1 → 3.0).
+        let faults = [(r1, 1.2), (e1, 3.0), (r1, 0.8)];
+        let (mut golden, mut out) = (Vec::new(), Vec::new());
+        let err = engine
+            .sweep_faults_into(&[1.0, 2.0], &faults, &mut golden, &mut out)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            CircuitError::SingularFault {
+                fault: 1,
+                omega: 1.0
+            }
+        );
+        // Same attribution through the Woodbury path (tuple #1 is sick:
+        // R4 rides along but cannot move the singular point).
+        let r4 = ckt.find("R4").unwrap();
+        let multifaults = vec![vec![(r1, 1.2)], vec![(r4, 1.3), (e1, 3.0)]];
+        let err = engine
+            .sweep_multifaults_into(&[2.0], &multifaults, &mut golden, &mut out)
+            .unwrap_err();
+        assert!(
+            matches!(err, CircuitError::SingularFault { fault: 1, .. }),
+            "wrong attribution: {err:?}"
+        );
+        // The sweep errored out cleanly: the engine still answers.
+        assert!(engine.is_nominal());
+        engine.response_at(1.0).unwrap();
     }
 
     #[test]

@@ -36,6 +36,18 @@ pub enum CircuitError {
         /// Index of the MNA column where elimination failed.
         column: usize,
     },
+    /// One deviation of a batch fault sweep produced a (numerically)
+    /// singular system at one grid frequency. Unlike [`CircuitError::Singular`]
+    /// this identifies *which* batch entry is ill-posed, so callers can
+    /// attribute the failure to a fault instead of aborting blind.
+    SingularFault {
+        /// Index of the offending deviation in the batch passed to the
+        /// sweep.
+        fault: usize,
+        /// Angular frequency (rad/s) at which the deviated system is
+        /// singular.
+        omega: f64,
+    },
     /// The analysis was asked to use a component in a role it cannot play
     /// (e.g. AC input that is not an independent source).
     NotASource(String),
@@ -74,6 +86,10 @@ impl fmt::Display for CircuitError {
             CircuitError::Singular { column } => write!(
                 f,
                 "singular MNA system (column {column}): check for floating nodes or source loops"
+            ),
+            CircuitError::SingularFault { fault, omega } => write!(
+                f,
+                "deviated system of batch fault #{fault} is singular at ω={omega} rad/s"
             ),
             CircuitError::NotASource(name) => {
                 write!(f, "`{name}` is not an independent source")
@@ -131,6 +147,13 @@ mod tests {
                 "not a voltage source",
             ),
             (CircuitError::Singular { column: 3 }, "singular"),
+            (
+                CircuitError::SingularFault {
+                    fault: 13,
+                    omega: 2.0,
+                },
+                "batch fault #13",
+            ),
             (CircuitError::NotASource("R1".into()), "not an independent"),
             (CircuitError::NoGround, "ground"),
             (

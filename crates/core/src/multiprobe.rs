@@ -8,14 +8,24 @@
 //! classes the single probe cannot. The trajectory geometry, fitness,
 //! and diagnosis already operate in arbitrary dimension, so the
 //! extension is purely a data-path concern handled here.
+//!
+//! The whole data path is engine-backed: [`ProbeBank::build`] shares one
+//! MNA layout across the per-probe dictionary builds (each of which
+//! drives one [`AcSweepEngine`] per worker through the rank-1 batch
+//! sweep), [`ProbeBank::measure`] sweeps one engine per probe instead of
+//! re-assembling the system at every test frequency, and
+//! [`ProbeBank::trajectories_exact`] stacks per-probe engine sweeps into
+//! exact multi-probe trajectories.
 
-use ft_circuit::{sample_at, Circuit, CircuitError, Probe};
+use ft_circuit::{AcSweepEngine, Circuit, CircuitError, MnaLayout, Probe};
 use ft_faults::{FaultDictionary, FaultUniverse};
-use ft_numerics::FrequencyGrid;
+use ft_numerics::{Complex64, FrequencyGrid};
 use serde::{Deserialize, Serialize};
 
 use crate::signature::{signature_from_db, Signature, TestVector, DB_FLOOR};
-use crate::trajectory::{trajectories_from_dictionary, FaultTrajectory, TrajectorySet};
+use crate::trajectory::{
+    trajectories_exact, trajectories_from_dictionary, FaultTrajectory, TrajectorySet,
+};
 
 /// One fault dictionary per observation probe, all sharing a circuit,
 /// input, universe, and grid.
@@ -27,7 +37,11 @@ pub struct ProbeBank {
 }
 
 impl ProbeBank {
-    /// Builds one dictionary per probe.
+    /// Builds one dictionary per probe, sharing a single MNA layout: the
+    /// netlist is walked once, and every per-probe build drives one
+    /// [`AcSweepEngine`] per worker through the rank-1 batch fault sweep
+    /// — no circuit clones and no per-frequency reassembly anywhere in
+    /// the bank build.
     ///
     /// # Errors
     ///
@@ -45,9 +59,10 @@ impl ProbeBank {
         grid: &FrequencyGrid,
     ) -> Result<Self, CircuitError> {
         assert!(!probes.is_empty(), "need at least one probe");
+        let layout = MnaLayout::new(circuit)?;
         let dicts = probes
             .iter()
-            .map(|p| FaultDictionary::build(circuit, universe, input, p, grid))
+            .map(|p| FaultDictionary::build_with_layout(circuit, &layout, universe, input, p, grid))
             .collect::<Result<Vec<_>, _>>()?;
         Ok(ProbeBank {
             input: input.to_string(),
@@ -80,41 +95,63 @@ impl ProbeBank {
         self.probes.len()
     }
 
-    /// Builds the stacked trajectory set at `tv`: each trajectory point
-    /// concatenates the golden-relative dB coordinates of every probe
-    /// (probe-major, frequency-minor).
+    /// Builds the stacked trajectory set at `tv` by interpolating each
+    /// probe's dictionary: each trajectory point concatenates the
+    /// golden-relative dB coordinates of every probe (probe-major,
+    /// frequency-minor).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the per-probe dictionaries are misaligned (different
+    /// component order or deviation grids) — impossible for a bank built
+    /// by [`ProbeBank::build`], where every dictionary enumerates one
+    /// shared universe, but checked for real in release builds too: a
+    /// misaligned stack would silently corrupt every stacked signature.
     pub fn trajectories(&self, tv: &TestVector) -> TrajectorySet {
         let per_probe: Vec<TrajectorySet> = self
             .dicts
             .iter()
             .map(|d| trajectories_from_dictionary(d, tv))
             .collect();
+        stack_aligned(per_probe, tv, self.channels())
+    }
 
-        let first = &per_probe[0];
-        let mut stacked = Vec::with_capacity(first.len());
-        for (idx, t0) in first.trajectories().iter().enumerate() {
-            let devs = t0.deviations_pct().to_vec();
-            let mut points: Vec<Vec<f64>> =
-                vec![Vec::with_capacity(tv.len() * self.channels()); devs.len()];
-            for set in &per_probe {
-                let t = &set.trajectories()[idx];
-                debug_assert_eq!(t.component(), t0.component());
-                debug_assert_eq!(t.deviations_pct(), devs.as_slice());
-                for (k, p) in t.points().iter().enumerate() {
-                    points[k].extend_from_slice(p.coords());
-                }
-            }
-            stacked.push(FaultTrajectory::new(
-                t0.component().to_string(),
-                devs,
-                points.into_iter().map(Signature::new).collect(),
-            ));
-        }
-        TrajectorySet::new(tv.clone(), stacked)
+    /// Builds the stacked trajectory set at `tv` by exact engine sweeps:
+    /// one [`AcSweepEngine`] per probe prices every universe fault via
+    /// the delta restamp path at the test frequencies — no interpolation
+    /// error, no circuit clones, no per-frequency reassembly. The
+    /// verification sibling of [`ProbeBank::trajectories`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors.
+    pub fn trajectories_exact(
+        &self,
+        circuit: &Circuit,
+        tv: &TestVector,
+    ) -> Result<TrajectorySet, CircuitError> {
+        let universe = self.dicts[0].universe();
+        let per_probe = self
+            .probes
+            .iter()
+            .map(|probe| {
+                trajectories_exact(
+                    circuit,
+                    universe.faults(),
+                    universe.components(),
+                    &self.input,
+                    probe,
+                    tv,
+                )
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(stack_aligned(per_probe, tv, self.channels()))
     }
 
     /// Measures the stacked signature of `circuit` against `golden` at
-    /// the test frequencies, by exact simulation at every probe.
+    /// the test frequencies: one [`AcSweepEngine`] sweep per probe per
+    /// circuit, instead of re-assembling and re-factoring the MNA system
+    /// at every frequency.
     ///
     /// # Errors
     ///
@@ -125,22 +162,65 @@ impl ProbeBank {
         golden: &Circuit,
         tv: &TestVector,
     ) -> Result<Signature, CircuitError> {
+        // One netlist walk per circuit, shared across every probe's
+        // engine — not one per (circuit, probe) pair.
+        let measured_layout = MnaLayout::new(circuit)?;
+        let golden_layout = MnaLayout::new(golden)?;
         let mut coords = Vec::with_capacity(tv.len() * self.channels());
+        let mut samples: Vec<Complex64> = Vec::with_capacity(tv.len());
+        let sweep_db = |ckt: &Circuit,
+                        layout: &MnaLayout,
+                        probe: &Probe,
+                        samples: &mut Vec<Complex64>|
+         -> Result<Vec<f64>, CircuitError> {
+            let mut engine = AcSweepEngine::with_layout(ckt, layout, &self.input, probe)?;
+            engine.sweep_into(tv.omegas(), samples)?;
+            Ok(samples
+                .iter()
+                .map(|v| ft_numerics::decibel::clamp_db(v.abs_db(), DB_FLOOR))
+                .collect())
+        };
         for probe in &self.probes {
-            let measured = sample_at(circuit, &self.input, probe, tv.omegas())?;
-            let reference = sample_at(golden, &self.input, probe, tv.omegas())?;
-            let m_db: Vec<f64> = measured
-                .iter()
-                .map(|v| ft_numerics::decibel::clamp_db(v.abs_db(), DB_FLOOR))
-                .collect();
-            let g_db: Vec<f64> = reference
-                .iter()
-                .map(|v| ft_numerics::decibel::clamp_db(v.abs_db(), DB_FLOOR))
-                .collect();
+            let m_db = sweep_db(circuit, &measured_layout, probe, &mut samples)?;
+            let g_db = sweep_db(golden, &golden_layout, probe, &mut samples)?;
             coords.extend_from_slice(signature_from_db(&m_db, &g_db).coords());
         }
         Ok(Signature::new(coords))
     }
+}
+
+/// Stacks per-probe trajectory sets into one multi-probe set,
+/// asserting (for real, release builds included) that every probe's
+/// set enumerates the same components and deviations in the same order.
+fn stack_aligned(per_probe: Vec<TrajectorySet>, tv: &TestVector, channels: usize) -> TrajectorySet {
+    let first = &per_probe[0];
+    let mut stacked = Vec::with_capacity(first.len());
+    for (idx, t0) in first.trajectories().iter().enumerate() {
+        let devs = t0.deviations_pct().to_vec();
+        let mut points: Vec<Vec<f64>> = vec![Vec::with_capacity(tv.len() * channels); devs.len()];
+        for set in &per_probe {
+            let t = &set.trajectories()[idx];
+            assert_eq!(
+                t.component(),
+                t0.component(),
+                "per-probe trajectory stacks disagree on component order"
+            );
+            assert_eq!(
+                t.deviations_pct(),
+                devs.as_slice(),
+                "per-probe trajectory stacks disagree on deviations"
+            );
+            for (k, p) in t.points().iter().enumerate() {
+                points[k].extend_from_slice(p.coords());
+            }
+        }
+        stacked.push(FaultTrajectory::new(
+            t0.component().to_string(),
+            devs,
+            points.into_iter().map(Signature::new).collect(),
+        ));
+    }
+    TrajectorySet::new(tv.clone(), stacked)
 }
 
 #[cfg(test)]
@@ -248,6 +328,49 @@ mod tests {
             verdict.candidates()
         );
         assert!((verdict.best().deviation_pct - 25.0).abs() < 5.0);
+    }
+
+    #[test]
+    fn exact_stacked_trajectories_agree_with_interpolated_on_grid_frequencies() {
+        let (bench, _, bank) = bank();
+        // Test frequencies on exact grid points: interpolation error
+        // vanishes, so the engine-swept stack must match.
+        let grid_freqs: Vec<f64> = bank.dictionaries()[0].grid().frequencies().to_vec();
+        let tv = TestVector::pair(grid_freqs[10], grid_freqs[30]);
+        let interp = bank.trajectories(&tv);
+        let exact = bank.trajectories_exact(&bench.circuit, &tv).unwrap();
+        assert_eq!(exact.dim(), 6);
+        assert_eq!(exact.channels(), 3);
+        for (a, b) in interp.trajectories().iter().zip(exact.trajectories()) {
+            assert_eq!(a.component(), b.component());
+            for (pa, pb) in a.points().iter().zip(b.points()) {
+                assert!(pa.distance(pb) < 1e-9, "{}: {pa} vs {pb}", a.component());
+            }
+        }
+    }
+
+    #[test]
+    fn measure_matches_reference_simulation() {
+        let (bench, _, bank) = bank();
+        let tv = TestVector::pair(0.6, 1.6);
+        let fault = ParametricFault::from_percent("C1", -30.0);
+        let faulty = fault.apply(&bench.circuit).unwrap();
+        let sig = bank.measure(&faulty, &bench.circuit, &tv).unwrap();
+        // The pre-engine construction: assemble + solve per frequency.
+        let mut coords = Vec::new();
+        for probe in bank.probes() {
+            let db = |ckt: &ft_circuit::Circuit| -> Vec<f64> {
+                ft_circuit::sample_at(ckt, bank.input(), probe, tv.omegas())
+                    .unwrap()
+                    .iter()
+                    .map(|v| ft_numerics::decibel::clamp_db(v.abs_db(), DB_FLOOR))
+                    .collect()
+            };
+            coords.extend_from_slice(signature_from_db(&db(&faulty), &db(&bench.circuit)).coords());
+        }
+        for (a, b) in sig.coords().iter().zip(&coords) {
+            assert!((a - b).abs() < 1e-9, "engine {a} vs reference {b}");
+        }
     }
 
     #[test]

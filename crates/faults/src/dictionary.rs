@@ -78,7 +78,12 @@ impl FaultDictionary {
     /// # Errors
     ///
     /// Propagates the first simulation error (unknown component in the
-    /// universe, singular faulty circuit, bad probe).
+    /// universe, singular faulty circuit, bad probe). A singular
+    /// *deviated* circuit surfaces as [`CircuitError::SingularFault`]
+    /// with the fault's index into [`FaultUniverse::faults`] — always a
+    /// genuinely singular entry (and with a single sick deviation, the
+    /// same entry the reference path fails at); healthy entries are
+    /// never blamed for a sick one.
     pub fn build(
         circuit: &Circuit,
         universe: &FaultUniverse,
@@ -87,7 +92,25 @@ impl FaultDictionary {
         grid: &FrequencyGrid,
     ) -> Result<Self, CircuitError> {
         let layout = MnaLayout::new(circuit)?;
-        let golden_db = AcSweepEngine::with_layout(circuit, &layout, input, probe)?
+        Self::build_with_layout(circuit, &layout, universe, input, probe, grid)
+    }
+
+    /// [`FaultDictionary::build`] with a pre-built MNA layout, shared
+    /// across dictionaries of the same circuit — e.g. one layout for a
+    /// whole multi-probe bank, with one engine per probe per worker.
+    ///
+    /// # Errors
+    ///
+    /// As [`FaultDictionary::build`].
+    pub fn build_with_layout(
+        circuit: &Circuit,
+        layout: &MnaLayout,
+        universe: &FaultUniverse,
+        input: &str,
+        probe: &Probe,
+        grid: &FrequencyGrid,
+    ) -> Result<Self, CircuitError> {
+        let golden_db = AcSweepEngine::with_layout(circuit, layout, input, probe)?
             .sweep(grid)?
             .magnitude_db();
 
@@ -97,68 +120,35 @@ impl FaultDictionary {
         // universe errors surface before any thread spawns.
         let targets: Vec<(ComponentId, f64)> = faults
             .iter()
-            .map(|fault| {
-                let id = circuit
-                    .find(fault.component())
-                    .ok_or_else(|| CircuitError::UnknownComponent(fault.component().into()))?;
-                let nominal = circuit.value(fault.component())?.ok_or_else(|| {
-                    CircuitError::InvalidValue {
-                        component: fault.component().into(),
-                        value: f64::NAN,
-                        reason: "component has no principal value to deviate",
-                    }
-                })?;
-                Ok((id, nominal * fault.multiplier()))
-            })
+            .map(|fault| fault.resolve(circuit))
             .collect::<Result<_, CircuitError>>()?;
 
         let workers = std::thread::available_parallelism()
             .map(|n| n.get())
-            .unwrap_or(1)
-            .min(faults.len().max(1));
-        let chunk = faults.len().div_ceil(workers.max(1)).max(1);
-
-        let results: Vec<Result<Vec<DictionaryEntry>, CircuitError>> =
-            std::thread::scope(|scope| {
-                let mut handles = Vec::new();
-                for (faults_chunk, targets_chunk) in faults.chunks(chunk).zip(targets.chunks(chunk))
-                {
-                    let layout = &layout;
-                    handles.push(scope.spawn(move || {
-                        let mut engine = AcSweepEngine::with_layout(circuit, layout, input, probe)?;
-                        let mut golden: Vec<Complex64> = Vec::new();
-                        let mut responses: Vec<Complex64> = Vec::new();
-                        engine.sweep_faults_into(
-                            grid.frequencies(),
-                            targets_chunk,
-                            &mut golden,
-                            &mut responses,
-                        )?;
-                        let n = grid.len();
-                        let out = faults_chunk
-                            .iter()
-                            .enumerate()
-                            .map(|(fi, fault)| DictionaryEntry {
-                                fault: fault.clone(),
-                                magnitude_db: responses[fi * n..(fi + 1) * n]
-                                    .iter()
-                                    .map(|v| decibel::clamp_db(v.abs_db(), -300.0))
-                                    .collect(),
-                            })
-                            .collect();
-                        Ok(out)
-                    }));
-                }
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("fault-sim worker panicked"))
-                    .collect()
-            });
-
-        let mut entries = Vec::with_capacity(faults.len());
-        for r in results {
-            entries.extend(r?);
-        }
+            .unwrap_or(1);
+        let entries = parallel_chunks(faults.len(), workers, |start, len| {
+            let mut engine = AcSweepEngine::with_layout(circuit, layout, input, probe)?;
+            let mut golden: Vec<Complex64> = Vec::new();
+            let mut responses: Vec<Complex64> = Vec::new();
+            engine.sweep_faults_into(
+                grid.frequencies(),
+                &targets[start..start + len],
+                &mut golden,
+                &mut responses,
+            )?;
+            let n = grid.len();
+            Ok(faults[start..start + len]
+                .iter()
+                .enumerate()
+                .map(|(fi, fault)| DictionaryEntry {
+                    fault: fault.clone(),
+                    magnitude_db: responses[fi * n..(fi + 1) * n]
+                        .iter()
+                        .map(|v| decibel::clamp_db(v.abs_db(), -300.0))
+                        .collect(),
+                })
+                .collect())
+        })?;
 
         Ok(FaultDictionary {
             grid: grid.clone(),
@@ -351,6 +341,55 @@ impl FaultDictionary {
     }
 }
 
+/// Runs `run(start, len)` over contiguous chunks of `0..total` on std
+/// scoped threads (at most `workers` of them) and concatenates the
+/// per-chunk entries in order — the shared build loop of
+/// [`FaultDictionary`] and [`crate::MultiFaultDictionary`].
+///
+/// A chunk-local [`CircuitError::SingularFault`] index is re-based by
+/// its chunk's `start`, so the error names the caller's entry no matter
+/// how the batch was chunked; results are independent of `workers`.
+pub(crate) fn parallel_chunks<E, F>(
+    total: usize,
+    workers: usize,
+    run: F,
+) -> Result<Vec<E>, CircuitError>
+where
+    E: Send,
+    F: Fn(usize, usize) -> Result<Vec<E>, CircuitError> + Sync,
+{
+    let workers = workers.max(1).min(total.max(1));
+    let chunk = total.div_ceil(workers).max(1);
+    let results: Vec<(usize, Result<Vec<E>, CircuitError>)> = std::thread::scope(|scope| {
+        let run = &run;
+        let mut handles = Vec::new();
+        let mut start = 0;
+        while start < total {
+            let len = chunk.min(total - start);
+            handles.push((start, scope.spawn(move || run(start, len))));
+            start += len;
+        }
+        handles
+            .into_iter()
+            .map(|(s, h)| (s, h.join().expect("fault-sim worker panicked")))
+            .collect()
+    });
+    let mut entries = Vec::with_capacity(total);
+    for (start, r) in results {
+        match r {
+            Ok(chunk_entries) => entries.extend(chunk_entries),
+            Err(CircuitError::SingularFault { fault, omega }) => {
+                return Err(CircuitError::SingularFault {
+                    fault: fault + start,
+                    omega,
+                })
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(entries)
+}
+
 fn interp_log(grid: &FrequencyGrid, ys: &[f64], omega: f64) -> f64 {
     debug_assert_eq!(grid.len(), ys.len());
     let log_xs: Vec<f64> = grid.frequencies().iter().map(|w| w.log10()).collect();
@@ -520,6 +559,73 @@ mod tests {
         assert_eq!(header_cols, 2 + 16);
         assert!(lines[0].starts_with("omega_rad_s,golden_db"));
         assert!(lines[0].contains("R1+40%"));
+    }
+
+    /// VCVS positive-feedback stage, singular exactly at gain 3 (node x
+    /// sees `(3 − K)·v_x = v_in`): with K nominal 2.5, the universe's
+    /// +20% deviation of E1 is ill-posed while every other entry is
+    /// healthy.
+    fn feedback_circuit() -> Circuit {
+        let mut ckt = Circuit::new("feedback");
+        ckt.voltage_source("V1", "in", "0", 1.0).unwrap();
+        ckt.resistor("R1", "in", "x", 1.0).unwrap();
+        ckt.resistor("R2", "x", "0", 1.0).unwrap();
+        ckt.vcvs("E1", "y", "0", "x", "0", 2.5).unwrap();
+        ckt.resistor("R3", "y", "x", 1.0).unwrap();
+        ckt
+    }
+
+    #[test]
+    fn singular_deviation_fails_like_the_reference_with_attribution() {
+        let ckt = feedback_circuit();
+        let universe = FaultUniverse::new(&["R1", "E1"], DeviationGrid::paper());
+        let grid = FrequencyGrid::log_space(0.1, 10.0, 5);
+        let probe = Probe::node("x");
+
+        // Both paths refuse the universe containing the sick entry…
+        let reference = FaultDictionary::build_reference(&ckt, &universe, "V1", &probe, &grid);
+        assert!(matches!(
+            reference.unwrap_err(),
+            CircuitError::Singular { .. }
+        ));
+        let sick_idx = universe
+            .faults()
+            .iter()
+            .position(|f| f.component() == "E1" && f.percent() == 20.0)
+            .unwrap();
+        // …but the engine path names the offending universe entry and
+        // frequency instead of a fabricated `Singular { column: 0 }`.
+        match FaultDictionary::build(&ckt, &universe, "V1", &probe, &grid).unwrap_err() {
+            CircuitError::SingularFault { fault, omega } => {
+                assert_eq!(fault, sick_idx);
+                assert!(grid.frequencies().contains(&omega));
+            }
+            other => panic!("expected SingularFault, got {other:?}"),
+        }
+
+        // Without the sick deviation the same circuit builds fine on
+        // both paths and they agree.
+        let healthy = FaultUniverse::new(&["R1", "E1"], DeviationGrid::new(40.0, 40.0));
+        let fast = FaultDictionary::build(&ckt, &healthy, "V1", &probe, &grid).unwrap();
+        let oracle = FaultDictionary::build_reference(&ckt, &healthy, "V1", &probe, &grid).unwrap();
+        for (a, b) in fast.entries().iter().zip(oracle.entries()) {
+            for (x, y) in a.magnitude_db().iter().zip(b.magnitude_db()) {
+                assert!((x - y).abs() < 1e-9, "{}: {x} vs {y} dB", a.fault());
+            }
+        }
+    }
+
+    #[test]
+    fn build_with_layout_matches_build() {
+        let ckt = rc();
+        let universe = FaultUniverse::new(&["R1", "C1"], DeviationGrid::paper());
+        let grid = FrequencyGrid::log_space(1.0, 1e6, 11);
+        let probe = Probe::node("out");
+        let layout = MnaLayout::new(&ckt).unwrap();
+        let a = FaultDictionary::build_with_layout(&ckt, &layout, &universe, "V1", &probe, &grid)
+            .unwrap();
+        let b = FaultDictionary::build(&ckt, &universe, "V1", &probe, &grid).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

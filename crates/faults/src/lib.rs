@@ -39,6 +39,9 @@ pub mod universe;
 
 pub use dictionary::{DictionaryEntry, FaultDictionary};
 pub use model::{HardFault, HardFaultKind, ParametricFault, HARD_FAULT_SCALE};
-pub use multifault::{sample_double, MultiFault};
+pub use multifault::{
+    all_pairs, sample_double, sample_tuple, sampled_tuples, MultiFault, MultiFaultDictionary,
+    MultiFaultEntry,
+};
 pub use noise::{measure_faulty, standard_normal, MeasurementNoise, Tolerance};
 pub use universe::{DeviationGrid, FaultUniverse};

@@ -8,7 +8,7 @@
 
 use std::fmt;
 
-use ft_circuit::{Circuit, CircuitError};
+use ft_circuit::{Circuit, CircuitError, ComponentId};
 use serde::{Deserialize, Serialize};
 
 /// A single parametric fault: `component` deviates by `deviation`
@@ -74,6 +74,30 @@ impl ParametricFault {
     #[inline]
     pub fn is_nominal(&self) -> bool {
         self.deviation == 0.0
+    }
+
+    /// Resolves this fault against `circuit` into the
+    /// `(ComponentId, faulty value)` form the AC sweep engine's batch
+    /// sweeps consume — the shared front half of every dictionary build.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownComponent`] when the component does
+    /// not exist and [`CircuitError::InvalidValue`] when it has no
+    /// principal value.
+    pub fn resolve(&self, circuit: &Circuit) -> Result<(ComponentId, f64), CircuitError> {
+        let id = circuit
+            .find(&self.component)
+            .ok_or_else(|| CircuitError::UnknownComponent(self.component.clone()))?;
+        let nominal =
+            circuit
+                .value(&self.component)?
+                .ok_or_else(|| CircuitError::InvalidValue {
+                    component: self.component.clone(),
+                    value: f64::NAN,
+                    reason: "component has no principal value to deviate",
+                })?;
+        Ok((id, nominal * self.multiplier()))
     }
 
     /// Applies this fault to a clone of `circuit`.

@@ -553,6 +553,36 @@ impl<T: Scalar> Lu<T> {
         }
     }
 
+    /// Factors `a` into this workspace and solves `a·x = b` in one call
+    /// — the small-matrix primitive behind the Woodbury (rank-k) batch
+    /// fault sweep, where a fresh k×k complex system is solved per
+    /// multi-fault per frequency. Reuses the workspace storage exactly
+    /// like [`Lu::factor_into`] + [`Lu::solve_into`], so after warm-up a
+    /// same-sized solve performs zero heap allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] when `a` is singular; `x` is left
+    /// cleared in that case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not square or `b.len() != a.rows()`.
+    pub fn solve_dense_into(
+        &mut self,
+        a: &Matrix<T>,
+        b: &[T],
+        x: &mut Vec<T>,
+    ) -> Result<(), SingularMatrixError> {
+        assert_eq!(b.len(), a.rows(), "rhs length mismatch");
+        if let Err(e) = self.factor_into(a) {
+            x.clear();
+            return Err(e);
+        }
+        self.solve_into(b, x);
+        Ok(())
+    }
+
     /// Solves in place, reusing the caller's buffer.
     ///
     /// # Panics
@@ -804,6 +834,31 @@ mod tests {
         lu.solve_into(&[1.0, 2.0], &mut x);
         assert_eq!(x, vec![2.0, 1.0]);
         assert_eq!(x.capacity(), cap);
+    }
+
+    #[test]
+    fn solve_dense_into_factors_and_solves() {
+        let mut ws = Lu::workspace(2);
+        let a = RMatrix::from_rows(2, 2, vec![4.0, 3.0, 6.0, 3.0]);
+        let mut x = Vec::new();
+        ws.solve_dense_into(&a, &[10.0, 12.0], &mut x).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+        // Reuse with a different same-sized system: no reallocation of x.
+        let cap = x.capacity();
+        let b = RMatrix::from_rows(2, 2, vec![2.0, 0.0, 0.0, 5.0]);
+        ws.solve_dense_into(&b, &[4.0, 10.0], &mut x).unwrap();
+        assert_eq!(x, vec![2.0, 2.0]);
+        assert_eq!(x.capacity(), cap);
+        // Singular input errors and leaves the buffer cleared.
+        let s = RMatrix::from_rows(2, 2, vec![1.0, 2.0, 2.0, 4.0]);
+        assert!(ws.solve_dense_into(&s, &[1.0, 1.0], &mut x).is_err());
+        assert!(x.is_empty());
+        // A 1×1 "matrix" degenerates to scalar division.
+        let mut ws1 = Lu::workspace(1);
+        let one = RMatrix::from_rows(1, 1, vec![4.0]);
+        ws1.solve_dense_into(&one, &[2.0], &mut x).unwrap();
+        assert_eq!(x, vec![0.5]);
     }
 
     #[test]

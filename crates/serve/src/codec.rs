@@ -314,8 +314,12 @@ impl<'a> Decoder<'a> {
         let needed = n.saturating_mul(elem_size.max(1));
         let available = self.buf.len() - self.pos;
         if needed > available {
+            // `needed` may have saturated to `usize::MAX` on a poisoned
+            // count: saturate the report too instead of overflowing
+            // (`pos + needed` panics in debug builds) — the error is the
+            // contract here, not a crash.
             return Err(CodecError::Truncated {
-                needed: self.pos + needed,
+                needed: self.pos.saturating_add(needed),
                 available: self.buf.len(),
             });
         }
@@ -445,6 +449,26 @@ mod tests {
         let bytes = enc.finish();
         let mut dec = Decoder::open(&bytes).unwrap();
         assert!(matches!(dec.get_f64s(), Err(CodecError::Truncated { .. })));
+    }
+
+    #[test]
+    fn poisoned_count_saturates_instead_of_overflowing() {
+        // A corrupt count whose `count × elem_size` product saturates to
+        // `usize::MAX` must come back as a `Truncated` error — not a
+        // debug-build overflow panic in `pos + needed`.
+        let mut enc = Encoder::new();
+        enc.put_u8(0xaa); // advance pos past 0 so the add could overflow
+        enc.put_u32(u32::MAX);
+        let bytes = enc.finish();
+        let mut dec = Decoder::open(&bytes).unwrap();
+        assert_eq!(dec.get_u8().unwrap(), 0xaa);
+        match dec.get_count(usize::MAX) {
+            Err(CodecError::Truncated { needed, available }) => {
+                assert_eq!(needed, usize::MAX);
+                assert_eq!(available, 5);
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
     }
 
     #[test]

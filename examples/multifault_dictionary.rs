@@ -1,0 +1,93 @@
+//! Multi-fault dictionaries on the Woodbury rank-k batch sweep.
+//!
+//! Builds the exhaustive pair-fault dictionary of the paper's biquad
+//! (every unordered pair of single-fault universe entries on distinct
+//! components) and spot-checks it against the `MultiFault::apply` +
+//! `sweep_reference` oracle. With an output path the full-precision
+//! dictionary is dumped as CSV — the CI determinism smoke builds it
+//! twice with different worker counts and `cmp`s the files, the
+//! multi-fault analogue of the `ftd build-bank` determinism check.
+//!
+//! ```sh
+//! cargo run --release --example multifault_dictionary
+//! cargo run --release --example multifault_dictionary -- /tmp/mfd.csv 4
+//! ```
+
+use std::fmt::Write as _;
+
+use fault_trajectory::faults::{all_pairs, MultiFaultDictionary};
+use fault_trajectory::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let out_path = args.next();
+    let workers: usize = args.next().map(|w| w.parse()).transpose()?.unwrap_or(0);
+
+    let bench = tow_thomas_normalized(1.0)?;
+    let universe = FaultUniverse::new(&bench.fault_set, DeviationGrid::new(40.0, 20.0));
+    let pairs = all_pairs(&universe);
+    let grid = FrequencyGrid::log_space(0.01, 100.0, 21);
+    println!(
+        "pair-fault universe: {} components -> {} double faults",
+        universe.components().len(),
+        pairs.len()
+    );
+
+    let dict = if workers > 0 {
+        MultiFaultDictionary::build_with_workers(
+            &bench.circuit,
+            &pairs,
+            &bench.input,
+            &bench.probe,
+            &grid,
+            workers,
+        )?
+    } else {
+        MultiFaultDictionary::build(&bench.circuit, &pairs, &bench.input, &bench.probe, &grid)?
+    };
+    println!(
+        "built {} entries on {} grid points (workers: {})",
+        dict.len(),
+        dict.grid().len(),
+        if workers > 0 {
+            workers.to_string()
+        } else {
+            "auto".to_string()
+        }
+    );
+
+    // Spot-check a few entries against the clone-and-reassemble oracle.
+    for idx in [0, dict.len() / 2, dict.len() - 1] {
+        let entry = &dict.entries()[idx];
+        let faulty = entry.fault().apply(&bench.circuit)?;
+        let oracle = sweep_reference(&faulty, &bench.input, &bench.probe, &grid)?.magnitude_db();
+        let worst = entry
+            .magnitude_db()
+            .iter()
+            .zip(&oracle)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        println!("  {}: worst |Δ| vs oracle = {worst:.3e} dB", entry.fault());
+        assert!(worst < 1e-9, "engine path diverged from the oracle");
+    }
+
+    if let Some(path) = out_path {
+        // Full-precision dump (shortest round-trip f64 formatting): two
+        // builds are byte-identical iff every response bit matches.
+        let mut csv = String::from("omega_rad_s,golden_db");
+        for e in dict.entries() {
+            write!(csv, ",{}", e.fault())?;
+        }
+        csv.push('\n');
+        for (j, w) in dict.grid().frequencies().iter().enumerate() {
+            write!(csv, "{w},{}", dict.golden_db()[j])?;
+            for e in dict.entries() {
+                write!(csv, ",{}", e.magnitude_db()[j])?;
+            }
+            csv.push('\n');
+        }
+        std::fs::write(&path, csv)?;
+        println!("wrote full-precision dictionary CSV to {path}");
+    }
+    Ok(())
+}

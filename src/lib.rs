@@ -75,7 +75,8 @@ pub mod prelude {
     };
     pub use ft_evolve::{GaConfig, Selection};
     pub use ft_faults::{
-        DeviationGrid, FaultDictionary, FaultUniverse, MeasurementNoise, ParametricFault, Tolerance,
+        DeviationGrid, FaultDictionary, FaultUniverse, MeasurementNoise, MultiFault,
+        MultiFaultDictionary, ParametricFault, Tolerance,
     };
     pub use ft_numerics::{Complex64, FrequencyGrid, TransferFunction};
     pub use ft_serve::{CodecError, DiagnosisEngine, EngineConfig, SegmentIndex, TrajectoryBank};

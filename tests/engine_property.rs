@@ -21,9 +21,13 @@
 //!   `reset`.
 
 use fault_trajectory::circuit::{
-    sweep_reference, tow_thomas, AcSweep, AcSweepEngine, Circuit, Probe, TowThomasParams,
+    sweep_reference, tow_thomas, AcSweep, AcSweepEngine, Circuit, ComponentId, Probe,
+    TowThomasParams,
 };
-use fault_trajectory::numerics::decibel;
+use fault_trajectory::faults::{
+    all_pairs, sample_tuple, sampled_tuples, MultiFault, MultiFaultDictionary,
+};
+use fault_trajectory::numerics::{decibel, Complex64};
 use fault_trajectory::prelude::*;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -134,6 +138,37 @@ fn assert_sweeps_agree(fast: &AcSweep, oracle: &AcSweep) {
     }
 }
 
+/// As [`assert_sweeps_agree`], over raw complex response slices (the
+/// Woodbury batch sweep returns flat buffers, not [`AcSweep`]s).
+fn assert_responses_agree(omegas: &[f64], fast: &[Complex64], oracle: &[Complex64]) {
+    assert_eq!(fast.len(), oracle.len());
+    for ((&w, he), hr) in omegas.iter().zip(fast).zip(oracle) {
+        let abs_err = (*he - *hr).abs();
+        assert!(
+            abs_err <= 1e-10 * (1.0 + hr.abs()),
+            "complex mismatch at ω={w}: {he} vs {hr} (|Δ|={abs_err:.3e})"
+        );
+        let db_e = decibel::clamp_db(he.abs_db(), -300.0);
+        let db_r = decibel::clamp_db(hr.abs_db(), -300.0);
+        if db_r.min(db_e) > DB_TEST_FLOOR {
+            assert!(
+                (db_e - db_r).abs() <= DB_TOL,
+                "dB mismatch at ω={w}: {db_e} vs {db_r} (Δ={:.3e} dB)",
+                (db_e - db_r).abs()
+            );
+        }
+    }
+}
+
+/// Resolves a [`MultiFault`]'s names against `circuit` into the
+/// `(ComponentId, faulty value)` tuples the engine consumes.
+fn resolve_multifault(circuit: &Circuit, mf: &MultiFault) -> Vec<(ComponentId, f64)> {
+    mf.faults()
+        .iter()
+        .map(|f| f.resolve(circuit).unwrap())
+        .collect()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -185,6 +220,71 @@ proptest! {
                 "paths disagree on solvability: engine {fast:?} vs reference {oracle:?}"
             ),
         }
+    }
+
+    #[test]
+    fn multifault_engine_matches_apply_on_random_chains(seed in 0usize..1_000_000) {
+        let (ckt, probe, faultable) = random_chain(seed as u64);
+        let mut rng = StdRng::seed_from_u64(seed as u64 ^ 0x6a09_e667);
+        let grid = random_grid(&mut rng);
+        // A random double or triple fault on distinct chain components.
+        let order = rng.gen_range(2..4usize).min(faultable.len());
+        let mut faults: Vec<ParametricFault> = Vec::with_capacity(order);
+        while faults.len() < order {
+            let name = &faultable[rng.gen_range(0..faultable.len())];
+            if faults.iter().all(|f| f.component() != name.as_str()) {
+                faults.push(ParametricFault::from_percent(
+                    name.clone(),
+                    rng.gen_range(-60.0..100.0),
+                ));
+            }
+        }
+        let mf = MultiFault::new(faults);
+
+        // Oracle: clone, apply every constituent fault, re-assemble.
+        let oracle = mf
+            .apply(&ckt)
+            .and_then(|faulty| sweep_reference(&faulty, "V1", &probe, &grid));
+        // Engine: one Woodbury rank-k pass over the nominal system.
+        let targets = resolve_multifault(&ckt, &mf);
+        let fast = AcSweepEngine::new(&ckt, "V1", &probe).and_then(|mut e| {
+            let (mut golden, mut out) = (Vec::new(), Vec::new());
+            e.sweep_multifaults_into(grid.frequencies(), &[targets], &mut golden, &mut out)?;
+            Ok(out)
+        });
+        match (fast, oracle) {
+            (Ok(out), Ok(oracle)) => {
+                assert_responses_agree(grid.frequencies(), &out, oracle.values())
+            }
+            (
+                Err(CircuitError::Singular { .. } | CircuitError::SingularFault { .. }),
+                Err(CircuitError::Singular { .. }),
+            ) => {}
+            (fast, oracle) => prop_assert!(
+                false,
+                "paths disagree on solvability ({mf}): engine {fast:?} vs reference {oracle:?}"
+            ),
+        }
+    }
+
+    #[test]
+    fn multifault_engine_matches_apply_on_random_opamp_filters(seed in 0usize..1_000_000) {
+        let bench = random_opamp_benchmark(seed as u64);
+        let mut rng = StdRng::seed_from_u64(seed as u64 ^ 0xbb67_ae85);
+        let grid = random_grid(&mut rng);
+        let universe = FaultUniverse::new(&bench.fault_set, DeviationGrid::paper());
+        let order = rng.gen_range(2..4usize).min(universe.components().len());
+        let mf = sample_tuple(&universe, &mut rng, order, 10.0);
+
+        let faulty = mf.apply(&bench.circuit).unwrap();
+        let oracle = sweep_reference(&faulty, &bench.input, &bench.probe, &grid).unwrap();
+        let targets = resolve_multifault(&bench.circuit, &mf);
+        let mut engine = AcSweepEngine::new(&bench.circuit, &bench.input, &bench.probe).unwrap();
+        let (mut golden, mut out) = (Vec::new(), Vec::new());
+        engine
+            .sweep_multifaults_into(grid.frequencies(), &[targets], &mut golden, &mut out)
+            .unwrap();
+        assert_responses_agree(grid.frequencies(), &out, oracle.values());
     }
 
     #[test]
@@ -275,6 +375,73 @@ fn dictionary_builds_are_deterministic() {
     let b = FaultDictionary::build(&bench.circuit, &universe, &bench.input, &bench.probe, &grid)
         .unwrap();
     assert_eq!(a, b);
+}
+
+/// Multi-fault dictionaries are exactly equal (f64-for-f64) for every
+/// worker count: the Woodbury pass prices each tuple from the nominal
+/// factorization alone, so chunking cannot leak between entries.
+#[test]
+fn multifault_dictionary_builds_are_byte_identical_across_worker_counts() {
+    let bench = tow_thomas_normalized(1.0).unwrap();
+    let universe = FaultUniverse::new(&bench.fault_set, DeviationGrid::new(40.0, 20.0));
+    let pairs = all_pairs(&universe);
+    assert_eq!(pairs.len(), 21 * 16); // C(7,2) component pairs × 4² deviations
+    let grid = FrequencyGrid::log_space(0.01, 100.0, 11);
+    let base = MultiFaultDictionary::build_with_workers(
+        &bench.circuit,
+        &pairs,
+        &bench.input,
+        &bench.probe,
+        &grid,
+        1,
+    )
+    .unwrap();
+    assert_eq!(base.len(), pairs.len());
+    for workers in [2, 3, 8] {
+        let other = MultiFaultDictionary::build_with_workers(
+            &bench.circuit,
+            &pairs,
+            &bench.input,
+            &bench.probe,
+            &grid,
+            workers,
+        )
+        .unwrap();
+        assert_eq!(base, other, "worker count {workers} changed the dictionary");
+    }
+    let auto =
+        MultiFaultDictionary::build(&bench.circuit, &pairs, &bench.input, &bench.probe, &grid)
+            .unwrap();
+    assert_eq!(base, auto);
+}
+
+/// A sampled triple-fault dictionary agrees with the
+/// `MultiFault::apply` + `sweep_reference` oracle to the property bound.
+#[test]
+fn sampled_triple_dictionary_matches_reference() {
+    let bench = tow_thomas_normalized(1.0).unwrap();
+    let universe = FaultUniverse::new(&bench.fault_set, DeviationGrid::paper());
+    let triples = sampled_tuples(&universe, 3, 25, 42);
+    let grid = FrequencyGrid::log_space(0.01, 100.0, 9);
+    let fast =
+        MultiFaultDictionary::build(&bench.circuit, &triples, &bench.input, &bench.probe, &grid)
+            .unwrap();
+    let oracle = MultiFaultDictionary::build_reference(
+        &bench.circuit,
+        &triples,
+        &bench.input,
+        &bench.probe,
+        &grid,
+    )
+    .unwrap();
+    for (a, b) in fast.entries().iter().zip(oracle.entries()) {
+        assert_eq!(a.fault(), b.fault());
+        for (x, y) in a.magnitude_db().iter().zip(b.magnitude_db()) {
+            if x.min(*y) > DB_TEST_FLOOR {
+                assert!((x - y).abs() <= DB_TOL, "{}: {x} vs {y} dB", a.fault());
+            }
+        }
+    }
 }
 
 /// `trajectories_exact` (engine + restamp) agrees with the clone-and-
