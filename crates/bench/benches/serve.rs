@@ -1,18 +1,138 @@
 //! Serving-layer throughput: linear scan vs spatial index, single-query
-//! vs batched, plus bank codec round-trip cost.
+//! vs batched, persistent worker pool vs per-batch scoped threads, plus
+//! bank codec round-trip cost.
 //!
 //! The index's win is measured on a production-scale synthetic bank
 //! (8 trajectories × 128 segments = 1024 segments — the paper CUT's
 //! component count with a production-dense deviation sweep) and
 //! sanity-checked on the real paper bank (56 segments), where the
-//! linear scan is expected to stay competitive.
+//! linear scan is expected to stay competitive. The front-end comparison
+//! (pool vs scoped) runs over a simulated RLC-ladder bank and also
+//! writes a `BENCH_serve.json` summary so CI and the README can quote
+//! one number.
+
+use std::sync::Arc;
+use std::time::Instant;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use ft_bench::paper_setup;
-use ft_core::{Diagnoser, DiagnoserConfig, TestVector};
+use ft_core::{Diagnoser, DiagnoserConfig, Signature, TestVector};
 use ft_serve::{
-    diagnose_batch_with, synthetic_queries, synthetic_trajectory_set, SegmentIndex, TrajectoryBank,
+    diagnose_batch_with, synthetic_circuit_bank, synthetic_queries, synthetic_trajectory_set,
+    BankStore, DiagnosisEngine, DiagnosisRequest, EngineConfig, SegmentIndex, ServeHandle,
+    TrajectoryBank,
 };
+
+/// Sustained-traffic workload for the front-end comparison: one batch
+/// of this many requests, served repeatedly.
+const FRONTEND_BATCH: usize = 256;
+
+/// Builds the front-end workload: a simulated order-3 ladder bank
+/// (5 trajectories × 320 segments), a scoped-thread engine, a pooled
+/// handle over the same bank, and the request batch.
+fn frontend_setup(
+    workers: usize,
+) -> (
+    DiagnosisEngine,
+    ServeHandle,
+    Vec<Signature>,
+    Vec<DiagnosisRequest>,
+) {
+    let tv = TestVector::pair(0.5, 2.0);
+    let bank = synthetic_circuit_bank(3, 0.25, 21, &tv).expect("ladder bank simulates");
+    let queries = synthetic_queries(bank.trajectory_set(), FRONTEND_BATCH, 13);
+    let requests: Vec<DiagnosisRequest> = queries
+        .iter()
+        .map(|q| DiagnosisRequest::new("ladder", q.clone()))
+        .collect();
+    let config = EngineConfig {
+        diagnoser: DiagnoserConfig::default(),
+        workers: Some(workers),
+    };
+    let engine = DiagnosisEngine::new(bank.clone(), config);
+    let store = Arc::new(BankStore::in_memory(config));
+    store.insert_bank("ladder", bank).expect("valid cut id");
+    let handle = ServeHandle::new(store, workers);
+    (engine, handle, queries, requests)
+}
+
+fn bench_pool_vs_scoped(c: &mut Criterion) {
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(8);
+    let (engine, mut handle, queries, requests) = frontend_setup(workers);
+
+    // The two paths must agree before any timing is worth reporting.
+    let scoped = engine.diagnose_batch(&queries);
+    handle.submit(requests.clone());
+    let pooled: Vec<_> = handle
+        .drain()
+        .remove(0)
+        .into_iter()
+        .map(|r| r.expect("request serves"))
+        .collect();
+    assert_eq!(scoped, pooled, "pool must be byte-identical to scoped");
+
+    let mut group = c.benchmark_group("serve/frontend_256");
+    group.bench_function("scoped_threads", |b| {
+        b.iter(|| engine.diagnose_batch(black_box(&queries)).len())
+    });
+    group.bench_function("persistent_pool", |b| {
+        b.iter(|| {
+            handle.submit(black_box(&requests).clone());
+            handle.drain_one().expect("batch completes").len()
+        })
+    });
+    group.finish();
+}
+
+/// Median-of-N wall time of `f`, in seconds.
+fn median_secs(n: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..n)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    times[times.len() / 2]
+}
+
+/// Emits `BENCH_serve.json`: sustained-traffic batch throughput of the
+/// persistent worker pool vs per-batch scoped-thread spin-up on the
+/// same bank, same worker count, same requests.
+fn emit_summary(_c: &mut Criterion) {
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(8);
+    let (engine, mut handle, queries, requests) = frontend_setup(workers);
+    let segments = engine.bank().trajectory_set().total_segments();
+
+    let scoped_s = median_secs(15, || {
+        engine.diagnose_batch(&queries);
+    });
+    let pooled_s = median_secs(15, || {
+        handle.submit(requests.clone());
+        handle.drain_one().expect("batch completes");
+    });
+
+    let json = format!(
+        "{{\n  \"bank\": \"rlc-ladder-order-3\",\n  \"segments\": {segments},\n  \
+         \"batch\": {FRONTEND_BATCH},\n  \"workers\": {workers},\n  \
+         \"scoped_batch_s\": {scoped_s:.6e},\n  \"pooled_batch_s\": {pooled_s:.6e},\n  \
+         \"pooled_vs_scoped\": {:.2}\n}}\n",
+        scoped_s / pooled_s.max(1e-12),
+    );
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!(
+        "BENCH_serve.json: persistent pool {:.1}x vs scoped threads \
+         ({FRONTEND_BATCH}-request batches, {workers} workers, {segments} segments)",
+        scoped_s / pooled_s.max(1e-12),
+    );
+}
 
 fn bench_scan_vs_index_1k(c: &mut Criterion) {
     let set = synthetic_trajectory_set(8, 64, 2, 7);
@@ -78,5 +198,11 @@ fn bench_paper_bank(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_scan_vs_index_1k, bench_paper_bank);
+criterion_group!(
+    benches,
+    bench_scan_vs_index_1k,
+    bench_paper_bank,
+    bench_pool_vs_scoped,
+    emit_summary
+);
 criterion_main!(benches);

@@ -384,6 +384,45 @@ impl MultiFaultDictionary {
         })
     }
 
+    /// Reassembles a dictionary from persisted parts without
+    /// re-simulating anything — the deserialisation counterpart of the
+    /// public accessors, used by the `ft-serve` bank codec's multi-fault
+    /// section.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the parts are mutually inconsistent: the golden
+    /// response and every entry's response must match the grid length.
+    /// (Per-entry fault validity — non-empty, distinct components — is
+    /// enforced by [`MultiFault::new`] when the entries were built.)
+    pub fn from_parts(
+        grid: FrequencyGrid,
+        golden_db: Vec<f64>,
+        entries: Vec<MultiFaultEntry>,
+        input: String,
+        probe: Probe,
+    ) -> Self {
+        assert_eq!(
+            golden_db.len(),
+            grid.len(),
+            "golden response length must match the grid"
+        );
+        for entry in &entries {
+            assert_eq!(
+                entry.magnitude_db.len(),
+                grid.len(),
+                "entry response length must match the grid"
+            );
+        }
+        MultiFaultDictionary {
+            grid,
+            golden_db,
+            entries,
+            input,
+            probe,
+        }
+    }
+
     /// The dictionary's frequency grid.
     #[inline]
     pub fn grid(&self) -> &FrequencyGrid {
@@ -621,6 +660,37 @@ mod tests {
         assert_eq!(lines.len(), 6); // header + 5 grid rows
         assert_eq!(lines[0].split(',').count(), 2 + 4);
         assert!(lines[0].contains("R1-40%&C1-40%"));
+    }
+
+    #[test]
+    fn from_parts_round_trips_the_accessors() {
+        let ckt = rc();
+        let universe = FaultUniverse::new(&["R1", "C1"], DeviationGrid::new(40.0, 40.0));
+        let grid = FrequencyGrid::log_space(1.0, 1e3, 5);
+        let dict =
+            MultiFaultDictionary::build_pairs(&ckt, &universe, "V1", &Probe::node("out"), &grid)
+                .unwrap();
+        let back = MultiFaultDictionary::from_parts(
+            dict.grid().clone(),
+            dict.golden_db().to_vec(),
+            dict.entries().to_vec(),
+            dict.input().to_string(),
+            dict.probe().clone(),
+        );
+        assert_eq!(dict, back);
+    }
+
+    #[test]
+    #[should_panic(expected = "golden response length")]
+    fn from_parts_rejects_mismatched_golden() {
+        let grid = FrequencyGrid::log_space(1.0, 1e3, 5);
+        let _ = MultiFaultDictionary::from_parts(
+            grid,
+            vec![0.0; 3],
+            Vec::new(),
+            "V1".into(),
+            Probe::node("out"),
+        );
     }
 
     #[test]

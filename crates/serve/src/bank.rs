@@ -2,10 +2,13 @@
 //!
 //! A bank packages a [`FaultDictionary`] (the expensive fault-simulation
 //! product) with the [`TrajectorySet`] materialised at the deployed test
-//! vector, so the online phase loads both from disk instead of
-//! re-simulating. Serialisation uses the [`codec`](crate::codec)
-//! container; every structural invariant is re-checked on load before
-//! any panicking constructor runs, so a hostile or corrupt file yields a
+//! vector — and, optionally, a [`MultiFaultDictionary`] — so the online
+//! phase loads everything from disk instead of re-simulating.
+//! Serialisation uses the sectioned v2 [`codec`](crate::codec) container
+//! (one type-tagged, independently checksummed section per artifact;
+//! unknown sections are skipped); legacy v1 monolithic banks still load.
+//! Every structural invariant is re-checked on load before any panicking
+//! constructor runs, so a hostile or corrupt file yields a
 //! [`CodecError`], never a panic.
 
 use std::path::Path;
@@ -14,10 +17,16 @@ use ft_circuit::Probe;
 use ft_core::{
     trajectories_from_dictionary, FaultTrajectory, Signature, TestVector, TrajectorySet,
 };
-use ft_faults::{DeviationGrid, DictionaryEntry, FaultDictionary, FaultUniverse};
+use ft_faults::{
+    DeviationGrid, DictionaryEntry, FaultDictionary, FaultUniverse, MultiFault,
+    MultiFaultDictionary, MultiFaultEntry, ParametricFault,
+};
 use ft_numerics::{FrequencyGrid, Spacing};
 
-use crate::codec::{CodecError, Decoder, Encoder};
+use crate::codec::{
+    peek_version, CodecError, Container, ContainerBuilder, Decoder, Encoder, BANK_VERSION,
+    BANK_VERSION_V1, SECTION_DICTIONARY, SECTION_MULTIFAULT, SECTION_TRAJECTORIES,
+};
 
 /// Probe encoding tags.
 const PROBE_NODE: u8 = 0;
@@ -36,11 +45,13 @@ fn ensure(cond: bool, what: &str) -> Result<(), CodecError> {
 }
 
 /// A persistent diagnosis artifact: fault dictionary + the trajectory
-/// set of the deployed test vector.
+/// set of the deployed test vector, plus an optional multi-fault
+/// dictionary riding along in its own container section.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TrajectoryBank {
     dict: FaultDictionary,
     set: TrajectorySet,
+    multifault: Option<MultiFaultDictionary>,
 }
 
 impl TrajectoryBank {
@@ -48,7 +59,11 @@ impl TrajectoryBank {
     /// `tv` — the offline step of the serving pipeline.
     pub fn build(dict: FaultDictionary, tv: &TestVector) -> Self {
         let set = trajectories_from_dictionary(&dict, tv);
-        TrajectoryBank { dict, set }
+        TrajectoryBank {
+            dict,
+            set,
+            multifault: None,
+        }
     }
 
     /// Packages an already-materialised trajectory set with its
@@ -59,7 +74,18 @@ impl TrajectoryBank {
     /// Panics if `set` is empty — an empty bank cannot serve diagnoses.
     pub fn from_parts(dict: FaultDictionary, set: TrajectorySet) -> Self {
         assert!(!set.is_empty(), "a bank needs at least one trajectory");
-        TrajectoryBank { dict, set }
+        TrajectoryBank {
+            dict,
+            set,
+            multifault: None,
+        }
+    }
+
+    /// Attaches a multi-fault dictionary, persisted through the bank's
+    /// `MultiFaultSection` on save.
+    pub fn with_multifault(mut self, multifault: MultiFaultDictionary) -> Self {
+        self.multifault = Some(multifault);
+        self
     }
 
     /// The fault dictionary.
@@ -74,234 +100,103 @@ impl TrajectoryBank {
         &self.set
     }
 
+    /// The attached multi-fault dictionary, if any.
+    #[inline]
+    pub fn multifault_dictionary(&self) -> Option<&MultiFaultDictionary> {
+        self.multifault.as_ref()
+    }
+
     /// The deployed test vector.
     #[inline]
     pub fn test_vector(&self) -> &TestVector {
         self.set.test_vector()
     }
 
-    /// Serialises the bank into a self-describing container.
+    /// Serialises the bank into a sectioned v2 container: a dictionary
+    /// section, a trajectory section, and — when present — a multi-fault
+    /// section, each independently checksummed.
     pub fn to_bytes(&self) -> Vec<u8> {
+        let mut builder = ContainerBuilder::new();
+        builder.push_section(SECTION_DICTIONARY, encode_dictionary(&self.dict));
+        builder.push_section(SECTION_TRAJECTORIES, encode_trajectory_set(&self.set));
+        if let Some(mfd) = &self.multifault {
+            builder.push_section(SECTION_MULTIFAULT, encode_multifault(mfd));
+        }
+        builder.finish()
+    }
+
+    /// Serialises the bank as a legacy **v1** monolithic container —
+    /// the format every pre-v2 reader understands. A v1 container has no
+    /// sections, so an attached multi-fault dictionary is *not*
+    /// representable and is omitted. Kept for compatibility tests and
+    /// for interoperating with old tooling.
+    pub fn to_bytes_v1(&self) -> Vec<u8> {
         let mut enc = Encoder::new();
-
-        // --- dictionary section -------------------------------------
-        let grid = self.dict.grid();
-        enc.put_u8(match grid.spacing() {
-            Spacing::Linear => SPACING_LINEAR,
-            Spacing::Logarithmic => SPACING_LOGARITHMIC,
-        });
-        enc.put_f64s(grid.frequencies());
-        enc.put_f64s(self.dict.golden_db());
-        enc.put_str(self.dict.input());
-        match self.dict.probe() {
-            Probe::Node(n) => {
-                enc.put_u8(PROBE_NODE);
-                enc.put_str(n);
-            }
-            Probe::Differential(p, n) => {
-                enc.put_u8(PROBE_DIFFERENTIAL);
-                enc.put_str(p);
-                enc.put_str(n);
-            }
-        }
-        let universe = self.dict.universe();
-        enc.put_u32(universe.components().len() as u32);
-        for comp in universe.components() {
-            enc.put_str(comp);
-        }
-        enc.put_f64(universe.grid().max_pct());
-        enc.put_f64(universe.grid().step_pct());
-        // The entries mirror the universe's fault enumeration (an
-        // invariant `FaultDictionary::from_parts` re-asserts), so only
-        // the responses need storing.
-        enc.put_u32(self.dict.entries().len() as u32);
-        for entry in self.dict.entries() {
-            enc.put_f64s(entry.magnitude_db());
-        }
-
-        // --- trajectory-set section ---------------------------------
-        enc.put_f64s(self.set.test_vector().omegas());
-        enc.put_u32(self.set.len() as u32);
-        for t in self.set.trajectories() {
-            enc.put_str(t.component());
-            enc.put_f64s(t.deviations_pct());
-            enc.put_u32(t.dim() as u32);
-            for p in t.points() {
-                for &x in p.coords() {
-                    enc.put_f64(x);
-                }
-            }
-        }
-
+        encode_dictionary_into(&mut enc, &self.dict);
+        encode_trajectory_set_into(&mut enc, &self.set);
         enc.finish()
     }
 
-    /// Deserialises a bank, verifying the container header, checksum,
-    /// and every structural invariant of the decoded data.
+    /// Deserialises a bank, verifying the container header, checksums,
+    /// and every structural invariant of the decoded data. Both format
+    /// versions load: v1 monolithic payloads and v2 sectioned containers
+    /// (whose unknown sections are skipped, and whose optional
+    /// multi-fault section is decoded when present).
     ///
     /// # Errors
     ///
-    /// Any corruption or inconsistency yields a [`CodecError`].
+    /// Any corruption or inconsistency yields a [`CodecError`]; v2
+    /// corruption is attributed to the section it hit.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
-        let mut dec = Decoder::open(bytes)?;
-
-        // --- dictionary section -------------------------------------
-        let spacing = match dec.get_u8()? {
-            SPACING_LINEAR => Spacing::Linear,
-            SPACING_LOGARITHMIC => Spacing::Logarithmic,
-            tag => {
-                return Err(CodecError::Malformed(format!("unknown spacing tag {tag}")));
+        match peek_version(bytes)? {
+            BANK_VERSION_V1 => {
+                // Legacy monolithic payload: dictionary fields then
+                // trajectory fields, one whole-payload checksum.
+                let mut dec = Decoder::open(bytes)?;
+                let dict = decode_dictionary(&mut dec)?;
+                let set = decode_trajectory_set(&mut dec)?;
+                dec.finish()?;
+                Ok(TrajectoryBank {
+                    dict,
+                    set,
+                    multifault: None,
+                })
             }
-        };
-        let freqs = dec.get_f64s()?;
-        ensure(!freqs.is_empty(), "frequency grid is empty")?;
-        ensure(
-            freqs.iter().all(|w| w.is_finite() && *w > 0.0),
-            "grid frequencies must be positive and finite",
-        )?;
-        ensure(
-            freqs.windows(2).all(|w| w[0] < w[1]),
-            "grid frequencies must be strictly increasing",
-        )?;
-        let grid = FrequencyGrid::from_parts(freqs, spacing);
-
-        let golden_db = dec.get_f64s()?;
-        ensure(
-            golden_db.len() == grid.len(),
-            "golden response length must match the grid",
-        )?;
-        ensure(
-            golden_db.iter().all(|x| x.is_finite()),
-            "golden response must be finite",
-        )?;
-        let input = dec.get_str()?;
-        let probe = match dec.get_u8()? {
-            PROBE_NODE => Probe::Node(dec.get_str()?),
-            PROBE_DIFFERENTIAL => Probe::Differential(dec.get_str()?, dec.get_str()?),
-            tag => {
-                return Err(CodecError::Malformed(format!("unknown probe tag {tag}")));
+            BANK_VERSION => {
+                let container = Container::parse(bytes)?;
+                let mut dec = Decoder::over(container.require(SECTION_DICTIONARY)?);
+                let dict = decode_dictionary(&mut dec)?;
+                dec.finish()?;
+                let mut dec = Decoder::over(container.require(SECTION_TRAJECTORIES)?);
+                let set = decode_trajectory_set(&mut dec)?;
+                dec.finish()?;
+                let multifault = match container.find(SECTION_MULTIFAULT)? {
+                    None => None,
+                    Some(payload) => {
+                        let mut dec = Decoder::over(payload);
+                        let mfd = decode_multifault(&mut dec)?;
+                        dec.finish()?;
+                        Some(mfd)
+                    }
+                };
+                Ok(TrajectoryBank {
+                    dict,
+                    set,
+                    multifault,
+                })
             }
-        };
-
-        let n_components = dec.get_count(5)?; // len prefix + ≥1 byte per name
-        let mut components = Vec::with_capacity(n_components);
-        for _ in 0..n_components {
-            components.push(dec.get_str()?);
+            version => Err(CodecError::UnsupportedVersion(version)),
         }
-        ensure(!components.is_empty(), "universe has no components")?;
-        let max_pct = dec.get_f64()?;
-        let step_pct = dec.get_f64()?;
-        ensure(
-            max_pct.is_finite()
-                && step_pct.is_finite()
-                && step_pct > 0.0
-                && step_pct <= max_pct
-                && max_pct < 100.0,
-            "deviation grid must satisfy 0 < step <= max < 100",
-        )?;
-        // Bound the fault enumeration before materialising it, so a
-        // crafted step cannot make `FaultUniverse::new` allocate an
-        // astronomically large fault list (or overflow its capacity).
-        ensure(
-            max_pct / step_pct <= 5_000.0,
-            "deviation grid is implausibly fine",
-        )?;
-        let universe = FaultUniverse::new(&components, DeviationGrid::new(max_pct, step_pct));
-
-        let n_entries = dec.get_count(4)?;
-        ensure(
-            n_entries == universe.len(),
-            "entry count must match the universe",
-        )?;
-        let mut entries = Vec::with_capacity(n_entries);
-        for fault in universe.faults() {
-            let magnitude_db = dec.get_f64s()?;
-            ensure(
-                magnitude_db.len() == grid.len(),
-                "entry response length must match the grid",
-            )?;
-            ensure(
-                magnitude_db.iter().all(|x| x.is_finite()),
-                "entry response must be finite",
-            )?;
-            entries.push(DictionaryEntry::new(fault.clone(), magnitude_db));
-        }
-        let dict = FaultDictionary::from_parts(grid, golden_db, entries, universe, input, probe);
-
-        // --- trajectory-set section ---------------------------------
-        let omegas = dec.get_f64s()?;
-        ensure(!omegas.is_empty(), "test vector is empty")?;
-        ensure(
-            omegas.iter().all(|w| w.is_finite() && *w > 0.0),
-            "test frequencies must be positive and finite",
-        )?;
-        let tv = TestVector::new(omegas);
-
-        let n_traj = dec.get_count(9)?;
-        ensure(n_traj > 0, "bank holds no trajectories")?;
-        let mut trajectories = Vec::with_capacity(n_traj);
-        let mut set_dim: Option<usize> = None;
-        for _ in 0..n_traj {
-            let component = dec.get_str()?;
-            let devs = dec.get_f64s()?;
-            ensure(devs.len() >= 2, "a trajectory needs at least two points")?;
-            ensure(
-                devs.windows(2).all(|w| w[0] < w[1]),
-                "trajectory deviations must be strictly ascending",
-            )?;
-            ensure(
-                devs.contains(&0.0),
-                "trajectory must contain the 0% origin point",
-            )?;
-            ensure(
-                devs.iter().all(|d| d.is_finite()),
-                "trajectory deviations must be finite",
-            )?;
-            let dim = dec.get_u32()? as usize;
-            ensure(dim > 0, "trajectory dimension must be positive")?;
-            // Bound the per-point allocation by the payload actually
-            // present (each coordinate takes 8 bytes), as get_count
-            // does for prefixed fields.
-            ensure(
-                dim <= dec.remaining() / 8,
-                "trajectory dimension exceeds the remaining payload",
-            )?;
-            ensure(
-                dim.is_multiple_of(tv.len()),
-                "trajectory dimension must be a multiple of the test-vector length",
-            )?;
-            ensure(
-                set_dim.replace(dim).is_none_or(|prev| prev == dim),
-                "all trajectories must share one dimension",
-            )?;
-            let mut points = Vec::with_capacity(devs.len());
-            for _ in 0..devs.len() {
-                let mut coords = Vec::with_capacity(dim);
-                for _ in 0..dim {
-                    coords.push(dec.get_f64()?);
-                }
-                ensure(
-                    coords.iter().all(|x| x.is_finite()),
-                    "trajectory points must be finite",
-                )?;
-                points.push(Signature::new(coords));
-            }
-            trajectories.push(FaultTrajectory::new(component, devs, points));
-        }
-        let set = TrajectorySet::new(tv, trajectories);
-
-        dec.finish()?;
-        Ok(TrajectoryBank { dict, set })
     }
 
     /// Writes the bank to a file.
     ///
     /// # Errors
     ///
-    /// Propagates I/O failures.
+    /// Propagates I/O failures, annotated with the path.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CodecError> {
-        std::fs::write(path, self.to_bytes())?;
-        Ok(())
+        let path = path.as_ref();
+        std::fs::write(path, self.to_bytes()).map_err(|e| CodecError::from(e).in_file(path))
     }
 
     /// Reads and verifies a bank from a file.
@@ -309,11 +204,304 @@ impl TrajectoryBank {
     /// # Errors
     ///
     /// Propagates I/O failures and every decode error of
-    /// [`TrajectoryBank::from_bytes`].
+    /// [`TrajectoryBank::from_bytes`], annotated with the path — so a
+    /// multi-shard store always knows *which* bank file failed.
     pub fn load(path: impl AsRef<Path>) -> Result<Self, CodecError> {
-        let bytes = std::fs::read(path)?;
-        TrajectoryBank::from_bytes(&bytes)
+        let path = path.as_ref();
+        std::fs::read(path)
+            .map_err(CodecError::from)
+            .and_then(|bytes| TrajectoryBank::from_bytes(&bytes))
+            .map_err(|e| e.in_file(path))
     }
+}
+
+// --- section payload encoders/decoders ------------------------------
+//
+// Each artifact has a symmetric `encode_*`/`decode_*` pair over bare
+// payload bytes; the v1 path concatenates the dictionary and trajectory
+// payloads into one monolithic container, the v2 path gives each its own
+// checksummed section.
+
+fn encode_grid_into(enc: &mut Encoder, grid: &FrequencyGrid) {
+    enc.put_u8(match grid.spacing() {
+        Spacing::Linear => SPACING_LINEAR,
+        Spacing::Logarithmic => SPACING_LOGARITHMIC,
+    });
+    enc.put_f64s(grid.frequencies());
+}
+
+fn decode_grid(dec: &mut Decoder) -> Result<FrequencyGrid, CodecError> {
+    let spacing = match dec.get_u8()? {
+        SPACING_LINEAR => Spacing::Linear,
+        SPACING_LOGARITHMIC => Spacing::Logarithmic,
+        tag => {
+            return Err(CodecError::Malformed(format!("unknown spacing tag {tag}")));
+        }
+    };
+    let freqs = dec.get_f64s()?;
+    ensure(!freqs.is_empty(), "frequency grid is empty")?;
+    ensure(
+        freqs.iter().all(|w| w.is_finite() && *w > 0.0),
+        "grid frequencies must be positive and finite",
+    )?;
+    ensure(
+        freqs.windows(2).all(|w| w[0] < w[1]),
+        "grid frequencies must be strictly increasing",
+    )?;
+    Ok(FrequencyGrid::from_parts(freqs, spacing))
+}
+
+fn encode_probe_into(enc: &mut Encoder, probe: &Probe) {
+    match probe {
+        Probe::Node(n) => {
+            enc.put_u8(PROBE_NODE);
+            enc.put_str(n);
+        }
+        Probe::Differential(p, n) => {
+            enc.put_u8(PROBE_DIFFERENTIAL);
+            enc.put_str(p);
+            enc.put_str(n);
+        }
+    }
+}
+
+fn decode_probe(dec: &mut Decoder) -> Result<Probe, CodecError> {
+    match dec.get_u8()? {
+        PROBE_NODE => Ok(Probe::Node(dec.get_str()?)),
+        PROBE_DIFFERENTIAL => Ok(Probe::Differential(dec.get_str()?, dec.get_str()?)),
+        tag => Err(CodecError::Malformed(format!("unknown probe tag {tag}"))),
+    }
+}
+
+/// Reads one length-prefixed response vector and checks it against the
+/// grid length and finiteness — shared by golden and entry responses.
+/// (Error strings are built only on failure: this runs once per
+/// dictionary entry, so the happy path must not allocate messages.)
+fn decode_response(dec: &mut Decoder, grid_len: usize, what: &str) -> Result<Vec<f64>, CodecError> {
+    let xs = dec.get_f64s()?;
+    if xs.len() != grid_len {
+        return Err(CodecError::Malformed(format!(
+            "{what} length must match the grid"
+        )));
+    }
+    if !xs.iter().all(|x| x.is_finite()) {
+        return Err(CodecError::Malformed(format!("{what} must be finite")));
+    }
+    Ok(xs)
+}
+
+fn encode_dictionary_into(enc: &mut Encoder, dict: &FaultDictionary) {
+    encode_grid_into(enc, dict.grid());
+    enc.put_f64s(dict.golden_db());
+    enc.put_str(dict.input());
+    encode_probe_into(enc, dict.probe());
+    let universe = dict.universe();
+    enc.put_u32(universe.components().len() as u32);
+    for comp in universe.components() {
+        enc.put_str(comp);
+    }
+    enc.put_f64(universe.grid().max_pct());
+    enc.put_f64(universe.grid().step_pct());
+    // The entries mirror the universe's fault enumeration (an
+    // invariant `FaultDictionary::from_parts` re-asserts), so only
+    // the responses need storing.
+    enc.put_u32(dict.entries().len() as u32);
+    for entry in dict.entries() {
+        enc.put_f64s(entry.magnitude_db());
+    }
+}
+
+fn encode_dictionary(dict: &FaultDictionary) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    encode_dictionary_into(&mut enc, dict);
+    enc.into_payload()
+}
+
+fn decode_dictionary(dec: &mut Decoder) -> Result<FaultDictionary, CodecError> {
+    let grid = decode_grid(dec)?;
+    let golden_db = decode_response(dec, grid.len(), "golden response")?;
+    let input = dec.get_str()?;
+    let probe = decode_probe(dec)?;
+
+    let n_components = dec.get_count(5)?; // len prefix + ≥1 byte per name
+    let mut components = Vec::with_capacity(n_components);
+    for _ in 0..n_components {
+        components.push(dec.get_str()?);
+    }
+    ensure(!components.is_empty(), "universe has no components")?;
+    let max_pct = dec.get_f64()?;
+    let step_pct = dec.get_f64()?;
+    ensure(
+        max_pct.is_finite()
+            && step_pct.is_finite()
+            && step_pct > 0.0
+            && step_pct <= max_pct
+            && max_pct < 100.0,
+        "deviation grid must satisfy 0 < step <= max < 100",
+    )?;
+    // Bound the fault enumeration before materialising it, so a
+    // crafted step cannot make `FaultUniverse::new` allocate an
+    // astronomically large fault list (or overflow its capacity).
+    ensure(
+        max_pct / step_pct <= 5_000.0,
+        "deviation grid is implausibly fine",
+    )?;
+    let universe = FaultUniverse::new(&components, DeviationGrid::new(max_pct, step_pct));
+
+    let n_entries = dec.get_count(4)?;
+    ensure(
+        n_entries == universe.len(),
+        "entry count must match the universe",
+    )?;
+    let mut entries = Vec::with_capacity(n_entries);
+    for fault in universe.faults() {
+        let magnitude_db = decode_response(dec, grid.len(), "entry response")?;
+        entries.push(DictionaryEntry::new(fault.clone(), magnitude_db));
+    }
+    Ok(FaultDictionary::from_parts(
+        grid, golden_db, entries, universe, input, probe,
+    ))
+}
+
+fn encode_trajectory_set_into(enc: &mut Encoder, set: &TrajectorySet) {
+    enc.put_f64s(set.test_vector().omegas());
+    enc.put_u32(set.len() as u32);
+    for t in set.trajectories() {
+        enc.put_str(t.component());
+        enc.put_f64s(t.deviations_pct());
+        enc.put_u32(t.dim() as u32);
+        for p in t.points() {
+            for &x in p.coords() {
+                enc.put_f64(x);
+            }
+        }
+    }
+}
+
+fn encode_trajectory_set(set: &TrajectorySet) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    encode_trajectory_set_into(&mut enc, set);
+    enc.into_payload()
+}
+
+fn decode_trajectory_set(dec: &mut Decoder) -> Result<TrajectorySet, CodecError> {
+    let omegas = dec.get_f64s()?;
+    ensure(!omegas.is_empty(), "test vector is empty")?;
+    ensure(
+        omegas.iter().all(|w| w.is_finite() && *w > 0.0),
+        "test frequencies must be positive and finite",
+    )?;
+    let tv = TestVector::new(omegas);
+
+    let n_traj = dec.get_count(9)?;
+    ensure(n_traj > 0, "bank holds no trajectories")?;
+    let mut trajectories = Vec::with_capacity(n_traj);
+    let mut set_dim: Option<usize> = None;
+    for _ in 0..n_traj {
+        let component = dec.get_str()?;
+        let devs = dec.get_f64s()?;
+        ensure(devs.len() >= 2, "a trajectory needs at least two points")?;
+        ensure(
+            devs.windows(2).all(|w| w[0] < w[1]),
+            "trajectory deviations must be strictly ascending",
+        )?;
+        ensure(
+            devs.contains(&0.0),
+            "trajectory must contain the 0% origin point",
+        )?;
+        ensure(
+            devs.iter().all(|d| d.is_finite()),
+            "trajectory deviations must be finite",
+        )?;
+        let dim = dec.get_u32()? as usize;
+        ensure(dim > 0, "trajectory dimension must be positive")?;
+        // Bound the per-point allocation by the payload actually
+        // present (each coordinate takes 8 bytes), as get_count
+        // does for prefixed fields.
+        ensure(
+            dim <= dec.remaining() / 8,
+            "trajectory dimension exceeds the remaining payload",
+        )?;
+        ensure(
+            dim.is_multiple_of(tv.len()),
+            "trajectory dimension must be a multiple of the test-vector length",
+        )?;
+        ensure(
+            set_dim.replace(dim).is_none_or(|prev| prev == dim),
+            "all trajectories must share one dimension",
+        )?;
+        let mut points = Vec::with_capacity(devs.len());
+        for _ in 0..devs.len() {
+            let mut coords = Vec::with_capacity(dim);
+            for _ in 0..dim {
+                coords.push(dec.get_f64()?);
+            }
+            ensure(
+                coords.iter().all(|x| x.is_finite()),
+                "trajectory points must be finite",
+            )?;
+            points.push(Signature::new(coords));
+        }
+        trajectories.push(FaultTrajectory::new(component, devs, points));
+    }
+    Ok(TrajectorySet::new(tv, trajectories))
+}
+
+fn encode_multifault(mfd: &MultiFaultDictionary) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    encode_grid_into(&mut enc, mfd.grid());
+    enc.put_f64s(mfd.golden_db());
+    enc.put_str(mfd.input());
+    encode_probe_into(&mut enc, mfd.probe());
+    enc.put_u32(mfd.entries().len() as u32);
+    for entry in mfd.entries() {
+        let faults = entry.fault().faults();
+        enc.put_u32(faults.len() as u32);
+        for f in faults {
+            enc.put_str(f.component());
+            enc.put_f64(f.percent());
+        }
+        enc.put_f64s(entry.magnitude_db());
+    }
+    enc.into_payload()
+}
+
+fn decode_multifault(dec: &mut Decoder) -> Result<MultiFaultDictionary, CodecError> {
+    let grid = decode_grid(dec)?;
+    let golden_db = decode_response(dec, grid.len(), "multifault golden response")?;
+    let input = dec.get_str()?;
+    let probe = decode_probe(dec)?;
+
+    // Each entry needs at least the order prefix, one fault (len prefix
+    // + ≥1-byte name + percent), and the response length prefix.
+    let n_entries = dec.get_count(4 + 4 + 4 + 1 + 8 + 4)?;
+    let mut entries = Vec::with_capacity(n_entries);
+    for _ in 0..n_entries {
+        // Each constituent fault costs ≥ 13 bytes (name prefix + ≥1
+        // byte + percent), bounding the order before allocation.
+        let order = dec.get_count(13)?;
+        ensure(order > 0, "multi-fault needs at least one fault")?;
+        let mut faults: Vec<ParametricFault> = Vec::with_capacity(order);
+        for _ in 0..order {
+            let component = dec.get_str()?;
+            ensure(!component.is_empty(), "multi-fault component is empty")?;
+            let percent = dec.get_f64()?;
+            ensure(
+                percent.is_finite() && percent > -100.0,
+                "multi-fault deviation must be finite and > -100%",
+            )?;
+            ensure(
+                faults.iter().all(|f| f.component() != component),
+                "multi-fault repeats a component",
+            )?;
+            faults.push(ParametricFault::from_percent(component, percent));
+        }
+        let magnitude_db = decode_response(dec, grid.len(), "multifault entry response")?;
+        entries.push(MultiFaultEntry::new(MultiFault::new(faults), magnitude_db));
+    }
+    Ok(MultiFaultDictionary::from_parts(
+        grid, golden_db, entries, input, probe,
+    ))
 }
 
 #[cfg(test)]
@@ -378,8 +566,9 @@ mod tests {
         let bank = rc_bank();
         let bytes = bank.to_bytes();
         // Sample positions across the container, always including the
-        // header and both section boundaries.
-        for pos in (0..bytes.len()).step_by(97).chain([0, 9, 17, 25]) {
+        // magic, version, section count, table checksum, and both
+        // section-table entries (2 sections × 18 bytes from offset 22).
+        for pos in (0..bytes.len()).step_by(97).chain([0, 9, 13, 21, 30, 48]) {
             let mut corrupt = bytes.clone();
             corrupt[pos] ^= 0x01;
             assert!(
@@ -398,9 +587,85 @@ mod tests {
     }
 
     #[test]
-    fn load_missing_file_is_io_error() {
+    fn load_missing_file_is_io_error_naming_the_path() {
         let err = TrajectoryBank::load("/nonexistent/bank.ftb").unwrap_err();
-        assert!(matches!(err, CodecError::Io(_)));
+        match &err {
+            CodecError::InFile { path, source } => {
+                assert_eq!(path.to_string_lossy(), "/nonexistent/bank.ftb");
+                assert!(matches!(**source, CodecError::Io(_)));
+            }
+            other => panic!("expected InFile, got {other:?}"),
+        }
+        assert!(err.to_string().contains("/nonexistent/bank.ftb"));
+    }
+
+    #[test]
+    fn v1_container_still_loads() {
+        // A bank written by the legacy monolithic writer decodes under
+        // the v2 reader, bit-for-bit equal apart from the (absent)
+        // multi-fault dictionary.
+        let bank = rc_bank();
+        let v1 = bank.to_bytes_v1();
+        assert_eq!(crate::codec::peek_version(&v1).unwrap(), BANK_VERSION_V1);
+        let back = TrajectoryBank::from_bytes(&v1).unwrap();
+        assert_eq!(bank, back);
+        // The v1 writer is deterministic too.
+        assert_eq!(v1, back.to_bytes_v1());
+        // And single-byte corruption of a v1 container is still caught.
+        for pos in (0..v1.len()).step_by(101).chain([0, 9, 17, 25]) {
+            let mut corrupt = v1.clone();
+            corrupt[pos] ^= 0x01;
+            assert!(
+                TrajectoryBank::from_bytes(&corrupt).is_err(),
+                "v1 flip at byte {pos} went undetected"
+            );
+        }
+    }
+
+    fn rc_multifault() -> MultiFaultDictionary {
+        let mut ckt = ft_circuit::Circuit::new("rc");
+        ckt.voltage_source("V1", "in", "0", 1.0).unwrap();
+        ckt.resistor("R1", "in", "out", 1e3).unwrap();
+        ckt.capacitor("C1", "out", "0", 1e-6).unwrap();
+        let universe = FaultUniverse::new(&["R1", "C1"], DeviationGrid::new(40.0, 20.0));
+        MultiFaultDictionary::build_pairs(
+            &ckt,
+            &universe,
+            "V1",
+            &Probe::node("out"),
+            &FrequencyGrid::log_space(1.0, 1e5, 9),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn multifault_dictionary_round_trips_byte_identically() {
+        let bank = rc_bank().with_multifault(rc_multifault());
+        assert!(bank.multifault_dictionary().is_some());
+        let bytes = bank.to_bytes();
+        let back = TrajectoryBank::from_bytes(&bytes).unwrap();
+        assert_eq!(bank, back);
+        assert_eq!(
+            bank.multifault_dictionary(),
+            back.multifault_dictionary(),
+            "multi-fault dictionary must survive the round trip"
+        );
+        // Byte-identical re-encode — the acceptance criterion.
+        assert_eq!(bytes, back.to_bytes());
+    }
+
+    #[test]
+    fn multifault_section_every_flip_detected() {
+        let bank = rc_bank().with_multifault(rc_multifault());
+        let bytes = bank.to_bytes();
+        for pos in (0..bytes.len()).step_by(89).chain([0, 21, 40, 58]) {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= 0x01;
+            assert!(
+                TrajectoryBank::from_bytes(&corrupt).is_err(),
+                "flip at byte {pos} went undetected"
+            );
+        }
     }
 
     /// Encodes a minimal single-component bank by hand, letting tests

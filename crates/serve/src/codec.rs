@@ -1,37 +1,114 @@
 //! Self-contained binary codec for trajectory banks.
 //!
 //! The vendored `serde` is a marker-only shim (see `vendor/README.md`),
-//! so persistence is hand-rolled: a fixed container layout with a
-//! versioned header, length-prefixed fields, and a checksum over the
-//! payload, decoded by a corruption-detecting reader that never trusts a
-//! length it has not bounds-checked.
+//! so persistence is hand-rolled: a versioned container layout with
+//! length-prefixed fields and checksums, decoded by a
+//! corruption-detecting reader that never trusts a length it has not
+//! bounds-checked.
 //!
-//! ## Container layout
+//! ## Container layout, format v2 (sectioned)
+//!
+//! ```text
+//! offset    size  field
+//! 0         8     magic  b"FTBANK\r\n"
+//! 8         2     format version (u16 LE) = 2
+//! 10        4     section count n (u32 LE)
+//! 14        8     FNV-1a 64 checksum of the count (bytes 10..14)
+//!                 concatenated with the table (bytes 22..22+18n)
+//! 22        18*n  section table: per section
+//!                   +0  type tag (u16 LE)
+//!                   +2  payload length in bytes (u64 LE)
+//!                   +10 FNV-1a 64 checksum of the payload (u64 LE)
+//! 22+18n    ...   section payloads, concatenated in table order
+//! ```
+//!
+//! Each section is independently checksummed, so corruption is detected
+//! *and attributed* to the section it hit, and a reader that does not
+//! understand a section's type tag skips it (forward compatibility: new
+//! optional sections never break old readers of the same major version).
+//! The container's total length must equal the header + table + declared
+//! payloads exactly.
+//!
+//! ## Container layout, format v1 (legacy, monolithic)
 //!
 //! ```text
 //! offset  size  field
 //! 0       8     magic  b"FTBANK\r\n"
-//! 8       2     format version (u16 LE)
+//! 8       2     format version (u16 LE) = 1
 //! 10      8     payload length in bytes (u64 LE)
 //! 18      8     FNV-1a 64 checksum of the payload (u64 LE)
 //! 26      n     payload (length-prefixed fields, little-endian)
 //! ```
 //!
-//! Within the payload every variable-length field carries a `u32 LE`
+//! v1 banks remain loadable: [`peek_version`] dispatches readers between
+//! [`Decoder::open`] (v1) and [`Container::parse`] (v2).
+//!
+//! Within any payload every variable-length field carries a `u32 LE`
 //! count prefix; scalars are fixed-width little-endian. All reads are
 //! bounds-checked and a decode must consume the payload exactly.
 
 use std::fmt;
+use std::path::{Path, PathBuf};
 
 /// Container magic. The `\r\n` tail catches text-mode transfer mangling,
 /// PNG-style.
 pub const BANK_MAGIC: [u8; 8] = *b"FTBANK\r\n";
 
-/// Current container format version.
-pub const BANK_VERSION: u16 = 1;
+/// Current container format version (sectioned).
+pub const BANK_VERSION: u16 = 2;
 
-/// Size of the fixed container header in bytes.
+/// The legacy monolithic container format version.
+pub const BANK_VERSION_V1: u16 = 1;
+
+/// Size of the fixed v1 container header in bytes.
 pub const HEADER_LEN: usize = 8 + 2 + 8 + 8;
+
+/// Size of the fixed v2 container header in bytes (magic, version,
+/// section count, table checksum) — the section table follows.
+pub const HEADER_LEN_V2: usize = 8 + 2 + 4 + 8;
+
+/// Size of one v2 section-table entry in bytes (type, length, checksum).
+pub const SECTION_ENTRY_LEN: usize = 2 + 8 + 8;
+
+/// Section type: the single-fault dictionary (required).
+pub const SECTION_DICTIONARY: u16 = 1;
+
+/// Section type: the materialised trajectory set (required).
+pub const SECTION_TRAJECTORIES: u16 = 2;
+
+/// Section type: an optional multi-fault dictionary.
+pub const SECTION_MULTIFAULT: u16 = 3;
+
+/// Human-readable name of a section type tag.
+pub fn section_name(kind: u16) -> &'static str {
+    match kind {
+        SECTION_DICTIONARY => "dictionary",
+        SECTION_TRAJECTORIES => "trajectories",
+        SECTION_MULTIFAULT => "multifault",
+        _ => "unknown",
+    }
+}
+
+/// Checks the magic and returns the container's declared format version
+/// without validating anything else — the dispatch point between the v1
+/// and v2 read paths.
+///
+/// # Errors
+///
+/// [`CodecError::Truncated`] when even the magic + version do not fit,
+/// [`CodecError::BadMagic`] when the magic is wrong.
+pub fn peek_version(container: &[u8]) -> Result<u16, CodecError> {
+    if container.len() < 10 {
+        return Err(CodecError::Truncated {
+            needed: 10,
+            available: container.len(),
+        });
+    }
+    if container[..8] != BANK_MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    Ok(u16::from_le_bytes([container[8], container[9]]))
+}
 
 /// Errors surfaced while encoding to or decoding from the container
 /// format.
@@ -50,18 +127,54 @@ pub enum CodecError {
         /// Bytes actually available.
         available: usize,
     },
-    /// The payload checksum does not match the header.
+    /// The payload checksum does not match the header (v1), or the v2
+    /// section table does not match its header checksum.
     ChecksumMismatch {
         /// Checksum stored in the header.
         stored: u64,
         /// Checksum recomputed over the payload.
         computed: u64,
     },
+    /// A v2 section's payload does not match its table checksum — the
+    /// corruption is attributed to that section.
+    SectionChecksumMismatch {
+        /// Type tag of the corrupted section.
+        kind: u16,
+        /// Checksum stored in the section table.
+        stored: u64,
+        /// Checksum recomputed over the section payload.
+        computed: u64,
+    },
+    /// A required v2 section is absent from the container.
+    MissingSection(u16),
     /// The payload decoded cleanly but bytes were left over.
     TrailingBytes(usize),
     /// A field violated a structural invariant (bad tag, bad UTF-8,
     /// inconsistent counts, non-finite value where one is required, …).
     Malformed(String),
+    /// An error raised while reading or decoding a named file — wraps the
+    /// underlying error with the offending path, so multi-shard loads can
+    /// report *which* bank failed.
+    InFile {
+        /// The file being read.
+        path: PathBuf,
+        /// The underlying failure.
+        source: Box<CodecError>,
+    },
+}
+
+impl CodecError {
+    /// Wraps this error with the path of the file it occurred in. A
+    /// second wrap is a no-op, so callers can annotate defensively.
+    pub fn in_file(self, path: impl AsRef<Path>) -> CodecError {
+        match self {
+            CodecError::InFile { .. } => self,
+            other => CodecError::InFile {
+                path: path.as_ref().to_path_buf(),
+                source: Box::new(other),
+            },
+        }
+    }
 }
 
 impl fmt::Display for CodecError {
@@ -72,7 +185,8 @@ impl fmt::Display for CodecError {
             CodecError::UnsupportedVersion(v) => {
                 write!(
                     f,
-                    "unsupported bank format version {v} (reader supports {BANK_VERSION})"
+                    "unsupported bank format version {v} (reader supports \
+                     {BANK_VERSION_V1}..={BANK_VERSION})"
                 )
             }
             CodecError::Truncated { needed, available } => {
@@ -85,8 +199,24 @@ impl fmt::Display for CodecError {
                 f,
                 "bank payload corrupted: checksum {computed:#018x} != stored {stored:#018x}"
             ),
+            CodecError::SectionChecksumMismatch {
+                kind,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "bank section {kind} ({}) corrupted: checksum {computed:#018x} != stored \
+                 {stored:#018x}",
+                section_name(*kind)
+            ),
+            CodecError::MissingSection(kind) => write!(
+                f,
+                "bank is missing required section {kind} ({})",
+                section_name(*kind)
+            ),
             CodecError::TrailingBytes(n) => write!(f, "bank payload has {n} trailing bytes"),
             CodecError::Malformed(what) => write!(f, "malformed bank: {what}"),
+            CodecError::InFile { path, source } => write!(f, "{}: {source}", path.display()),
         }
     }
 }
@@ -95,6 +225,7 @@ impl std::error::Error for CodecError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CodecError::Io(e) => Some(e),
+            CodecError::InFile { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -109,10 +240,19 @@ impl From<std::io::Error> for CodecError {
 /// FNV-1a 64-bit checksum — small, dependency-free, and plenty to catch
 /// the bit rot and truncation a dictionary artifact can suffer on disk.
 pub fn checksum(bytes: &[u8]) -> u64 {
+    checksum_parts(&[bytes])
+}
+
+/// [`checksum`] over the concatenation of `parts`, without materialising
+/// it (used for the v2 table checksum, which covers the section count
+/// and the table bytes).
+pub fn checksum_parts(parts: &[&[u8]]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100_0000_01b3);
+    for part in parts {
+        for &b in *part {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
     }
     h
 }
@@ -182,16 +322,233 @@ impl Encoder {
         self.buf.is_empty()
     }
 
-    /// Seals the payload into a full container: header (magic, version,
-    /// length, checksum) followed by the payload bytes.
+    /// The raw payload bytes encoded so far — the body of one v2 section
+    /// (hand to [`ContainerBuilder::push_section`]).
+    pub fn into_payload(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Seals the payload into a full **v1** (legacy, monolithic)
+    /// container: header (magic, version, length, checksum) followed by
+    /// the payload bytes. Kept so compatibility tests can mint v1 banks;
+    /// new artifacts go through [`ContainerBuilder`].
     pub fn finish(self) -> Vec<u8> {
         let mut out = Vec::with_capacity(HEADER_LEN + self.buf.len());
         out.extend_from_slice(&BANK_MAGIC);
-        out.extend_from_slice(&BANK_VERSION.to_le_bytes());
+        out.extend_from_slice(&BANK_VERSION_V1.to_le_bytes());
         out.extend_from_slice(&(self.buf.len() as u64).to_le_bytes());
         out.extend_from_slice(&checksum(&self.buf).to_le_bytes());
         out.extend_from_slice(&self.buf);
         out
+    }
+}
+
+/// Assembles a sectioned **v2** container: push type-tagged payloads,
+/// then [`finish`](ContainerBuilder::finish) seals the header and
+/// section table. Encoding is deterministic — identical sections in
+/// identical order yield identical bytes.
+#[derive(Debug, Default)]
+pub struct ContainerBuilder {
+    sections: Vec<(u16, Vec<u8>)>,
+}
+
+impl ContainerBuilder {
+    /// A builder holding no sections yet.
+    pub fn new() -> Self {
+        ContainerBuilder::default()
+    }
+
+    /// Appends a section. Sections are written in push order; readers
+    /// locate them by type tag, so order carries no meaning.
+    pub fn push_section(&mut self, kind: u16, payload: Vec<u8>) {
+        self.sections.push((kind, payload));
+    }
+
+    /// Number of sections pushed so far.
+    pub fn len(&self) -> usize {
+        self.sections.len()
+    }
+
+    /// `true` when no section has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.sections.is_empty()
+    }
+
+    /// Seals the container: magic, version, section count, table
+    /// checksum, section table, then the payloads back-to-back.
+    pub fn finish(self) -> Vec<u8> {
+        let count = u32::try_from(self.sections.len()).expect("section count fits u32");
+        let mut table = Vec::with_capacity(self.sections.len() * SECTION_ENTRY_LEN);
+        let mut body_len = 0usize;
+        for (kind, payload) in &self.sections {
+            table.extend_from_slice(&kind.to_le_bytes());
+            table.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+            table.extend_from_slice(&checksum(payload).to_le_bytes());
+            body_len += payload.len();
+        }
+        let count_le = count.to_le_bytes();
+        let table_ck = checksum_parts(&[&count_le, &table]);
+
+        let mut out = Vec::with_capacity(HEADER_LEN_V2 + table.len() + body_len);
+        out.extend_from_slice(&BANK_MAGIC);
+        out.extend_from_slice(&BANK_VERSION.to_le_bytes());
+        out.extend_from_slice(&count_le);
+        out.extend_from_slice(&table_ck.to_le_bytes());
+        out.extend_from_slice(&table);
+        for (_, payload) in &self.sections {
+            out.extend_from_slice(payload);
+        }
+        out
+    }
+}
+
+/// One section of a parsed v2 container.
+#[derive(Debug, Clone, Copy)]
+pub struct Section<'a> {
+    /// The section's type tag.
+    pub kind: u16,
+    /// Absolute byte offset of the payload within the container.
+    pub offset: usize,
+    /// Checksum stored in the section table.
+    pub stored_checksum: u64,
+    /// The section's payload bytes (not yet checksum-verified).
+    pub payload: &'a [u8],
+}
+
+impl Section<'_> {
+    /// Recomputes the payload checksum and compares it to the table.
+    pub fn checksum_ok(&self) -> bool {
+        checksum(self.payload) == self.stored_checksum
+    }
+}
+
+/// A parsed (but not yet per-section-verified) v2 container: the header
+/// and section table are validated structurally — magic, version, table
+/// checksum, and that the declared payloads tile the container exactly —
+/// while each section's payload checksum is verified on access, so tools
+/// like `ftd bank-info` can report per-section status without aborting
+/// at the first bad section.
+#[derive(Debug)]
+pub struct Container<'a> {
+    sections: Vec<Section<'a>>,
+}
+
+impl<'a> Container<'a> {
+    /// Parses a v2 container's header and section table.
+    ///
+    /// # Errors
+    ///
+    /// Magic/version violations, a table checksum mismatch
+    /// ([`CodecError::ChecksumMismatch`]), or any size inconsistency
+    /// (the container must equal header + table + declared payloads
+    /// exactly) are reported before any section is touched.
+    pub fn parse(container: &'a [u8]) -> Result<Self, CodecError> {
+        let version = peek_version(container)?;
+        if version != BANK_VERSION {
+            return Err(CodecError::UnsupportedVersion(version));
+        }
+        if container.len() < HEADER_LEN_V2 {
+            return Err(CodecError::Truncated {
+                needed: HEADER_LEN_V2,
+                available: container.len(),
+            });
+        }
+        let count = u32::from_le_bytes(container[10..14].try_into().expect("4 bytes")) as usize;
+        let table_len = count.saturating_mul(SECTION_ENTRY_LEN);
+        let table_end = HEADER_LEN_V2.saturating_add(table_len);
+        if table_end > container.len() {
+            return Err(CodecError::Truncated {
+                needed: table_end,
+                available: container.len(),
+            });
+        }
+        let table = &container[HEADER_LEN_V2..table_end];
+        let stored = u64::from_le_bytes(container[14..22].try_into().expect("8 bytes"));
+        let computed = checksum_parts(&[&container[10..14], table]);
+        if stored != computed {
+            return Err(CodecError::ChecksumMismatch { stored, computed });
+        }
+
+        let mut sections = Vec::with_capacity(count);
+        let mut offset = table_end;
+        for entry in table.chunks_exact(SECTION_ENTRY_LEN) {
+            let kind = u16::from_le_bytes(entry[0..2].try_into().expect("2 bytes"));
+            let len = u64::from_le_bytes(entry[2..10].try_into().expect("8 bytes"));
+            let stored_checksum = u64::from_le_bytes(entry[10..18].try_into().expect("8 bytes"));
+            let available = (container.len() - offset) as u64;
+            if len > available {
+                return Err(CodecError::Truncated {
+                    needed: offset.saturating_add(usize::try_from(len).unwrap_or(usize::MAX)),
+                    available: container.len(),
+                });
+            }
+            let len = len as usize;
+            sections.push(Section {
+                kind,
+                offset,
+                stored_checksum,
+                payload: &container[offset..offset + len],
+            });
+            offset += len;
+        }
+        if offset != container.len() {
+            return Err(CodecError::TrailingBytes(container.len() - offset));
+        }
+        Ok(Container { sections })
+    }
+
+    /// The sections, in table order (payload checksums not yet verified
+    /// — see [`Section::checksum_ok`]).
+    pub fn sections(&self) -> &[Section<'a>] {
+        &self.sections
+    }
+
+    /// Locates the unique section of type `kind` and verifies its
+    /// checksum. Returns `Ok(None)` when the container has no such
+    /// section (an *optional* section being absent is not an error).
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::SectionChecksumMismatch`] (attributed to `kind`) on
+    /// payload corruption, [`CodecError::Malformed`] when the type tag
+    /// appears more than once.
+    pub fn find(&self, kind: u16) -> Result<Option<&'a [u8]>, CodecError> {
+        let mut found: Option<&Section<'a>> = None;
+        for s in &self.sections {
+            if s.kind == kind {
+                if found.is_some() {
+                    return Err(CodecError::Malformed(format!(
+                        "duplicate section {kind} ({})",
+                        section_name(kind)
+                    )));
+                }
+                found = Some(s);
+            }
+        }
+        match found {
+            None => Ok(None),
+            Some(s) => {
+                let computed = checksum(s.payload);
+                if computed != s.stored_checksum {
+                    return Err(CodecError::SectionChecksumMismatch {
+                        kind,
+                        stored: s.stored_checksum,
+                        computed,
+                    });
+                }
+                Ok(Some(s.payload))
+            }
+        }
+    }
+
+    /// [`Container::find`] for a *required* section.
+    ///
+    /// # Errors
+    ///
+    /// As [`Container::find`], plus [`CodecError::MissingSection`] when
+    /// the section is absent.
+    pub fn require(&self, kind: u16) -> Result<&'a [u8], CodecError> {
+        self.find(kind)?.ok_or(CodecError::MissingSection(kind))
     }
 }
 
@@ -203,8 +560,10 @@ pub struct Decoder<'a> {
 }
 
 impl<'a> Decoder<'a> {
-    /// Verifies a container (magic, version, declared length, checksum)
-    /// and returns a decoder positioned at the start of the payload.
+    /// Verifies a **v1** container (magic, version, declared length,
+    /// checksum) and returns a decoder positioned at the start of the
+    /// payload. v2 containers go through [`Container::parse`] instead;
+    /// use [`peek_version`] to dispatch.
     ///
     /// # Errors
     ///
@@ -221,7 +580,7 @@ impl<'a> Decoder<'a> {
             return Err(CodecError::BadMagic);
         }
         let version = u16::from_le_bytes([container[8], container[9]]);
-        if version != BANK_VERSION {
+        if version != BANK_VERSION_V1 {
             return Err(CodecError::UnsupportedVersion(version));
         }
         let declared = u64::from_le_bytes(container[10..18].try_into().expect("8 bytes"));
@@ -241,6 +600,15 @@ impl<'a> Decoder<'a> {
             buf: payload,
             pos: 0,
         })
+    }
+
+    /// A decoder over a bare payload slice (a verified v2 section body —
+    /// header and checksum checks already done by [`Container`]).
+    pub fn over(payload: &'a [u8]) -> Self {
+        Decoder {
+            buf: payload,
+            pos: 0,
+        }
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
@@ -494,5 +862,124 @@ mod tests {
     fn checksum_is_order_sensitive() {
         assert_ne!(checksum(b"ab"), checksum(b"ba"));
         assert_ne!(checksum(b""), checksum(b"\0"));
+    }
+
+    #[test]
+    fn checksum_parts_matches_concatenation() {
+        assert_eq!(checksum_parts(&[b"ab", b"cd"]), checksum(b"abcd"));
+        assert_eq!(checksum_parts(&[b"", b"abcd", b""]), checksum(b"abcd"));
+    }
+
+    fn sample_v2() -> Vec<u8> {
+        let mut b = ContainerBuilder::new();
+        b.push_section(SECTION_DICTIONARY, b"dict-payload".to_vec());
+        b.push_section(SECTION_TRAJECTORIES, b"traj".to_vec());
+        b.push_section(0x7ff0, b"future-section".to_vec());
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+        b.finish()
+    }
+
+    #[test]
+    fn v2_container_round_trips_sections() {
+        let bytes = sample_v2();
+        assert_eq!(peek_version(&bytes).unwrap(), BANK_VERSION);
+        let c = Container::parse(&bytes).unwrap();
+        assert_eq!(c.sections().len(), 3);
+        assert!(c.sections().iter().all(|s| s.checksum_ok()));
+        assert_eq!(c.require(SECTION_DICTIONARY).unwrap(), b"dict-payload");
+        assert_eq!(c.require(SECTION_TRAJECTORIES).unwrap(), b"traj");
+        assert_eq!(c.find(0x7ff0).unwrap(), Some(&b"future-section"[..]));
+        assert_eq!(c.find(SECTION_MULTIFAULT).unwrap(), None);
+        assert!(matches!(
+            c.require(SECTION_MULTIFAULT),
+            Err(CodecError::MissingSection(SECTION_MULTIFAULT))
+        ));
+    }
+
+    #[test]
+    fn v2_section_corruption_is_attributed() {
+        let bytes = sample_v2();
+        let c = Container::parse(&bytes).unwrap();
+        let traj_off = c.sections()[1].offset;
+        drop(c);
+        let mut corrupt = bytes.clone();
+        corrupt[traj_off] ^= 0x01;
+        let c = Container::parse(&corrupt).unwrap();
+        // The untouched section still verifies…
+        assert!(c.require(SECTION_DICTIONARY).is_ok());
+        // …while the hit one is reported by name.
+        assert!(matches!(
+            c.require(SECTION_TRAJECTORIES),
+            Err(CodecError::SectionChecksumMismatch {
+                kind: SECTION_TRAJECTORIES,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn v2_table_corruption_is_detected() {
+        let bytes = sample_v2();
+        // Every byte of count + table checksum + table entries.
+        for pos in 10..HEADER_LEN_V2 + 3 * SECTION_ENTRY_LEN {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= 0x01;
+            assert!(
+                Container::parse(&corrupt).is_err(),
+                "table flip at byte {pos} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn v2_truncation_and_trailing_garbage_detected() {
+        let bytes = sample_v2();
+        for cut in [0, 9, HEADER_LEN_V2 - 1, bytes.len() - 1] {
+            assert!(Container::parse(&bytes[..cut]).is_err());
+        }
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(Container::parse(&padded).is_err());
+    }
+
+    #[test]
+    fn v2_duplicate_section_rejected_on_access() {
+        let mut b = ContainerBuilder::new();
+        b.push_section(SECTION_DICTIONARY, b"a".to_vec());
+        b.push_section(SECTION_DICTIONARY, b"b".to_vec());
+        let c = b.finish();
+        let c = Container::parse(&c).unwrap();
+        assert!(matches!(
+            c.require(SECTION_DICTIONARY),
+            Err(CodecError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn v1_container_rejected_by_v2_parser_and_vice_versa() {
+        let v1 = sample_container();
+        assert_eq!(peek_version(&v1).unwrap(), BANK_VERSION_V1);
+        assert!(matches!(
+            Container::parse(&v1),
+            Err(CodecError::UnsupportedVersion(BANK_VERSION_V1))
+        ));
+        let v2 = sample_v2();
+        assert!(matches!(
+            Decoder::open(&v2),
+            Err(CodecError::UnsupportedVersion(BANK_VERSION))
+        ));
+    }
+
+    #[test]
+    fn in_file_wraps_once_and_names_the_path() {
+        let err = CodecError::BadMagic.in_file("/tmp/shard-a.ftb");
+        let msg = err.to_string();
+        assert!(msg.contains("/tmp/shard-a.ftb"), "{msg}");
+        assert!(msg.contains("bad magic"), "{msg}");
+        // Re-wrapping keeps the original path.
+        let rewrapped = err.in_file("/tmp/other.ftb");
+        assert!(rewrapped.to_string().contains("shard-a"), "{rewrapped}");
+        assert!(std::error::Error::source(&rewrapped).is_some());
     }
 }

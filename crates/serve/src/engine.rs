@@ -99,7 +99,9 @@ impl DiagnosisEngine {
     ///
     /// # Errors
     ///
-    /// Propagates bank I/O and decode errors.
+    /// Propagates bank I/O and decode errors, annotated with the file
+    /// path ([`CodecError::InFile`]) — a multi-shard store loading many
+    /// banks must be able to say *which* shard failed.
     pub fn load(path: impl AsRef<Path>, config: EngineConfig) -> Result<Self, CodecError> {
         Ok(DiagnosisEngine::new(TrajectoryBank::load(path)?, config))
     }

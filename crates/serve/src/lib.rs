@@ -5,9 +5,11 @@
 //! signatures → trajectories) and a cheap online phase (nearest-segment
 //! lookup). This crate turns that split into an engine:
 //!
-//! * [`TrajectoryBank`] — dictionary + trajectories persisted to disk
-//!   through a self-contained binary [`codec`] (versioned header,
-//!   length-prefixed fields, checksum, corruption-detecting reader; the
+//! * [`TrajectoryBank`] — dictionary + trajectories (+ an optional
+//!   multi-fault dictionary) persisted to disk through a self-contained
+//!   binary [`codec`]: a sectioned v2 container whose sections are
+//!   type-tagged, length-prefixed, and independently checksummed
+//!   (unknown sections skip; legacy v1 monolithic banks still load; the
 //!   vendored `serde` is a marker-only shim, so the codec is
 //!   hand-rolled).
 //! * [`SegmentIndex`] — a spatial index over signature space (a forest
@@ -17,8 +19,17 @@
 //! * [`DiagnosisEngine`] — single and batched diagnosis over a shared
 //!   loaded bank, fanning batches out over `std::thread::scope` workers
 //!   in input order.
-//! * the `ftd` binary ([`cli`]) — `build-bank`, `diagnose`, and
-//!   `bench-scan-vs-index` front ends over the same API.
+//! * [`BankStore`] — multi-circuit sharding: many banks keyed by CUT
+//!   id, loaded lazily from `<dir>/<cut-id>.ftb`, each request routed to
+//!   its shard's index.
+//! * [`ServeHandle`] — the persistent serving front-end: long-lived
+//!   worker threads over an mpsc queue with input-order reassembly, so
+//!   sustained traffic pays no per-batch thread spawn and batches
+//!   pipeline; results stay byte-identical to the scoped path at every
+//!   worker count.
+//! * the `ftd` binary ([`cli`]) — `build-bank`, `diagnose`, `serve`,
+//!   `gen-requests`, `bank-info`, and `bench-scan-vs-index` front ends
+//!   over the same API.
 //!
 //! ## Example
 //!
@@ -66,10 +77,18 @@ pub mod cli;
 pub mod codec;
 pub mod engine;
 pub mod index;
+pub mod pool;
+pub mod store;
 pub mod synthetic;
 
 pub use bank::TrajectoryBank;
-pub use codec::{checksum, CodecError, Decoder, Encoder, BANK_MAGIC, BANK_VERSION};
+pub use codec::{
+    checksum, peek_version, section_name, CodecError, Container, ContainerBuilder, Decoder,
+    Encoder, Section, BANK_MAGIC, BANK_VERSION, BANK_VERSION_V1, SECTION_DICTIONARY,
+    SECTION_MULTIFAULT, SECTION_TRAJECTORIES,
+};
 pub use engine::{diagnose_batch_with, DiagnosisEngine, EngineConfig};
 pub use index::{QueryStats, SegmentIndex};
+pub use pool::{BatchId, ServeHandle, ServeResult};
+pub use store::{diagnose_on, valid_cut_id, BankStore, DiagnosisRequest, StoreError};
 pub use synthetic::{synthetic_circuit_bank, synthetic_queries, synthetic_trajectory_set};

@@ -1,0 +1,400 @@
+//! The persistent serving front-end: a long-lived worker pool over a
+//! shared [`BankStore`].
+//!
+//! [`DiagnosisEngine::diagnose_batch`] spins `std::thread::scope`
+//! workers up per call — fine for one-shot batches, wasteful under
+//! sustained traffic, where thread spawn/join costs recur on every
+//! batch and batches cannot overlap. [`ServeHandle`] replaces that with
+//! serving-process machinery: worker threads spawned **once**, fed from
+//! an mpsc request queue, their results reassembled into input order per
+//! batch. Batches pipeline — a new batch can be submitted while earlier
+//! ones are still in flight, and workers drain the queue continuously.
+//!
+//! Each request is diagnosed by the same single-query path the scoped
+//! batch uses ([`DiagnosisEngine::diagnose`] via
+//! [`BankStore::diagnose`]), so results are **byte-identical** to the
+//! scoped-thread path at every worker count — scheduling affects only
+//! timing, never values or order.
+//!
+//! [`DiagnosisEngine::diagnose_batch`]: crate::DiagnosisEngine::diagnose_batch
+//! [`DiagnosisEngine::diagnose`]: crate::DiagnosisEngine::diagnose
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use ft_core::Diagnosis;
+
+use crate::store::{BankStore, DiagnosisRequest, StoreError};
+
+/// The outcome of one request served through the pool.
+pub type ServeResult = Result<Diagnosis, StoreError>;
+
+/// Identifies a submitted batch; batches complete in submission order.
+pub type BatchId = u64;
+
+/// One unit of queued work: a contiguous run of a batch's requests.
+/// Runs (rather than single requests) keep the per-job channel and lock
+/// overhead amortised across several diagnoses while still giving the
+/// pool enough pieces to balance load across workers.
+struct Job {
+    batch: BatchId,
+    start: usize,
+    requests: Vec<DiagnosisRequest>,
+}
+
+/// Per-batch reassembly state: filled slot count + the slots.
+struct Pending {
+    filled: usize,
+    slots: Vec<Option<ServeResult>>,
+}
+
+/// A persistent worker pool serving [`DiagnosisRequest`]s against a
+/// shared [`BankStore`].
+///
+/// Submit batches with [`ServeHandle::submit`]; collect them, in
+/// submission order, with [`ServeHandle::drain`] or
+/// [`ServeHandle::drain_one`]. Workers live until the handle drops
+/// (drop closes the queue and joins every thread).
+pub struct ServeHandle {
+    store: Arc<BankStore>,
+    workers: Vec<JoinHandle<()>>,
+    jobs: Option<Sender<Job>>,
+    results: Receiver<(BatchId, usize, Vec<ServeResult>)>,
+    /// Set on drop so workers discard any still-queued backlog instead
+    /// of diagnosing requests whose results nobody will read.
+    shutdown: Arc<std::sync::atomic::AtomicBool>,
+    /// (batch id, batch length) in submission order.
+    submitted: VecDeque<(BatchId, usize)>,
+    pending: HashMap<BatchId, Pending>,
+    next_batch: BatchId,
+}
+
+impl std::fmt::Debug for ServeHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeHandle")
+            .field("workers", &self.workers.len())
+            .field("pending_batches", &self.submitted.len())
+            .finish()
+    }
+}
+
+impl ServeHandle {
+    /// Spawns `workers` long-lived threads (at least one) over `store`.
+    ///
+    /// The job queue is a single mpsc channel; idle workers take turns
+    /// blocking on it behind a mutex, so each job goes to exactly one
+    /// worker and a free worker picks up the next job immediately.
+    pub fn new(store: Arc<BankStore>, workers: usize) -> Self {
+        let workers = workers.max(1);
+        let (job_tx, job_rx) = channel::<Job>();
+        let (res_tx, res_rx) = channel();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let shutdown = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let threads = (0..workers)
+            .map(|_| {
+                let job_rx = Arc::clone(&job_rx);
+                let res_tx = res_tx.clone();
+                let store = Arc::clone(&store);
+                let shutdown = Arc::clone(&shutdown);
+                std::thread::spawn(move || {
+                    loop {
+                        // Hold the queue lock only for the take; the
+                        // diagnosis itself runs unlocked.
+                        let job = {
+                            let queue = job_rx.lock().expect("job queue lock poisoned");
+                            queue.recv()
+                        };
+                        let Ok(job) = job else {
+                            break; // queue closed: the handle dropped
+                        };
+                        // A dropped handle reads no more results: drain
+                        // the backlog without paying for diagnoses.
+                        if shutdown.load(std::sync::atomic::Ordering::Relaxed) {
+                            continue;
+                        }
+                        // Resolve each shard once per same-CUT stretch of
+                        // the run, keeping the shard-map lock off the
+                        // per-request path.
+                        let mut cached: Option<(String, Arc<crate::DiagnosisEngine>)> = None;
+                        let results: Vec<ServeResult> = job
+                            .requests
+                            .iter()
+                            .map(|request| -> ServeResult {
+                                let engine = match &cached {
+                                    Some((id, engine)) if *id == request.cut_id => {
+                                        Arc::clone(engine)
+                                    }
+                                    _ => {
+                                        let engine = store.engine(&request.cut_id)?;
+                                        cached =
+                                            Some((request.cut_id.clone(), Arc::clone(&engine)));
+                                        engine
+                                    }
+                                };
+                                // A panicking diagnosis must not kill the
+                                // worker: an unsent result would leave its
+                                // batch slot empty and hang drain forever
+                                // (unlike thread::scope, which re-raises on
+                                // join). Catch and report it in-slot.
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    crate::store::diagnose_on(&engine, request)
+                                }))
+                                .unwrap_or_else(|panic| {
+                                    let what = panic
+                                        .downcast_ref::<&str>()
+                                        .map(|s| s.to_string())
+                                        .or_else(|| panic.downcast_ref::<String>().cloned())
+                                        .unwrap_or_else(|| "non-string panic payload".into());
+                                    Err(StoreError::Panicked(what))
+                                })
+                            })
+                            .collect();
+                        if res_tx.send((job.batch, job.start, results)).is_err() {
+                            break; // handle dropped mid-flight
+                        }
+                    }
+                })
+            })
+            .collect();
+        ServeHandle {
+            store,
+            workers: threads,
+            jobs: Some(job_tx),
+            results: res_rx,
+            shutdown,
+            submitted: VecDeque::new(),
+            pending: HashMap::new(),
+            next_batch: 0,
+        }
+    }
+
+    /// The shared store the pool serves from.
+    pub fn store(&self) -> &Arc<BankStore> {
+        &self.store
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Batches submitted but not yet drained.
+    pub fn pending_batches(&self) -> usize {
+        self.submitted.len()
+    }
+
+    /// Enqueues a batch and returns immediately — requests start being
+    /// served while the caller prepares (or submits) the next batch.
+    /// Results come back from [`ServeHandle::drain`] /
+    /// [`ServeHandle::drain_one`] in submission order, each batch in
+    /// input order.
+    ///
+    /// The batch is cut into roughly `4 × workers` contiguous runs (so
+    /// a slow run cannot stall the batch behind one worker, yet queue
+    /// overhead stays amortised); run boundaries never affect results,
+    /// only scheduling.
+    pub fn submit(&mut self, requests: Vec<DiagnosisRequest>) -> BatchId {
+        let id = self.next_batch;
+        self.next_batch += 1;
+        self.submitted.push_back((id, requests.len()));
+        self.pending.insert(
+            id,
+            Pending {
+                filled: 0,
+                slots: requests.iter().map(|_| None).collect(),
+            },
+        );
+        if requests.is_empty() {
+            return id;
+        }
+        let run = requests.len().div_ceil(self.workers.len() * 4).max(1);
+        let jobs = self.jobs.as_ref().expect("job queue open while alive");
+        let mut start = 0usize;
+        let mut rest = requests;
+        while !rest.is_empty() {
+            let take = run.min(rest.len());
+            let tail = rest.split_off(take);
+            jobs.send(Job {
+                batch: id,
+                start,
+                requests: std::mem::replace(&mut rest, tail),
+            })
+            .expect("workers outlive the handle");
+            start += take;
+        }
+        id
+    }
+
+    /// Blocks until the **oldest** outstanding batch completes and
+    /// returns its results in input order; `None` when nothing is
+    /// outstanding. Younger batches keep being served in the background
+    /// while this waits.
+    pub fn drain_one(&mut self) -> Option<Vec<ServeResult>> {
+        let (id, len) = *self.submitted.front()?;
+        while self.pending.get(&id).expect("pending entry exists").filled < len {
+            let (batch, start, results) = self
+                .results
+                .recv()
+                .expect("workers alive while batches are outstanding");
+            let entry = self
+                .pending
+                .get_mut(&batch)
+                .expect("result for known batch");
+            for (offset, result) in results.into_iter().enumerate() {
+                debug_assert!(entry.slots[start + offset].is_none(), "slot filled twice");
+                entry.slots[start + offset] = Some(result);
+                entry.filled += 1;
+            }
+        }
+        self.submitted.pop_front();
+        let entry = self.pending.remove(&id).expect("completed batch present");
+        Some(
+            entry
+                .slots
+                .into_iter()
+                .map(|slot| slot.expect("every slot filled by exactly one worker"))
+                .collect(),
+        )
+    }
+
+    /// Blocks until **every** outstanding batch completes; returns them
+    /// in submission order, each batch in input order.
+    pub fn drain(&mut self) -> Vec<Vec<ServeResult>> {
+        let mut out = Vec::with_capacity(self.submitted.len());
+        while let Some(batch) = self.drain_one() {
+            out.push(batch);
+        }
+        out
+    }
+}
+
+impl Drop for ServeHandle {
+    fn drop(&mut self) {
+        // An mpsc receiver keeps yielding buffered messages after the
+        // sender drops, so closing the queue alone would make workers
+        // diagnose the whole undrained backlog first. The shutdown flag
+        // turns that drain into discards: workers finish the run they
+        // are on, skip everything still queued, and exit when the
+        // closed queue empties — drop stays prompt even with batches in
+        // flight.
+        self.shutdown
+            .store(true, std::sync::atomic::Ordering::Relaxed);
+        drop(self.jobs.take());
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use crate::store::BankStore;
+    use crate::synthetic::{synthetic_circuit_bank, synthetic_queries};
+    use ft_core::{Signature, TestVector};
+
+    fn two_cut_store() -> (Arc<BankStore>, Vec<DiagnosisRequest>) {
+        let store = BankStore::in_memory(EngineConfig::default());
+        let tv = TestVector::pair(0.5, 2.0);
+        let a = synthetic_circuit_bank(2, 10.0, 9, &tv).unwrap();
+        let b = synthetic_circuit_bank(3, 10.0, 9, &tv).unwrap();
+        let qa = synthetic_queries(a.trajectory_set(), 12, 5);
+        let qb = synthetic_queries(b.trajectory_set(), 12, 6);
+        store.insert_bank("a", a).unwrap();
+        store.insert_bank("b", b).unwrap();
+        // Interleave the two CUTs in one request stream.
+        let requests = qa
+            .into_iter()
+            .zip(qb)
+            .flat_map(|(sa, sb)| {
+                [
+                    DiagnosisRequest::new("a", sa),
+                    DiagnosisRequest::new("b", sb),
+                ]
+            })
+            .collect();
+        (Arc::new(store), requests)
+    }
+
+    #[test]
+    fn pool_matches_sequential_store_at_every_worker_count() {
+        let (store, requests) = two_cut_store();
+        let reference: Vec<Diagnosis> = store
+            .diagnose_batch(&requests)
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        for workers in [1, 2, 8] {
+            let mut handle = ServeHandle::new(Arc::clone(&store), workers);
+            assert_eq!(handle.worker_count(), workers);
+            let id = handle.submit(requests.clone());
+            assert_eq!(id, 0);
+            let mut batches = handle.drain();
+            assert_eq!(batches.len(), 1);
+            let got: Vec<Diagnosis> = batches.remove(0).into_iter().map(|r| r.unwrap()).collect();
+            assert_eq!(got, reference, "divergence at {workers} workers");
+        }
+    }
+
+    #[test]
+    fn batches_pipeline_and_complete_in_submission_order() {
+        let (store, requests) = two_cut_store();
+        let mut handle = ServeHandle::new(store, 3);
+        let chunks: Vec<Vec<DiagnosisRequest>> = requests.chunks(7).map(|c| c.to_vec()).collect();
+        let ids: Vec<BatchId> = chunks.iter().map(|c| handle.submit(c.clone())).collect();
+        assert_eq!(ids, (0..chunks.len() as u64).collect::<Vec<_>>());
+        assert_eq!(handle.pending_batches(), chunks.len());
+        let drained = handle.drain();
+        assert_eq!(handle.pending_batches(), 0);
+        assert_eq!(drained.len(), chunks.len());
+        for (chunk, batch) in chunks.iter().zip(&drained) {
+            for (req, got) in chunk.iter().zip(batch) {
+                let solo = handle.store().diagnose(req).unwrap();
+                assert_eq!(got.as_ref().unwrap(), &solo);
+            }
+        }
+    }
+
+    #[test]
+    fn errors_come_back_in_their_slot() {
+        let (store, mut requests) = two_cut_store();
+        requests.insert(
+            3,
+            DiagnosisRequest::new("ghost", Signature::new(vec![0.0; 2])),
+        );
+        let mut handle = ServeHandle::new(store, 2);
+        handle.submit(requests.clone());
+        let batch = handle.drain_one().unwrap();
+        assert_eq!(batch.len(), requests.len());
+        assert!(matches!(batch[3], Err(StoreError::UnknownCut(_))));
+        assert!(batch.iter().enumerate().all(|(i, r)| i == 3 || r.is_ok()));
+    }
+
+    #[test]
+    fn drop_with_undrained_backlog_neither_hangs_nor_panics() {
+        let (store, requests) = two_cut_store();
+        let mut handle = ServeHandle::new(store, 2);
+        // Pile up far more work than the workers can finish, then drop
+        // without draining: the shutdown flag discards the backlog, so
+        // this returns promptly instead of diagnosing it all.
+        for _ in 0..200 {
+            handle.submit(requests.clone());
+        }
+        drop(handle);
+    }
+
+    #[test]
+    fn empty_and_repeated_drains_are_safe() {
+        let (store, _) = two_cut_store();
+        let mut handle = ServeHandle::new(store, 2);
+        assert!(handle.drain_one().is_none());
+        assert!(handle.drain().is_empty());
+        let id = handle.submit(Vec::new());
+        let batch = handle.drain_one().expect("empty batch completes");
+        assert!(batch.is_empty(), "empty batch {id} yields no results");
+        assert!(handle.drain_one().is_none());
+    }
+}

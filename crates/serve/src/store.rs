@@ -1,0 +1,506 @@
+//! Multi-circuit bank sharding: one store, many banks, routed by CUT id.
+//!
+//! A deployment rarely serves a single circuit-under-test. [`BankStore`]
+//! owns a shard per CUT — each shard a full [`DiagnosisEngine`] (bank +
+//! spatial index + diagnoser) — and routes every
+//! [`DiagnosisRequest`]`{ cut_id, signature }` to the right shard's
+//! index. Shards load lazily from a directory laid out as
+//! `<dir>/<cut-id>.ftb`, so opening a store over thousands of banks
+//! costs nothing until a CUT is actually queried; once loaded, a shard
+//! stays resident behind an `Arc` and is shared by every worker of the
+//! serving front-end ([`crate::ServeHandle`]).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use ft_core::{Diagnosis, Signature};
+
+use crate::bank::TrajectoryBank;
+use crate::codec::CodecError;
+use crate::engine::{DiagnosisEngine, EngineConfig};
+
+/// One serving request: which circuit-under-test, and the observed
+/// signature to diagnose against that CUT's trajectory bank.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiagnosisRequest {
+    /// The target shard — the bank file stem under the store directory.
+    pub cut_id: String,
+    /// The observed signature (same dimension as the shard's bank).
+    pub signature: Signature,
+}
+
+impl DiagnosisRequest {
+    /// Assembles a request.
+    pub fn new(cut_id: impl Into<String>, signature: Signature) -> Self {
+        DiagnosisRequest {
+            cut_id: cut_id.into(),
+            signature,
+        }
+    }
+}
+
+/// Errors surfaced while routing or serving store requests.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The CUT id names no loaded bank and no `<dir>/<cut-id>.ftb`.
+    UnknownCut(String),
+    /// The CUT id is not a valid shard name (empty, path separators, …).
+    InvalidCutId(String),
+    /// The request's signature dimension does not match the shard.
+    DimensionMismatch {
+        /// The shard queried.
+        cut_id: String,
+        /// The shard's signature dimension.
+        expected: usize,
+        /// The request's signature dimension.
+        got: usize,
+    },
+    /// The request's signature contains a non-finite coordinate — the
+    /// diagnosis geometry is undefined on NaN/inf, so the request is
+    /// rejected instead of poisoning a worker.
+    NonFiniteSignature(String),
+    /// Loading or decoding a shard's bank file failed (the inner error
+    /// names the offending path). Shared, because a failed shard load is
+    /// cached and replayed to every subsequent request for that CUT.
+    Bank(Arc<CodecError>),
+    /// A diagnosis panicked inside a pool worker; the panic was caught
+    /// and converted so the serving loop keeps running.
+    Panicked(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::UnknownCut(id) => write!(f, "unknown CUT id `{id}`"),
+            StoreError::InvalidCutId(id) => write!(
+                f,
+                "invalid CUT id `{id}` (want non-empty [A-Za-z0-9._-], no leading dot)"
+            ),
+            StoreError::DimensionMismatch {
+                cut_id,
+                expected,
+                got,
+            } => write!(
+                f,
+                "signature dimension {got} does not match CUT `{cut_id}` (dimension {expected})"
+            ),
+            StoreError::NonFiniteSignature(cut_id) => write!(
+                f,
+                "signature for CUT `{cut_id}` contains a non-finite coordinate"
+            ),
+            StoreError::Bank(e) => write!(f, "{e}"),
+            StoreError::Panicked(what) => write!(f, "diagnosis panicked: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Bank(e) => Some(&**e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CodecError> for StoreError {
+    fn from(e: CodecError) -> Self {
+        StoreError::Bank(Arc::new(e))
+    }
+}
+
+/// `true` when `id` is a safe shard name: non-empty, ASCII
+/// alphanumerics plus `-`, `_`, `.`, and no leading dot (which rules out
+/// path traversal and hidden files in one stroke).
+pub fn valid_cut_id(id: &str) -> bool {
+    !id.is_empty()
+        && !id.starts_with('.')
+        && id
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+}
+
+/// A resolved shard slot: the engine, or the cached load failure — a
+/// corrupt shard file must not be re-read and re-decoded on every
+/// request that routes to it.
+type ShardSlot = Result<Arc<DiagnosisEngine>, Arc<CodecError>>;
+
+/// A sharded collection of diagnosis engines keyed by CUT id.
+///
+/// Thread-safe: the shard map sits behind a mutex and hands out
+/// `Arc<DiagnosisEngine>` clones, so concurrent workers diagnose over
+/// shared immutable shards without copying bank data. The map lock is
+/// never held across disk I/O — a slow (or corrupt) shard load cannot
+/// stall routing for healthy CUTs — and both outcomes of a load are
+/// cached, so each shard file is read at most once per racing loader
+/// and a broken shard answers from memory thereafter.
+#[derive(Debug)]
+pub struct BankStore {
+    dir: Option<PathBuf>,
+    config: EngineConfig,
+    shards: Mutex<HashMap<String, ShardSlot>>,
+}
+
+impl BankStore {
+    /// Opens a store over a shard directory laid out as
+    /// `<dir>/<cut-id>.ftb`. No bank is loaded yet.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Bank`] (wrapping an I/O error naming the path) when
+    /// `dir` is not an existing directory.
+    pub fn open(dir: impl AsRef<Path>, config: EngineConfig) -> Result<Self, StoreError> {
+        let dir = dir.as_ref();
+        if !dir.is_dir() {
+            return Err(StoreError::from(
+                CodecError::Io(std::io::Error::new(
+                    std::io::ErrorKind::NotFound,
+                    "bank shard directory not found",
+                ))
+                .in_file(dir),
+            ));
+        }
+        Ok(BankStore {
+            dir: Some(dir.to_path_buf()),
+            config,
+            shards: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// A store with no backing directory — shards are supplied through
+    /// [`BankStore::insert_bank`] (tests, benches, embedded use).
+    pub fn in_memory(config: EngineConfig) -> Self {
+        BankStore {
+            dir: None,
+            config,
+            shards: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The shard directory, when the store is directory-backed.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    /// The engine configuration every shard is built with.
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// Builds an engine over `bank` and registers it under `cut_id`,
+    /// replacing any previous shard with that id.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::InvalidCutId`] when the id is not a valid shard
+    /// name.
+    pub fn insert_bank(
+        &self,
+        cut_id: &str,
+        bank: TrajectoryBank,
+    ) -> Result<Arc<DiagnosisEngine>, StoreError> {
+        if !valid_cut_id(cut_id) {
+            return Err(StoreError::InvalidCutId(cut_id.to_string()));
+        }
+        let engine = Arc::new(DiagnosisEngine::new(bank, self.config));
+        self.shards
+            .lock()
+            .expect("shard map lock poisoned")
+            .insert(cut_id.to_string(), Ok(Arc::clone(&engine)));
+        Ok(engine)
+    }
+
+    /// Number of shards currently resident in memory (cached load
+    /// failures do not count).
+    pub fn loaded_count(&self) -> usize {
+        self.shards
+            .lock()
+            .expect("shard map lock poisoned")
+            .values()
+            .filter(|slot| slot.is_ok())
+            .count()
+    }
+
+    /// Every CUT id this store can serve: resident shards plus `*.ftb`
+    /// files in the shard directory, sorted and deduplicated.
+    pub fn cut_ids(&self) -> Vec<String> {
+        let mut ids: Vec<String> = self
+            .shards
+            .lock()
+            .expect("shard map lock poisoned")
+            .iter()
+            .filter(|(_, slot)| slot.is_ok())
+            .map(|(id, _)| id.clone())
+            .collect();
+        if let Some(dir) = &self.dir {
+            if let Ok(entries) = std::fs::read_dir(dir) {
+                for entry in entries.flatten() {
+                    let path = entry.path();
+                    if path.extension().is_some_and(|e| e == "ftb") {
+                        if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+                            if valid_cut_id(stem) {
+                                ids.push(stem.to_string());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// The shard for `cut_id`, loading `<dir>/<cut-id>.ftb` on first
+    /// touch. The map lock is released during the load, so two racing
+    /// first requests may both load the file (the engines are
+    /// identical; one wins the insert) but routing of other CUTs never
+    /// waits on shard I/O. Load *failures* are cached too: a corrupt
+    /// shard answers every later request from memory instead of
+    /// re-reading the file.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::InvalidCutId`], [`StoreError::UnknownCut`], or
+    /// [`StoreError::Bank`] (decode/I/O failure naming the shard path).
+    pub fn engine(&self, cut_id: &str) -> Result<Arc<DiagnosisEngine>, StoreError> {
+        if !valid_cut_id(cut_id) {
+            return Err(StoreError::InvalidCutId(cut_id.to_string()));
+        }
+        {
+            let shards = self.shards.lock().expect("shard map lock poisoned");
+            if let Some(slot) = shards.get(cut_id) {
+                return slot.clone().map_err(StoreError::Bank);
+            }
+        }
+        let Some(dir) = &self.dir else {
+            return Err(StoreError::UnknownCut(cut_id.to_string()));
+        };
+        let path = dir.join(format!("{cut_id}.ftb"));
+        if !path.is_file() {
+            return Err(StoreError::UnknownCut(cut_id.to_string()));
+        }
+        let slot: ShardSlot = DiagnosisEngine::load(&path, self.config)
+            .map(Arc::new)
+            .map_err(Arc::new);
+        self.shards
+            .lock()
+            .expect("shard map lock poisoned")
+            .entry(cut_id.to_string())
+            .or_insert_with(|| slot.clone())
+            .clone()
+            .map_err(StoreError::Bank)
+    }
+
+    /// Routes one request to its shard and diagnoses through the shard's
+    /// spatial index. Results are identical to calling
+    /// [`DiagnosisEngine::diagnose`] on the corresponding single bank.
+    ///
+    /// # Errors
+    ///
+    /// Routing errors as [`BankStore::engine`], plus
+    /// [`StoreError::DimensionMismatch`] instead of a panic when the
+    /// signature does not fit the shard.
+    pub fn diagnose(&self, request: &DiagnosisRequest) -> Result<Diagnosis, StoreError> {
+        diagnose_on(&*self.engine(&request.cut_id)?, request)
+    }
+
+    /// Diagnoses a batch of requests sequentially, preserving input
+    /// order; each request may target a different CUT. For a concurrent
+    /// front-end over the same store, use [`crate::ServeHandle`].
+    pub fn diagnose_batch(
+        &self,
+        requests: &[DiagnosisRequest],
+    ) -> Vec<Result<Diagnosis, StoreError>> {
+        requests.iter().map(|r| self.diagnose(r)).collect()
+    }
+}
+
+/// Diagnoses one routed request on an already-resolved shard engine —
+/// the dimension-checked back half of [`BankStore::diagnose`], split out
+/// so pool workers can resolve a shard once per run of same-CUT requests
+/// instead of taking the shard-map lock per request.
+pub fn diagnose_on(
+    engine: &DiagnosisEngine,
+    request: &DiagnosisRequest,
+) -> Result<Diagnosis, StoreError> {
+    let expected = engine.bank().trajectory_set().dim();
+    if request.signature.dim() != expected {
+        return Err(StoreError::DimensionMismatch {
+            cut_id: request.cut_id.clone(),
+            expected,
+            got: request.signature.dim(),
+        });
+    }
+    // A NaN/inf coordinate makes the nearest-segment geometry panic
+    // deep in the diagnoser; reject it as a routable error instead.
+    if !request.signature.coords().iter().all(|x| x.is_finite()) {
+        return Err(StoreError::NonFiniteSignature(request.cut_id.clone()));
+    }
+    Ok(engine.diagnose(&request.signature))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_core::TestVector;
+    use ft_faults::{DeviationGrid, FaultDictionary, FaultUniverse};
+    use ft_numerics::FrequencyGrid;
+
+    fn rc_bank(r: f64) -> TrajectoryBank {
+        let mut ckt = ft_circuit::Circuit::new("rc");
+        ckt.voltage_source("V1", "in", "0", 1.0).unwrap();
+        ckt.resistor("R1", "in", "out", r).unwrap();
+        ckt.capacitor("C1", "out", "0", 1e-6).unwrap();
+        let universe = FaultUniverse::new(&["R1", "C1"], DeviationGrid::paper());
+        let grid = FrequencyGrid::log_space(1.0, 1e6, 15);
+        let dict = FaultDictionary::build(
+            &ckt,
+            &universe,
+            "V1",
+            &ft_circuit::Probe::node("out"),
+            &grid,
+        )
+        .unwrap();
+        TrajectoryBank::build(dict, &TestVector::pair(100.0, 1e4))
+    }
+
+    #[test]
+    fn cut_id_validation() {
+        for ok in ["a", "tow-thomas", "cut_07", "bank.v2", "A9"] {
+            assert!(valid_cut_id(ok), "{ok} should be valid");
+        }
+        for bad in ["", ".", "..", ".hidden", "a/b", "a\\b", "a b", "ü"] {
+            assert!(!valid_cut_id(bad), "{bad} should be invalid");
+        }
+    }
+
+    #[test]
+    fn in_memory_store_routes_by_cut_id() {
+        let store = BankStore::in_memory(EngineConfig::default());
+        let a = rc_bank(1e3);
+        let b = rc_bank(2e3);
+        store.insert_bank("a", a.clone()).unwrap();
+        store.insert_bank("b", b.clone()).unwrap();
+        assert_eq!(store.cut_ids(), vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(store.loaded_count(), 2);
+
+        let sig = Signature::new(vec![1.0, -2.0]);
+        let via_a = store
+            .diagnose(&DiagnosisRequest::new("a", sig.clone()))
+            .unwrap();
+        let via_b = store
+            .diagnose(&DiagnosisRequest::new("b", sig.clone()))
+            .unwrap();
+        let engine_a = DiagnosisEngine::new(a, EngineConfig::default());
+        let engine_b = DiagnosisEngine::new(b, EngineConfig::default());
+        assert_eq!(via_a, engine_a.diagnose(&sig));
+        assert_eq!(via_b, engine_b.diagnose(&sig));
+        // The two CUTs genuinely differ, so routing matters.
+        assert_ne!(via_a.best().distance, via_b.best().distance);
+    }
+
+    #[test]
+    fn directory_store_loads_lazily() {
+        let dir = std::env::temp_dir().join("ft_store_lazy_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        rc_bank(1e3).save(dir.join("x.ftb")).unwrap();
+        rc_bank(3e3).save(dir.join("y.ftb")).unwrap();
+
+        let store = BankStore::open(&dir, EngineConfig::default()).unwrap();
+        assert_eq!(store.loaded_count(), 0, "opening loads nothing");
+        assert_eq!(store.cut_ids(), vec!["x".to_string(), "y".to_string()]);
+
+        let sig = Signature::new(vec![0.5, 0.5]);
+        store
+            .diagnose(&DiagnosisRequest::new("x", sig.clone()))
+            .unwrap();
+        assert_eq!(store.loaded_count(), 1, "only the touched shard loads");
+        store.diagnose(&DiagnosisRequest::new("y", sig)).unwrap();
+        assert_eq!(store.loaded_count(), 2);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn routing_errors_are_reported_not_panicked() {
+        let dir = std::env::temp_dir().join("ft_store_errors_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        rc_bank(1e3).save(dir.join("x.ftb")).unwrap();
+        let store = BankStore::open(&dir, EngineConfig::default()).unwrap();
+
+        let sig = Signature::new(vec![0.0, 0.0]);
+        assert!(matches!(
+            store.diagnose(&DiagnosisRequest::new("nope", sig.clone())),
+            Err(StoreError::UnknownCut(_))
+        ));
+        assert!(matches!(
+            store.diagnose(&DiagnosisRequest::new("../x", sig)),
+            Err(StoreError::InvalidCutId(_))
+        ));
+        assert!(matches!(
+            store.diagnose(&DiagnosisRequest::new("x", Signature::new(vec![1.0]))),
+            Err(StoreError::DimensionMismatch {
+                expected: 2,
+                got: 1,
+                ..
+            })
+        ));
+
+        // A non-finite coordinate is a routable error, not a worker
+        // panic deep in the diagnosis geometry.
+        assert!(matches!(
+            store.diagnose(&DiagnosisRequest::new(
+                "x",
+                Signature::new(vec![f64::NAN, 0.0])
+            )),
+            Err(StoreError::NonFiniteSignature(_))
+        ));
+
+        // A corrupt shard file surfaces a Bank error naming the path —
+        // and the failure is cached: deleting the file afterwards does
+        // not change the answer, proving no re-read per request.
+        std::fs::write(dir.join("bad.ftb"), b"FTBANK\r\ngarbage").unwrap();
+        let req = DiagnosisRequest::new("bad", Signature::new(vec![0.0, 0.0]));
+        let err = store.diagnose(&req).unwrap_err();
+        assert!(err.to_string().contains("bad.ftb"), "{err}");
+        std::fs::remove_file(dir.join("bad.ftb")).unwrap();
+        let err = store.diagnose(&req).unwrap_err();
+        assert!(
+            matches!(err, StoreError::Bank(_)),
+            "cached failure expected, got {err}"
+        );
+        assert_eq!(store.loaded_count(), 1, "failed shards are not 'loaded'");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_rejects_missing_directory() {
+        let err = BankStore::open("/nonexistent/shards", EngineConfig::default()).unwrap_err();
+        assert!(err.to_string().contains("/nonexistent/shards"), "{err}");
+    }
+
+    #[test]
+    fn batch_mixes_cuts_and_preserves_order() {
+        let store = BankStore::in_memory(EngineConfig::default());
+        store.insert_bank("a", rc_bank(1e3)).unwrap();
+        store.insert_bank("b", rc_bank(2e3)).unwrap();
+        let reqs: Vec<DiagnosisRequest> = (0..10)
+            .map(|i| {
+                DiagnosisRequest::new(
+                    if i % 2 == 0 { "a" } else { "b" },
+                    Signature::new(vec![i as f64 * 0.3 - 1.5, 1.0]),
+                )
+            })
+            .collect();
+        let batch = store.diagnose_batch(&reqs);
+        assert_eq!(batch.len(), reqs.len());
+        for (req, got) in reqs.iter().zip(&batch) {
+            let solo = store.diagnose(req).unwrap();
+            assert_eq!(got.as_ref().unwrap(), &solo, "order or routing drift");
+        }
+    }
+}

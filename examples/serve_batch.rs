@@ -1,6 +1,8 @@
 //! The full serving lifecycle: build a trajectory bank, persist it,
 //! reload it, and answer a batch of 100 noisy observations through the
-//! indexed diagnosis engine.
+//! indexed diagnosis engine — then serve the same observations through
+//! the sharded `BankStore` + persistent `ServeHandle` worker pool and
+//! check both paths agree byte-for-byte.
 //!
 //! ```sh
 //! cargo run --release --example serve_batch
@@ -88,6 +90,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "diagnosed {} noisy observations in {elapsed:.2?}: {top1}% top-1, {in_set}% within the ambiguity set",
         verdicts.len()
+    );
+
+    // ---- sharded front-end: same bank behind a CUT-id route ---------
+    let store = std::sync::Arc::new(fault_trajectory::serve::BankStore::in_memory(
+        EngineConfig::default(),
+    ));
+    store.insert_bank("tow-thomas", engine.bank().clone())?;
+    let mut handle = ServeHandle::new(store, 4);
+    handle.submit(
+        observations
+            .iter()
+            .map(|sig| DiagnosisRequest::new("tow-thomas", sig.clone()))
+            .collect(),
+    );
+    let pooled: Vec<_> = handle
+        .drain()
+        .remove(0)
+        .into_iter()
+        .collect::<Result<_, _>>()?;
+    assert_eq!(
+        pooled, verdicts,
+        "persistent pool is byte-identical to the scoped batch"
+    );
+    println!(
+        "re-served the batch through BankStore + a {}-worker persistent pool: identical results",
+        handle.worker_count()
     );
     std::fs::remove_file(&path).ok();
     Ok(())

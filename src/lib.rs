@@ -15,8 +15,10 @@
 //! * [`evolve`] — the GA framework (roulette wheel et al.).
 //! * [`core`] — the paper's method: signatures, trajectories, fitness
 //!   `1/(1+I)`, GA ATPG, perpendicular-distance diagnosis, metrics.
-//! * [`serve`] — the serving layer: persistent trajectory banks, the
-//!   segment spatial index, batched diagnosis, and the `ftd` CLI.
+//! * [`serve`] — the serving layer: persistent trajectory banks
+//!   (sectioned v2 container), the segment spatial index, batched
+//!   diagnosis, multi-circuit bank sharding (`BankStore`), the
+//!   persistent-pool front-end (`ServeHandle`), and the `ftd` CLI.
 //!
 //! ## Quickstart
 //!
@@ -79,5 +81,8 @@ pub mod prelude {
         MultiFaultDictionary, ParametricFault, Tolerance,
     };
     pub use ft_numerics::{Complex64, FrequencyGrid, TransferFunction};
-    pub use ft_serve::{CodecError, DiagnosisEngine, EngineConfig, SegmentIndex, TrajectoryBank};
+    pub use ft_serve::{
+        BankStore, CodecError, DiagnosisEngine, DiagnosisRequest, EngineConfig, SegmentIndex,
+        ServeHandle, StoreError, TrajectoryBank,
+    };
 }

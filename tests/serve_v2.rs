@@ -1,0 +1,209 @@
+//! Acceptance tests for the sectioned bank format v2, the sharded
+//! `BankStore`, and the persistent-pool serving front-end:
+//!
+//! * a v1 bank written by the legacy codec loads under the v2 reader;
+//! * a v2 bank with a `MultiFaultSection` round-trips its
+//!   `MultiFaultDictionary` byte-identically;
+//! * per-section single-byte corruption is detected *and attributed* to
+//!   the section it hit; unknown sections are skipped losslessly;
+//! * `BankStore` routing over two CUTs and `ServeHandle` at worker
+//!   counts 1, 2, and 8 are byte-identical to per-bank
+//!   `DiagnosisEngine::diagnose_batch`.
+
+use std::sync::Arc;
+
+use fault_trajectory::core::Diagnosis;
+use fault_trajectory::faults::all_pairs;
+use fault_trajectory::prelude::*;
+use fault_trajectory::serve::{synthetic_queries, Container, ContainerBuilder};
+
+/// The paper CUT's bank at quality factor `q`, with the exhaustive
+/// pair-fault dictionary attached as a multi-fault section.
+fn paper_bank_with_multifault(q: f64) -> TrajectoryBank {
+    let bench = tow_thomas_normalized(q).expect("benchmark builds");
+    let universe = FaultUniverse::new(&bench.fault_set, DeviationGrid::new(40.0, 20.0));
+    let grid = FrequencyGrid::log_space(0.01, 100.0, 11);
+    let dict = FaultDictionary::build(&bench.circuit, &universe, &bench.input, &bench.probe, &grid)
+        .expect("dictionary builds");
+    let mfd = MultiFaultDictionary::build(
+        &bench.circuit,
+        &all_pairs(&universe)[..40],
+        &bench.input,
+        &bench.probe,
+        &grid,
+    )
+    .expect("multi-fault dictionary builds");
+    TrajectoryBank::build(dict, &TestVector::pair(0.6, 1.6)).with_multifault(mfd)
+}
+
+#[test]
+fn v1_bank_loads_under_v2_reader() {
+    let bank = paper_bank_with_multifault(1.0);
+    let v1 = bank.to_bytes_v1();
+    let back = TrajectoryBank::from_bytes(&v1).expect("v1 container loads");
+    // v1 cannot carry the multi-fault section; everything else survives.
+    assert_eq!(back.dictionary(), bank.dictionary());
+    assert_eq!(back.trajectory_set(), bank.trajectory_set());
+    assert!(back.multifault_dictionary().is_none());
+    // Round-tripping the loaded bank through v2 and back is lossless.
+    assert_eq!(TrajectoryBank::from_bytes(&back.to_bytes()).unwrap(), back);
+}
+
+#[test]
+fn multifault_dictionary_round_trips_byte_identically() {
+    let bank = paper_bank_with_multifault(1.0);
+    let bytes = bank.to_bytes();
+    let back = TrajectoryBank::from_bytes(&bytes).expect("v2 container loads");
+    assert_eq!(back, bank);
+    assert_eq!(
+        back.multifault_dictionary().expect("section decoded"),
+        bank.multifault_dictionary().unwrap(),
+    );
+    // Byte-identical re-encode: save/load/save yields the same file.
+    assert_eq!(back.to_bytes(), bytes);
+
+    // And through disk, like a deployment would.
+    let path = std::env::temp_dir().join("serve_v2_multifault.ftb");
+    bank.save(&path).expect("saves");
+    let loaded = TrajectoryBank::load(&path).expect("loads");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(loaded.to_bytes(), bytes);
+}
+
+#[test]
+fn per_section_corruption_is_attributed_to_the_right_section() {
+    use fault_trajectory::serve::CodecError;
+
+    let bytes = paper_bank_with_multifault(1.0).to_bytes();
+    let container = Container::parse(&bytes).expect("container parses");
+    let sections: Vec<(u16, usize, usize)> = container
+        .sections()
+        .iter()
+        .map(|s| (s.kind, s.offset, s.payload.len()))
+        .collect();
+    drop(container);
+    assert_eq!(sections.len(), 3, "dictionary, trajectories, multifault");
+
+    for &(kind, offset, len) in &sections {
+        // Flip a byte near the start, middle, and end of the payload.
+        for pos in [offset, offset + len / 2, offset + len - 1] {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= 0x40;
+            let err =
+                TrajectoryBank::from_bytes(&corrupt).expect_err("corruption must be detected");
+            match err {
+                CodecError::SectionChecksumMismatch { kind: hit, .. } => {
+                    assert_eq!(
+                        hit, kind,
+                        "flip at byte {pos} attributed to section {hit}, expected {kind}"
+                    );
+                }
+                other => panic!("expected SectionChecksumMismatch, got {other}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn unknown_sections_are_skipped_losslessly() {
+    let bank = paper_bank_with_multifault(1.0);
+    let bytes = bank.to_bytes();
+    let container = Container::parse(&bytes).expect("container parses");
+
+    // Rebuild the container with an unknown section spliced between the
+    // known ones — a future format extension this reader predates.
+    let mut builder = ContainerBuilder::new();
+    for (i, s) in container.sections().iter().enumerate() {
+        if i == 1 {
+            builder.push_section(0x7abc, b"from-the-future".to_vec());
+        }
+        builder.push_section(s.kind, s.payload.to_vec());
+    }
+    builder.push_section(0x7abd, Vec::new());
+    let extended = builder.finish();
+    drop(container);
+
+    let back = TrajectoryBank::from_bytes(&extended).expect("unknown sections skip");
+    assert_eq!(back, bank, "skipping must not perturb the decoded bank");
+    // Required sections must still be required: a container holding
+    // only the unknown sections fails loudly.
+    let mut builder = ContainerBuilder::new();
+    builder.push_section(0x7abc, b"nothing useful".to_vec());
+    assert!(TrajectoryBank::from_bytes(&builder.finish()).is_err());
+}
+
+#[test]
+fn store_routing_and_pool_match_per_bank_batches_at_1_2_8_workers() {
+    // Two genuinely different CUTs (Q factors) in one shard directory.
+    let dir = std::env::temp_dir().join("serve_v2_acceptance_shards");
+    std::fs::create_dir_all(&dir).expect("shard dir");
+    let bank_q1 = paper_bank_with_multifault(1.0);
+    let bank_q2 = paper_bank_with_multifault(2.0);
+    bank_q1.save(dir.join("q1.ftb")).expect("saves q1");
+    bank_q2.save(dir.join("q2.ftb")).expect("saves q2");
+
+    // A mixed request stream interleaving both CUTs.
+    let sig_q1 = synthetic_queries(bank_q1.trajectory_set(), 17, 100);
+    let sig_q2 = synthetic_queries(bank_q2.trajectory_set(), 17, 200);
+    let mut requests: Vec<DiagnosisRequest> = Vec::new();
+    for (a, b) in sig_q1.iter().zip(&sig_q2) {
+        requests.push(DiagnosisRequest::new("q1", a.clone()));
+        requests.push(DiagnosisRequest::new("q2", b.clone()));
+    }
+
+    // Reference: the per-bank scoped-thread batch path.
+    let engine_q1 = DiagnosisEngine::new(bank_q1, EngineConfig::default());
+    let engine_q2 = DiagnosisEngine::new(bank_q2, EngineConfig::default());
+    let ref_q1 = engine_q1.diagnose_batch(&sig_q1);
+    let ref_q2 = engine_q2.diagnose_batch(&sig_q2);
+    let mut reference = Vec::with_capacity(requests.len());
+    for (a, b) in ref_q1.into_iter().zip(ref_q2) {
+        reference.push(a);
+        reference.push(b);
+    }
+
+    for workers in [1usize, 2, 8] {
+        let store = Arc::new(BankStore::open(&dir, EngineConfig::default()).expect("store opens"));
+        assert_eq!(store.loaded_count(), 0, "shards load lazily");
+        let mut handle = ServeHandle::new(Arc::clone(&store), workers);
+        // Pipeline several sub-batches to exercise reassembly.
+        for chunk in requests.chunks(9) {
+            handle.submit(chunk.to_vec());
+        }
+        let drained: Vec<Diagnosis> = handle
+            .drain()
+            .into_iter()
+            .flatten()
+            .map(|r| r.expect("request serves"))
+            .collect();
+        assert_eq!(
+            drained, reference,
+            "pooled front-end diverged from per-bank diagnose_batch at {workers} workers"
+        );
+        assert_eq!(
+            store.loaded_count(),
+            2,
+            "both shards resident after serving"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn engine_load_error_names_the_failing_shard() {
+    let dir = std::env::temp_dir().join("serve_v2_load_error_test");
+    std::fs::create_dir_all(&dir).expect("dir");
+    let path = dir.join("broken.ftb");
+    // A structurally valid header with a corrupt body.
+    let mut bytes = paper_bank_with_multifault(1.0).to_bytes();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xff;
+    std::fs::write(&path, &bytes).expect("writes");
+
+    let err = DiagnosisEngine::load(&path, EngineConfig::default())
+        .expect_err("corrupt shard must not load");
+    let msg = err.to_string();
+    assert!(msg.contains("broken.ftb"), "path missing from: {msg}");
+    assert!(msg.contains("multifault"), "section missing from: {msg}");
+    std::fs::remove_dir_all(&dir).ok();
+}
