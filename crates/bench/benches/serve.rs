@@ -102,14 +102,17 @@ fn median_secs(n: usize, mut f: impl FnMut()) -> f64 {
 
 /// Emits `BENCH_serve.json`: sustained-traffic batch throughput of the
 /// persistent worker pool vs per-batch scoped-thread spin-up on the
-/// same bank, same worker count, same requests.
+/// same bank, same worker count, same requests — plus the cold-load
+/// comparison of the zero-copy mmap path against the full heap decode
+/// on a multi-MB dictionary-heavy bank (the mapped engine decodes only
+/// the trajectory section; the dictionary stays as cold mapped bytes).
 fn emit_summary(_c: &mut Criterion) {
     let workers = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1)
         .min(8);
     let (engine, mut handle, queries, requests) = frontend_setup(workers);
-    let segments = engine.bank().trajectory_set().total_segments();
+    let segments = engine.trajectory_set().total_segments();
 
     let scoped_s = median_secs(15, || {
         engine.diagnose_batch(&queries);
@@ -119,18 +122,42 @@ fn emit_summary(_c: &mut Criterion) {
         handle.drain_one().expect("batch completes");
     });
 
+    // Cold load: a dense dictionary (161 grid points × 320 deviations
+    // per branch) makes the bank file multi-MB and dictionary-dominated,
+    // the shape where out-of-core serving matters.
+    let tv = TestVector::pair(0.5, 2.0);
+    let big = synthetic_circuit_bank(3, 0.25, 161, &tv).expect("dictionary-heavy bank simulates");
+    let path = std::env::temp_dir().join("bench_serve_cold_load.ftb");
+    big.save(&path).expect("saves cold-load bank");
+    let bank_bytes = std::fs::metadata(&path).expect("stat").len();
+    let config = EngineConfig::default();
+    let heap_s = median_secs(9, || {
+        DiagnosisEngine::load(&path, config).expect("heap load");
+    });
+    let mapped_s = median_secs(9, || {
+        DiagnosisEngine::load_mapped(&path, config).expect("mapped load");
+    });
+    std::fs::remove_file(&path).ok();
+
     let json = format!(
         "{{\n  \"bank\": \"rlc-ladder-order-3\",\n  \"segments\": {segments},\n  \
          \"batch\": {FRONTEND_BATCH},\n  \"workers\": {workers},\n  \
          \"scoped_batch_s\": {scoped_s:.6e},\n  \"pooled_batch_s\": {pooled_s:.6e},\n  \
-         \"pooled_vs_scoped\": {:.2}\n}}\n",
+         \"pooled_vs_scoped\": {:.2},\n  \
+         \"cold_load_bank_bytes\": {bank_bytes},\n  \
+         \"heap_cold_load_s\": {heap_s:.6e},\n  \"mapped_cold_load_s\": {mapped_s:.6e},\n  \
+         \"mapped_vs_heap_cold_load\": {:.3}\n}}\n",
         scoped_s / pooled_s.max(1e-12),
+        mapped_s / heap_s.max(1e-12),
     );
     std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
     println!(
         "BENCH_serve.json: persistent pool {:.1}x vs scoped threads \
-         ({FRONTEND_BATCH}-request batches, {workers} workers, {segments} segments)",
+         ({FRONTEND_BATCH}-request batches, {workers} workers, {segments} segments); \
+         mmap cold load {:.2}x heap decode on a {:.1} MB bank",
         scoped_s / pooled_s.max(1e-12),
+        mapped_s / heap_s.max(1e-12),
+        bank_bytes as f64 / (1024.0 * 1024.0),
     );
 }
 

@@ -11,7 +11,8 @@
 //! constructor runs, so a hostile or corrupt file yields a
 //! [`CodecError`], never a panic.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, OnceLock};
 
 use ft_circuit::Probe;
 use ft_core::{
@@ -24,9 +25,10 @@ use ft_faults::{
 use ft_numerics::{FrequencyGrid, Spacing};
 
 use crate::codec::{
-    peek_version, CodecError, Container, ContainerBuilder, Decoder, Encoder, BANK_VERSION,
-    BANK_VERSION_V1, SECTION_DICTIONARY, SECTION_MULTIFAULT, SECTION_TRAJECTORIES,
+    peek_version, CodecError, Container, ContainerBuilder, Decoder, Encoder, SectionTable,
+    BANK_VERSION, BANK_VERSION_V1, SECTION_DICTIONARY, SECTION_MULTIFAULT, SECTION_TRAJECTORIES,
 };
+use crate::mmap::{FileGen, Mmap};
 
 /// Probe encoding tags.
 const PROBE_NODE: u8 = 0;
@@ -212,6 +214,196 @@ impl TrajectoryBank {
             .map_err(CodecError::from)
             .and_then(|bytes| TrajectoryBank::from_bytes(&bytes))
             .map_err(|e| e.in_file(path))
+    }
+}
+
+/// How a [`MappedBank`] reaches its undecoded sections.
+#[derive(Debug)]
+enum MappedPayload {
+    /// A v2 sectioned container: the mapping and its validated section
+    /// table stay resident, and sections decode lazily out of the
+    /// mapped bytes on first touch.
+    Sectioned { map: Mmap, table: SectionTable },
+    /// A v1 monolithic container: the whole payload shares one
+    /// checksum, so nothing can be verified lazily — everything decodes
+    /// at open and the lazy cells are pre-populated. The mapping is
+    /// dropped (nothing left to read from it).
+    Legacy,
+}
+
+/// A trajectory bank opened zero-copy over a memory-mapped shard file.
+///
+/// Unlike [`TrajectoryBank::load`], opening verifies only the container
+/// header and section table eagerly, decodes the trajectory section
+/// (the one diagnosis actually needs — its FNV is checked on that first
+/// touch), and leaves the dictionary and multi-fault sections as
+/// untouched mapped bytes: they are neither read, checksummed, nor
+/// decoded until [`dictionary`](MappedBank::dictionary) /
+/// [`multifault_dictionary`](MappedBank::multifault_dictionary) is
+/// called. For dictionary-heavy multi-MB shards that makes a cold open
+/// a fraction of the heap-decode path, and the kernel pages payloads in
+/// on demand rather than through an intermediate `Vec<u8>` copy.
+///
+/// The decoded [`TrajectorySet`] is returned by value from
+/// [`open`](MappedBank::open) so the caller (the engine) owns exactly
+/// one copy.
+#[derive(Debug)]
+pub struct MappedBank {
+    payload: MappedPayload,
+    path: PathBuf,
+    generation: FileGen,
+    dict: OnceLock<Result<FaultDictionary, Arc<CodecError>>>,
+    multifault: OnceLock<Result<Option<MultiFaultDictionary>, Arc<CodecError>>>,
+}
+
+impl MappedBank {
+    /// Maps `path` and opens it as a bank, returning the mapped handle
+    /// and the eagerly decoded trajectory set. v1 monolithic shards
+    /// open too (fully decoded — see [`MappedPayload::Legacy`]).
+    ///
+    /// # Errors
+    ///
+    /// I/O and mapping failures, header/table validation failures, and
+    /// any corruption of the trajectory section, annotated with `path`.
+    /// Corruption confined to the *other* sections is deferred to their
+    /// accessors.
+    pub fn open(path: impl AsRef<Path>) -> Result<(MappedBank, TrajectorySet), CodecError> {
+        let path = path.as_ref();
+        MappedBank::open_inner(path).map_err(|e| e.in_file(path))
+    }
+
+    fn open_inner(path: &Path) -> Result<(MappedBank, TrajectorySet), CodecError> {
+        let map = Mmap::map(path)?;
+        let generation = map.generation();
+        match peek_version(map.bytes())? {
+            BANK_VERSION_V1 => {
+                let TrajectoryBank {
+                    dict,
+                    set,
+                    multifault,
+                } = TrajectoryBank::from_bytes(map.bytes())?;
+                let dict_cell = OnceLock::new();
+                dict_cell.set(Ok(dict)).expect("fresh cell");
+                let mfd_cell = OnceLock::new();
+                mfd_cell.set(Ok(multifault)).expect("fresh cell");
+                Ok((
+                    MappedBank {
+                        payload: MappedPayload::Legacy,
+                        path: path.to_path_buf(),
+                        generation,
+                        dict: dict_cell,
+                        multifault: mfd_cell,
+                    },
+                    set,
+                ))
+            }
+            BANK_VERSION => {
+                let table = SectionTable::parse(map.bytes())?;
+                let mut dec = Decoder::over(table.require(map.bytes(), SECTION_TRAJECTORIES)?);
+                let set = decode_trajectory_set(&mut dec)?;
+                dec.finish()?;
+                Ok((
+                    MappedBank {
+                        payload: MappedPayload::Sectioned { map, table },
+                        path: path.to_path_buf(),
+                        generation,
+                        dict: OnceLock::new(),
+                        multifault: OnceLock::new(),
+                    },
+                    set,
+                ))
+            }
+            version => Err(CodecError::UnsupportedVersion(version)),
+        }
+    }
+
+    /// The single-fault dictionary, decoded (and checksum-verified) out
+    /// of the mapping on first call and cached.
+    ///
+    /// # Errors
+    ///
+    /// Corruption or malformation of the dictionary section, attributed
+    /// and annotated with the shard path; the same error is replayed on
+    /// every subsequent call (the mapped bytes cannot have changed —
+    /// the store retires the whole shard on file change instead).
+    pub fn dictionary(&self) -> Result<&FaultDictionary, Arc<CodecError>> {
+        self.dict
+            .get_or_init(|| {
+                self.decode_section(SECTION_DICTIONARY, decode_dictionary)
+                    .map(|d| d.expect("dictionary section is required"))
+            })
+            .as_ref()
+            .map_err(Arc::clone)
+    }
+
+    /// The optional multi-fault dictionary, decoded lazily like
+    /// [`dictionary`](MappedBank::dictionary); `Ok(None)` when the
+    /// shard carries no multi-fault section.
+    ///
+    /// # Errors
+    ///
+    /// As [`dictionary`](MappedBank::dictionary).
+    pub fn multifault_dictionary(&self) -> Result<Option<&MultiFaultDictionary>, Arc<CodecError>> {
+        self.multifault
+            .get_or_init(|| self.decode_section(SECTION_MULTIFAULT, decode_multifault))
+            .as_ref()
+            .map(Option::as_ref)
+            .map_err(Arc::clone)
+    }
+
+    fn decode_section<T>(
+        &self,
+        kind: u16,
+        decode: fn(&mut Decoder) -> Result<T, CodecError>,
+    ) -> Result<Option<T>, Arc<CodecError>> {
+        let MappedPayload::Sectioned { map, table } = &self.payload else {
+            unreachable!("legacy cells are pre-populated at open");
+        };
+        let run = || -> Result<Option<T>, CodecError> {
+            let Some(payload) = (if kind == SECTION_DICTIONARY {
+                Some(table.require(map.bytes(), kind)?)
+            } else {
+                table.find(map.bytes(), kind)?
+            }) else {
+                return Ok(None);
+            };
+            let mut dec = Decoder::over(payload);
+            let value = decode(&mut dec)?;
+            dec.finish()?;
+            Ok(Some(value))
+        };
+        run().map_err(|e| Arc::new(e.in_file(&self.path)))
+    }
+
+    /// The shard file's generation, captured from the mapped descriptor.
+    pub fn generation(&self) -> FileGen {
+        self.generation
+    }
+
+    /// The shard file this bank was mapped from.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Estimated resident bytes this shard can pin: the section-table
+    /// payload total for a sectioned shard, the file length for a fully
+    /// decoded legacy one. This is what the store's memory budget
+    /// accounts with.
+    pub fn payload_bytes(&self) -> u64 {
+        match &self.payload {
+            MappedPayload::Sectioned { table, .. } => table.payload_bytes(),
+            MappedPayload::Legacy => self.generation.len(),
+        }
+    }
+
+    /// `true` when the undecoded sections are backed by a genuine
+    /// kernel mapping (zero-copy); `false` for legacy shards and the
+    /// non-unix heap fallback.
+    pub fn is_mapped(&self) -> bool {
+        match &self.payload {
+            MappedPayload::Sectioned { map, .. } => map.is_mapped(),
+            MappedPayload::Legacy => false,
+        }
     }
 }
 
@@ -666,6 +858,89 @@ mod tests {
                 "flip at byte {pos} went undetected"
             );
         }
+    }
+
+    #[test]
+    fn mapped_open_matches_heap_load() {
+        let bank = rc_bank().with_multifault(rc_multifault());
+        let path = std::env::temp_dir().join("ft_serve_mapped_open_test.ftb");
+        bank.save(&path).unwrap();
+        let (mapped, set) = MappedBank::open(&path).unwrap();
+        assert_eq!(&set, bank.trajectory_set());
+        assert_eq!(mapped.dictionary().unwrap(), bank.dictionary());
+        assert_eq!(
+            mapped.multifault_dictionary().unwrap(),
+            bank.multifault_dictionary()
+        );
+        assert_eq!(mapped.is_mapped(), cfg!(unix));
+        assert_eq!(mapped.generation(), FileGen::probe(&path).unwrap());
+        // The budget estimate covers the payloads (container minus
+        // header/table overhead).
+        let file_len = std::fs::metadata(&path).unwrap().len();
+        assert!(mapped.payload_bytes() > 0 && mapped.payload_bytes() < file_len);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mapped_open_decodes_legacy_v1_eagerly() {
+        let bank = rc_bank();
+        let path = std::env::temp_dir().join("ft_serve_mapped_v1_test.ftb");
+        std::fs::write(&path, bank.to_bytes_v1()).unwrap();
+        let (mapped, set) = MappedBank::open(&path).unwrap();
+        assert_eq!(&set, bank.trajectory_set());
+        assert_eq!(mapped.dictionary().unwrap(), bank.dictionary());
+        assert_eq!(mapped.multifault_dictionary().unwrap(), None);
+        assert!(!mapped.is_mapped(), "v1 has no lazily mapped sections");
+        assert_eq!(
+            mapped.payload_bytes(),
+            std::fs::metadata(&path).unwrap().len()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mapped_corruption_outside_trajectories_is_deferred_and_attributed() {
+        let bank = rc_bank().with_multifault(rc_multifault());
+        let bytes = bank.to_bytes();
+        let container = Container::parse(&bytes).unwrap();
+        let dict_off = container.sections()[0].offset;
+        drop(container);
+        let mut corrupt = bytes;
+        corrupt[dict_off] ^= 0x01;
+
+        let path = std::env::temp_dir().join("ft_serve_mapped_lazy_corrupt_test.ftb");
+        std::fs::write(&path, &corrupt).unwrap();
+        // Opening succeeds — the trajectory section is intact, and the
+        // dictionary bytes are never touched.
+        let (mapped, set) = MappedBank::open(&path).unwrap();
+        assert_eq!(&set, bank.trajectory_set());
+        // First touch of the dictionary detects and attributes the hit,
+        // naming the shard file; the error replays on every call.
+        for _ in 0..2 {
+            let err = mapped.dictionary().expect_err("corruption must surface");
+            let msg = err.to_string();
+            assert!(msg.contains("dictionary"), "{msg}");
+            assert!(msg.contains("mapped_lazy_corrupt"), "{msg}");
+        }
+        // The untouched multifault section still decodes.
+        assert!(mapped.multifault_dictionary().unwrap().is_some());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mapped_corruption_in_trajectories_fails_open() {
+        let bank = rc_bank();
+        let bytes = bank.to_bytes();
+        let container = Container::parse(&bytes).unwrap();
+        let traj_off = container.sections()[1].offset;
+        drop(container);
+        let mut corrupt = bytes;
+        corrupt[traj_off] ^= 0x01;
+        let path = std::env::temp_dir().join("ft_serve_mapped_traj_corrupt_test.ftb");
+        std::fs::write(&path, &corrupt).unwrap();
+        let err = MappedBank::open(&path).expect_err("trajectory corruption fails open");
+        assert!(err.to_string().contains("trajectories"), "{err}");
+        std::fs::remove_file(&path).ok();
     }
 
     /// Encodes a minimal single-component bank by hand, letting tests

@@ -34,12 +34,12 @@ use ft_numerics::FrequencyGrid;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::bank::TrajectoryBank;
+use crate::bank::{MappedBank, TrajectoryBank};
 use crate::codec::{peek_version, Container, BANK_VERSION, BANK_VERSION_V1};
 use crate::engine::{diagnose_batch_with, DiagnosisEngine, EngineConfig};
 use crate::index::SegmentIndex;
 use crate::pool::ServeHandle;
-use crate::store::{BankStore, DiagnosisRequest};
+use crate::store::{BankStore, DiagnosisRequest, StoreConfig};
 use crate::synthetic::{synthetic_circuit_bank, synthetic_queries, synthetic_trajectory_set};
 
 const USAGE: &str = "\
@@ -51,9 +51,9 @@ USAGE:
                [--noise-db S] [--seed N] [--workers N] [--linear] [--q Q]
   ftd diagnose --bank PATH --requests FILE [--cut-id ID] [--workers N]
                [--linear]
-  ftd serve --banks DIR [--workers N] [--batch N]
+  ftd serve --banks DIR [--workers N] [--batch N] [--mem-budget BYTES[K|M|G]]
   ftd gen-requests --bank PATH --cut-id ID [--count N] [--seed N]
-  ftd bank-info PATH
+  ftd bank-info [--mapped] PATH
   ftd bench-scan-vs-index [--components N] [--points N] [--dim D]
                [--queries N] [--seed N] [--workers N] [--leaf N]
                [--circuit-order N]
@@ -80,13 +80,19 @@ SUBCOMMANDS:
                        and print diagnoses to stdout in input order.
                        Batches of --batch requests pipeline through a
                        persistent pool of --workers threads; results are
-                       byte-identical at every worker count.
+                       byte-identical at every worker count. Shards are
+                       memory-mapped zero-copy, swap in place when their
+                       file changes on disk, and --mem-budget caps
+                       resident shard bytes with LRU eviction (evicted
+                       shards reload on demand; results are unchanged).
   gen-requests         Load a bank and print --count deterministic
                        request lines (signatures jittered around the
                        bank's trajectories) tagged with --cut-id.
   bank-info            Print a bank container's format version, section
                        table (type, size, checksum status), and entry
-                       counts without serving from it.
+                       counts without serving from it. With --mapped,
+                       open through the server's zero-copy mmap path
+                       instead and report which sections decode lazily.
   bench-scan-vs-index  Time linear scan vs spatial index, single-query
                        and batched, on a synthetic >=1k-segment bank.
                        With --circuit-order N the bank is *simulated*
@@ -355,7 +361,9 @@ fn diagnose(args: &[String]) -> Result<(), CliError> {
         },
     )
     .map_err(runtime)?;
-    let bank = engine.bank();
+    let bank = engine
+        .bank()
+        .expect("`ftd diagnose` loads banks on the heap");
     println!(
         "loaded `{bank_path}`: {} trajectories / {} segments at tv {}",
         bank.trajectory_set().len(),
@@ -489,7 +497,7 @@ fn diagnose_requests(
             }
         }
     }
-    let dim = engine.bank().trajectory_set().dim();
+    let dim = engine.trajectory_set().dim();
     for req in &kept {
         if req.signature.dim() != dim {
             return Err(runtime(format!(
@@ -514,16 +522,35 @@ fn diagnose_requests(
     Ok(())
 }
 
+/// Parses a byte-count flag value: a plain integer, optionally suffixed
+/// with `K`, `M`, or `G` (powers of 1024, case-insensitive).
+fn parse_mem_budget(raw: &str) -> Result<u64, CliError> {
+    let (digits, shift) = match raw.as_bytes().last() {
+        Some(b'k' | b'K') => (&raw[..raw.len() - 1], 10u32),
+        Some(b'm' | b'M') => (&raw[..raw.len() - 1], 20),
+        Some(b'g' | b'G') => (&raw[..raw.len() - 1], 30),
+        _ => (raw, 0),
+    };
+    let n: u64 = digits
+        .parse()
+        .map_err(|_| usage(format!("--mem-budget: expected BYTES[K|M|G], got `{raw}`")))?;
+    n.checked_shl(shift)
+        .filter(|_| n.leading_zeros() >= shift)
+        .ok_or_else(|| usage(format!("--mem-budget `{raw}` overflows u64")))
+}
+
 fn serve(args: &[String]) -> Result<(), CliError> {
     let mut banks: Option<String> = None;
     let mut workers: Option<usize> = None;
     let mut batch = 64usize;
+    let mut mem_budget: Option<u64> = None;
     let mut flags = Flags::new(args);
     while let Some(flag) = flags.next_flag() {
         match flag {
             "--banks" => banks = Some(flags.value("--banks")?.to_string()),
             "--workers" => workers = Some(flags.parse("--workers")?),
             "--batch" => batch = flags.parse("--batch")?,
+            "--mem-budget" => mem_budget = Some(parse_mem_budget(flags.value("--mem-budget")?)?),
             other => return Err(usage(format!("serve: unknown flag `{other}`"))),
         }
     }
@@ -540,11 +567,19 @@ fn serve(args: &[String]) -> Result<(), CliError> {
         return Err(usage("--workers must be positive"));
     }
 
-    let store = Arc::new(BankStore::open(&banks, EngineConfig::default()).map_err(runtime)?);
+    let store_config = StoreConfig {
+        mem_budget,
+        ..StoreConfig::new(EngineConfig::default())
+    };
+    let store = Arc::new(BankStore::open_with(&banks, store_config).map_err(runtime)?);
     eprintln!(
         "serving shard directory `{banks}` ({} CUTs on disk) with {workers} workers, \
-         batches of {batch}",
+         batches of {batch}{}",
         store.cut_ids().len(),
+        match mem_budget {
+            Some(b) => format!(", shard memory budget {b} bytes"),
+            None => String::new(),
+        },
     );
     let mut handle = ServeHandle::new(store, workers);
 
@@ -676,9 +711,18 @@ fn gen_requests(args: &[String]) -> Result<(), CliError> {
 }
 
 fn bank_info(args: &[String]) -> Result<(), CliError> {
-    let [path] = args else {
-        return Err(usage("bank-info takes exactly one PATH argument"));
+    let (mapped, path) = match args {
+        [path] => (false, path),
+        [a, path] | [path, a] if a == "--mapped" => (true, path),
+        _ => {
+            return Err(usage(
+                "bank-info takes one PATH argument (plus optional --mapped)",
+            ))
+        }
     };
+    if mapped {
+        return bank_info_mapped(path);
+    }
     let bytes = std::fs::read(path).map_err(|e| runtime(format!("{path}: {e}")))?;
     let version = peek_version(&bytes).map_err(runtime)?;
     println!("bank `{path}`: {} bytes, format v{version}", bytes.len());
@@ -740,6 +784,53 @@ fn bank_info(args: &[String]) -> Result<(), CliError> {
             "decode failed ({bad_sections} bad sections): {e}"
         ))),
     }
+}
+
+/// The `--mapped` arm of `ftd bank-info`: opens the bank through the
+/// zero-copy mmap path the server uses, so the report reflects exactly
+/// what `ftd serve` would map — including whether this platform maps at
+/// all (non-unix falls back to a heap read) and which sections decode
+/// lazily.
+fn bank_info_mapped(path: &str) -> Result<(), CliError> {
+    let (bank, set) = MappedBank::open(path).map_err(runtime)?;
+    let generation = bank.generation();
+    println!(
+        "bank `{path}`: {} payload bytes of {} on disk, {}",
+        bank.payload_bytes(),
+        generation.len(),
+        if bank.is_mapped() {
+            "memory-mapped (zero-copy)"
+        } else {
+            "heap fallback (platform without mmap)"
+        },
+    );
+    println!(
+        "trajectories (decoded eagerly): {} trajectories / {} segments, dim {}, tv {}",
+        set.len(),
+        set.total_segments(),
+        set.dim(),
+        set.test_vector(),
+    );
+    match bank.dictionary() {
+        Ok(dict) => println!(
+            "dictionary (decoded lazily): {} entries x {} grid points, input {}, probe {}",
+            dict.entries().len(),
+            dict.grid().len(),
+            dict.input(),
+            probe_str(dict.probe()),
+        ),
+        Err(e) => println!("dictionary (decoded lazily): FAILED: {e}"),
+    }
+    match bank.multifault_dictionary() {
+        Ok(Some(mfd)) => println!(
+            "multifault (decoded lazily): {} entries x {} grid points",
+            mfd.len(),
+            mfd.grid().len(),
+        ),
+        Ok(None) => println!("multifault: absent"),
+        Err(e) => println!("multifault (decoded lazily): FAILED: {e}"),
+    }
+    Ok(())
 }
 
 fn probe_str(probe: &Probe) -> String {

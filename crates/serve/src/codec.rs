@@ -402,6 +402,189 @@ impl ContainerBuilder {
     }
 }
 
+/// One entry of a parsed v2 section table, without a borrow of the
+/// container bytes — the owner-independent sibling of [`Section`], for
+/// long-lived mapped shards where the table outlives any one borrow of
+/// the mapping (see [`SectionTable`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SectionEntry {
+    /// The section's type tag.
+    pub kind: u16,
+    /// Absolute byte offset of the payload within the container.
+    pub offset: usize,
+    /// Payload length in bytes.
+    pub len: usize,
+    /// Checksum stored in the section table.
+    pub stored_checksum: u64,
+}
+
+impl SectionEntry {
+    /// The payload bytes this entry describes, sliced out of the
+    /// container the table was parsed from.
+    pub fn payload<'a>(&self, container: &'a [u8]) -> &'a [u8] {
+        &container[self.offset..self.offset + self.len]
+    }
+}
+
+/// A structurally validated v2 section table that owns no borrow of the
+/// container: magic, version, table checksum, and exact payload tiling
+/// are verified eagerly by [`SectionTable::parse`], while each section's
+/// payload FNV is verified lazily on first access through
+/// [`SectionTable::find`] / [`SectionTable::require`] — the shape a
+/// mapped shard needs, where the kernel pages a section in only when a
+/// reader actually touches it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SectionTable {
+    entries: Vec<SectionEntry>,
+    total_len: usize,
+}
+
+impl SectionTable {
+    /// Parses and structurally validates a v2 container's header and
+    /// section table, touching none of the payload bytes.
+    ///
+    /// # Errors
+    ///
+    /// As [`Container::parse`]: magic/version violations, a table
+    /// checksum mismatch, or any size inconsistency.
+    pub fn parse(container: &[u8]) -> Result<Self, CodecError> {
+        let version = peek_version(container)?;
+        if version != BANK_VERSION {
+            return Err(CodecError::UnsupportedVersion(version));
+        }
+        if container.len() < HEADER_LEN_V2 {
+            return Err(CodecError::Truncated {
+                needed: HEADER_LEN_V2,
+                available: container.len(),
+            });
+        }
+        let count = u32::from_le_bytes(container[10..14].try_into().expect("4 bytes")) as usize;
+        let table_len = count.saturating_mul(SECTION_ENTRY_LEN);
+        let table_end = HEADER_LEN_V2.saturating_add(table_len);
+        if table_end > container.len() {
+            return Err(CodecError::Truncated {
+                needed: table_end,
+                available: container.len(),
+            });
+        }
+        let table = &container[HEADER_LEN_V2..table_end];
+        let stored = u64::from_le_bytes(container[14..22].try_into().expect("8 bytes"));
+        let computed = checksum_parts(&[&container[10..14], table]);
+        if stored != computed {
+            return Err(CodecError::ChecksumMismatch { stored, computed });
+        }
+
+        let mut entries = Vec::with_capacity(count);
+        let mut offset = table_end;
+        for entry in table.chunks_exact(SECTION_ENTRY_LEN) {
+            let kind = u16::from_le_bytes(entry[0..2].try_into().expect("2 bytes"));
+            let len = u64::from_le_bytes(entry[2..10].try_into().expect("8 bytes"));
+            let stored_checksum = u64::from_le_bytes(entry[10..18].try_into().expect("8 bytes"));
+            let available = (container.len() - offset) as u64;
+            if len > available {
+                return Err(CodecError::Truncated {
+                    needed: offset.saturating_add(usize::try_from(len).unwrap_or(usize::MAX)),
+                    available: container.len(),
+                });
+            }
+            let len = len as usize;
+            entries.push(SectionEntry {
+                kind,
+                offset,
+                len,
+                stored_checksum,
+            });
+            offset += len;
+        }
+        if offset != container.len() {
+            return Err(CodecError::TrailingBytes(container.len() - offset));
+        }
+        Ok(SectionTable {
+            entries,
+            total_len: container.len(),
+        })
+    }
+
+    /// The table entries, in table order (payload checksums not yet
+    /// verified).
+    pub fn entries(&self) -> &[SectionEntry] {
+        &self.entries
+    }
+
+    /// Total container length the table was validated against. A byte
+    /// slice passed to [`find`](SectionTable::find) /
+    /// [`require`](SectionTable::require) must have exactly this length.
+    pub fn total_len(&self) -> usize {
+        self.total_len
+    }
+
+    /// Sum of the declared payload lengths of sections this reader
+    /// understands and would decode — the per-shard resident-memory
+    /// estimate the store's eviction budget accounts with.
+    pub fn payload_bytes(&self) -> u64 {
+        self.entries.iter().map(|e| e.len as u64).sum()
+    }
+
+    /// Locates the unique section of type `kind` in `container` (the
+    /// same bytes the table was parsed from) and verifies its payload
+    /// checksum — the lazy half of the mapped read path.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::SectionChecksumMismatch`] (attributed to `kind`) on
+    /// payload corruption, [`CodecError::Malformed`] on a duplicate tag.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `container` is not the byte sequence this table was
+    /// parsed from (length mismatch).
+    pub fn find<'a>(&self, container: &'a [u8], kind: u16) -> Result<Option<&'a [u8]>, CodecError> {
+        assert_eq!(
+            container.len(),
+            self.total_len,
+            "section table used against a different container"
+        );
+        let mut found: Option<&SectionEntry> = None;
+        for e in &self.entries {
+            if e.kind == kind {
+                if found.is_some() {
+                    return Err(CodecError::Malformed(format!(
+                        "duplicate section {kind} ({})",
+                        section_name(kind)
+                    )));
+                }
+                found = Some(e);
+            }
+        }
+        match found {
+            None => Ok(None),
+            Some(e) => {
+                let payload = e.payload(container);
+                let computed = checksum(payload);
+                if computed != e.stored_checksum {
+                    return Err(CodecError::SectionChecksumMismatch {
+                        kind,
+                        stored: e.stored_checksum,
+                        computed,
+                    });
+                }
+                Ok(Some(payload))
+            }
+        }
+    }
+
+    /// [`SectionTable::find`] for a *required* section.
+    ///
+    /// # Errors
+    ///
+    /// As [`SectionTable::find`], plus [`CodecError::MissingSection`]
+    /// when the section is absent.
+    pub fn require<'a>(&self, container: &'a [u8], kind: u16) -> Result<&'a [u8], CodecError> {
+        self.find(container, kind)?
+            .ok_or(CodecError::MissingSection(kind))
+    }
+}
+
 /// One section of a parsed v2 container.
 #[derive(Debug, Clone, Copy)]
 pub struct Section<'a> {
@@ -443,57 +626,17 @@ impl<'a> Container<'a> {
     /// (the container must equal header + table + declared payloads
     /// exactly) are reported before any section is touched.
     pub fn parse(container: &'a [u8]) -> Result<Self, CodecError> {
-        let version = peek_version(container)?;
-        if version != BANK_VERSION {
-            return Err(CodecError::UnsupportedVersion(version));
-        }
-        if container.len() < HEADER_LEN_V2 {
-            return Err(CodecError::Truncated {
-                needed: HEADER_LEN_V2,
-                available: container.len(),
-            });
-        }
-        let count = u32::from_le_bytes(container[10..14].try_into().expect("4 bytes")) as usize;
-        let table_len = count.saturating_mul(SECTION_ENTRY_LEN);
-        let table_end = HEADER_LEN_V2.saturating_add(table_len);
-        if table_end > container.len() {
-            return Err(CodecError::Truncated {
-                needed: table_end,
-                available: container.len(),
-            });
-        }
-        let table = &container[HEADER_LEN_V2..table_end];
-        let stored = u64::from_le_bytes(container[14..22].try_into().expect("8 bytes"));
-        let computed = checksum_parts(&[&container[10..14], table]);
-        if stored != computed {
-            return Err(CodecError::ChecksumMismatch { stored, computed });
-        }
-
-        let mut sections = Vec::with_capacity(count);
-        let mut offset = table_end;
-        for entry in table.chunks_exact(SECTION_ENTRY_LEN) {
-            let kind = u16::from_le_bytes(entry[0..2].try_into().expect("2 bytes"));
-            let len = u64::from_le_bytes(entry[2..10].try_into().expect("8 bytes"));
-            let stored_checksum = u64::from_le_bytes(entry[10..18].try_into().expect("8 bytes"));
-            let available = (container.len() - offset) as u64;
-            if len > available {
-                return Err(CodecError::Truncated {
-                    needed: offset.saturating_add(usize::try_from(len).unwrap_or(usize::MAX)),
-                    available: container.len(),
-                });
-            }
-            let len = len as usize;
-            sections.push(Section {
-                kind,
-                offset,
-                stored_checksum,
-                payload: &container[offset..offset + len],
-            });
-            offset += len;
-        }
-        if offset != container.len() {
-            return Err(CodecError::TrailingBytes(container.len() - offset));
-        }
+        let table = SectionTable::parse(container)?;
+        let sections = table
+            .entries()
+            .iter()
+            .map(|e| Section {
+                kind: e.kind,
+                offset: e.offset,
+                stored_checksum: e.stored_checksum,
+                payload: e.payload(container),
+            })
+            .collect();
         Ok(Container { sections })
     }
 
@@ -954,6 +1097,57 @@ mod tests {
             c.require(SECTION_DICTIONARY),
             Err(CodecError::Malformed(_))
         ));
+    }
+
+    #[test]
+    fn section_table_matches_container_view() {
+        let bytes = sample_v2();
+        let table = SectionTable::parse(&bytes).unwrap();
+        let c = Container::parse(&bytes).unwrap();
+        assert_eq!(table.entries().len(), c.sections().len());
+        assert_eq!(table.total_len(), bytes.len());
+        for (e, s) in table.entries().iter().zip(c.sections()) {
+            assert_eq!(e.kind, s.kind);
+            assert_eq!(e.offset, s.offset);
+            assert_eq!(e.stored_checksum, s.stored_checksum);
+            assert_eq!(e.payload(&bytes), s.payload);
+        }
+        assert_eq!(
+            table.payload_bytes(),
+            c.sections().iter().map(|s| s.payload.len() as u64).sum()
+        );
+        assert_eq!(
+            table.require(&bytes, SECTION_DICTIONARY).unwrap(),
+            b"dict-payload"
+        );
+        assert_eq!(table.find(&bytes, SECTION_MULTIFAULT).unwrap(), None);
+    }
+
+    #[test]
+    fn section_table_verifies_payload_lazily() {
+        let bytes = sample_v2();
+        let traj_off = SectionTable::parse(&bytes).unwrap().entries()[1].offset;
+        let mut corrupt = bytes.clone();
+        corrupt[traj_off] ^= 0x01;
+        // Parsing never touches payloads, so corruption parses fine…
+        let table = SectionTable::parse(&corrupt).unwrap();
+        assert!(table.require(&corrupt, SECTION_DICTIONARY).is_ok());
+        // …and is attributed on first access to the hit section.
+        assert!(matches!(
+            table.require(&corrupt, SECTION_TRAJECTORIES),
+            Err(CodecError::SectionChecksumMismatch {
+                kind: SECTION_TRAJECTORIES,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "different container")]
+    fn section_table_rejects_foreign_container() {
+        let bytes = sample_v2();
+        let table = SectionTable::parse(&bytes).unwrap();
+        let _ = table.find(&bytes[..bytes.len() - 1], SECTION_DICTIONARY);
     }
 
     #[test]

@@ -1,19 +1,29 @@
 //! The online diagnosis engine: a loaded bank behind an index, serving
 //! single and batched queries.
 //!
-//! The engine owns one immutable [`TrajectoryBank`] plus its
+//! The engine owns one immutable bank source — a fully decoded
+//! [`TrajectoryBank`] or a zero-copy [`MappedBank`] — plus its
 //! [`SegmentIndex`]; batched queries fan out over `std::thread::scope`
 //! workers that share the engine by reference (everything inside is
 //! plain immutable data, so the borrow is free) and write results into
 //! disjoint output slots, preserving input order.
+//!
+//! A mapped engine ([`DiagnosisEngine::load_mapped`]) decodes only the
+//! trajectory section at load; the dictionary and multi-fault sections
+//! stay as mapped bytes diagnosis never touches, which is what makes
+//! its cold load a fraction of the heap path on dictionary-heavy
+//! shards. The price: [`DiagnosisEngine::bank`] is `None` for mapped
+//! engines — tools that need the dictionaries go through the bank
+//! directly.
 
 use std::path::Path;
 
-use ft_core::{Diagnoser, DiagnoserConfig, Diagnosis, SegmentQuery, Signature};
+use ft_core::{Diagnoser, DiagnoserConfig, Diagnosis, SegmentQuery, Signature, TrajectorySet};
 
-use crate::bank::TrajectoryBank;
+use crate::bank::{MappedBank, TrajectoryBank};
 use crate::codec::CodecError;
 use crate::index::SegmentIndex;
+use crate::mmap::FileGen;
 
 /// Diagnoses a batch of signatures through an arbitrary query backend
 /// with `std::thread::scope` workers, returning results in input order.
@@ -69,10 +79,25 @@ pub struct EngineConfig {
     pub workers: Option<usize>,
 }
 
+/// Where an engine's bank came from, and how much of it is decoded.
+#[derive(Debug)]
+enum BankSource {
+    /// A fully decoded in-memory bank (built in-process or heap-loaded
+    /// from a file, in which case the file's generation rides along).
+    Heap {
+        bank: TrajectoryBank,
+        generation: Option<FileGen>,
+        file_len: u64,
+    },
+    /// A zero-copy mapped shard; only the trajectory set is decoded
+    /// (and it lives in the diagnoser, not here).
+    Mapped(MappedBank),
+}
+
 /// A persistent, indexed, batched diagnosis engine over one bank.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct DiagnosisEngine {
-    bank: TrajectoryBank,
+    source: BankSource,
     index: SegmentIndex,
     diagnoser: Diagnoser,
     config: EngineConfig,
@@ -88,14 +113,20 @@ impl DiagnosisEngine {
         let index = SegmentIndex::build(bank.trajectory_set());
         let diagnoser = Diagnoser::new(bank.trajectory_set().clone(), config.diagnoser);
         DiagnosisEngine {
-            bank,
+            source: BankSource::Heap {
+                bank,
+                generation: None,
+                file_len: 0,
+            },
             index,
             diagnoser,
             config,
         }
     }
 
-    /// Loads a bank file and builds the engine over it.
+    /// Loads a bank file (full heap decode) and builds the engine over
+    /// it, recording the file's generation for the store's hot-reload
+    /// detection.
     ///
     /// # Errors
     ///
@@ -103,13 +134,102 @@ impl DiagnosisEngine {
     /// path ([`CodecError::InFile`]) — a multi-shard store loading many
     /// banks must be able to say *which* shard failed.
     pub fn load(path: impl AsRef<Path>, config: EngineConfig) -> Result<Self, CodecError> {
-        Ok(DiagnosisEngine::new(TrajectoryBank::load(path)?, config))
+        let path = path.as_ref();
+        let generation = FileGen::probe(path).map_err(|e| CodecError::from(e).in_file(path))?;
+        let bank = TrajectoryBank::load(path)?;
+        let index = SegmentIndex::build(bank.trajectory_set());
+        let diagnoser = Diagnoser::new(bank.trajectory_set().clone(), config.diagnoser);
+        Ok(DiagnosisEngine {
+            source: BankSource::Heap {
+                bank,
+                generation: Some(generation),
+                file_len: generation.len(),
+            },
+            index,
+            diagnoser,
+            config,
+        })
     }
 
-    /// The underlying bank.
+    /// Maps a bank file zero-copy and builds the engine over it: only
+    /// the trajectory section is decoded; dictionary and multi-fault
+    /// sections stay as untouched mapped bytes ([`MappedBank`]), so
+    /// [`bank`](DiagnosisEngine::bank) is `None`.
+    ///
+    /// # Errors
+    ///
+    /// As [`DiagnosisEngine::load`]; corruption confined to sections
+    /// diagnosis never reads does *not* fail the load (it surfaces if a
+    /// tool later touches them through the mapped bank).
+    pub fn load_mapped(path: impl AsRef<Path>, config: EngineConfig) -> Result<Self, CodecError> {
+        let (mapped, set) = MappedBank::open(path)?;
+        let index = SegmentIndex::build(&set);
+        let diagnoser = Diagnoser::new(set, config.diagnoser);
+        Ok(DiagnosisEngine {
+            source: BankSource::Mapped(mapped),
+            index,
+            diagnoser,
+            config,
+        })
+    }
+
+    /// The fully decoded bank, when this engine holds one (`None` for
+    /// mapped engines, whose dictionaries live undecoded in the
+    /// mapping — see [`DiagnosisEngine::mapped_bank`]).
     #[inline]
-    pub fn bank(&self) -> &TrajectoryBank {
-        &self.bank
+    pub fn bank(&self) -> Option<&TrajectoryBank> {
+        match &self.source {
+            BankSource::Heap { bank, .. } => Some(bank),
+            BankSource::Mapped(_) => None,
+        }
+    }
+
+    /// The mapped shard behind this engine, when it was opened with
+    /// [`DiagnosisEngine::load_mapped`].
+    #[inline]
+    pub fn mapped_bank(&self) -> Option<&MappedBank> {
+        match &self.source {
+            BankSource::Heap { .. } => None,
+            BankSource::Mapped(mapped) => Some(mapped),
+        }
+    }
+
+    /// The trajectory set diagnosis runs against — always available,
+    /// whatever the bank source.
+    #[inline]
+    pub fn trajectory_set(&self) -> &TrajectorySet {
+        self.diagnoser.trajectory_set()
+    }
+
+    /// The source file's generation at load time: `Some` for engines
+    /// loaded (heap or mapped) from a shard file, `None` for in-process
+    /// banks. The store compares this against a fresh `stat` to detect
+    /// rebuilt shards.
+    #[inline]
+    pub fn generation(&self) -> Option<FileGen> {
+        match &self.source {
+            BankSource::Heap { generation, .. } => *generation,
+            BankSource::Mapped(mapped) => Some(mapped.generation()),
+        }
+    }
+
+    /// Estimated bytes this engine's shard pins resident — what the
+    /// store's memory budget accounts per shard. Zero for in-process
+    /// banks (they have no file to re-load from, so they are never
+    /// evicted and never counted).
+    #[inline]
+    pub fn source_bytes(&self) -> u64 {
+        match &self.source {
+            BankSource::Heap { file_len, .. } => *file_len,
+            BankSource::Mapped(mapped) => mapped.payload_bytes(),
+        }
+    }
+
+    /// `true` when the engine's undecoded sections are served by a
+    /// genuine kernel mapping.
+    #[inline]
+    pub fn is_mapped(&self) -> bool {
+        matches!(&self.source, BankSource::Mapped(m) if m.is_mapped())
     }
 
     /// The spatial index in use.
@@ -247,6 +367,40 @@ mod tests {
         // More workers than work.
         let engine = rc_engine(Some(64));
         assert_eq!(engine.diagnose_batch(&one).len(), 1);
+    }
+
+    #[test]
+    fn mapped_engine_matches_heap_engine_exactly() {
+        let heap = rc_engine(Some(2));
+        let path = std::env::temp_dir().join("ft_serve_engine_mapped_test.ftb");
+        heap.bank().expect("heap engine").save(&path).unwrap();
+        let mapped = DiagnosisEngine::load_mapped(&path, heap.config()).unwrap();
+        assert!(mapped.bank().is_none());
+        assert_eq!(mapped.is_mapped(), cfg!(unix));
+        assert_eq!(mapped.trajectory_set(), heap.trajectory_set());
+        assert_eq!(mapped.generation(), Some(FileGen::probe(&path).unwrap()));
+        assert!(mapped.source_bytes() > 0);
+        // Heap-loaded engines carry the file generation too; in-process
+        // ones carry none.
+        let loaded = DiagnosisEngine::load(&path, heap.config()).unwrap();
+        assert_eq!(loaded.generation(), mapped.generation());
+        assert_eq!(
+            loaded.source_bytes(),
+            std::fs::metadata(&path).unwrap().len()
+        );
+        assert_eq!(heap.generation(), None);
+        assert_eq!(heap.source_bytes(), 0);
+        std::fs::remove_file(&path).ok();
+
+        let mut rng = StdRng::seed_from_u64(17);
+        let sigs: Vec<Signature> = (0..40)
+            .map(|_| Signature::new(vec![rng.gen_range(-6.0..6.0), rng.gen_range(-6.0..6.0)]))
+            .collect();
+        assert_eq!(mapped.diagnose_batch(&sigs), heap.diagnose_batch(&sigs));
+        for sig in &sigs {
+            assert_eq!(mapped.diagnose(sig), heap.diagnose(sig));
+            assert_eq!(mapped.diagnose_linear(sig), heap.diagnose_linear(sig));
+        }
     }
 
     #[test]

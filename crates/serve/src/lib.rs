@@ -77,18 +77,20 @@ pub mod cli;
 pub mod codec;
 pub mod engine;
 pub mod index;
+pub mod mmap;
 pub mod pool;
 pub mod store;
 pub mod synthetic;
 
-pub use bank::TrajectoryBank;
+pub use bank::{MappedBank, TrajectoryBank};
 pub use codec::{
     checksum, peek_version, section_name, CodecError, Container, ContainerBuilder, Decoder,
-    Encoder, Section, BANK_MAGIC, BANK_VERSION, BANK_VERSION_V1, SECTION_DICTIONARY,
-    SECTION_MULTIFAULT, SECTION_TRAJECTORIES,
+    Encoder, Section, SectionEntry, SectionTable, BANK_MAGIC, BANK_VERSION, BANK_VERSION_V1,
+    SECTION_DICTIONARY, SECTION_MULTIFAULT, SECTION_TRAJECTORIES,
 };
 pub use engine::{diagnose_batch_with, DiagnosisEngine, EngineConfig};
 pub use index::{QueryStats, SegmentIndex};
+pub use mmap::{FileGen, Mmap};
 pub use pool::{BatchId, ServeHandle, ServeResult};
-pub use store::{diagnose_on, valid_cut_id, BankStore, DiagnosisRequest, StoreError};
+pub use store::{diagnose_on, valid_cut_id, BankStore, DiagnosisRequest, StoreConfig, StoreError};
 pub use synthetic::{synthetic_circuit_bank, synthetic_queries, synthetic_trajectory_set};

@@ -111,25 +111,45 @@ impl ServeHandle {
                         };
                         // A dropped handle reads no more results: drain
                         // the backlog without paying for diagnoses.
-                        if shutdown.load(std::sync::atomic::Ordering::Relaxed) {
+                        // Acquire pairs with the Release store in Drop,
+                        // so a worker that sees the flag also sees every
+                        // write the dropping thread made before it.
+                        if shutdown.load(std::sync::atomic::Ordering::Acquire) {
                             continue;
                         }
                         // Resolve each shard once per same-CUT stretch of
-                        // the run, keeping the shard-map lock off the
-                        // per-request path.
-                        let mut cached: Option<(String, Arc<crate::DiagnosisEngine>)> = None;
+                        // the run, keeping the shard-map lock — and the
+                        // per-hit generation stat — off the per-request
+                        // path. The cached resolution is stamped with the
+                        // store epoch: any slot swap (hot reload,
+                        // eviction, retirement) bumps it, which forces a
+                        // re-resolve so a run never keeps serving a shard
+                        // the store has since replaced.
+                        let mut cached: Option<(String, u64, Arc<crate::DiagnosisEngine>)> = None;
                         let results: Vec<ServeResult> = job
                             .requests
                             .iter()
                             .map(|request| -> ServeResult {
                                 let engine = match &cached {
-                                    Some((id, engine)) if *id == request.cut_id => {
+                                    Some((id, epoch, engine))
+                                        if *id == request.cut_id && store.epoch() == *epoch =>
+                                    {
                                         Arc::clone(engine)
                                     }
                                     _ => {
+                                        // Epoch read *before* resolving:
+                                        // if a swap lands in between, the
+                                        // stamp is already stale and the
+                                        // next request re-resolves — the
+                                        // race can only cost a redundant
+                                        // lookup, never a stale serve.
+                                        let epoch = store.epoch();
                                         let engine = store.engine(&request.cut_id)?;
-                                        cached =
-                                            Some((request.cut_id.clone(), Arc::clone(&engine)));
+                                        cached = Some((
+                                            request.cut_id.clone(),
+                                            epoch,
+                                            Arc::clone(&engine),
+                                        ));
                                         engine
                                     }
                                 };
@@ -278,9 +298,11 @@ impl Drop for ServeHandle {
         // turns that drain into discards: workers finish the run they
         // are on, skip everything still queued, and exit when the
         // closed queue empties — drop stays prompt even with batches in
-        // flight.
+        // flight. Release pairs with the workers' Acquire load, giving
+        // the flag a synchronizing edge of its own instead of riding on
+        // the channel's internal synchronization.
         self.shutdown
-            .store(true, std::sync::atomic::Ordering::Relaxed);
+            .store(true, std::sync::atomic::Ordering::Release);
         drop(self.jobs.take());
         for worker in self.workers.drain(..) {
             let _ = worker.join();
@@ -375,15 +397,82 @@ mod tests {
 
     #[test]
     fn drop_with_undrained_backlog_neither_hangs_nor_panics() {
-        let (store, requests) = two_cut_store();
-        let mut handle = ServeHandle::new(store, 2);
-        // Pile up far more work than the workers can finish, then drop
-        // without draining: the shutdown flag discards the backlog, so
-        // this returns promptly instead of diagnosing it all.
-        for _ in 0..200 {
-            handle.submit(requests.clone());
+        for workers in [1usize, 2, 8] {
+            let (store, requests) = two_cut_store();
+            let mut handle = ServeHandle::new(store, workers);
+            // Pile up far more work than the workers can finish, then
+            // drop without draining: the shutdown flag discards the
+            // backlog, so this returns promptly instead of diagnosing
+            // it all.
+            for _ in 0..200 {
+                handle.submit(requests.clone());
+            }
+            // Draining one batch first guarantees the workers are mid-
+            // stream when drop races them: the flag flips while runs of
+            // later batches are genuinely in flight.
+            let first = handle.drain_one().expect("first batch completes");
+            assert_eq!(first.len(), requests.len());
+            assert!(first.iter().all(|r| r.is_ok()));
+            drop(handle);
+        }
+    }
+
+    #[test]
+    fn run_cache_revalidates_after_hot_reload() {
+        use crate::bank::TrajectoryBank;
+
+        // Two generations of one CUT, served through the pool: requests
+        // before the swap answer on the old bank, requests after it on
+        // the new — within one long-lived handle.
+        let dir = std::env::temp_dir().join("ft_pool_reload_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let tv = TestVector::pair(0.5, 2.0);
+        let bank_old = synthetic_circuit_bank(2, 10.0, 9, &tv).unwrap();
+        let bank_new = synthetic_circuit_bank(2, 20.0, 9, &tv).unwrap();
+        bank_old.save(dir.join("cut.ftb")).unwrap();
+        // Distinct decode sizes ⇒ distinct (mtime, len) generations.
+        assert_ne!(bank_old.to_bytes().len(), bank_new.to_bytes().len());
+
+        let store = Arc::new(BankStore::open(&dir, EngineConfig::default()).unwrap());
+        let queries = synthetic_queries(bank_old.trajectory_set(), 6, 9);
+        let requests: Vec<DiagnosisRequest> = queries
+            .iter()
+            .map(|q| DiagnosisRequest::new("cut", q.clone()))
+            .collect();
+        let ref_old = TrajectoryBank::from_bytes(&bank_old.to_bytes())
+            .map(|b| crate::DiagnosisEngine::new(b, EngineConfig::default()))
+            .unwrap();
+        let ref_new = TrajectoryBank::from_bytes(&bank_new.to_bytes())
+            .map(|b| crate::DiagnosisEngine::new(b, EngineConfig::default()))
+            .unwrap();
+
+        let mut handle = ServeHandle::new(Arc::clone(&store), 2);
+        handle.submit(requests.clone());
+        let before = handle.drain_one().unwrap();
+        for (req, got) in requests.iter().zip(&before) {
+            assert_eq!(
+                got.as_ref().unwrap(),
+                &ref_old.diagnose(&req.signature),
+                "pre-swap answers come from the old bank"
+            );
+        }
+
+        // Atomic replacement, as a deployment would do it.
+        let tmp = dir.join("cut.ftb.tmp");
+        bank_new.save(&tmp).unwrap();
+        std::fs::rename(&tmp, dir.join("cut.ftb")).unwrap();
+
+        handle.submit(requests.clone());
+        let after = handle.drain_one().unwrap();
+        for (req, got) in requests.iter().zip(&after) {
+            assert_eq!(
+                got.as_ref().unwrap(),
+                &ref_new.diagnose(&req.signature),
+                "post-swap answers come from the rebuilt bank"
+            );
         }
         drop(handle);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -9,17 +9,45 @@
 //! costs nothing until a CUT is actually queried; once loaded, a shard
 //! stays resident behind an `Arc` and is shared by every worker of the
 //! serving front-end ([`crate::ServeHandle`]).
+//!
+//! ## Out-of-core operation
+//!
+//! The store is built to front shard sets much larger than RAM:
+//!
+//! * **Zero-copy loads** — with [`StoreConfig::mapped`] (the default)
+//!   shards load through [`DiagnosisEngine::load_mapped`]: the file is
+//!   memory-mapped, only the trajectory section is decoded, and the
+//!   dictionary payloads stay as mapped bytes the kernel pages in on
+//!   demand.
+//! * **LRU eviction** — [`StoreConfig::mem_budget`] caps the resident
+//!   bytes (accounted per shard from the section table); crossing the
+//!   budget evicts least-recently-used shards. Eviction only drops the
+//!   store's `Arc`, so in-flight diagnoses holding the engine finish
+//!   unharmed, and a later request simply reloads the shard.
+//! * **Hot reload** — every slot records its source file's
+//!   `(mtime, len)` generation ([`FileGen`]); a request that finds the
+//!   file changed reloads it and swaps the slot, so a rebuilt bank is
+//!   picked up without restarting the server while in-flight queries
+//!   finish on the old engine. The same keying retires slots whose file
+//!   vanished and retries cached load *failures* once the file is
+//!   repaired — a transient bad copy is never replayed forever.
+//!
+//! Every map mutation bumps the store [`epoch`](BankStore::epoch), which
+//! lets the pool's per-run shard cache revalidate with one atomic load
+//! instead of re-taking the map lock per request.
 
 use std::collections::HashMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use ft_core::{Diagnosis, Signature};
 
 use crate::bank::TrajectoryBank;
 use crate::codec::CodecError;
 use crate::engine::{DiagnosisEngine, EngineConfig};
+use crate::mmap::FileGen;
 
 /// One serving request: which circuit-under-test, and the observed
 /// signature to diagnose against that CUT's trajectory bank.
@@ -63,7 +91,8 @@ pub enum StoreError {
     NonFiniteSignature(String),
     /// Loading or decoding a shard's bank file failed (the inner error
     /// names the offending path). Shared, because a failed shard load is
-    /// cached and replayed to every subsequent request for that CUT.
+    /// cached — keyed by the file's generation, so it is replayed only
+    /// until the file changes — and handed to every request in between.
     Bank(Arc<CodecError>),
     /// A diagnosis panicked inside a pool worker; the panic was caught
     /// and converted so the serving loop keeps running.
@@ -122,10 +151,64 @@ pub fn valid_cut_id(id: &str) -> bool {
             .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
 }
 
-/// A resolved shard slot: the engine, or the cached load failure — a
-/// corrupt shard file must not be re-read and re-decoded on every
-/// request that routes to it.
-type ShardSlot = Result<Arc<DiagnosisEngine>, Arc<CodecError>>;
+/// Store-level configuration: how shards load and how many bytes they
+/// may pin.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StoreConfig {
+    /// Engine configuration every shard is built with.
+    pub engine: EngineConfig,
+    /// Resident-byte budget for file-backed shards, accounted from the
+    /// section table. `None` (default) never evicts. The budget is a
+    /// target, not a hard wall: the shard being served is never evicted,
+    /// so a single shard larger than the budget still serves.
+    pub mem_budget: Option<u64>,
+    /// Load shards zero-copy through the mmap path (default). Disabling
+    /// falls back to full heap decode per shard; results are identical.
+    pub mapped: bool,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            engine: EngineConfig::default(),
+            mem_budget: None,
+            mapped: true,
+        }
+    }
+}
+
+impl StoreConfig {
+    /// A config with the given engine settings and store defaults.
+    pub fn new(engine: EngineConfig) -> Self {
+        StoreConfig {
+            engine,
+            ..StoreConfig::default()
+        }
+    }
+}
+
+/// The load outcome a slot caches.
+type ShardState = Result<Arc<DiagnosisEngine>, Arc<CodecError>>;
+
+/// A resolved shard slot: the load outcome, keyed by the source file's
+/// generation so a changed file invalidates it (hot reload for
+/// successes, retry for failures). `generation: None` marks a pinned
+/// in-memory bank ([`BankStore::insert_bank`]) that is never statted,
+/// evicted, or counted against the budget.
+#[derive(Debug)]
+struct ShardSlot {
+    state: ShardState,
+    generation: Option<FileGen>,
+    bytes: u64,
+    last_used: u64,
+}
+
+/// The mutex-guarded shard map plus its running resident-byte total.
+#[derive(Debug, Default)]
+struct ShardMap {
+    slots: HashMap<String, ShardSlot>,
+    resident_bytes: u64,
+}
 
 /// A sharded collection of diagnosis engines keyed by CUT id.
 ///
@@ -134,13 +217,20 @@ type ShardSlot = Result<Arc<DiagnosisEngine>, Arc<CodecError>>;
 /// shared immutable shards without copying bank data. The map lock is
 /// never held across disk I/O — a slow (or corrupt) shard load cannot
 /// stall routing for healthy CUTs — and both outcomes of a load are
-/// cached, so each shard file is read at most once per racing loader
-/// and a broken shard answers from memory thereafter.
+/// cached under the file's generation, so each shard file is read at
+/// most once per racing loader per generation. Lock poisoning is
+/// recovered from (slots are inserted whole, so the map is always
+/// consistent): one panicking client thread cannot brick the store.
 #[derive(Debug)]
 pub struct BankStore {
     dir: Option<PathBuf>,
-    config: EngineConfig,
-    shards: Mutex<HashMap<String, ShardSlot>>,
+    config: StoreConfig,
+    shards: Mutex<ShardMap>,
+    /// LRU clock: bumped on every shard touch.
+    tick: AtomicU64,
+    /// Bumped on every map mutation (insert, swap, evict, retire) — the
+    /// pool's per-run cache revalidates against this.
+    epoch: AtomicU64,
 }
 
 impl BankStore {
@@ -152,6 +242,16 @@ impl BankStore {
     /// [`StoreError::Bank`] (wrapping an I/O error naming the path) when
     /// `dir` is not an existing directory.
     pub fn open(dir: impl AsRef<Path>, config: EngineConfig) -> Result<Self, StoreError> {
+        BankStore::open_with(dir, StoreConfig::new(config))
+    }
+
+    /// [`BankStore::open`] with full store-level configuration (memory
+    /// budget, mapped loads).
+    ///
+    /// # Errors
+    ///
+    /// As [`BankStore::open`].
+    pub fn open_with(dir: impl AsRef<Path>, config: StoreConfig) -> Result<Self, StoreError> {
         let dir = dir.as_ref();
         if !dir.is_dir() {
             return Err(StoreError::from(
@@ -165,7 +265,9 @@ impl BankStore {
         Ok(BankStore {
             dir: Some(dir.to_path_buf()),
             config,
-            shards: Mutex::new(HashMap::new()),
+            shards: Mutex::new(ShardMap::default()),
+            tick: AtomicU64::new(0),
+            epoch: AtomicU64::new(0),
         })
     }
 
@@ -174,8 +276,10 @@ impl BankStore {
     pub fn in_memory(config: EngineConfig) -> Self {
         BankStore {
             dir: None,
-            config,
-            shards: Mutex::new(HashMap::new()),
+            config: StoreConfig::new(config),
+            shards: Mutex::new(ShardMap::default()),
+            tick: AtomicU64::new(0),
+            epoch: AtomicU64::new(0),
         }
     }
 
@@ -186,11 +290,51 @@ impl BankStore {
 
     /// The engine configuration every shard is built with.
     pub fn config(&self) -> EngineConfig {
+        self.config.engine
+    }
+
+    /// The full store configuration.
+    pub fn store_config(&self) -> StoreConfig {
         self.config
     }
 
+    /// Resident bytes currently pinned by file-backed shards (the
+    /// quantity [`StoreConfig::mem_budget`] bounds).
+    pub fn resident_bytes(&self) -> u64 {
+        self.lock_shards().resident_bytes
+    }
+
+    /// The store's mutation epoch: changes whenever any slot is
+    /// inserted, swapped, evicted, or retired. A cached
+    /// `(cut_id → engine)` resolution is still valid iff the epoch it
+    /// was taken at is unchanged.
+    pub fn epoch(&self) -> u64 {
+        // The map mutex orders the mutations themselves; the epoch is a
+        // monotonic validity stamp, so Relaxed is enough — a stale read
+        // only costs one redundant lock round-trip in the pool.
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Locks the shard map, recovering from poisoning: slots are only
+    /// ever inserted or removed whole under the lock, so the map is
+    /// structurally consistent even if a holder panicked mid-critical-
+    /// section — one crashed client thread must not brick the store.
+    fn lock_shards(&self) -> MutexGuard<'_, ShardMap> {
+        self.shards.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn next_tick(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn bump_epoch(&self) {
+        self.epoch.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Builds an engine over `bank` and registers it under `cut_id`,
-    /// replacing any previous shard with that id.
+    /// replacing any previous shard with that id. In-memory banks are
+    /// pinned: they carry no file generation, are never statted or
+    /// evicted, and do not count against the memory budget.
     ///
     /// # Errors
     ///
@@ -204,22 +348,29 @@ impl BankStore {
         if !valid_cut_id(cut_id) {
             return Err(StoreError::InvalidCutId(cut_id.to_string()));
         }
-        let engine = Arc::new(DiagnosisEngine::new(bank, self.config));
-        self.shards
-            .lock()
-            .expect("shard map lock poisoned")
-            .insert(cut_id.to_string(), Ok(Arc::clone(&engine)));
+        let engine = Arc::new(DiagnosisEngine::new(bank, self.config.engine));
+        let slot = ShardSlot {
+            state: Ok(Arc::clone(&engine)),
+            generation: None,
+            bytes: 0,
+            last_used: self.next_tick(),
+        };
+        let mut map = self.lock_shards();
+        if let Some(old) = map.slots.insert(cut_id.to_string(), slot) {
+            map.resident_bytes -= old.bytes;
+        }
+        drop(map);
+        self.bump_epoch();
         Ok(engine)
     }
 
     /// Number of shards currently resident in memory (cached load
-    /// failures do not count).
+    /// failures do not count, and neither do evicted shards).
     pub fn loaded_count(&self) -> usize {
-        self.shards
-            .lock()
-            .expect("shard map lock poisoned")
+        self.lock_shards()
+            .slots
             .values()
-            .filter(|slot| slot.is_ok())
+            .filter(|slot| slot.state.is_ok())
             .count()
     }
 
@@ -227,11 +378,10 @@ impl BankStore {
     /// files in the shard directory, sorted and deduplicated.
     pub fn cut_ids(&self) -> Vec<String> {
         let mut ids: Vec<String> = self
-            .shards
-            .lock()
-            .expect("shard map lock poisoned")
+            .lock_shards()
+            .slots
             .iter()
-            .filter(|(_, slot)| slot.is_ok())
+            .filter(|(_, slot)| slot.state.is_ok())
             .map(|(id, _)| id.clone())
             .collect();
         if let Some(dir) = &self.dir {
@@ -254,12 +404,19 @@ impl BankStore {
     }
 
     /// The shard for `cut_id`, loading `<dir>/<cut-id>.ftb` on first
-    /// touch. The map lock is released during the load, so two racing
-    /// first requests may both load the file (the engines are
+    /// touch. The map lock is released during any disk work, so two
+    /// racing first requests may both load the file (the engines are
     /// identical; one wins the insert) but routing of other CUTs never
-    /// waits on shard I/O. Load *failures* are cached too: a corrupt
-    /// shard answers every later request from memory instead of
-    /// re-reading the file.
+    /// waits on shard I/O.
+    ///
+    /// Every hit on a file-backed slot re-`stat`s the shard file:
+    ///
+    /// * unchanged generation — the cached outcome (engine *or* load
+    ///   failure) is served from memory, no re-read;
+    /// * changed generation — the file is reloaded and the slot swapped
+    ///   (hot reload; in-flight holders of the old `Arc` finish on it);
+    /// * file gone — the slot is retired and the request answers
+    ///   [`StoreError::UnknownCut`].
     ///
     /// # Errors
     ///
@@ -269,29 +426,139 @@ impl BankStore {
         if !valid_cut_id(cut_id) {
             return Err(StoreError::InvalidCutId(cut_id.to_string()));
         }
-        {
-            let shards = self.shards.lock().expect("shard map lock poisoned");
-            if let Some(slot) = shards.get(cut_id) {
-                return slot.clone().map_err(StoreError::Bank);
+        let cached: Option<(ShardState, Option<FileGen>)> = {
+            let mut map = self.lock_shards();
+            match map.slots.get_mut(cut_id) {
+                None => None,
+                Some(slot) => {
+                    slot.last_used = self.tick.fetch_add(1, Ordering::Relaxed);
+                    Some((slot.state.clone(), slot.generation))
+                }
             }
-        }
-        let Some(dir) = &self.dir else {
-            return Err(StoreError::UnknownCut(cut_id.to_string()));
         };
-        let path = dir.join(format!("{cut_id}.ftb"));
+        match cached {
+            // Pinned in-memory shard: no file to check.
+            Some((state, None)) => return state.map_err(StoreError::Bank),
+            Some((state, Some(generation))) => {
+                let path = self.shard_path(cut_id)?;
+                match FileGen::probe(&path) {
+                    Ok(current) if current == generation => {
+                        return state.map_err(StoreError::Bank);
+                    }
+                    Ok(_) => {
+                        // File changed: reload and swap (hot reload for
+                        // a good slot, retry for a cached failure).
+                        return self.load_and_install(cut_id, &path);
+                    }
+                    Err(_) => {
+                        // File gone: retire the slot.
+                        let mut map = self.lock_shards();
+                        if let Some(slot) = map.slots.get(cut_id) {
+                            if slot.generation == Some(generation) {
+                                let old = map.slots.remove(cut_id).expect("checked above");
+                                map.resident_bytes -= old.bytes;
+                                drop(map);
+                                self.bump_epoch();
+                            }
+                        }
+                        return Err(StoreError::UnknownCut(cut_id.to_string()));
+                    }
+                }
+            }
+            None => {}
+        }
+        let path = self.shard_path(cut_id)?;
         if !path.is_file() {
             return Err(StoreError::UnknownCut(cut_id.to_string()));
         }
-        let slot: ShardSlot = DiagnosisEngine::load(&path, self.config)
-            .map(Arc::new)
-            .map_err(Arc::new);
-        self.shards
-            .lock()
-            .expect("shard map lock poisoned")
-            .entry(cut_id.to_string())
-            .or_insert_with(|| slot.clone())
-            .clone()
-            .map_err(StoreError::Bank)
+        self.load_and_install(cut_id, &path)
+    }
+
+    fn shard_path(&self, cut_id: &str) -> Result<PathBuf, StoreError> {
+        match &self.dir {
+            Some(dir) => Ok(dir.join(format!("{cut_id}.ftb"))),
+            None => Err(StoreError::UnknownCut(cut_id.to_string())),
+        }
+    }
+
+    /// Loads a shard file (outside the lock) and installs the outcome.
+    fn load_and_install(
+        &self,
+        cut_id: &str,
+        path: &Path,
+    ) -> Result<Arc<DiagnosisEngine>, StoreError> {
+        // Generation observed *before* the read: if the file is swapped
+        // mid-load, the slot carries the pre-load stamp and the next
+        // request's stat mismatches and retries — never the reverse.
+        let generation = match FileGen::probe(path) {
+            Ok(g) => g,
+            Err(_) => return Err(StoreError::UnknownCut(cut_id.to_string())),
+        };
+        let loaded = if self.config.mapped {
+            DiagnosisEngine::load_mapped(path, self.config.engine)
+        } else {
+            DiagnosisEngine::load(path, self.config.engine)
+        };
+        let (state, generation, bytes): (ShardState, FileGen, u64) = match loaded {
+            Ok(engine) => {
+                let bytes = engine.source_bytes();
+                // Successful opens capture the generation from the file
+                // they actually read (fd-accurate for mapped shards).
+                let generation = engine.generation().unwrap_or(generation);
+                (Ok(Arc::new(engine)), generation, bytes)
+            }
+            Err(e) => (Err(Arc::new(e)), generation, 0),
+        };
+        let slot = ShardSlot {
+            state: state.clone(),
+            generation: Some(generation),
+            bytes,
+            last_used: self.next_tick(),
+        };
+
+        let mut map = self.lock_shards();
+        if let Some(existing) = map.slots.get_mut(cut_id) {
+            if existing.generation == Some(generation) {
+                // A racing loader beat us to the same generation; its
+                // engine is identical, so keep it and drop ours.
+                existing.last_used = self.tick.fetch_add(1, Ordering::Relaxed);
+                return existing.state.clone().map_err(StoreError::Bank);
+            }
+        }
+        if let Some(old) = map.slots.insert(cut_id.to_string(), slot) {
+            map.resident_bytes -= old.bytes;
+        }
+        map.resident_bytes += bytes;
+        self.evict_over_budget(&mut map, cut_id);
+        drop(map);
+        self.bump_epoch();
+        state.map_err(StoreError::Bank)
+    }
+
+    /// Evicts least-recently-used file-backed shards until the resident
+    /// total fits the budget. The shard being served (`keep`) is never
+    /// evicted, so a single shard larger than the whole budget still
+    /// serves; in-flight holders of an evicted engine's `Arc` keep it
+    /// alive until their diagnoses finish.
+    fn evict_over_budget(&self, map: &mut ShardMap, keep: &str) {
+        let Some(budget) = self.config.mem_budget else {
+            return;
+        };
+        while map.resident_bytes > budget {
+            let victim = map
+                .slots
+                .iter()
+                .filter(|(id, slot)| {
+                    id.as_str() != keep && slot.generation.is_some() && slot.bytes > 0
+                })
+                .min_by_key(|(_, slot)| slot.last_used)
+                .map(|(id, _)| id.clone());
+            let Some(id) = victim else {
+                break;
+            };
+            let old = map.slots.remove(&id).expect("victim came from the map");
+            map.resident_bytes -= old.bytes;
+        }
     }
 
     /// Routes one request to its shard and diagnoses through the shard's
@@ -326,7 +593,7 @@ pub fn diagnose_on(
     engine: &DiagnosisEngine,
     request: &DiagnosisRequest,
 ) -> Result<Diagnosis, StoreError> {
-    let expected = engine.bank().trajectory_set().dim();
+    let expected = engine.trajectory_set().dim();
     if request.signature.dim() != expected {
         return Err(StoreError::DimensionMismatch {
             cut_id: request.cut_id.clone(),
@@ -367,6 +634,14 @@ mod tests {
         TrajectoryBank::build(dict, &TestVector::pair(100.0, 1e4))
     }
 
+    /// Writes a shard and nudges its mtime into the past, so a later
+    /// rewrite always lands a different `(mtime, len)` generation even
+    /// on coarse-timestamp filesystems.
+    fn write_shard(path: &Path, bank: &TrajectoryBank) {
+        bank.save(path).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(15));
+    }
+
     #[test]
     fn cut_id_validation() {
         for ok in ["a", "tow-thomas", "cut_07", "bank.v2", "A9"] {
@@ -386,6 +661,7 @@ mod tests {
         store.insert_bank("b", b.clone()).unwrap();
         assert_eq!(store.cut_ids(), vec!["a".to_string(), "b".to_string()]);
         assert_eq!(store.loaded_count(), 2);
+        assert_eq!(store.resident_bytes(), 0, "pinned banks are not counted");
 
         let sig = Signature::new(vec![1.0, -2.0]);
         let via_a = store
@@ -420,6 +696,7 @@ mod tests {
         assert_eq!(store.loaded_count(), 1, "only the touched shard loads");
         store.diagnose(&DiagnosisRequest::new("y", sig)).unwrap();
         assert_eq!(store.loaded_count(), 2);
+        assert!(store.resident_bytes() > 0, "file-backed shards are counted");
 
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -459,20 +736,218 @@ mod tests {
             Err(StoreError::NonFiniteSignature(_))
         ));
 
-        // A corrupt shard file surfaces a Bank error naming the path —
-        // and the failure is cached: deleting the file afterwards does
-        // not change the answer, proving no re-read per request.
+        // A corrupt shard file surfaces a Bank error naming the path.
+        // The failure is cached while the file is unchanged, and the
+        // slot is retired once the file disappears — a deleted shard
+        // answers UnknownCut, not a stale replayed failure.
         std::fs::write(dir.join("bad.ftb"), b"FTBANK\r\ngarbage").unwrap();
         let req = DiagnosisRequest::new("bad", Signature::new(vec![0.0, 0.0]));
         let err = store.diagnose(&req).unwrap_err();
         assert!(err.to_string().contains("bad.ftb"), "{err}");
-        std::fs::remove_file(dir.join("bad.ftb")).unwrap();
         let err = store.diagnose(&req).unwrap_err();
-        assert!(
-            matches!(err, StoreError::Bank(_)),
-            "cached failure expected, got {err}"
-        );
+        assert!(matches!(err, StoreError::Bank(_)), "cached failure: {err}");
+        std::fs::remove_file(dir.join("bad.ftb")).unwrap();
+        assert!(matches!(
+            store.diagnose(&req).unwrap_err(),
+            StoreError::UnknownCut(_)
+        ));
         assert_eq!(store.loaded_count(), 1, "failed shards are not 'loaded'");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn transient_load_failure_retries_when_file_changes() {
+        // The satellite regression: request → Bank error (file is a bad
+        // partial copy) → the good shard lands → the next request
+        // succeeds on the SAME store, no reopen.
+        let dir = std::env::temp_dir().join("ft_store_retry_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cut.ftb");
+        let bank = rc_bank(1e3);
+        let good = bank.to_bytes();
+        // A mid-copy prefix: valid magic, truncated body.
+        std::fs::write(&path, &good[..good.len() / 2]).unwrap();
+
+        let store = BankStore::open(&dir, EngineConfig::default()).unwrap();
+        let req = DiagnosisRequest::new("cut", Signature::new(vec![0.5, -0.5]));
+        let err = store.diagnose(&req).unwrap_err();
+        assert!(matches!(err, StoreError::Bank(_)), "{err}");
+        // Unchanged file: the cached failure is replayed, not re-read.
+        assert!(matches!(
+            store.diagnose(&req).unwrap_err(),
+            StoreError::Bank(_)
+        ));
+
+        // The full file arrives (different length ⇒ different gen).
+        std::fs::write(&path, &good).unwrap();
+        let diag = store.diagnose(&req).expect("repaired shard serves");
+        let reference = DiagnosisEngine::new(bank, EngineConfig::default());
+        assert_eq!(diag, reference.diagnose(&req.signature));
+        assert_eq!(store.loaded_count(), 1);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn hot_reload_swaps_shard_without_reopening() {
+        let dir = std::env::temp_dir().join("ft_store_hot_reload_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cut.ftb");
+        let bank_v1 = rc_bank(1e3);
+        let bank_v2 = rc_bank(4e3);
+        write_shard(&path, &bank_v1);
+
+        let store = BankStore::open(&dir, EngineConfig::default()).unwrap();
+        let sig = Signature::new(vec![0.8, -0.3]);
+        let req = DiagnosisRequest::new("cut", sig.clone());
+        let ref_v1 = DiagnosisEngine::new(bank_v1, EngineConfig::default()).diagnose(&sig);
+        let ref_v2 = DiagnosisEngine::new(bank_v2.clone(), EngineConfig::default()).diagnose(&sig);
+        assert_ne!(ref_v1, ref_v2, "the rebuilt bank must answer differently");
+        assert_eq!(store.diagnose(&req).unwrap(), ref_v1);
+
+        // An in-flight holder resolved before the swap…
+        let old_engine = store.engine("cut").unwrap();
+        let epoch_before = store.epoch();
+
+        // …then the shard file is rebuilt (atomic rename, like a real
+        // deployment would).
+        let tmp = dir.join("cut.ftb.tmp");
+        bank_v2.save(&tmp).unwrap();
+        std::fs::rename(&tmp, &path).unwrap();
+
+        // New requests see the new bank without reopening the store…
+        assert_eq!(store.diagnose(&req).unwrap(), ref_v2);
+        assert_ne!(store.epoch(), epoch_before, "swap must bump the epoch");
+        // …while the in-flight engine still answers on the old bank.
+        assert_eq!(diagnose_on(&old_engine, &req).unwrap(), ref_v1);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lru_eviction_respects_budget_and_preserves_results() {
+        let dir = std::env::temp_dir().join("ft_store_eviction_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let banks = [rc_bank(1e3), rc_bank(2e3), rc_bank(4e3)];
+        for (i, bank) in banks.iter().enumerate() {
+            bank.save(dir.join(format!("c{i}.ftb"))).unwrap();
+        }
+        // Budget sized so exactly one shard fits.
+        let one_shard = {
+            let store = BankStore::open(&dir, EngineConfig::default()).unwrap();
+            store.engine("c0").unwrap();
+            store.resident_bytes()
+        };
+        assert!(one_shard > 0);
+
+        let unbounded = BankStore::open(&dir, EngineConfig::default()).unwrap();
+        let tight = BankStore::open_with(
+            &dir,
+            StoreConfig {
+                mem_budget: Some(one_shard),
+                ..StoreConfig::default()
+            },
+        )
+        .unwrap();
+
+        let sig = Signature::new(vec![0.4, 0.9]);
+        for round in 0..3 {
+            for i in [0usize, 1, 2, 1, 0, 2] {
+                let req = DiagnosisRequest::new(format!("c{i}"), sig.clone());
+                assert_eq!(
+                    tight.diagnose(&req).unwrap(),
+                    unbounded.diagnose(&req).unwrap(),
+                    "eviction changed results (round {round}, shard {i})"
+                );
+                assert!(
+                    tight.resident_bytes() <= one_shard,
+                    "budget exceeded: {} > {one_shard}",
+                    tight.resident_bytes()
+                );
+                assert_eq!(tight.loaded_count(), 1, "budget holds one shard");
+            }
+        }
+        assert_eq!(unbounded.loaded_count(), 3);
+
+        // A budget smaller than any single shard still serves (the
+        // active shard is never evicted), it just evicts aggressively.
+        let tiny = BankStore::open_with(
+            &dir,
+            StoreConfig {
+                mem_budget: Some(1),
+                ..StoreConfig::default()
+            },
+        )
+        .unwrap();
+        let req = DiagnosisRequest::new("c0", sig.clone());
+        assert_eq!(
+            tiny.diagnose(&req).unwrap(),
+            unbounded.diagnose(&req).unwrap()
+        );
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn heap_and_mapped_store_modes_agree() {
+        let dir = std::env::temp_dir().join("ft_store_modes_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        rc_bank(1e3).save(dir.join("cut.ftb")).unwrap();
+        let mapped = BankStore::open_with(&dir, StoreConfig::default()).unwrap();
+        let heap = BankStore::open_with(
+            &dir,
+            StoreConfig {
+                mapped: false,
+                ..StoreConfig::default()
+            },
+        )
+        .unwrap();
+        let req = DiagnosisRequest::new("cut", Signature::new(vec![1.1, 0.2]));
+        assert_eq!(mapped.diagnose(&req).unwrap(), heap.diagnose(&req).unwrap());
+        assert_eq!(
+            mapped.engine("cut").unwrap().is_mapped(),
+            cfg!(unix),
+            "default mode maps on unix"
+        );
+        assert!(!heap.engine("cut").unwrap().is_mapped());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn poisoned_lock_is_recovered_not_propagated() {
+        let dir = std::env::temp_dir().join("ft_store_poison_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        rc_bank(1e3).save(dir.join("x.ftb")).unwrap();
+        let store = std::sync::Arc::new(BankStore::open(&dir, EngineConfig::default()).unwrap());
+        let req = DiagnosisRequest::new("x", Signature::new(vec![0.1, 0.1]));
+        let before = store.diagnose(&req).unwrap();
+
+        // A client thread panics while holding the shard-map lock (the
+        // worst case: mid-critical-section), poisoning the mutex.
+        let poisoner = std::sync::Arc::clone(&store);
+        let caught = std::thread::spawn(move || {
+            let _guard = poisoner.shards.lock().unwrap();
+            panic!("deliberate poison");
+        })
+        .join();
+        assert!(caught.is_err(), "the poisoner must have panicked");
+        assert!(store.shards.is_poisoned(), "the lock must be poisoned");
+
+        // Diagnosis in other threads keeps working: cached shards serve,
+        // new shards load, bookkeeping stays sane.
+        assert_eq!(store.diagnose(&req).unwrap(), before);
+        rc_bank(2e3).save(dir.join("y.ftb")).unwrap();
+        let other = std::sync::Arc::clone(&store);
+        let from_other_thread = std::thread::spawn(move || {
+            other
+                .diagnose(&DiagnosisRequest::new("y", Signature::new(vec![0.1, 0.1])))
+                .map(|d| d.best().component.clone())
+        })
+        .join()
+        .expect("no panic propagates");
+        assert!(from_other_thread.is_ok());
+        assert_eq!(store.loaded_count(), 2);
 
         std::fs::remove_dir_all(&dir).ok();
     }

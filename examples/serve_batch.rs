@@ -50,6 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for _ in 0..100 {
         let fault = engine
             .bank()
+            .expect("heap engine keeps its bank")
             .dictionary()
             .universe()
             .sample_unknown(&mut rng, 5.0);
@@ -74,10 +75,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let reference = engine.diagnose_batch_linear(&observations);
     assert_eq!(verdicts, reference, "index is exact");
     // And with the plain single-signature Diagnoser path.
-    let diagnoser = Diagnoser::new(
-        engine.bank().trajectory_set().clone(),
-        DiagnoserConfig::default(),
-    );
+    let diagnoser = Diagnoser::new(engine.trajectory_set().clone(), DiagnoserConfig::default());
     let single: Vec<_> = observations.iter().map(|s| diagnoser.diagnose(s)).collect();
     assert_eq!(verdicts, single, "batching preserves results and order");
 
@@ -96,7 +94,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let store = std::sync::Arc::new(fault_trajectory::serve::BankStore::in_memory(
         EngineConfig::default(),
     ));
-    store.insert_bank("tow-thomas", engine.bank().clone())?;
+    store.insert_bank(
+        "tow-thomas",
+        engine.bank().expect("heap engine keeps its bank").clone(),
+    )?;
     let mut handle = ServeHandle::new(store, 4);
     handle.submit(
         observations

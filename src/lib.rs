@@ -17,8 +17,10 @@
 //!   `1/(1+I)`, GA ATPG, perpendicular-distance diagnosis, metrics.
 //! * [`serve`] — the serving layer: persistent trajectory banks
 //!   (sectioned v2 container), the segment spatial index, batched
-//!   diagnosis, multi-circuit bank sharding (`BankStore`), the
-//!   persistent-pool front-end (`ServeHandle`), and the `ftd` CLI.
+//!   diagnosis, out-of-core multi-circuit bank sharding (`BankStore`:
+//!   zero-copy mmap loads, LRU eviction under a memory budget, hot
+//!   shard reload), the persistent-pool front-end (`ServeHandle`), and
+//!   the `ftd` CLI.
 //!
 //! ## Quickstart
 //!
@@ -82,7 +84,7 @@ pub mod prelude {
     };
     pub use ft_numerics::{Complex64, FrequencyGrid, TransferFunction};
     pub use ft_serve::{
-        BankStore, CodecError, DiagnosisEngine, DiagnosisRequest, EngineConfig, SegmentIndex,
-        ServeHandle, StoreError, TrajectoryBank,
+        BankStore, CodecError, DiagnosisEngine, DiagnosisRequest, EngineConfig, MappedBank,
+        SegmentIndex, ServeHandle, StoreConfig, StoreError, TrajectoryBank,
     };
 }

@@ -141,7 +141,7 @@ fn paper_bank_round_trip_and_indexed_agreement() {
     bank.save(&path).expect("saves");
     let engine = DiagnosisEngine::load(&path, EngineConfig::default()).expect("loads");
     std::fs::remove_file(&path).ok();
-    assert_eq!(engine.bank(), &bank);
+    assert_eq!(engine.bank(), Some(&bank));
 
     // Diagnose every ±25% single fault, indexed vs linear vs batch.
     let mut observations = Vec::new();

@@ -15,7 +15,7 @@ use std::sync::Arc;
 use fault_trajectory::core::Diagnosis;
 use fault_trajectory::faults::all_pairs;
 use fault_trajectory::prelude::*;
-use fault_trajectory::serve::{synthetic_queries, Container, ContainerBuilder};
+use fault_trajectory::serve::{diagnose_on, synthetic_queries, Container, ContainerBuilder};
 
 /// The paper CUT's bank at quality factor `q`, with the exhaustive
 /// pair-fault dictionary attached as a multi-fault section.
@@ -184,6 +184,210 @@ fn store_routing_and_pool_match_per_bank_batches_at_1_2_8_workers() {
             store.loaded_count(),
             2,
             "both shards resident after serving"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn mapped_and_heap_engines_diagnose_byte_identically() {
+    // Property: for banks of varying shape (with/without multifault,
+    // varying Q), the zero-copy mapped engine and the heap-decoding
+    // engine return bit-identical diagnoses on every path.
+    let dir = std::env::temp_dir().join("serve_v2_mapped_parity");
+    std::fs::create_dir_all(&dir).expect("dir");
+    for (name, bank) in [
+        ("q1", paper_bank_with_multifault(1.0)),
+        ("q2", paper_bank_with_multifault(2.0)),
+        ("plain", {
+            let with_mfd = paper_bank_with_multifault(0.8);
+            TrajectoryBank::build(with_mfd.dictionary().clone(), with_mfd.test_vector())
+        }),
+    ] {
+        let path = dir.join(format!("{name}.ftb"));
+        bank.save(&path).expect("saves");
+        let heap = DiagnosisEngine::load(&path, EngineConfig::default()).expect("heap load");
+        let mapped =
+            DiagnosisEngine::load_mapped(&path, EngineConfig::default()).expect("mapped load");
+        assert!(mapped.bank().is_none(), "mapped engine holds no heap bank");
+        assert_eq!(
+            heap.generation(),
+            mapped.generation(),
+            "same file generation"
+        );
+
+        let queries = synthetic_queries(bank.trajectory_set(), 23, 42);
+        assert_eq!(
+            heap.diagnose_batch(&queries),
+            mapped.diagnose_batch(&queries),
+            "indexed batch diverged on `{name}`"
+        );
+        assert_eq!(
+            heap.diagnose_batch_linear(&queries),
+            mapped.diagnose_batch_linear(&queries),
+            "linear batch diverged on `{name}`"
+        );
+        for q in &queries {
+            assert_eq!(
+                heap.diagnose(q),
+                mapped.diagnose(q),
+                "single diverged on `{name}`"
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn mapped_open_defers_corruption_outside_the_hot_section() {
+    // The mapped reader verifies section checksums lazily: damage to the
+    // dictionary payload must not stop diagnosis (which only needs the
+    // trajectories), but must still be detected — and attributed — the
+    // moment the damaged section is decoded.
+    let bank = paper_bank_with_multifault(1.0);
+    let bytes = bank.to_bytes();
+    let container = Container::parse(&bytes).expect("container parses");
+    let sections: Vec<(u16, usize, usize)> = container
+        .sections()
+        .iter()
+        .map(|s| (s.kind, s.offset, s.payload.len()))
+        .collect();
+    drop(container);
+
+    let dir = std::env::temp_dir().join("serve_v2_mapped_lazy_corruption");
+    std::fs::create_dir_all(&dir).expect("dir");
+    for &(kind, offset, len) in &sections {
+        let mut corrupt = bytes.clone();
+        corrupt[offset + len / 2] ^= 0x40;
+        let path = dir.join(format!("kind{kind}.ftb"));
+        std::fs::write(&path, &corrupt).expect("writes");
+
+        if kind == fault_trajectory::serve::SECTION_TRAJECTORIES {
+            // The hot section decodes eagerly at open.
+            let err = MappedBank::open(&path).expect_err("trajectory damage fails open");
+            assert!(err.to_string().contains("trajectories"), "got: {err}");
+            continue;
+        }
+        let (mapped, set) = MappedBank::open(&path).expect("open defers cold sections");
+        assert_eq!(&set, bank.trajectory_set(), "trajectories unaffected");
+        let err = if kind == fault_trajectory::serve::SECTION_DICTIONARY {
+            mapped.dictionary().expect_err("decode detects damage")
+        } else {
+            mapped
+                .multifault_dictionary()
+                .expect_err("decode detects damage")
+        };
+        let msg = err.to_string();
+        let name = fault_trajectory::serve::section_name(kind);
+        assert!(msg.contains(name), "`{name}` missing from: {msg}");
+        assert!(
+            msg.contains(&format!("kind{kind}.ftb")),
+            "path missing from: {msg}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn one_shard_budget_serves_three_shard_stream_identically_to_unbounded() {
+    // The headline out-of-core property: a store whose memory budget
+    // holds only the largest single shard must serve a mixed-CUT stream
+    // over three shards byte-identically to an unbounded store, across
+    // random interleavings and worker counts — eviction may only cost
+    // reloads, never answers.
+    let dir = std::env::temp_dir().join("serve_v2_out_of_core_shards");
+    std::fs::create_dir_all(&dir).expect("shard dir");
+    let cuts = ["q08", "q10", "q20"];
+    let banks = [
+        paper_bank_with_multifault(0.8),
+        paper_bank_with_multifault(1.0),
+        paper_bank_with_multifault(2.0),
+    ];
+    let mut budget = 0u64;
+    for (cut, bank) in cuts.iter().zip(&banks) {
+        let path = dir.join(format!("{cut}.ftb"));
+        bank.save(&path).expect("saves");
+        let (mapped, _) = MappedBank::open(&path).expect("opens");
+        budget = budget.max(mapped.payload_bytes());
+    }
+
+    let unbounded = BankStore::open(&dir, EngineConfig::default()).expect("unbounded store");
+    let tight_config = StoreConfig {
+        mem_budget: Some(budget),
+        ..StoreConfig::new(EngineConfig::default())
+    };
+
+    // Random interleavings, direct store path: results never differ.
+    let mut state = 0x243f_6a88u64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    let per_cut: Vec<Vec<Signature>> = banks
+        .iter()
+        .enumerate()
+        .map(|(i, b)| synthetic_queries(b.trajectory_set(), 20, 300 + i as u64))
+        .collect();
+    let tight = BankStore::open_with(&dir, tight_config).expect("tight store");
+    let mut cursors = [0usize; 3];
+    let mut served = 0usize;
+    while served < 60 {
+        let pick = next() % 3;
+        let i = &mut cursors[pick];
+        if *i == per_cut[pick].len() {
+            continue;
+        }
+        let req = DiagnosisRequest::new(cuts[pick], per_cut[pick][*i].clone());
+        *i += 1;
+        served += 1;
+        let want = diagnose_on(&unbounded.engine(&req.cut_id).expect("unbounded"), &req)
+            .expect("unbounded serves");
+        let got =
+            diagnose_on(&tight.engine(&req.cut_id).expect("tight"), &req).expect("tight serves");
+        assert_eq!(got, want, "eviction changed an answer (request {served})");
+        assert!(
+            tight.resident_bytes() <= budget,
+            "budget exceeded: {} > {budget}",
+            tight.resident_bytes()
+        );
+    }
+    assert_eq!(tight.loaded_count(), 1, "budget holds exactly one shard");
+
+    // Through the pooled front-end at 1, 2, and 8 workers.
+    let mut requests: Vec<DiagnosisRequest> = Vec::new();
+    for i in 0..per_cut[0].len() {
+        for (cut, sigs) in cuts.iter().zip(&per_cut) {
+            requests.push(DiagnosisRequest::new(*cut, sigs[i].clone()));
+        }
+    }
+    let reference: Vec<Diagnosis> = requests
+        .iter()
+        .map(|r| {
+            diagnose_on(&unbounded.engine(&r.cut_id).expect("unbounded"), r)
+                .expect("unbounded serves")
+        })
+        .collect();
+    for workers in [1usize, 2, 8] {
+        let store = Arc::new(BankStore::open_with(&dir, tight_config).expect("store"));
+        let mut handle = ServeHandle::new(Arc::clone(&store), workers);
+        for chunk in requests.chunks(7) {
+            handle.submit(chunk.to_vec());
+        }
+        let drained: Vec<Diagnosis> = handle
+            .drain()
+            .into_iter()
+            .flatten()
+            .map(|r| r.expect("request serves"))
+            .collect();
+        assert_eq!(
+            drained, reference,
+            "tight-budget pool diverged from unbounded at {workers} workers"
+        );
+        assert!(
+            store.resident_bytes() <= budget,
+            "budget exceeded under pool"
         );
     }
     std::fs::remove_dir_all(&dir).ok();
