@@ -19,8 +19,8 @@ use ft_bench::paper_setup;
 use ft_core::{Diagnoser, DiagnoserConfig, Signature, TestVector};
 use ft_serve::{
     diagnose_batch_with, synthetic_circuit_bank, synthetic_queries, synthetic_trajectory_set,
-    BankStore, DiagnosisEngine, DiagnosisRequest, EngineConfig, SegmentIndex, ServeHandle,
-    TrajectoryBank,
+    BankStore, DiagnosisEngine, DiagnosisRequest, EngineConfig, MetricsRegistry, SegmentIndex,
+    ServeHandle, TrajectoryBank,
 };
 
 /// Sustained-traffic workload for the front-end comparison: one batch
@@ -122,6 +122,22 @@ fn emit_summary(_c: &mut Criterion) {
         handle.drain_one().expect("batch completes");
     });
 
+    // The same pool with live metrics attached: the observability
+    // acceptance bound says this must sit within noise of `pooled_s`.
+    let registry = Arc::new(MetricsRegistry::new());
+    let bank = engine.bank().expect("heap-built engine has a bank").clone();
+    let config = EngineConfig {
+        diagnoser: DiagnoserConfig::default(),
+        workers: Some(workers),
+    };
+    let store = Arc::new(BankStore::in_memory(config).with_metrics(&registry));
+    store.insert_bank("ladder", bank).expect("valid cut id");
+    let mut instrumented = ServeHandle::with_metrics(store, workers, &registry);
+    let instrumented_s = median_secs(15, || {
+        instrumented.submit(requests.clone());
+        instrumented.drain_one().expect("batch completes");
+    });
+
     // Cold load: a dense dictionary (161 grid points × 320 deviations
     // per branch) makes the bank file multi-MB and dictionary-dominated,
     // the shape where out-of-core serving matters.
@@ -144,18 +160,23 @@ fn emit_summary(_c: &mut Criterion) {
          \"batch\": {FRONTEND_BATCH},\n  \"workers\": {workers},\n  \
          \"scoped_batch_s\": {scoped_s:.6e},\n  \"pooled_batch_s\": {pooled_s:.6e},\n  \
          \"pooled_vs_scoped\": {:.2},\n  \
+         \"instrumented_batch_s\": {instrumented_s:.6e},\n  \
+         \"instrumented_vs_pooled\": {:.3},\n  \
          \"cold_load_bank_bytes\": {bank_bytes},\n  \
          \"heap_cold_load_s\": {heap_s:.6e},\n  \"mapped_cold_load_s\": {mapped_s:.6e},\n  \
          \"mapped_vs_heap_cold_load\": {:.3}\n}}\n",
         scoped_s / pooled_s.max(1e-12),
+        instrumented_s / pooled_s.max(1e-12),
         mapped_s / heap_s.max(1e-12),
     );
     std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
     println!(
         "BENCH_serve.json: persistent pool {:.1}x vs scoped threads \
          ({FRONTEND_BATCH}-request batches, {workers} workers, {segments} segments); \
+         metrics overhead {:.3}x; \
          mmap cold load {:.2}x heap decode on a {:.1} MB bank",
         scoped_s / pooled_s.max(1e-12),
+        instrumented_s / pooled_s.max(1e-12),
         mapped_s / heap_s.max(1e-12),
         bank_bytes as f64 / (1024.0 * 1024.0),
     );

@@ -76,6 +76,7 @@ pub mod fitness;
 pub mod geometry;
 pub mod metrics;
 pub mod multiprobe;
+pub mod scratch;
 pub mod signature;
 pub mod trajectory;
 
@@ -96,6 +97,7 @@ pub use metrics::{
     evaluate_classifier, AccuracyReport, ConfusionMatrix, EvalConfig, SignatureClassifier,
 };
 pub use multiprobe::ProbeBank;
+pub use scratch::{scratch_pool_stats, DbScratch};
 pub use signature::{
     measure_signature, sample_response_db, signature_from_db, Signature, TestVector, DB_FLOOR,
 };

@@ -253,7 +253,12 @@ impl TrajectorySet {
 /// minus the golden response; the 0% origin point is inserted explicitly.
 pub fn trajectories_from_dictionary(dict: &FaultDictionary, tv: &TestVector) -> TrajectorySet {
     let omegas = tv.omegas();
-    let golden: Vec<f64> = omegas.iter().map(|&w| dict.golden_db_at(w)).collect();
+    // The GA loop calls this thousands of times per run; both dB
+    // buffers come from the thread-local scratch pool so the hot path
+    // allocates only on its first call per thread.
+    let mut golden = crate::scratch::DbScratch::acquire();
+    golden.extend(omegas.iter().map(|&w| dict.golden_db_at(w)));
+    let mut measured = crate::scratch::DbScratch::acquire();
 
     let mut trajectories = Vec::new();
     for component in dict.universe().components() {
@@ -263,7 +268,8 @@ pub fn trajectories_from_dictionary(dict: &FaultDictionary, tv: &TestVector) -> 
             if fault.component() != component {
                 continue;
             }
-            let measured: Vec<f64> = omegas.iter().map(|&w| dict.entry_db_at(idx, w)).collect();
+            measured.clear();
+            measured.extend(omegas.iter().map(|&w| dict.entry_db_at(idx, w)));
             devs.push(fault.percent());
             points.push(signature_from_db(&measured, &golden));
         }

@@ -29,6 +29,7 @@ use crate::codec::{
     BANK_VERSION, BANK_VERSION_V1, SECTION_DICTIONARY, SECTION_MULTIFAULT, SECTION_TRAJECTORIES,
 };
 use crate::mmap::{FileGen, Mmap};
+use crate::obs::Counter;
 
 /// Probe encoding tags.
 const PROBE_NODE: u8 = 0;
@@ -254,6 +255,7 @@ pub struct MappedBank {
     generation: FileGen,
     dict: OnceLock<Result<FaultDictionary, Arc<CodecError>>>,
     multifault: OnceLock<Result<Option<MultiFaultDictionary>, Arc<CodecError>>>,
+    decode_events: Option<Arc<Counter>>,
 }
 
 impl MappedBank {
@@ -293,6 +295,7 @@ impl MappedBank {
                         generation,
                         dict: dict_cell,
                         multifault: mfd_cell,
+                        decode_events: None,
                     },
                     set,
                 ))
@@ -309,6 +312,7 @@ impl MappedBank {
                         generation,
                         dict: OnceLock::new(),
                         multifault: OnceLock::new(),
+                        decode_events: None,
                     },
                     set,
                 ))
@@ -351,6 +355,13 @@ impl MappedBank {
             .map_err(Arc::clone)
     }
 
+    /// Attaches a counter incremented once per lazy section decode
+    /// (`engine_lazy_decodes_total`): each section fires at most once,
+    /// on its first touch.
+    pub(crate) fn set_decode_counter(&mut self, counter: Arc<Counter>) {
+        self.decode_events = Some(counter);
+    }
+
     fn decode_section<T>(
         &self,
         kind: u16,
@@ -359,6 +370,9 @@ impl MappedBank {
         let MappedPayload::Sectioned { map, table } = &self.payload else {
             unreachable!("legacy cells are pre-populated at open");
         };
+        if let Some(counter) = &self.decode_events {
+            counter.inc();
+        }
         let run = || -> Result<Option<T>, CodecError> {
             let Some(payload) = (if kind == SECTION_DICTIONARY {
                 Some(table.require(map.bytes(), kind)?)
@@ -393,6 +407,21 @@ impl MappedBank {
         match &self.payload {
             MappedPayload::Sectioned { table, .. } => table.payload_bytes(),
             MappedPayload::Legacy => self.generation.len(),
+        }
+    }
+
+    /// Per-section `(kind, payload_bytes)` rows of a sectioned shard —
+    /// the breakdown of [`payload_bytes`](MappedBank::payload_bytes)
+    /// the store's eviction budget accounts with. Empty for legacy v1
+    /// shards, which are accounted at whole-file length.
+    pub fn section_sizes(&self) -> Vec<(u16, u64)> {
+        match &self.payload {
+            MappedPayload::Sectioned { table, .. } => table
+                .entries()
+                .iter()
+                .map(|e| (e.kind, e.len as u64))
+                .collect(),
+            MappedPayload::Legacy => Vec::new(),
         }
     }
 

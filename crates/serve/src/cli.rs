@@ -13,7 +13,10 @@
 //! * `ftd gen-requests` — mint a deterministic request file near a
 //!   bank's trajectories (smoke tests, load generators).
 //! * `ftd bank-info` — inspect a bank container: format version,
-//!   section table with per-section checksum status, entry counts.
+//!   section table with per-section payload bytes and checksum status,
+//!   entry counts.
+//! * `ftd stats` — pretty-print a stats file written by
+//!   `ftd serve --stats-file` (greppable text or Prometheus exposition).
 //! * `ftd bench-scan-vs-index` — measure the spatial index against the
 //!   linear scan on a production-scale synthetic bank.
 //!
@@ -38,6 +41,7 @@ use crate::bank::{MappedBank, TrajectoryBank};
 use crate::codec::{peek_version, Container, BANK_VERSION, BANK_VERSION_V1};
 use crate::engine::{diagnose_batch_with, DiagnosisEngine, EngineConfig};
 use crate::index::SegmentIndex;
+use crate::obs::{MetricsRegistry, Snapshot};
 use crate::pool::ServeHandle;
 use crate::store::{BankStore, DiagnosisRequest, StoreConfig};
 use crate::synthetic::{synthetic_circuit_bank, synthetic_queries, synthetic_trajectory_set};
@@ -52,8 +56,10 @@ USAGE:
   ftd diagnose --bank PATH --requests FILE [--cut-id ID] [--workers N]
                [--linear]
   ftd serve --banks DIR [--workers N] [--batch N] [--mem-budget BYTES[K|M|G]]
+            [--stats-file PATH] [--stats-every N]
   ftd gen-requests --bank PATH --cut-id ID [--count N] [--seed N]
   ftd bank-info [--mapped] PATH
+  ftd stats [--prometheus] FILE
   ftd bench-scan-vs-index [--components N] [--points N] [--dim D]
                [--queries N] [--seed N] [--workers N] [--leaf N]
                [--circuit-order N]
@@ -85,14 +91,27 @@ SUBCOMMANDS:
                        file changes on disk, and --mem-budget caps
                        resident shard bytes with LRU eviction (evicted
                        shards reload on demand; results are unchanged).
+                       --stats-file snapshots serving metrics (qps,
+                       latency histograms, shard cache hit rate) to a
+                       JSON file on exit — and every N requests with
+                       --stats-every; a `!stats` request line prints a
+                       one-shot snapshot to stderr. Metrics never change
+                       diagnosis output; without --stats-file nothing is
+                       recorded at all.
   gen-requests         Load a bank and print --count deterministic
                        request lines (signatures jittered around the
                        bank's trajectories) tagged with --cut-id.
   bank-info            Print a bank container's format version, section
-                       table (type, size, checksum status), and entry
-                       counts without serving from it. With --mapped,
-                       open through the server's zero-copy mmap path
-                       instead and report which sections decode lazily.
+                       table (type, payload bytes, checksum status), and
+                       entry counts without serving from it. With
+                       --mapped, open through the server's zero-copy
+                       mmap path instead and report per-section payload
+                       bytes and which sections decode lazily.
+  stats                Read a --stats-file snapshot and print it as
+                       greppable `name value` lines (counters, gauges,
+                       histogram count/sum/mean/p50/p90/p99, derived
+                       qps and shard cache hit rate) — or as the
+                       Prometheus text exposition with --prometheus.
   bench-scan-vs-index  Time linear scan vs spatial index, single-query
                        and batched, on a synthetic >=1k-segment bank.
                        With --circuit-order N the bank is *simulated*
@@ -124,6 +143,7 @@ pub fn main_from_args(args: Vec<String>) -> i32 {
         "serve" => serve(rest),
         "gen-requests" => gen_requests(rest),
         "bank-info" => bank_info(rest),
+        "stats" => stats(rest),
         "bench-scan-vs-index" => bench_scan_vs_index(rest),
         other => {
             eprintln!("ftd: unknown subcommand `{other}`\n");
@@ -544,6 +564,8 @@ fn serve(args: &[String]) -> Result<(), CliError> {
     let mut workers: Option<usize> = None;
     let mut batch = 64usize;
     let mut mem_budget: Option<u64> = None;
+    let mut stats_file: Option<String> = None;
+    let mut stats_every: Option<usize> = None;
     let mut flags = Flags::new(args);
     while let Some(flag) = flags.next_flag() {
         match flag {
@@ -551,12 +573,20 @@ fn serve(args: &[String]) -> Result<(), CliError> {
             "--workers" => workers = Some(flags.parse("--workers")?),
             "--batch" => batch = flags.parse("--batch")?,
             "--mem-budget" => mem_budget = Some(parse_mem_budget(flags.value("--mem-budget")?)?),
+            "--stats-file" => stats_file = Some(flags.value("--stats-file")?.to_string()),
+            "--stats-every" => stats_every = Some(flags.parse("--stats-every")?),
             other => return Err(usage(format!("serve: unknown flag `{other}`"))),
         }
     }
     let banks = banks.ok_or_else(|| usage("serve needs --banks DIR"))?;
     if batch == 0 {
         return Err(usage("--batch must be positive"));
+    }
+    if stats_every.is_some() && stats_file.is_none() {
+        return Err(usage("--stats-every needs --stats-file PATH"));
+    }
+    if stats_every == Some(0) {
+        return Err(usage("--stats-every must be positive"));
     }
     let workers = workers.unwrap_or_else(|| {
         std::thread::available_parallelism()
@@ -567,11 +597,23 @@ fn serve(args: &[String]) -> Result<(), CliError> {
         return Err(usage("--workers must be positive"));
     }
 
+    // Metrics exist only when a stats sink was asked for; otherwise the
+    // noop registry attaches nothing anywhere and serving runs exactly
+    // the uninstrumented code.
+    let registry = Arc::new(if stats_file.is_some() {
+        MetricsRegistry::new()
+    } else {
+        MetricsRegistry::noop()
+    });
     let store_config = StoreConfig {
         mem_budget,
         ..StoreConfig::new(EngineConfig::default())
     };
-    let store = Arc::new(BankStore::open_with(&banks, store_config).map_err(runtime)?);
+    let store = Arc::new(
+        BankStore::open_with(&banks, store_config)
+            .map_err(runtime)?
+            .with_metrics(&registry),
+    );
     eprintln!(
         "serving shard directory `{banks}` ({} CUTs on disk) with {workers} workers, \
          batches of {batch}{}",
@@ -581,7 +623,11 @@ fn serve(args: &[String]) -> Result<(), CliError> {
             None => String::new(),
         },
     );
-    let mut handle = ServeHandle::new(store, workers);
+    let mut handle = ServeHandle::with_metrics(store, workers, &registry);
+    let write_stats = |path: &str| -> Result<(), CliError> {
+        std::fs::write(path, registry.snapshot().to_json())
+            .map_err(|e| runtime(format!("stats file {path}: {e}")))
+    };
 
     // Requests stream in on stdin and pipeline through the pool in
     // --batch chunks: while one batch is in flight the next is being
@@ -590,23 +636,25 @@ fn serve(args: &[String]) -> Result<(), CliError> {
     let stdin = std::io::stdin();
     let mut cuts: Vec<String> = Vec::new();
     let mut chunk: Vec<DiagnosisRequest> = Vec::with_capacity(batch);
-    let mut served = 0usize;
-    let mut errors = 0usize;
+    // Cells (not plain counters): the print closure and the periodic
+    // stats writer in the stream loop both live across the whole loop.
+    let served = std::cell::Cell::new(0usize);
+    let errors = std::cell::Cell::new(0usize);
     let stdout = std::io::stdout();
     // Write failures surface as results, not panics: a downstream
     // `| head` closing the pipe must stop the stream cleanly.
-    let mut print_batch =
+    let print_batch =
         |cuts: &mut Vec<String>, results: Vec<crate::pool::ServeResult>| -> std::io::Result<()> {
             use std::io::Write;
             let mut out = stdout.lock();
             for (cut, result) in cuts.drain(..).zip(results) {
-                served += 1;
+                served.set(served.get() + 1);
                 match result {
                     Ok(diagnosis) => {
                         writeln!(out, "{}", render_diagnosis_line(&cut, &diagnosis))?;
                     }
                     Err(e) => {
-                        errors += 1;
+                        errors.set(errors.get() + 1);
                         writeln!(out, "{cut}\terror\t{e}")?;
                     }
                 }
@@ -623,8 +671,19 @@ fn serve(args: &[String]) -> Result<(), CliError> {
         }
     };
     let mut in_flight: std::collections::VecDeque<Vec<String>> = std::collections::VecDeque::new();
+    let mut stats_written_at = 0usize;
     'stream: for (i, line) in stdin.lock().lines().enumerate() {
         let line = line.map_err(|e| runtime(format!("stdin: {e}")))?;
+        // `!stats` is an in-band control line, not a request: print a
+        // one-shot snapshot to stderr (stdout stays pure diagnoses).
+        if line.trim() == "!stats" {
+            if registry.is_enabled() {
+                eprint!("{}", registry.snapshot().render_text());
+            } else {
+                eprintln!("ftd serve: metrics disabled (run with --stats-file); !stats ignored");
+            }
+            continue;
+        }
         let Some(req) = parse_request_line(&line, i + 1)? else {
             continue;
         };
@@ -646,6 +705,14 @@ fn serve(args: &[String]) -> Result<(), CliError> {
                     }
                 }
             }
+            // Periodic snapshots land on batch boundaries: close enough
+            // to "every N requests" without a write on the hot path.
+            if let (Some(path), Some(every)) = (&stats_file, stats_every) {
+                if served.get() - stats_written_at >= every {
+                    write_stats(path)?;
+                    stats_written_at = served.get();
+                }
+            }
         }
     }
     if !chunk.is_empty() {
@@ -662,13 +729,48 @@ fn serve(args: &[String]) -> Result<(), CliError> {
             }
         }
     }
+    if let Some(path) = &stats_file {
+        write_stats(path)?;
+        eprintln!("wrote stats snapshot to `{path}`");
+    }
     eprintln!(
-        "served {served} requests ({errors} errors) across {} loaded shards in {:.2?}",
+        "served {} requests ({} errors) across {} loaded shards in {:.2?}",
+        served.get(),
+        errors.get(),
         handle.store().loaded_count(),
         started.elapsed(),
     );
-    if errors > 0 {
-        return Err(runtime(format!("{errors} of {served} requests failed")));
+    if errors.get() > 0 {
+        return Err(runtime(format!(
+            "{} of {} requests failed",
+            errors.get(),
+            served.get()
+        )));
+    }
+    Ok(())
+}
+
+/// The `ftd stats` subcommand: reads a snapshot JSON written by
+/// `ftd serve --stats-file` and pretty-prints it — greppable
+/// `name value` text by default, the Prometheus exposition format with
+/// `--prometheus`.
+fn stats(args: &[String]) -> Result<(), CliError> {
+    let (prometheus, path) = match args {
+        [path] => (false, path),
+        [a, path] | [path, a] if a == "--prometheus" => (true, path),
+        _ => {
+            return Err(usage(
+                "stats takes one FILE argument (plus optional --prometheus)",
+            ))
+        }
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| runtime(format!("{path}: {e}")))?;
+    let snapshot = Snapshot::from_json(&text)
+        .map_err(|e| runtime(format!("{path}: not a stats file: {e}")))?;
+    if prometheus {
+        print!("{}", snapshot.to_prometheus());
+    } else {
+        print!("{}", snapshot.render_text());
     }
     Ok(())
 }
@@ -735,12 +837,14 @@ fn bank_info(args: &[String]) -> Result<(), CliError> {
         BANK_VERSION => {
             let container = Container::parse(&bytes).map_err(runtime)?;
             println!("section table ({} sections):", container.sections().len());
-            println!("  type  name          offset      bytes  checksum");
+            println!("  type  name          offset  payload_bytes  checksum");
+            let mut payload_total = 0usize;
             for s in container.sections() {
                 let ok = s.checksum_ok();
                 bad_sections += usize::from(!ok);
+                payload_total += s.payload.len();
                 println!(
-                    "  {:>4}  {:<12} {:>7} {:>10}  {}",
+                    "  {:>4}  {:<12} {:>7} {:>13}  {}",
                     s.kind,
                     crate::codec::section_name(s.kind),
                     s.offset,
@@ -748,6 +852,11 @@ fn bank_info(args: &[String]) -> Result<(), CliError> {
                     if ok { "ok" } else { "MISMATCH" },
                 );
             }
+            println!(
+                "payload: {payload_total} bytes across {} sections, {} bytes of framing",
+                container.sections().len(),
+                bytes.len() - payload_total,
+            );
         }
         other => return Err(runtime(format!("unsupported bank format version {other}"))),
     }
@@ -804,6 +913,17 @@ fn bank_info_mapped(path: &str) -> Result<(), CliError> {
             "heap fallback (platform without mmap)"
         },
     );
+    let sections = bank.section_sizes();
+    if !sections.is_empty() {
+        println!("sections ({}):", sections.len());
+        for (kind, payload_bytes) in sections {
+            println!(
+                "  {:>4}  {:<12} {payload_bytes:>13} payload bytes",
+                kind,
+                crate::codec::section_name(kind),
+            );
+        }
+    }
     println!(
         "trajectories (decoded eagerly): {} trajectories / {} segments, dim {}, tv {}",
         set.len(),
@@ -1239,6 +1359,44 @@ mod tests {
                 "rendered lines diverged"
             );
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stats_subcommand_round_trips_a_snapshot() {
+        let dir = std::env::temp_dir().join("ftd_cli_stats_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stats.json");
+        let registry = MetricsRegistry::new();
+        registry.counter("serve_requests_total").add(7);
+        registry.histogram("serve_request_latency_us").record(300);
+        std::fs::write(&path, registry.snapshot().to_json()).unwrap();
+        let path_str = path.to_string_lossy().to_string();
+
+        assert_eq!(main_from_args(vec!["stats".into(), path_str.clone()]), 0);
+        assert_eq!(
+            main_from_args(vec![
+                "stats".into(),
+                "--prometheus".into(),
+                path_str.clone()
+            ]),
+            0
+        );
+        // Malformed input is a runtime error, a missing arg a usage one.
+        std::fs::write(&path, "not a stats file").unwrap();
+        assert_eq!(main_from_args(vec!["stats".into(), path_str]), 1);
+        assert_eq!(main_from_args(vec!["stats".into()]), 2);
+        // --stats-every without --stats-file is rejected up front.
+        assert_eq!(
+            main_from_args(vec![
+                "serve".into(),
+                "--banks".into(),
+                "/tmp".into(),
+                "--stats-every".into(),
+                "10".into(),
+            ]),
+            2
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

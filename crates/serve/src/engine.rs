@@ -17,6 +17,7 @@
 //! directly.
 
 use std::path::Path;
+use std::sync::Arc;
 
 use ft_core::{Diagnoser, DiagnoserConfig, Diagnosis, SegmentQuery, Signature, TrajectorySet};
 
@@ -24,6 +25,7 @@ use crate::bank::{MappedBank, TrajectoryBank};
 use crate::codec::CodecError;
 use crate::index::SegmentIndex;
 use crate::mmap::FileGen;
+use crate::obs::{EngineMetrics, SpanTimer};
 
 /// Diagnoses a batch of signatures through an arbitrary query backend
 /// with `std::thread::scope` workers, returning results in input order.
@@ -101,6 +103,7 @@ pub struct DiagnosisEngine {
     index: SegmentIndex,
     diagnoser: Diagnoser,
     config: EngineConfig,
+    metrics: Option<EngineMetrics>,
 }
 
 impl DiagnosisEngine {
@@ -121,6 +124,7 @@ impl DiagnosisEngine {
             index,
             diagnoser,
             config,
+            metrics: None,
         }
     }
 
@@ -148,6 +152,7 @@ impl DiagnosisEngine {
             index,
             diagnoser,
             config,
+            metrics: None,
         })
     }
 
@@ -170,7 +175,19 @@ impl DiagnosisEngine {
             index,
             diagnoser,
             config,
+            metrics: None,
         })
+    }
+
+    /// Attaches observability handles: per-diagnose latency and path
+    /// counters on this engine, and the lazy-decode counter on a mapped
+    /// bank source. Without this call every diagnose path is entirely
+    /// uninstrumented (no clocks read, no atomics touched).
+    pub fn set_metrics(&mut self, metrics: EngineMetrics) {
+        if let BankSource::Mapped(mapped) = &mut self.source {
+            mapped.set_decode_counter(Arc::clone(&metrics.lazy_decodes));
+        }
+        self.metrics = Some(metrics);
     }
 
     /// The fully decoded bank, when this engine holds one (`None` for
@@ -250,6 +267,10 @@ impl DiagnosisEngine {
     ///
     /// Panics on signature dimension mismatch.
     pub fn diagnose(&self, observed: &Signature) -> Diagnosis {
+        let _span = self.metrics.as_ref().map(|m| {
+            m.indexed.inc();
+            SpanTimer::start(Arc::clone(&m.diagnose_latency))
+        });
         self.diagnoser.diagnose_with(&self.index, observed)
     }
 
@@ -260,6 +281,10 @@ impl DiagnosisEngine {
     ///
     /// Panics on signature dimension mismatch.
     pub fn diagnose_linear(&self, observed: &Signature) -> Diagnosis {
+        let _span = self.metrics.as_ref().map(|m| {
+            m.linear.inc();
+            SpanTimer::start(Arc::clone(&m.diagnose_latency))
+        });
         self.diagnoser.diagnose(observed)
     }
 
@@ -401,6 +426,24 @@ mod tests {
             assert_eq!(mapped.diagnose(sig), heap.diagnose(sig));
             assert_eq!(mapped.diagnose_linear(sig), heap.diagnose_linear(sig));
         }
+    }
+
+    #[test]
+    fn attached_metrics_count_paths_and_preserve_output() {
+        let plain = rc_engine(Some(2));
+        let mut metered = rc_engine(Some(2));
+        let registry = crate::obs::MetricsRegistry::new();
+        metered.set_metrics(EngineMetrics::from_registry(&registry));
+        let sig = Signature::new(vec![1.0, -2.0]);
+        assert_eq!(plain.diagnose(&sig), metered.diagnose(&sig));
+        assert_eq!(plain.diagnose_linear(&sig), metered.diagnose_linear(&sig));
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("engine_diagnose_indexed_total"), Some(1));
+        assert_eq!(snap.counter("engine_diagnose_linear_total"), Some(1));
+        assert_eq!(
+            snap.histogram("engine_diagnose_latency_us").unwrap().count,
+            2
+        );
     }
 
     #[test]

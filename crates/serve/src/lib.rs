@@ -27,9 +27,13 @@
 //!   sustained traffic pays no per-batch thread spawn and batches
 //!   pipeline; results stay byte-identical to the scoped path at every
 //!   worker count.
+//! * [`MetricsRegistry`] ([`obs`]) — hand-rolled serving observability:
+//!   lock-free counters, gauges, and log₂-bucket latency histograms
+//!   over the engine, store, and pool, snapshotted to JSON, greppable
+//!   text, or Prometheus exposition — and provably inert when disabled.
 //! * the `ftd` binary ([`cli`]) — `build-bank`, `diagnose`, `serve`,
-//!   `gen-requests`, `bank-info`, and `bench-scan-vs-index` front ends
-//!   over the same API.
+//!   `gen-requests`, `bank-info`, `stats`, and `bench-scan-vs-index`
+//!   front ends over the same API.
 //!
 //! ## Example
 //!
@@ -78,6 +82,7 @@ pub mod codec;
 pub mod engine;
 pub mod index;
 pub mod mmap;
+pub mod obs;
 pub mod pool;
 pub mod store;
 pub mod synthetic;
@@ -91,6 +96,10 @@ pub use codec::{
 pub use engine::{diagnose_batch_with, DiagnosisEngine, EngineConfig};
 pub use index::{QueryStats, SegmentIndex};
 pub use mmap::{FileGen, Mmap};
+pub use obs::{
+    bucket_bounds, bucket_index, labeled, Counter, EngineMetrics, Gauge, Histogram,
+    HistogramSnapshot, MetricsRegistry, PoolMetrics, Snapshot, SpanTimer, StoreMetrics,
+};
 pub use pool::{BatchId, ServeHandle, ServeResult};
 pub use store::{diagnose_on, valid_cut_id, BankStore, DiagnosisRequest, StoreConfig, StoreError};
 pub use synthetic::{synthetic_circuit_bank, synthetic_queries, synthetic_trajectory_set};

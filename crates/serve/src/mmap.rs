@@ -64,6 +64,24 @@ impl FileGen {
     }
 }
 
+impl fmt::Display for FileGen {
+    /// Renders `mtime=<unix-secs>.<nanos>,len=<bytes>` — the form the
+    /// store's failure attribution embeds in error messages and metric
+    /// labels.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.mtime.duration_since(SystemTime::UNIX_EPOCH) {
+            Ok(d) => write!(
+                f,
+                "mtime={}.{:09},len={}",
+                d.as_secs(),
+                d.subsec_nanos(),
+                self.len
+            ),
+            Err(_) => write!(f, "mtime=pre-epoch,len={}", self.len),
+        }
+    }
+}
+
 #[cfg(unix)]
 mod sys {
     use std::os::raw::{c_int, c_void};
@@ -297,6 +315,8 @@ mod tests {
         let before = FileGen::probe(&path).unwrap();
         assert_eq!(before.len(), 14);
         assert!(!before.is_empty());
+        assert!(before.to_string().starts_with("mtime="));
+        assert!(before.to_string().ends_with(",len=14"));
         // A different length always changes the generation, regardless
         // of filesystem timestamp granularity.
         std::fs::write(&path, b"second, longer contents").unwrap();

@@ -23,9 +23,11 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use ft_core::Diagnosis;
 
+use crate::obs::{MetricsRegistry, PoolMetrics};
 use crate::store::{BankStore, DiagnosisRequest, StoreError};
 
 /// The outcome of one request served through the pool.
@@ -48,6 +50,10 @@ struct Job {
 struct Pending {
     filled: usize,
     slots: Vec<Option<ServeResult>>,
+    /// Submission instant, kept only when metrics are attached: each
+    /// request's end-to-end latency is recorded against it when the
+    /// batch completes.
+    enqueued: Option<Instant>,
 }
 
 /// A persistent worker pool serving [`DiagnosisRequest`]s against a
@@ -69,6 +75,7 @@ pub struct ServeHandle {
     submitted: VecDeque<(BatchId, usize)>,
     pending: HashMap<BatchId, Pending>,
     next_batch: BatchId,
+    metrics: Option<PoolMetrics>,
 }
 
 impl std::fmt::Debug for ServeHandle {
@@ -87,17 +94,39 @@ impl ServeHandle {
     /// blocking on it behind a mutex, so each job goes to exactly one
     /// worker and a free worker picks up the next job immediately.
     pub fn new(store: Arc<BankStore>, workers: usize) -> Self {
+        ServeHandle::build(store, workers, None)
+    }
+
+    /// Like [`ServeHandle::new`], but wires the pool's counters,
+    /// gauges, and latency histograms into `registry`. A disabled
+    /// (noop) registry attaches nothing, so the instrumented pool is
+    /// byte- and cost-identical to a plain one.
+    pub fn with_metrics(
+        store: Arc<BankStore>,
+        workers: usize,
+        registry: &Arc<MetricsRegistry>,
+    ) -> Self {
+        let metrics = registry
+            .is_enabled()
+            .then(|| PoolMetrics::from_registry(registry));
+        ServeHandle::build(store, workers, metrics)
+    }
+
+    fn build(store: Arc<BankStore>, workers: usize, metrics: Option<PoolMetrics>) -> Self {
         let workers = workers.max(1);
         let (job_tx, job_rx) = channel::<Job>();
         let (res_tx, res_rx) = channel();
         let job_rx = Arc::new(Mutex::new(job_rx));
         let shutdown = Arc::new(std::sync::atomic::AtomicBool::new(false));
         let threads = (0..workers)
-            .map(|_| {
+            .map(|i| {
                 let job_rx = Arc::clone(&job_rx);
                 let res_tx = res_tx.clone();
                 let store = Arc::clone(&store);
                 let shutdown = Arc::clone(&shutdown);
+                let worker_metrics = metrics
+                    .as_ref()
+                    .map(|m| (Arc::clone(&m.queue_depth), m.worker_jobs(i)));
                 std::thread::spawn(move || {
                     loop {
                         // Hold the queue lock only for the take; the
@@ -109,6 +138,11 @@ impl ServeHandle {
                         let Ok(job) = job else {
                             break; // queue closed: the handle dropped
                         };
+                        // Depth decrements on take — including discarded
+                        // shutdown backlog, so the gauge returns to zero.
+                        if let Some((depth, _)) = &worker_metrics {
+                            depth.sub(1);
+                        }
                         // A dropped handle reads no more results: drain
                         // the backlog without paying for diagnoses.
                         // Acquire pairs with the Release store in Drop,
@@ -171,6 +205,9 @@ impl ServeHandle {
                                 })
                             })
                             .collect();
+                        if let Some((_, jobs)) = &worker_metrics {
+                            jobs.inc();
+                        }
                         if res_tx.send((job.batch, job.start, results)).is_err() {
                             break; // handle dropped mid-flight
                         }
@@ -187,6 +224,7 @@ impl ServeHandle {
             submitted: VecDeque::new(),
             pending: HashMap::new(),
             next_batch: 0,
+            metrics,
         }
     }
 
@@ -219,11 +257,15 @@ impl ServeHandle {
         let id = self.next_batch;
         self.next_batch += 1;
         self.submitted.push_back((id, requests.len()));
+        if let Some(m) = &self.metrics {
+            m.batch_sizes.record(requests.len() as u64);
+        }
         self.pending.insert(
             id,
             Pending {
                 filled: 0,
                 slots: requests.iter().map(|_| None).collect(),
+                enqueued: self.metrics.as_ref().map(|_| Instant::now()),
             },
         );
         if requests.is_empty() {
@@ -242,6 +284,9 @@ impl ServeHandle {
                 requests: std::mem::replace(&mut rest, tail),
             })
             .expect("workers outlive the handle");
+            if let Some(m) = &self.metrics {
+                m.queue_depth.add(1);
+            }
             start += take;
         }
         id
@@ -270,13 +315,25 @@ impl ServeHandle {
         }
         self.submitted.pop_front();
         let entry = self.pending.remove(&id).expect("completed batch present");
-        Some(
-            entry
-                .slots
-                .into_iter()
-                .map(|slot| slot.expect("every slot filled by exactly one worker"))
-                .collect(),
-        )
+        let batch: Vec<ServeResult> = entry
+            .slots
+            .into_iter()
+            .map(|slot| slot.expect("every slot filled by exactly one worker"))
+            .collect();
+        if let Some(m) = &self.metrics {
+            m.requests.add(batch.len() as u64);
+            m.errors
+                .add(batch.iter().filter(|r| r.is_err()).count() as u64);
+            if let Some(enqueued) = entry.enqueued {
+                // Every request in the batch shares the submit-to-drain
+                // wall time: that is the latency a caller actually saw.
+                let micros = enqueued.elapsed().as_micros().min(u64::MAX as u128) as u64;
+                if !batch.is_empty() {
+                    m.request_latency.record_n(micros, batch.len() as u64);
+                }
+            }
+        }
+        Some(batch)
     }
 
     /// Blocks until **every** outstanding batch completes; returns them
@@ -473,6 +530,50 @@ mod tests {
         }
         drop(handle);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn instrumented_pool_matches_plain_and_counts_traffic() {
+        let (store, mut requests) = two_cut_store();
+        requests.push(DiagnosisRequest::new("ghost", Signature::new(vec![0.0; 2])));
+
+        let registry = Arc::new(MetricsRegistry::new());
+        let mut plain = ServeHandle::new(Arc::clone(&store), 2);
+        let mut metered = ServeHandle::with_metrics(Arc::clone(&store), 2, &registry);
+        plain.submit(requests.clone());
+        metered.submit(requests.clone());
+        let reference = plain.drain_one().unwrap();
+        let observed = metered.drain_one().unwrap();
+        for (a, b) in reference.iter().zip(&observed) {
+            match (a, b) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b, "metrics changed a diagnosis"),
+                (Err(_), Err(_)) => {}
+                _ => panic!("metrics changed an outcome"),
+            }
+        }
+
+        let snap = registry.snapshot();
+        let n = requests.len() as u64;
+        assert_eq!(snap.counter("serve_requests_total"), Some(n));
+        assert_eq!(snap.counter("serve_errors_total"), Some(1));
+        assert_eq!(snap.gauge("pool_queue_depth"), Some(0), "queue drained");
+        assert_eq!(snap.histogram("pool_batch_requests").unwrap().count, 1);
+        assert_eq!(snap.histogram("serve_request_latency_us").unwrap().count, n);
+        let jobs: u64 = snap
+            .counters
+            .iter()
+            .filter(|(name, _)| name.starts_with("pool_worker_jobs_total{"))
+            .map(|(_, v)| v)
+            .sum();
+        assert!(jobs > 0, "per-worker job counters record the runs");
+
+        // A noop registry attaches nothing and registers nothing.
+        let noop = Arc::new(MetricsRegistry::noop());
+        let mut quiet = ServeHandle::with_metrics(Arc::clone(&store), 2, &noop);
+        quiet.submit(requests.clone());
+        quiet.drain();
+        assert!(noop.snapshot().counters.is_empty());
+        assert!(noop.snapshot().histograms.is_empty());
     }
 
     #[test]

@@ -48,6 +48,7 @@ use crate::bank::TrajectoryBank;
 use crate::codec::CodecError;
 use crate::engine::{DiagnosisEngine, EngineConfig};
 use crate::mmap::FileGen;
+use crate::obs::{MetricsRegistry, SpanTimer, StoreMetrics};
 
 /// One serving request: which circuit-under-test, and the observed
 /// signature to diagnose against that CUT's trajectory bank.
@@ -93,7 +94,15 @@ pub enum StoreError {
     /// names the offending path). Shared, because a failed shard load is
     /// cached — keyed by the file's generation, so it is replayed only
     /// until the file changes — and handed to every request in between.
-    Bank(Arc<CodecError>),
+    Bank {
+        /// The decode/I-O failure, annotated with the shard path
+        /// ([`CodecError::InFile`]).
+        source: Arc<CodecError>,
+        /// The shard file generation the failure was observed at, when
+        /// known — pinpoints *which* copy of the file failed, in the
+        /// same attribution style as the path.
+        generation: Option<FileGen>,
+    },
     /// A diagnosis panicked inside a pool worker; the panic was caught
     /// and converted so the serving loop keeps running.
     Panicked(String),
@@ -119,7 +128,13 @@ impl fmt::Display for StoreError {
                 f,
                 "signature for CUT `{cut_id}` contains a non-finite coordinate"
             ),
-            StoreError::Bank(e) => write!(f, "{e}"),
+            StoreError::Bank { source, generation } => {
+                write!(f, "{source}")?;
+                if let Some(generation) = generation {
+                    write!(f, " (shard generation {generation})")?;
+                }
+                Ok(())
+            }
             StoreError::Panicked(what) => write!(f, "diagnosis panicked: {what}"),
         }
     }
@@ -128,7 +143,7 @@ impl fmt::Display for StoreError {
 impl std::error::Error for StoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            StoreError::Bank(e) => Some(&**e),
+            StoreError::Bank { source, .. } => Some(&**source),
             _ => None,
         }
     }
@@ -136,8 +151,17 @@ impl std::error::Error for StoreError {
 
 impl From<CodecError> for StoreError {
     fn from(e: CodecError) -> Self {
-        StoreError::Bank(Arc::new(e))
+        StoreError::Bank {
+            source: Arc::new(e),
+            generation: None,
+        }
     }
+}
+
+/// Wraps a cached shard-load failure with the generation it was
+/// observed at.
+fn bank_error(generation: Option<FileGen>) -> impl FnOnce(Arc<CodecError>) -> StoreError {
+    move |source| StoreError::Bank { source, generation }
 }
 
 /// `true` when `id` is a safe shard name: non-empty, ASCII
@@ -231,6 +255,9 @@ pub struct BankStore {
     /// Bumped on every map mutation (insert, swap, evict, retire) — the
     /// pool's per-run cache revalidates against this.
     epoch: AtomicU64,
+    /// Observability handles ([`BankStore::with_metrics`]); `None`
+    /// leaves every path entirely uninstrumented.
+    metrics: Option<StoreMetrics>,
 }
 
 impl BankStore {
@@ -268,6 +295,7 @@ impl BankStore {
             shards: Mutex::new(ShardMap::default()),
             tick: AtomicU64::new(0),
             epoch: AtomicU64::new(0),
+            metrics: None,
         })
     }
 
@@ -280,7 +308,32 @@ impl BankStore {
             shards: Mutex::new(ShardMap::default()),
             tick: AtomicU64::new(0),
             epoch: AtomicU64::new(0),
+            metrics: None,
         }
+    }
+
+    /// Attaches observability handles from `registry` (builder style:
+    /// `BankStore::open_with(dir, cfg)?.with_metrics(&registry)`).
+    /// Shard loads, cache hits/misses, evictions, hot reloads, and
+    /// resident bytes are recorded from here on, and every engine the
+    /// store loads is instrumented too. A [`MetricsRegistry::noop`]
+    /// registry leaves the store entirely uninstrumented — results are
+    /// byte-identical either way. Attach before inserting in-memory
+    /// banks so their engines carry the handles as well.
+    pub fn with_metrics(mut self, registry: &Arc<MetricsRegistry>) -> Self {
+        if !registry.is_enabled() {
+            return self;
+        }
+        let metrics = StoreMetrics::from_registry(registry);
+        let budget = self.config.mem_budget.unwrap_or(0);
+        metrics
+            .mem_budget_bytes
+            .set(budget.min(i64::MAX as u64) as i64);
+        metrics
+            .resident_bytes
+            .set(self.resident_bytes().min(i64::MAX as u64) as i64);
+        self.metrics = Some(metrics);
+        self
     }
 
     /// The shard directory, when the store is directory-backed.
@@ -348,7 +401,11 @@ impl BankStore {
         if !valid_cut_id(cut_id) {
             return Err(StoreError::InvalidCutId(cut_id.to_string()));
         }
-        let engine = Arc::new(DiagnosisEngine::new(bank, self.config.engine));
+        let mut engine = DiagnosisEngine::new(bank, self.config.engine);
+        if let Some(m) = &self.metrics {
+            engine.set_metrics(m.engine.clone());
+        }
+        let engine = Arc::new(engine);
         let slot = ShardSlot {
             state: Ok(Arc::clone(&engine)),
             generation: None,
@@ -438,16 +495,32 @@ impl BankStore {
         };
         match cached {
             // Pinned in-memory shard: no file to check.
-            Some((state, None)) => return state.map_err(StoreError::Bank),
+            Some((state, None)) => {
+                if let Some(m) = &self.metrics {
+                    m.cache_hits.inc();
+                }
+                return state.map_err(bank_error(None));
+            }
             Some((state, Some(generation))) => {
                 let path = self.shard_path(cut_id)?;
+                if let Some(m) = &self.metrics {
+                    m.file_stats.inc();
+                }
                 match FileGen::probe(&path) {
                     Ok(current) if current == generation => {
-                        return state.map_err(StoreError::Bank);
+                        if let Some(m) = &self.metrics {
+                            m.cache_hits.inc();
+                        }
+                        return state.map_err(bank_error(Some(generation)));
                     }
                     Ok(_) => {
                         // File changed: reload and swap (hot reload for
                         // a good slot, retry for a cached failure).
+                        if let Some(m) = &self.metrics {
+                            if state.is_ok() {
+                                m.hot_reloads.inc();
+                            }
+                        }
                         return self.load_and_install(cut_id, &path);
                     }
                     Err(_) => {
@@ -457,15 +530,23 @@ impl BankStore {
                             if slot.generation == Some(generation) {
                                 let old = map.slots.remove(cut_id).expect("checked above");
                                 map.resident_bytes -= old.bytes;
+                                let resident = map.resident_bytes;
                                 drop(map);
                                 self.bump_epoch();
+                                if let Some(m) = &self.metrics {
+                                    m.resident_bytes.set(resident.min(i64::MAX as u64) as i64);
+                                }
                             }
                         }
                         return Err(StoreError::UnknownCut(cut_id.to_string()));
                     }
                 }
             }
-            None => {}
+            None => {
+                if let Some(m) = &self.metrics {
+                    m.cache_misses.inc();
+                }
+            }
         }
         let path = self.shard_path(cut_id)?;
         if !path.is_file() {
@@ -494,20 +575,36 @@ impl BankStore {
             Ok(g) => g,
             Err(_) => return Err(StoreError::UnknownCut(cut_id.to_string())),
         };
+        if let Some(m) = &self.metrics {
+            m.loads.inc();
+        }
+        let span = self
+            .metrics
+            .as_ref()
+            .map(|m| SpanTimer::start(Arc::clone(&m.load_latency)));
         let loaded = if self.config.mapped {
             DiagnosisEngine::load_mapped(path, self.config.engine)
         } else {
             DiagnosisEngine::load(path, self.config.engine)
         };
+        drop(span); // record the load wall time, success or failure
         let (state, generation, bytes): (ShardState, FileGen, u64) = match loaded {
-            Ok(engine) => {
+            Ok(mut engine) => {
+                if let Some(m) = &self.metrics {
+                    engine.set_metrics(m.engine.clone());
+                }
                 let bytes = engine.source_bytes();
                 // Successful opens capture the generation from the file
                 // they actually read (fd-accurate for mapped shards).
                 let generation = engine.generation().unwrap_or(generation);
                 (Ok(Arc::new(engine)), generation, bytes)
             }
-            Err(e) => (Err(Arc::new(e)), generation, 0),
+            Err(e) => {
+                if let Some(m) = &self.metrics {
+                    m.record_load_failure(path, Some(generation));
+                }
+                (Err(Arc::new(e)), generation, 0)
+            }
         };
         let slot = ShardSlot {
             state: state.clone(),
@@ -522,7 +619,7 @@ impl BankStore {
                 // A racing loader beat us to the same generation; its
                 // engine is identical, so keep it and drop ours.
                 existing.last_used = self.tick.fetch_add(1, Ordering::Relaxed);
-                return existing.state.clone().map_err(StoreError::Bank);
+                return existing.state.clone().map_err(bank_error(Some(generation)));
             }
         }
         if let Some(old) = map.slots.insert(cut_id.to_string(), slot) {
@@ -530,9 +627,13 @@ impl BankStore {
         }
         map.resident_bytes += bytes;
         self.evict_over_budget(&mut map, cut_id);
+        let resident = map.resident_bytes;
         drop(map);
         self.bump_epoch();
-        state.map_err(StoreError::Bank)
+        if let Some(m) = &self.metrics {
+            m.resident_bytes.set(resident.min(i64::MAX as u64) as i64);
+        }
+        state.map_err(bank_error(Some(generation)))
     }
 
     /// Evicts least-recently-used file-backed shards until the resident
@@ -558,6 +659,9 @@ impl BankStore {
             };
             let old = map.slots.remove(&id).expect("victim came from the map");
             map.resident_bytes -= old.bytes;
+            if let Some(m) = &self.metrics {
+                m.evictions.inc();
+            }
         }
     }
 
@@ -745,7 +849,10 @@ mod tests {
         let err = store.diagnose(&req).unwrap_err();
         assert!(err.to_string().contains("bad.ftb"), "{err}");
         let err = store.diagnose(&req).unwrap_err();
-        assert!(matches!(err, StoreError::Bank(_)), "cached failure: {err}");
+        assert!(
+            matches!(err, StoreError::Bank { .. }),
+            "cached failure: {err}"
+        );
         std::fs::remove_file(dir.join("bad.ftb")).unwrap();
         assert!(matches!(
             store.diagnose(&req).unwrap_err(),
@@ -772,11 +879,11 @@ mod tests {
         let store = BankStore::open(&dir, EngineConfig::default()).unwrap();
         let req = DiagnosisRequest::new("cut", Signature::new(vec![0.5, -0.5]));
         let err = store.diagnose(&req).unwrap_err();
-        assert!(matches!(err, StoreError::Bank(_)), "{err}");
+        assert!(matches!(err, StoreError::Bank { .. }), "{err}");
         // Unchanged file: the cached failure is replayed, not re-read.
         assert!(matches!(
             store.diagnose(&req).unwrap_err(),
-            StoreError::Bank(_)
+            StoreError::Bank { .. }
         ));
 
         // The full file arrives (different length ⇒ different gen).
@@ -956,6 +1063,58 @@ mod tests {
     fn open_rejects_missing_directory() {
         let err = BankStore::open("/nonexistent/shards", EngineConfig::default()).unwrap_err();
         assert!(err.to_string().contains("/nonexistent/shards"), "{err}");
+    }
+
+    #[test]
+    fn metrics_track_cache_and_failure_attribution() {
+        let dir = std::env::temp_dir().join("ft_store_metrics_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        rc_bank(1e3).save(dir.join("good.ftb")).unwrap();
+
+        let registry = Arc::new(MetricsRegistry::new());
+        let store = BankStore::open(&dir, EngineConfig::default())
+            .unwrap()
+            .with_metrics(&registry);
+        let req = DiagnosisRequest::new("good", Signature::new(vec![0.5, 0.5]));
+        store.diagnose(&req).unwrap();
+        store.diagnose(&req).unwrap();
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("store_shard_cache_misses_total"), Some(1));
+        assert_eq!(snap.counter("store_shard_cache_hits_total"), Some(1));
+        assert_eq!(snap.counter("store_shard_loads_total"), Some(1));
+        assert_eq!(snap.histogram("store_shard_load_us").unwrap().count, 1);
+        assert!(snap.gauge("store_resident_bytes").unwrap() > 0);
+        assert_eq!(snap.gauge("store_mem_budget_bytes"), Some(0));
+        // The instrumented store shares its engine metrics, so diagnose
+        // latency lands in the same registry.
+        assert_eq!(
+            snap.histogram("engine_diagnose_latency_us").unwrap().count,
+            2
+        );
+
+        // A corrupt shard attributes the failure to its path AND the
+        // generation (mtime,len) the bad bytes were observed at.
+        std::fs::write(dir.join("bad.ftb"), b"FTBANK\r\ngarbage").unwrap();
+        let req = DiagnosisRequest::new("bad", Signature::new(vec![0.0, 0.0]));
+        let err = store.diagnose(&req).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("bad.ftb"), "{msg}");
+        assert!(msg.contains("shard generation mtime="), "{msg}");
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("store_shard_load_failures_total"), Some(1));
+        let labeled = snap
+            .counters
+            .iter()
+            .find(|(n, _)| n.starts_with("store_shard_load_failures_total{"))
+            .expect("a labeled failure counter exists");
+        assert!(labeled.0.contains("shard="), "{}", labeled.0);
+        assert!(labeled.0.contains("bad.ftb"), "{}", labeled.0);
+        assert!(labeled.0.contains("generation="), "{}", labeled.0);
+        assert_eq!(labeled.1, 1);
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

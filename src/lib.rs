@@ -19,7 +19,9 @@
 //!   (sectioned v2 container), the segment spatial index, batched
 //!   diagnosis, out-of-core multi-circuit bank sharding (`BankStore`:
 //!   zero-copy mmap loads, LRU eviction under a memory budget, hot
-//!   shard reload), the persistent-pool front-end (`ServeHandle`), and
+//!   shard reload), the persistent-pool front-end (`ServeHandle`), the
+//!   serving observability registry (`MetricsRegistry`: counters,
+//!   gauges, log₂ latency histograms, JSON/Prometheus snapshots), and
 //!   the `ftd` CLI.
 //!
 //! ## Quickstart
@@ -85,6 +87,7 @@ pub mod prelude {
     pub use ft_numerics::{Complex64, FrequencyGrid, TransferFunction};
     pub use ft_serve::{
         BankStore, CodecError, DiagnosisEngine, DiagnosisRequest, EngineConfig, MappedBank,
-        SegmentIndex, ServeHandle, StoreConfig, StoreError, TrajectoryBank,
+        MetricsRegistry, SegmentIndex, ServeHandle, Snapshot, StoreConfig, StoreError,
+        TrajectoryBank,
     };
 }
