@@ -48,6 +48,7 @@ fn frontend_setup(
     let config = EngineConfig {
         diagnoser: DiagnoserConfig::default(),
         workers: Some(workers),
+        topk: None,
     };
     let engine = DiagnosisEngine::new(bank.clone(), config);
     let store = Arc::new(BankStore::in_memory(config));
@@ -129,6 +130,7 @@ fn emit_summary(_c: &mut Criterion) {
     let config = EngineConfig {
         diagnoser: DiagnoserConfig::default(),
         workers: Some(workers),
+        topk: None,
     };
     let store = Arc::new(BankStore::in_memory(config).with_metrics(&registry));
     store.insert_bank("ladder", bank).expect("valid cut id");

@@ -64,6 +64,26 @@ impl AmbiguityGroups {
             .find(|g| g.iter().any(|c| c == component))
             .map(Vec::as_slice)
     }
+
+    /// `true` when every candidate falls inside a single group — the
+    /// diagnosis has narrowed the fault down as far as this test vector
+    /// can ever distinguish, so further ranking cannot split the set.
+    ///
+    /// This is what makes "isolated" computable mid-query: a top-k
+    /// search can stop as soon as its settled ambiguity set resolves to
+    /// one static group. An empty candidate list or a candidate outside
+    /// every group reports `false`.
+    pub fn is_resolved<S: AsRef<str>>(&self, candidates: &[S]) -> bool {
+        let Some(first) = candidates.first() else {
+            return false;
+        };
+        let Some(group) = self.group_of(first.as_ref()) else {
+            return false;
+        };
+        candidates
+            .iter()
+            .all(|c| group.iter().any(|m| m == c.as_ref()))
+    }
 }
 
 /// Minimum inter-trajectory distance for a specific pair, clipped against
@@ -255,6 +275,28 @@ mod tests {
         // Separation is symmetric.
         let sep2 = pair_separation(&set, "B", "A", &opts).unwrap();
         assert!((sep - sep2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn is_resolved_checks_group_membership() {
+        let set = TrajectorySet::new(
+            TestVector::pair(1.0, 2.0),
+            vec![
+                straight("A", 1.0, 1.0),
+                straight("B", 1.0, 1.0), // identical pathway to A
+                straight("C", -1.0, 1.0),
+            ],
+        );
+        let groups = ambiguity_groups(&set, 0.05, &wide_ball());
+        // {A, B} is one static group: a diagnosis narrowed to it is done.
+        assert!(groups.is_resolved(&["A", "B"]));
+        assert!(groups.is_resolved(&["A"]));
+        assert!(groups.is_resolved(&["C"]));
+        // Candidates spanning two groups are not yet isolated.
+        assert!(!groups.is_resolved(&["A", "C"]));
+        // Degenerate inputs resolve to false.
+        assert!(!groups.is_resolved::<&str>(&[]));
+        assert!(!groups.is_resolved(&["Z"]));
     }
 
     #[test]

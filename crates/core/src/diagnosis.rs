@@ -100,6 +100,27 @@ impl Diagnosis {
     }
 }
 
+/// A ranked prefix of the full per-trajectory distance ranking, as
+/// produced by [`SegmentQuery::topk_per_trajectory`].
+///
+/// `ranked` holds `(trajectory_index, distance, deviation_pct)` sorted
+/// by `(distance, trajectory_index)` — exactly the order a full ranking
+/// built from [`SegmentQuery::best_per_trajectory`] and stable-sorted by
+/// distance would produce, so a `TopkRanking` is always a **prefix** of
+/// the full ranking. The prefix is guaranteed to cover at least
+/// `min(k, n)` entries *and* the entire ambiguity set of the winner
+/// (every trajectory within `ambiguity_ratio × best distance`), so the
+/// rank-1 verdict and the reported ambiguity set are identical to a full
+/// diagnosis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopkRanking {
+    /// `(trajectory_index, distance, deviation_pct)`, best first.
+    pub ranked: Vec<(usize, f64, f64)>,
+    /// `true` when the ranking was cut short of the full trajectory
+    /// universe (for index backends: work was actually saved).
+    pub early_exit: bool,
+}
+
 /// A pluggable nearest-segment search strategy.
 ///
 /// Given an observed signature, a backend reports, for every trajectory
@@ -117,6 +138,68 @@ pub trait SegmentQuery {
     ///
     /// [`FaultTrajectory::segments`]: crate::trajectory::FaultTrajectory::segments
     fn best_per_trajectory(&self, set: &TrajectorySet, observed: &Signature) -> Vec<(f64, f64)>;
+
+    /// The `k` best trajectories (plus however many more the ambiguity
+    /// set needs), sorted by `(distance, trajectory_index)`.
+    ///
+    /// The default implementation ranks the full
+    /// [`best_per_trajectory`](SegmentQuery::best_per_trajectory) result
+    /// and truncates — the semantic oracle every backend must match.
+    /// Backends with spatial structure override this to *stop
+    /// searching* once the prefix is provably settled; their `ranked`
+    /// must be bit-identical to this default's on the same inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    fn topk_per_trajectory(
+        &self,
+        set: &TrajectorySet,
+        observed: &Signature,
+        k: usize,
+        ambiguity_ratio: f64,
+    ) -> TopkRanking {
+        assert!(k > 0, "top-k needs k >= 1");
+        let best = self.best_per_trajectory(set, observed);
+        let n = best.len();
+        let mut ranked: Vec<(usize, f64, f64)> = best
+            .into_iter()
+            .enumerate()
+            .map(|(i, (dist, dev))| (i, dist, dev))
+            .collect();
+        ranked.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .expect("finite distances")
+                .then(a.0.cmp(&b.0))
+        });
+        let keep = topk_prefix_len(&ranked, k, ambiguity_ratio);
+        ranked.truncate(keep);
+        TopkRanking {
+            early_exit: ranked.len() < n,
+            ranked,
+        }
+    }
+}
+
+/// Length of the prefix a top-k ranking must keep: at least `min(k, n)`
+/// entries and every entry inside the winner's ambiguity set (distance
+/// `<= best.max(1e-12) * ambiguity_ratio`, the [`Diagnosis::ambiguity_set`]
+/// rule).
+pub(crate) fn topk_prefix_len(
+    ranked: &[(usize, f64, f64)],
+    k: usize,
+    ambiguity_ratio: f64,
+) -> usize {
+    let n = ranked.len();
+    if n == 0 {
+        return 0;
+    }
+    let threshold = ranked[0].1.max(1e-12) * ambiguity_ratio;
+    let mut keep = k.min(n);
+    while keep < n && ranked[keep].1 <= threshold {
+        keep += 1;
+    }
+    keep
 }
 
 /// The exhaustive backend: scans every segment of every trajectory.
@@ -232,6 +315,46 @@ impl Diagnoser {
             .zip(best)
             .map(|(t, (distance, deviation_pct))| Candidate {
                 component: t.component().to_string(),
+                distance,
+                deviation_pct,
+            })
+            .collect();
+        Diagnosis::from_candidates(candidates, self.config.ambiguity_ratio)
+    }
+
+    /// Diagnoses through a backend's top-k / early-termination path:
+    /// the returned [`Diagnosis`] ranks only the `k` best trajectories
+    /// (plus the rest of the winner's ambiguity set), so its rank-1
+    /// verdict, its [`Diagnosis::ambiguity_set`], and every candidate it
+    /// *does* carry are identical to the full [`Diagnoser::diagnose_with`]
+    /// ranking — only the deep tail of the candidate list is absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero, on signature dimension mismatch, or if the
+    /// backend returns an empty or oversized ranking.
+    pub fn diagnose_topk<B: SegmentQuery + ?Sized>(
+        &self,
+        backend: &B,
+        observed: &Signature,
+        k: usize,
+    ) -> Diagnosis {
+        assert_eq!(
+            observed.dim(),
+            self.set.dim(),
+            "signature dimension must match the trajectory set"
+        );
+        let topk = backend.topk_per_trajectory(&self.set, observed, k, self.config.ambiguity_ratio);
+        assert!(
+            !topk.ranked.is_empty() && topk.ranked.len() <= self.set.len(),
+            "backend must rank between 1 and n trajectories"
+        );
+        let trajectories = self.set.trajectories();
+        let candidates: Vec<Candidate> = topk
+            .ranked
+            .into_iter()
+            .map(|(ti, distance, deviation_pct)| Candidate {
+                component: trajectories[ti].component().to_string(),
                 distance,
                 deviation_pct,
             })
@@ -408,5 +531,80 @@ mod tests {
     fn empty_set_rejected() {
         let set = TrajectorySet::new(TestVector::pair(1.0, 2.0), vec![]);
         let _ = Diagnoser::new(set, DiagnoserConfig::default());
+    }
+
+    /// Four well-separated parallel trajectories at increasing distance
+    /// from the origin — an unambiguous ranking D < C < B < A for a
+    /// query near D.
+    fn ladder_set() -> TrajectorySet {
+        let mk = |name: &str, y: f64| {
+            FaultTrajectory::new(
+                name,
+                vec![-10.0, 0.0, 10.0],
+                vec![sig(-3.0, y), sig(0.0, y), sig(3.0, y)],
+            )
+        };
+        TrajectorySet::new(
+            TestVector::pair(1.0, 2.0),
+            vec![mk("A", 30.0), mk("B", 20.0), mk("C", 10.0), mk("D", 0.0)],
+        )
+    }
+
+    #[test]
+    fn default_topk_is_a_prefix_of_the_full_ranking() {
+        let set = ladder_set();
+        let q = sig(0.5, 0.1);
+        let full = LinearScan.topk_per_trajectory(&set, &q, usize::MAX, 1.5);
+        assert!(!full.early_exit);
+        assert_eq!(full.ranked.len(), 4);
+        // Distances strictly increase away from the query.
+        assert!(full.ranked.windows(2).all(|w| w[0].1 < w[1].1));
+        for k in 1..=4 {
+            let topk = LinearScan.topk_per_trajectory(&set, &q, k, 1.5);
+            assert_eq!(topk.ranked, full.ranked[..k.min(4)]);
+            assert_eq!(topk.early_exit, k < 4);
+        }
+    }
+
+    #[test]
+    fn default_topk_extends_to_cover_the_ambiguity_set() {
+        let set = cross_set();
+        // Equidistant from A and B: k = 1 must still keep both, because
+        // both fall inside the winner's ambiguity set.
+        let topk = LinearScan.topk_per_trajectory(&set, &sig(1.0, 1.0), 1, 1.5);
+        assert_eq!(topk.ranked.len(), 2);
+        assert!(!topk.early_exit);
+        // Ties rank by trajectory index, matching the stable full sort.
+        assert_eq!(topk.ranked[0].0, 0);
+        assert_eq!(topk.ranked[1].0, 1);
+    }
+
+    #[test]
+    fn diagnose_topk_matches_full_prefix_and_ambiguity_set() {
+        let diag = Diagnoser::new(ladder_set(), DiagnoserConfig::default());
+        for q in [sig(0.5, 0.1), sig(-2.0, 12.0), sig(4.0, 29.0)] {
+            let full = diag.diagnose(&q);
+            for k in 1..=4 {
+                let topk = diag.diagnose_topk(&LinearScan, &q, k);
+                assert_eq!(topk.best(), full.best(), "rank-1 drift at {q} k={k}");
+                assert_eq!(
+                    topk.ambiguity_set(),
+                    full.ambiguity_set(),
+                    "ambiguity drift at {q} k={k}"
+                );
+                assert_eq!(
+                    topk.candidates(),
+                    &full.candidates()[..topk.candidates().len()],
+                    "prefix drift at {q} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 1")]
+    fn topk_rejects_k_zero() {
+        let set = cross_set();
+        let _ = LinearScan.topk_per_trajectory(&set, &sig(1.0, 1.0), 0, 1.5);
     }
 }

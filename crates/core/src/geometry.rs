@@ -110,6 +110,66 @@ pub fn point_segment_distance(p: &[f64], a: &[f64], b: &[f64]) -> (f64, f64) {
     (dist2.sqrt(), t)
 }
 
+/// [`point_segment_distance`] without the final square root: returns the
+/// *squared* distance and the same clamped parameter `t`. Every
+/// intermediate operation is the twin's, in the twin's order, so
+/// `point_segment_distance2(..).0.sqrt()` is bit-identical to
+/// `point_segment_distance(..).0` — hot loops can rank candidates in the
+/// squared domain and pay one square root for the winner. Any edit here
+/// must be mirrored in the twin (and vice versa); the
+/// `squared_twin_is_bit_identical` test pins the pair together.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch.
+pub fn point_segment_distance2(p: &[f64], a: &[f64], b: &[f64]) -> (f64, f64) {
+    assert_eq!(p.len(), a.len(), "dimension mismatch");
+    assert_eq!(p.len(), b.len(), "dimension mismatch");
+    if p.len() == 2 {
+        // Hand-unrolled two-dimensional path — the common signature
+        // dimensionality. Same accumulators, same operation order as the
+        // loop below, so the results are identical to the last bit; only
+        // the loop and bounds-check overhead is gone.
+        let d0 = b[0] - a[0];
+        let d1 = b[1] - a[1];
+        let mut ab2 = 0.0;
+        ab2 += d0 * d0;
+        ab2 += d1 * d1;
+        let mut ap_ab = 0.0;
+        ap_ab += (p[0] - a[0]) * d0;
+        ap_ab += (p[1] - a[1]) * d1;
+        let t = if ab2 < GEOM_EPS * GEOM_EPS {
+            0.0
+        } else {
+            (ap_ab / ab2).clamp(0.0, 1.0)
+        };
+        let c0 = a[0] + t * (b[0] - a[0]);
+        let c1 = a[1] + t * (b[1] - a[1]);
+        let mut dist2 = 0.0;
+        dist2 += (p[0] - c0).powi(2);
+        dist2 += (p[1] - c1).powi(2);
+        return (dist2, t);
+    }
+    let mut ab2 = 0.0;
+    let mut ap_ab = 0.0;
+    for i in 0..p.len() {
+        let d = b[i] - a[i];
+        ab2 += d * d;
+        ap_ab += (p[i] - a[i]) * d;
+    }
+    let t = if ab2 < GEOM_EPS * GEOM_EPS {
+        0.0
+    } else {
+        (ap_ab / ab2).clamp(0.0, 1.0)
+    };
+    let mut dist2 = 0.0;
+    for i in 0..p.len() {
+        let closest = a[i] + t * (b[i] - a[i]);
+        dist2 += (p[i] - closest).powi(2);
+    }
+    (dist2, t)
+}
+
 /// Minimum distance between two segments in n dimensions (0 when they
 /// touch or cross). Uses the standard clamped closed-form for the pair of
 /// lines, falling back to endpoint checks for degenerate cases.
@@ -194,6 +254,37 @@ pub fn norm(p: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn squared_twin_is_bit_identical() {
+        // A spread of regular, degenerate, clamped, and near-parallel
+        // cases, plus a deterministic pseudo-random sweep: the squared
+        // twin must agree with `point_segment_distance` to the last bit
+        // after one square root.
+        let cases: Vec<([f64; 2], [f64; 2], [f64; 2])> = vec![
+            ([0.5, 1.0], [0.0, 0.0], [1.0, 0.0]),
+            ([2.0, 3.0], [1.0, 1.0], [1.0, 1.0]), // zero-length segment
+            ([-4.0, 0.3], [0.1, 0.2], [0.1, 0.2000000001]),
+            ([1e-9, -1e-9], [0.0, 0.0], [1e3, 1e3]),
+            ([7.25, -3.5], [-2.0, 4.0], [9.0, -1.0]),
+        ];
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x >> 11) as f64 / (1u64 << 53) as f64 * 20.0 - 10.0
+        };
+        let sweep: Vec<_> = (0..200)
+            .map(|_| ([next(), next()], [next(), next()], [next(), next()]))
+            .collect();
+        for (p, a, b) in cases.into_iter().chain(sweep) {
+            let (d, t) = point_segment_distance(&p, &a, &b);
+            let (d2, t2) = point_segment_distance2(&p, &a, &b);
+            assert_eq!(d.to_bits(), d2.sqrt().to_bits());
+            assert_eq!(t.to_bits(), t2.to_bits());
+        }
+    }
 
     #[test]
     fn orientation_signs() {

@@ -88,7 +88,9 @@ pub use atpg::{
 pub use baselines::{
     grid_search, random_search, sensitivity_heuristic, BaselineResult, NnDictionary,
 };
-pub use diagnosis::{Candidate, Diagnoser, DiagnoserConfig, Diagnosis, LinearScan, SegmentQuery};
+pub use diagnosis::{
+    Candidate, Diagnoser, DiagnoserConfig, Diagnosis, LinearScan, SegmentQuery, TopkRanking,
+};
 pub use fitness::{
     count_intersections, evaluate_fitness, min_separation, pairwise_separations, FitnessKind,
     GeometryOptions,

@@ -30,7 +30,8 @@ use std::time::Instant;
 
 use ft_circuit::{tow_thomas_normalized, Probe};
 use ft_core::{
-    measure_signature, Diagnoser, DiagnoserConfig, Diagnosis, LinearScan, Signature, TestVector,
+    ambiguity_groups, measure_signature, Diagnoser, DiagnoserConfig, Diagnosis, GeometryOptions,
+    LinearScan, SegmentQuery, Signature, TestVector,
 };
 use ft_faults::{DeviationGrid, FaultDictionary, FaultUniverse, MeasurementNoise, ParametricFault};
 use ft_numerics::FrequencyGrid;
@@ -39,12 +40,13 @@ use rand::SeedableRng;
 
 use crate::bank::{MappedBank, TrajectoryBank};
 use crate::codec::{peek_version, Container, BANK_VERSION, BANK_VERSION_V1};
-use crate::engine::{diagnose_batch_with, DiagnosisEngine, EngineConfig};
+use crate::engine::{diagnose_batch_topk_with, diagnose_batch_with, DiagnosisEngine, EngineConfig};
 use crate::index::SegmentIndex;
 use crate::obs::{MetricsRegistry, Snapshot};
 use crate::pool::ServeHandle;
 use crate::store::{BankStore, DiagnosisRequest, StoreConfig};
 use crate::synthetic::{synthetic_circuit_bank, synthetic_queries, synthetic_trajectory_set};
+use crate::tree_index::TreeIndex;
 
 const USAGE: &str = "\
 ftd — fault-trajectory diagnosis engine
@@ -52,17 +54,19 @@ ftd — fault-trajectory diagnosis engine
 USAGE:
   ftd build-bank [--out PATH] [--f1 W] [--f2 W] [--grid-points N] [--q Q]
   ftd diagnose --bank PATH [--fault COMP:PCT]... [--random N]
-               [--noise-db S] [--seed N] [--workers N] [--linear] [--q Q]
+               [--noise-db S] [--seed N] [--workers N] [--linear | --topk K]
+               [--q Q]
   ftd diagnose --bank PATH --requests FILE [--cut-id ID] [--workers N]
-               [--linear]
-  ftd serve --banks DIR [--workers N] [--batch N] [--mem-budget BYTES[K|M|G]]
-            [--stats-file PATH] [--stats-every N]
+               [--linear | --topk K]
+  ftd serve --banks DIR [--workers N] [--batch N] [--topk K]
+            [--mem-budget BYTES[K|M|G]] [--stats-file PATH] [--stats-every N]
   ftd gen-requests --bank PATH --cut-id ID [--count N] [--seed N]
   ftd bank-info [--mapped] PATH
   ftd stats [--prometheus] FILE
   ftd bench-scan-vs-index [--components N] [--points N] [--dim D]
                [--queries N] [--seed N] [--workers N] [--leaf N]
-               [--circuit-order N]
+               [--topk K] [--circuit-order N] [--segments N[,N...]]
+               [--json PATH]
   ftd help | --help
 
 SUBCOMMANDS:
@@ -80,6 +84,12 @@ SUBCOMMANDS:
                        request format; --cut-id keeps only matching
                        lines), printing one tab-separated diagnosis line
                        per request — byte-comparable with `serve` output.
+                       --topk K routes queries through the index's top-k
+                       early-termination path: traversal stops once the
+                       best K trajectories and the ambiguity set are
+                       settled, so the printed verdict (best component +
+                       ambiguity set) is byte-identical to the full
+                       ranking while examining far fewer segments.
   serve                Open a shard directory (<dir>/<cut-id>.ftb, loaded
                        lazily), read requests from stdin — one per line:
                        `CUT_ID X1 X2 ...` — route each to its CUT's bank,
@@ -97,7 +107,10 @@ SUBCOMMANDS:
                        --stats-every; a `!stats` request line prints a
                        one-shot snapshot to stderr. Metrics never change
                        diagnosis output; without --stats-file nothing is
-                       recorded at all.
+                       recorded at all. --topk K serves every request
+                       through the top-k early-termination query path;
+                       output lines stay byte-identical to a full-ranking
+                       server.
   gen-requests         Load a bank and print --count deterministic
                        request lines (signatures jittered around the
                        bank's trajectories) tagged with --cut-id.
@@ -112,9 +125,16 @@ SUBCOMMANDS:
                        histogram count/sum/mean/p50/p90/p99, derived
                        qps and shard cache hit rate) — or as the
                        Prometheus text exposition with --prometheus.
-  bench-scan-vs-index  Time linear scan vs spatial index, single-query
-                       and batched, on a synthetic >=1k-segment bank.
-                       With --circuit-order N the bank is *simulated*
+  bench-scan-vs-index  Time the linear scan against the legacy binary
+                       tree, the flat SIMD-friendly index, and the top-k
+                       early-termination path (K from --topk, default 5)
+                       on a synthetic bank, single-query and batched,
+                       with bit-identity self-checks on every path.
+                       --segments N[,N...] sweeps bank sizes (e.g.
+                       1000,10000,100000; trajectories are derived from
+                       --points at 2*points segments each); --json PATH
+                       writes the per-size timings as JSON. With
+                       --circuit-order N the bank is *simulated*
                        (engine-built fault dictionary of an order-N RLC
                        ladder) instead of generated geometrically;
                        --points then sets the deviation count per branch
@@ -323,6 +343,7 @@ fn diagnose(args: &[String]) -> Result<(), CliError> {
     let mut seed: Option<u64> = None;
     let mut workers: Option<usize> = None;
     let mut linear = false;
+    let mut topk: Option<usize> = None;
     let mut q: Option<f64> = None;
     let mut requests_path: Option<String> = None;
     let mut cut_id: Option<String> = None;
@@ -336,6 +357,7 @@ fn diagnose(args: &[String]) -> Result<(), CliError> {
             "--seed" => seed = Some(flags.parse("--seed")?),
             "--workers" => workers = Some(flags.parse("--workers")?),
             "--linear" => linear = true,
+            "--topk" => topk = Some(flags.parse("--topk")?),
             "--q" => q = Some(flags.parse("--q")?),
             "--requests" => requests_path = Some(flags.value("--requests")?.to_string()),
             "--cut-id" => cut_id = Some(flags.value("--cut-id")?.to_string()),
@@ -343,6 +365,12 @@ fn diagnose(args: &[String]) -> Result<(), CliError> {
         }
     }
     let bank_path = bank_path.ok_or_else(|| usage("diagnose needs --bank PATH"))?;
+    if topk == Some(0) {
+        return Err(usage("--topk must be at least 1"));
+    }
+    if linear && topk.is_some() {
+        return Err(usage("--linear and --topk are mutually exclusive"));
+    }
     if let Some(requests_path) = requests_path {
         // Pre-measured signatures: every simulation flag would silently
         // do nothing, so passing any of them is an error, not a shrug.
@@ -358,6 +386,7 @@ fn diagnose(args: &[String]) -> Result<(), CliError> {
             cut_id.as_deref(),
             workers,
             linear,
+            topk,
         );
     }
     if cut_id.is_some() {
@@ -378,6 +407,7 @@ fn diagnose(args: &[String]) -> Result<(), CliError> {
         EngineConfig {
             diagnoser: DiagnoserConfig::default(),
             workers,
+            topk,
         },
     )
     .map_err(runtime)?;
@@ -479,9 +509,28 @@ fn diagnose(args: &[String]) -> Result<(), CliError> {
         results.len(),
         in_set,
         results.len(),
-        if linear { "linear" } else { "indexed" },
+        if linear {
+            "linear"
+        } else if topk.is_some() {
+            "indexed top-k"
+        } else {
+            "indexed"
+        },
         elapsed,
     );
+    if topk.is_some() {
+        // How often the (possibly truncated) verdict already pins down a
+        // single structural ambiguity group of the bank.
+        let groups = ambiguity_groups(bank.trajectory_set(), 1e-6, &GeometryOptions::default());
+        let resolved = results
+            .iter()
+            .filter(|d| groups.is_resolved(&d.ambiguity_set()))
+            .count();
+        println!(
+            "{resolved}/{} verdicts resolved to a single structural ambiguity group",
+            results.len(),
+        );
+    }
     Ok(())
 }
 
@@ -498,12 +547,14 @@ fn diagnose_requests(
     cut_id: Option<&str>,
     workers: Option<usize>,
     linear: bool,
+    topk: Option<usize>,
 ) -> Result<(), CliError> {
     let engine = DiagnosisEngine::load(
         bank_path,
         EngineConfig {
             diagnoser: DiagnoserConfig::default(),
             workers,
+            topk,
         },
     )
     .map_err(runtime)?;
@@ -563,6 +614,7 @@ fn serve(args: &[String]) -> Result<(), CliError> {
     let mut banks: Option<String> = None;
     let mut workers: Option<usize> = None;
     let mut batch = 64usize;
+    let mut topk: Option<usize> = None;
     let mut mem_budget: Option<u64> = None;
     let mut stats_file: Option<String> = None;
     let mut stats_every: Option<usize> = None;
@@ -572,6 +624,7 @@ fn serve(args: &[String]) -> Result<(), CliError> {
             "--banks" => banks = Some(flags.value("--banks")?.to_string()),
             "--workers" => workers = Some(flags.parse("--workers")?),
             "--batch" => batch = flags.parse("--batch")?,
+            "--topk" => topk = Some(flags.parse("--topk")?),
             "--mem-budget" => mem_budget = Some(parse_mem_budget(flags.value("--mem-budget")?)?),
             "--stats-file" => stats_file = Some(flags.value("--stats-file")?.to_string()),
             "--stats-every" => stats_every = Some(flags.parse("--stats-every")?),
@@ -581,6 +634,9 @@ fn serve(args: &[String]) -> Result<(), CliError> {
     let banks = banks.ok_or_else(|| usage("serve needs --banks DIR"))?;
     if batch == 0 {
         return Err(usage("--batch must be positive"));
+    }
+    if topk == Some(0) {
+        return Err(usage("--topk must be at least 1"));
     }
     if stats_every.is_some() && stats_file.is_none() {
         return Err(usage("--stats-every needs --stats-file PATH"));
@@ -607,7 +663,10 @@ fn serve(args: &[String]) -> Result<(), CliError> {
     });
     let store_config = StoreConfig {
         mem_budget,
-        ..StoreConfig::new(EngineConfig::default())
+        ..StoreConfig::new(EngineConfig {
+            topk,
+            ..EngineConfig::default()
+        })
     };
     let store = Arc::new(
         BankStore::open_with(&banks, store_config)
@@ -960,6 +1019,328 @@ fn probe_str(probe: &Probe) -> String {
     }
 }
 
+/// One measured bank size of `ftd bench-scan-vs-index`: query-level
+/// timings isolate the backend (`best_per_trajectory` / `query_topk`),
+/// diagnose-level timings include candidate materialisation and
+/// ranking, so the JSON records both.
+struct BenchRow {
+    segments: usize,
+    trajectories: usize,
+    dim: usize,
+    queries: usize,
+    topk: usize,
+    tree_nodes: usize,
+    flat_nodes: usize,
+    build_tree_us: f64,
+    build_flat_us: f64,
+    linear_query_us: f64,
+    tree_query_us: f64,
+    flat_query_us: f64,
+    topk_query_us: f64,
+    linear_diagnose_us: f64,
+    flat_diagnose_us: f64,
+    topk_diagnose_us: f64,
+    examined_frac: f64,
+    early_exit_rate: f64,
+}
+
+/// Parses `--segments N[,N...]` into a list of target segment counts.
+fn parse_segment_sizes(raw: &str) -> Result<Vec<usize>, CliError> {
+    let sizes: Vec<usize> = raw
+        .split(',')
+        .map(|t| t.trim().parse::<usize>())
+        .collect::<Result<_, _>>()
+        .map_err(|_| usage(format!("--segments: expected N[,N...], got `{raw}`")))?;
+    if sizes.is_empty() || sizes.contains(&0) {
+        return Err(usage("--segments sizes must be positive"));
+    }
+    Ok(sizes)
+}
+
+/// Timed rounds per path in `bench_one`. The paths are timed in
+/// interleaved rounds — every path runs once per round, and the
+/// fastest round per path is reported. The min is the standard
+/// low-noise estimator on a shared machine, and the interleaving keeps
+/// a slow window from landing on one path's whole sample while another
+/// path gets a quiet machine, which would bias every reported ratio
+/// (each path computes identical results every round, so only the
+/// timing varies).
+const BENCH_REPS: usize = 5;
+
+/// Runs `f` once, returning its result and the per-query time in
+/// microseconds.
+fn time_once<T>(queries: usize, f: impl FnOnce() -> T) -> (T, f64) {
+    let t = Instant::now();
+    let r = f();
+    (r, t.elapsed().as_secs_f64() * 1e6 / queries.max(1) as f64)
+}
+
+/// Times every query path over one trajectory set, self-checking each
+/// against the linear-scan oracle before any number is reported.
+fn bench_one(
+    set: &ft_core::TrajectorySet,
+    queries: usize,
+    seed: u64,
+    leaf: usize,
+    workers: Option<usize>,
+    topk: usize,
+) -> Result<BenchRow, CliError> {
+    let qs = synthetic_queries(set, queries, seed.wrapping_add(1));
+
+    let t = Instant::now();
+    let tree = if leaf == 0 {
+        TreeIndex::build(set)
+    } else {
+        TreeIndex::with_leaf_size(set, leaf)
+    };
+    let build_tree_us = t.elapsed().as_secs_f64() * 1e6;
+    let t = Instant::now();
+    let flat = if leaf == 0 {
+        SegmentIndex::build(set)
+    } else {
+        SegmentIndex::with_leaf_size(set, leaf)
+    };
+    let build_flat_us = t.elapsed().as_secs_f64() * 1e6;
+
+    let diagnoser = Diagnoser::new(set.clone(), DiagnoserConfig::default());
+    let ratio = diagnoser.config().ambiguity_ratio;
+
+    // Time all paths in interleaved rounds (see `BENCH_REPS`), keeping
+    // the fastest round per path; results are identical every round, so
+    // the last round's are validated below.
+    let mut linear_query_us = f64::INFINITY;
+    let mut tree_query_us = f64::INFINITY;
+    let mut flat_query_us = f64::INFINITY;
+    let mut topk_query_us = f64::INFINITY;
+    let mut linear_diagnose_us = f64::INFINITY;
+    let mut flat_diagnose_us = f64::INFINITY;
+    let mut topk_diagnose_us = f64::INFINITY;
+    let (mut lin_q, mut tree_q, mut flat_q, mut topk_q) = (vec![], vec![], vec![], vec![]);
+    let (mut lin_d, mut flat_d, mut topk_d): (Vec<Diagnosis>, Vec<_>, Vec<_>) =
+        (vec![], vec![], vec![]);
+    let mut examined = 0usize;
+    let mut early = 0usize;
+    for _ in 0..BENCH_REPS {
+        // Query level: the raw backend, no candidate materialisation.
+        let (r, t) = time_once(qs.len(), || {
+            qs.iter()
+                .map(|q| LinearScan.best_per_trajectory(set, q))
+                .collect::<Vec<Vec<(f64, f64)>>>()
+        });
+        lin_q = r;
+        linear_query_us = linear_query_us.min(t);
+        let (r, t) = time_once(qs.len(), || {
+            qs.iter().map(|q| tree.query(q)).collect::<Vec<_>>()
+        });
+        tree_q = r;
+        tree_query_us = tree_query_us.min(t);
+        examined = 0;
+        let (r, t) = time_once(qs.len(), || {
+            qs.iter()
+                .map(|q| {
+                    let (best, stats) = flat.query_stats(q);
+                    examined += stats.segments_examined;
+                    best
+                })
+                .collect::<Vec<_>>()
+        });
+        flat_q = r;
+        flat_query_us = flat_query_us.min(t);
+        early = 0;
+        let (r, t) = time_once(qs.len(), || {
+            qs.iter()
+                .map(|q| {
+                    let (ranking, stats) = flat.query_topk(q, topk, ratio);
+                    early += stats.early_exit as usize;
+                    ranking
+                })
+                .collect::<Vec<_>>()
+        });
+        topk_q = r;
+        topk_query_us = topk_query_us.min(t);
+
+        // Diagnose level: candidates, sort, ambiguity set — what
+        // callers pay.
+        let (r, t) = time_once(qs.len(), || {
+            qs.iter()
+                .map(|q| diagnoser.diagnose(q))
+                .collect::<Vec<Diagnosis>>()
+        });
+        lin_d = r;
+        linear_diagnose_us = linear_diagnose_us.min(t);
+        let (r, t) = time_once(qs.len(), || {
+            qs.iter()
+                .map(|q| diagnoser.diagnose_with(&flat, q))
+                .collect::<Vec<_>>()
+        });
+        flat_d = r;
+        flat_diagnose_us = flat_diagnose_us.min(t);
+        let (r, t) = time_once(qs.len(), || {
+            qs.iter()
+                .map(|q| diagnoser.diagnose_topk(&flat, q, topk))
+                .collect::<Vec<_>>()
+        });
+        topk_d = r;
+        topk_diagnose_us = topk_diagnose_us.min(t);
+    }
+
+    if tree_q != lin_q || flat_q != lin_q {
+        return Err(runtime("indexed path diverged from the linear scan"));
+    }
+    let examined_frac = examined as f64 / (flat.len() * qs.len()) as f64;
+    for (q, got) in qs.iter().zip(&topk_q) {
+        if *got != LinearScan.topk_per_trajectory(set, q, topk, ratio) {
+            return Err(runtime("top-k path diverged from the linear-scan oracle"));
+        }
+    }
+    let early_exit_rate = early as f64 / qs.len() as f64;
+    if flat_d != lin_d {
+        return Err(runtime("indexed diagnosis diverged from the linear scan"));
+    }
+    for (full, cut) in lin_d.iter().zip(&topk_d) {
+        if cut.best() != full.best() || cut.ambiguity_set() != full.ambiguity_set() {
+            return Err(runtime(
+                "top-k diagnosis changed the verdict or the ambiguity set",
+            ));
+        }
+    }
+
+    // Batched paths must reproduce their single-query twins exactly.
+    if diagnose_batch_with(&diagnoser, &flat, &qs, workers) != flat_d
+        || diagnose_batch_topk_with(&diagnoser, &flat, &qs, topk, workers) != topk_d
+    {
+        return Err(runtime(
+            "batched results diverged from single-query results",
+        ));
+    }
+
+    Ok(BenchRow {
+        segments: set.total_segments(),
+        trajectories: set.len(),
+        dim: set.dim(),
+        queries: qs.len(),
+        topk,
+        tree_nodes: tree.node_count(),
+        flat_nodes: flat.node_count(),
+        build_tree_us,
+        build_flat_us,
+        linear_query_us,
+        tree_query_us,
+        flat_query_us,
+        topk_query_us,
+        linear_diagnose_us,
+        flat_diagnose_us,
+        topk_diagnose_us,
+        examined_frac,
+        early_exit_rate,
+    })
+}
+
+fn print_bench_row(r: &BenchRow) {
+    println!(
+        "bank: {} trajectories x {} segments = {} segments, dim {}, \
+         {} flat nodes ({} tree nodes)",
+        r.trajectories,
+        r.segments / r.trajectories,
+        r.segments,
+        r.dim,
+        r.flat_nodes,
+        r.tree_nodes,
+    );
+    println!(
+        "  build: tree {:.1} ms, flat {:.1} ms",
+        r.build_tree_us / 1e3,
+        r.build_flat_us / 1e3,
+    );
+    println!("  {} queries, results identical on every path", r.queries);
+    let x = |a: f64, b: f64| a / b.max(1e-12);
+    println!(
+        "  query    linear scan : {:>9.1} us/query",
+        r.linear_query_us
+    );
+    println!(
+        "  query    legacy tree : {:>9.1} us/query  ({:.1}x vs linear)",
+        r.tree_query_us,
+        x(r.linear_query_us, r.tree_query_us),
+    );
+    println!(
+        "  query    flat index  : {:>9.1} us/query  ({:.1}x vs linear, {:.1}x vs tree, \
+         examined {:.1}% of segments)",
+        r.flat_query_us,
+        x(r.linear_query_us, r.flat_query_us),
+        x(r.tree_query_us, r.flat_query_us),
+        r.examined_frac * 100.0,
+    );
+    println!(
+        "  query    flat top-{:<2} : {:>9.1} us/query  ({:.1}x vs linear, early exit on \
+         {:.0}% of queries)",
+        r.topk,
+        r.topk_query_us,
+        x(r.linear_query_us, r.topk_query_us),
+        r.early_exit_rate * 100.0,
+    );
+    println!(
+        "  diagnose linear      : {:>9.1} us/query",
+        r.linear_diagnose_us
+    );
+    println!(
+        "  diagnose flat        : {:>9.1} us/query  ({:.1}x vs linear)",
+        r.flat_diagnose_us,
+        x(r.linear_diagnose_us, r.flat_diagnose_us),
+    );
+    println!(
+        "  diagnose flat top-{:<2} : {:>9.1} us/query  ({:.1}x vs linear)",
+        r.topk,
+        r.topk_diagnose_us,
+        x(r.linear_diagnose_us, r.topk_diagnose_us),
+    );
+}
+
+/// Serialises the measured rows as a self-describing JSON document
+/// (hand-rolled; the vendored `serde` is a marker-only shim).
+fn write_bench_json(path: &str, rows: &[BenchRow]) -> Result<(), CliError> {
+    let mut s = String::from("{\n  \"bench\": \"scan-vs-index\",\n  \"runs\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let x = |a: f64, b: f64| a / b.max(1e-12);
+        s.push_str(&format!(
+            "    {{\"segments\": {}, \"trajectories\": {}, \"dim\": {}, \"queries\": {}, \
+             \"topk\": {}, \"tree_nodes\": {}, \"flat_nodes\": {}, \
+             \"build_tree_us\": {:.1}, \"build_flat_us\": {:.1}, \
+             \"linear_query_us\": {:.3}, \"tree_query_us\": {:.3}, \
+             \"flat_query_us\": {:.3}, \"topk_query_us\": {:.3}, \
+             \"flat_speedup_vs_linear\": {:.2}, \"flat_speedup_vs_tree\": {:.2}, \
+             \"topk_speedup_vs_linear\": {:.2}, \
+             \"linear_diagnose_us\": {:.3}, \"flat_diagnose_us\": {:.3}, \
+             \"topk_diagnose_us\": {:.3}, \
+             \"segments_examined_frac\": {:.4}, \"topk_early_exit_rate\": {:.4}}}{}\n",
+            r.segments,
+            r.trajectories,
+            r.dim,
+            r.queries,
+            r.topk,
+            r.tree_nodes,
+            r.flat_nodes,
+            r.build_tree_us,
+            r.build_flat_us,
+            r.linear_query_us,
+            r.tree_query_us,
+            r.flat_query_us,
+            r.topk_query_us,
+            x(r.linear_query_us, r.flat_query_us),
+            x(r.tree_query_us, r.flat_query_us),
+            x(r.linear_query_us, r.topk_query_us),
+            r.linear_diagnose_us,
+            r.flat_diagnose_us,
+            r.topk_diagnose_us,
+            r.examined_frac,
+            r.early_exit_rate,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write(path, s).map_err(|e| runtime(format!("{path}: {e}")))
+}
+
 fn bench_scan_vs_index(args: &[String]) -> Result<(), CliError> {
     // Default shape: the paper-like CUT (a handful of components) with a
     // production-dense deviation sweep — 8 × 128 = 1024 segments.
@@ -971,6 +1352,9 @@ fn bench_scan_vs_index(args: &[String]) -> Result<(), CliError> {
     let mut workers: Option<usize> = None;
     let mut leaf = 0usize;
     let mut circuit_order = 0usize;
+    let mut topk = 5usize;
+    let mut segments: Option<Vec<usize>> = None;
+    let mut json: Option<String> = None;
     let mut flags = Flags::new(args);
     while let Some(flag) = flags.next_flag() {
         match flag {
@@ -982,6 +1366,9 @@ fn bench_scan_vs_index(args: &[String]) -> Result<(), CliError> {
             "--workers" => workers = Some(flags.parse("--workers")?),
             "--leaf" => leaf = flags.parse("--leaf")?,
             "--circuit-order" => circuit_order = flags.parse("--circuit-order")?,
+            "--topk" => topk = flags.parse("--topk")?,
+            "--segments" => segments = Some(parse_segment_sizes(flags.value("--segments")?)?),
+            "--json" => json = Some(flags.value("--json")?.to_string()),
             other => {
                 return Err(usage(format!(
                     "bench-scan-vs-index: unknown flag `{other}`"
@@ -993,6 +1380,34 @@ fn bench_scan_vs_index(args: &[String]) -> Result<(), CliError> {
         return Err(usage(
             "--components/--points/--dim/--queries must be positive",
         ));
+    }
+    if topk == 0 {
+        return Err(usage("--topk must be at least 1"));
+    }
+    if segments.is_some() && circuit_order > 0 {
+        return Err(usage(
+            "--segments and --circuit-order are mutually exclusive",
+        ));
+    }
+
+    if let Some(sizes) = segments {
+        // Size sweep: trajectories are derived from the target segment
+        // count at 2·points segments per trajectory (minimum 2), so the
+        // actual count printed/recorded may round off the target.
+        let mut rows = Vec::with_capacity(sizes.len());
+        for &target in &sizes {
+            let comp = ((target as f64 / (2.0 * points as f64)).round() as usize).max(2);
+            let set = synthetic_trajectory_set(comp, points, dim, seed);
+            println!("--- target {target} segments ---");
+            let row = bench_one(&set, queries, seed, leaf, workers, topk)?;
+            print_bench_row(&row);
+            rows.push(row);
+        }
+        if let Some(path) = json {
+            write_bench_json(&path, &rows)?;
+            println!("wrote {path}");
+        }
+        return Ok(());
     }
 
     let set = if circuit_order > 0 {
@@ -1010,7 +1425,6 @@ fn bench_scan_vs_index(args: &[String]) -> Result<(), CliError> {
         let step = 40.0 / points as f64;
         let bank = synthetic_circuit_bank(circuit_order, step, 41, &TestVector::pair(0.6, 1.6))
             .map_err(runtime)?;
-        components = bank.trajectory_set().len();
         let set = bank.trajectory_set().clone();
         println!(
             "simulated order-{circuit_order} RLC-ladder bank: {} faults on a {}-point grid",
@@ -1021,74 +1435,12 @@ fn bench_scan_vs_index(args: &[String]) -> Result<(), CliError> {
     } else {
         synthetic_trajectory_set(components, points, dim, seed)
     };
-    let dim = set.dim();
-    let qs = synthetic_queries(&set, queries, seed.wrapping_add(1));
-    let index = if leaf == 0 {
-        SegmentIndex::build(&set)
-    } else {
-        SegmentIndex::with_leaf_size(&set, leaf)
-    };
-    let diagnoser = Diagnoser::new(set.clone(), DiagnoserConfig::default());
-    println!(
-        "bank: {} trajectories x {} segments = {} segments, dim {}, {} tree nodes",
-        components,
-        set.total_segments() / components,
-        set.total_segments(),
-        dim,
-        index.node_count(),
-    );
-
-    // Warm-up + exactness self-check: the two paths must agree
-    // bit-for-bit before any timing is worth reporting.
-    let mut linear_results: Vec<Diagnosis> = Vec::with_capacity(qs.len());
-    let t_linear = Instant::now();
-    for q in &qs {
-        linear_results.push(diagnoser.diagnose(q));
+    let row = bench_one(&set, queries, seed, leaf, workers, topk)?;
+    print_bench_row(&row);
+    if let Some(path) = json {
+        write_bench_json(&path, &[row])?;
+        println!("wrote {path}");
     }
-    let t_linear = t_linear.elapsed();
-    let mut indexed_results: Vec<Diagnosis> = Vec::with_capacity(qs.len());
-    let t_indexed = Instant::now();
-    for q in &qs {
-        indexed_results.push(diagnoser.diagnose_with(&index, q));
-    }
-    let t_indexed = t_indexed.elapsed();
-    if linear_results != indexed_results {
-        return Err(runtime("indexed path diverged from the linear scan"));
-    }
-
-    let mut examined = 0usize;
-    for q in &qs {
-        examined += index.query_stats(q).1.segments_examined;
-    }
-    let frac = examined as f64 / (index.len() * qs.len()) as f64;
-
-    let t_batch_linear = Instant::now();
-    let batch_linear = diagnose_batch_with(&diagnoser, &LinearScan, &qs, workers);
-    let t_batch_linear = t_batch_linear.elapsed();
-    let t_batch_indexed = Instant::now();
-    let batch_indexed = diagnose_batch_with(&diagnoser, &index, &qs, workers);
-    let t_batch_indexed = t_batch_indexed.elapsed();
-    if batch_linear != linear_results || batch_indexed != indexed_results {
-        return Err(runtime(
-            "batched results diverged from single-query results",
-        ));
-    }
-
-    let per = |d: std::time::Duration| d.as_secs_f64() * 1e6 / qs.len() as f64;
-    println!("{} queries, results identical on every path", qs.len());
-    println!("  linear scan    : {:>9.1} us/query", per(t_linear));
-    println!(
-        "  spatial index  : {:>9.1} us/query  ({:.1}x, examined {:.1}% of segments)",
-        per(t_indexed),
-        per(t_linear) / per(t_indexed).max(1e-12),
-        frac * 100.0,
-    );
-    println!("  batch linear   : {:>9.1} us/query", per(t_batch_linear));
-    println!(
-        "  batch indexed  : {:>9.1} us/query  ({:.1}x vs single linear)",
-        per(t_batch_indexed),
-        per(t_linear) / per(t_batch_indexed).max(1e-12),
-    );
     Ok(())
 }
 

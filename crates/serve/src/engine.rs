@@ -71,6 +71,51 @@ where
         .collect()
 }
 
+/// [`diagnose_batch_with`] over the top-k / early-termination path:
+/// each diagnosis ranks only the `k` best trajectories plus the rest of
+/// the winner's ambiguity set (see [`Diagnoser::diagnose_topk`]).
+///
+/// # Panics
+///
+/// Panics if `k` is zero, on signature dimension mismatch, or if a
+/// worker panics.
+pub fn diagnose_batch_topk_with<B>(
+    diagnoser: &Diagnoser,
+    backend: &B,
+    observed: &[Signature],
+    k: usize,
+    workers: Option<usize>,
+) -> Vec<Diagnosis>
+where
+    B: SegmentQuery + Sync + ?Sized,
+{
+    let n = observed.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        })
+        .clamp(1, n);
+    let chunk = n.div_ceil(workers);
+    let mut out: Vec<Option<Diagnosis>> = vec![None; n];
+    std::thread::scope(|scope| {
+        for (in_chunk, out_chunk) in observed.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (sig, slot) in in_chunk.iter().zip(out_chunk.iter_mut()) {
+                    *slot = Some(diagnoser.diagnose_topk(backend, sig, k));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|d| d.expect("every batch slot is filled by exactly one worker"))
+        .collect()
+}
+
 /// Engine configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct EngineConfig {
@@ -79,6 +124,13 @@ pub struct EngineConfig {
     /// Worker threads for batched queries; `None` uses the machine's
     /// available parallelism.
     pub workers: Option<usize>,
+    /// When `Some(k)`, indexed diagnoses take the top-k /
+    /// early-termination path: rankings stop after the `k` best
+    /// trajectories plus the winner's full ambiguity set, so the rank-1
+    /// verdict and ambiguity set stay identical to the full ranking
+    /// while the search skips the tail. `None` (the default) ranks the
+    /// full universe.
+    pub topk: Option<usize>,
 }
 
 /// Where an engine's bank came from, and how much of it is decoded.
@@ -180,13 +232,20 @@ impl DiagnosisEngine {
     }
 
     /// Attaches observability handles: per-diagnose latency and path
-    /// counters on this engine, and the lazy-decode counter on a mapped
-    /// bank source. Without this call every diagnose path is entirely
-    /// uninstrumented (no clocks read, no atomics touched).
+    /// counters on this engine, per-query work counters (nodes visited,
+    /// segments examined, top-k early exits) on its index, and the
+    /// lazy-decode counter on a mapped bank source. Without this call
+    /// every diagnose path is entirely uninstrumented (no clocks read,
+    /// no atomics touched).
     pub fn set_metrics(&mut self, metrics: EngineMetrics) {
         if let BankSource::Mapped(mapped) = &mut self.source {
             mapped.set_decode_counter(Arc::clone(&metrics.lazy_decodes));
         }
+        self.index.set_counters(crate::index::IndexCounters {
+            nodes_visited: Arc::clone(&metrics.index_nodes_visited),
+            segments_examined: Arc::clone(&metrics.index_segments_examined),
+            topk_early_exits: Arc::clone(&metrics.topk_early_exits),
+        });
         self.metrics = Some(metrics);
     }
 
@@ -261,17 +320,41 @@ impl DiagnosisEngine {
         self.config
     }
 
-    /// Diagnoses one observed signature through the spatial index.
+    /// Diagnoses one observed signature through the spatial index —
+    /// the full ranking, or the top-k / early-termination path when
+    /// [`EngineConfig::topk`] is set (rank-1 and ambiguity set are
+    /// identical either way).
     ///
     /// # Panics
     ///
     /// Panics on signature dimension mismatch.
     pub fn diagnose(&self, observed: &Signature) -> Diagnosis {
+        match self.config.topk {
+            Some(k) => self.diagnose_topk(observed, k),
+            None => {
+                let _span = self.metrics.as_ref().map(|m| {
+                    m.indexed.inc();
+                    SpanTimer::start(Arc::clone(&m.diagnose_latency))
+                });
+                self.diagnoser.diagnose_with(&self.index, observed)
+            }
+        }
+    }
+
+    /// Diagnoses through the index's top-k / early-termination search:
+    /// the ranking stops after the `k` best trajectories plus the
+    /// winner's full ambiguity set, both provably identical to the full
+    /// ranking's ([`Diagnoser::diagnose_topk`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or on signature dimension mismatch.
+    pub fn diagnose_topk(&self, observed: &Signature, k: usize) -> Diagnosis {
         let _span = self.metrics.as_ref().map(|m| {
             m.indexed.inc();
             SpanTimer::start(Arc::clone(&m.diagnose_latency))
         });
-        self.diagnoser.diagnose_with(&self.index, observed)
+        self.diagnoser.diagnose_topk(&self.index, observed, k)
     }
 
     /// Diagnoses one observed signature with the exhaustive linear scan
@@ -310,7 +393,18 @@ impl DiagnosisEngine {
 
     fn batch(&self, observed: &[Signature], indexed: bool) -> Vec<Diagnosis> {
         if indexed {
-            diagnose_batch_with(&self.diagnoser, &self.index, observed, self.config.workers)
+            match self.config.topk {
+                Some(k) => diagnose_batch_topk_with(
+                    &self.diagnoser,
+                    &self.index,
+                    observed,
+                    k,
+                    self.config.workers,
+                ),
+                None => {
+                    diagnose_batch_with(&self.diagnoser, &self.index, observed, self.config.workers)
+                }
+            }
         } else {
             diagnose_batch_with(
                 &self.diagnoser,
@@ -444,6 +538,63 @@ mod tests {
             snap.histogram("engine_diagnose_latency_us").unwrap().count,
             2
         );
+    }
+
+    #[test]
+    fn topk_engine_keeps_rank1_and_ambiguity_set() {
+        let full = rc_engine(Some(2));
+        let mut topk = rc_engine(Some(2));
+        topk.config.topk = Some(1);
+        let registry = crate::obs::MetricsRegistry::new();
+        topk.set_metrics(EngineMetrics::from_registry(&registry));
+        let mut rng = StdRng::seed_from_u64(21);
+        let sigs: Vec<Signature> = (0..30)
+            .map(|_| Signature::new(vec![rng.gen_range(-6.0..6.0), rng.gen_range(-6.0..6.0)]))
+            .collect();
+        let batched_full = full.diagnose_batch(&sigs);
+        let batched_topk = topk.diagnose_batch(&sigs);
+        for ((sig, f), t) in sigs.iter().zip(&batched_full).zip(&batched_topk) {
+            assert_eq!(f.best(), t.best(), "rank-1 drift at {sig}");
+            assert_eq!(f.ambiguity_set(), t.ambiguity_set());
+            assert_eq!(
+                t.candidates(),
+                &f.candidates()[..t.candidates().len()],
+                "top-k is not a prefix at {sig}"
+            );
+            // Single-query path agrees with the batch.
+            assert_eq!(&topk.diagnose(sig), t);
+            assert_eq!(&full.diagnose_topk(sig, 1), t);
+        }
+        // The index counters flowed through EngineMetrics.
+        let snap = registry.snapshot();
+        assert!(snap.counter("engine_index_nodes_visited_total").unwrap() > 0);
+        assert!(
+            snap.counter("engine_index_segments_examined_total")
+                .unwrap()
+                > 0
+        );
+        // Only the single-query loop above counts here: batch accounting
+        // lives in the pool layer, matching the full-ranking path.
+        assert_eq!(
+            snap.counter("engine_diagnose_indexed_total"),
+            Some(sigs.len() as u64)
+        );
+    }
+
+    #[test]
+    fn batch_topk_helper_matches_single_calls() {
+        let engine = rc_engine(Some(3));
+        let mut rng = StdRng::seed_from_u64(22);
+        let sigs: Vec<Signature> = (0..17)
+            .map(|_| Signature::new(vec![rng.gen_range(-6.0..6.0), rng.gen_range(-6.0..6.0)]))
+            .collect();
+        let diagnoser = Diagnoser::new(engine.trajectory_set().clone(), engine.config().diagnoser);
+        let batched = diagnose_batch_topk_with(&diagnoser, engine.index(), &sigs, 2, Some(3));
+        assert_eq!(batched.len(), sigs.len());
+        for (sig, got) in sigs.iter().zip(&batched) {
+            assert_eq!(&engine.diagnose_topk(sig, 2), got);
+        }
+        assert!(diagnose_batch_topk_with(&diagnoser, engine.index(), &[], 2, None).is_empty());
     }
 
     #[test]

@@ -1,26 +1,45 @@
-//! Spatial index over trajectory segments: a forest of per-trajectory
-//! AABB trees in signature space.
+//! Spatial index over trajectory segments: a cache-flat forest of
+//! per-trajectory 8-ary AABB trees in signature space, stored
+//! structure-of-arrays for batched (autovectorizable) box tests, with a
+//! best-first top-k query mode that stops ranking once the ambiguity
+//! set is resolved.
 //!
 //! The linear diagnosis path scans every segment of every trajectory for
 //! each query. A full ranked diagnosis needs the **exact** nearest
 //! segment of *every* trajectory (not just the globally closest one), so
 //! the index is organised the way the answer is: per trajectory. Each
 //! trajectory's segments — contiguous along its polyline — are boxed
-//! into a balanced binary AABB tree (a k-d-style structure over
-//! signature space), and a query runs branch-and-bound down each tree:
-//! a subtree is skipped only when the distance from the observation to
-//! its bounding box (a lower bound on the distance to every segment
-//! inside, with a safety margin on top) already exceeds the best
-//! distance found for that trajectory. Per trajectory this is
-//! `O(log n + k)` instead of `O(n)`, independent of how far the
-//! observation sits from the rest of the bank — the property a *global*
-//! spatial structure cannot offer for full rankings, where the search
-//! radius is set by the worst component.
+//! into a balanced 8-ary AABB tree, and a query runs branch-and-bound
+//! down each tree: a subtree is skipped only when the distance from the
+//! observation to its bounding box (a lower bound on the distance to
+//! every segment inside, with a safety margin on top) already exceeds
+//! the best distance found for that trajectory.
 //!
-//! Descent is best-first (the child box nearer the observation is
-//! explored before its sibling), so the running best converges in one
-//! dive and the sibling subtrees prune at the highest possible level.
-//! Results are nonetheless **bit-identical** to the linear scan:
+//! ## Layout
+//!
+//! Nodes live in one breadth-first array per forest, all trajectories
+//! pooled; the children of every internal node occupy **consecutive
+//! ids**, so a whole sibling group is one contiguous slice. Bounding
+//! boxes are stored plane-major — for each signature dimension `k`, the
+//! lower corners of *all* nodes form one contiguous `f64` run, then the
+//! upper corners — so testing the up-to-8 children of a node against
+//! the query reads `2 × dim` short contiguous chunks instead of chasing
+//! pointers. [`SegmentIndex::child_box_dist2`] computes all eight lanes
+//! branchlessly in a shape the autovectorizer lowers to SIMD (and an
+//! explicit SSE2 `core::arch` path is used on x86_64; a unit test pins
+//! it to the scalar reference). Internal-node boxes are built bottom-up
+//! as the union of their children's boxes — one O(n) pass over the node
+//! array, not a per-node endpoint rescan — and
+//! [`SegmentIndex::rebuild_trajectory`] re-derives one trajectory's
+//! boxes in place when a bank is rebuilt at a new test vector with the
+//! same topology.
+//!
+//! ## Exactness
+//!
+//! Descent is best-first (nearer child boxes explored before farther
+//! siblings), so the running best converges in one dive and sibling
+//! subtrees prune at the highest possible level. Results are
+//! nonetheless **bit-identical** to the linear scan:
 //!
 //! * distances come from the same [`point_segment_distance`] calls on
 //!   the same coordinates;
@@ -31,16 +50,56 @@
 //! * a pruned subtree satisfies `box distance > best + slack`, and the
 //!   box distance lower-bounds every segment inside, so a pruned
 //!   segment could never have improved *or tied* the running best.
+//!
+//! Pruning compares **squared** distances against the squared slack-
+//! padded bound — the comparison is monotone, so the decisions (and
+//! therefore the results) are unchanged while the hot loop never takes
+//! a square root.
+//!
+//! ## Top-k / early termination
+//!
+//! [`SegmentIndex::query_topk`] runs one global best-first search over
+//! all trajectories, each keyed by its nearest *child* box distance —
+//! a root's own box usually contains the query and bounds nothing,
+//! while one batched test of its children still lower-bounds the true
+//! distance but tightly enough to discard most of the frontier. A
+//! trajectory's running best becomes *settled* — provably exact and
+//! provably ahead of every unsettled trajectory — as soon as it drops
+//! below the frontier bound minus [`prune_slack`]; settled trajectories drain
+//! into the ranking in `(distance, trajectory index)` order, which is
+//! exactly the order [`Diagnosis`] ranks a full scan. The search stops
+//! once `k` trajectories are ranked **and** the winner's whole
+//! ambiguity set (`distance ≤ best × ambiguity_ratio`) is settled, so
+//! the rank-1 verdict and the reported ambiguity set are always
+//! identical to the full ranking — only the deep tail is skipped.
+//!
+//! [`Diagnosis`]: ft_core::Diagnosis
 
-use ft_core::geometry::point_segment_distance;
-use ft_core::{SegmentQuery, Signature, TrajectorySet};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
 
-/// Default maximum number of segments per leaf node.
-const DEFAULT_LEAF_SIZE: usize = 4;
+use ft_core::geometry::point_segment_distance2;
+use ft_core::{FaultTrajectory, SegmentQuery, Signature, TopkRanking, TrajectorySet};
+
+use crate::obs::Counter;
+
+/// Default maximum number of segments per leaf node. The flat layout
+/// makes segment exams cheap (squared-domain scan, contiguous endpoint
+/// rows), so it pays to push more work into leaves than the pointer
+/// tree does: 16 measured fastest for both full and top-k queries at
+/// 100k segments (see `BENCH_index.json`).
+const DEFAULT_LEAF_SIZE: usize = 16;
+
+/// Children per internal node — one batched box test covers a whole
+/// sibling group. Eight `f64` lanes fill two AVX registers (or four
+/// SSE2 ones), and the plane arrays are padded so a full-width read at
+/// any child base stays in bounds.
+pub(crate) const BRANCH: usize = 8;
 
 /// Conservative slack added to pruning bounds so floating-point rounding
 /// can never skip a segment the linear scan would have preferred.
-fn prune_slack(d: f64) -> f64 {
+pub(crate) fn prune_slack(d: f64) -> f64 {
     1e-9 + 1e-12 * d.abs()
 }
 
@@ -51,36 +110,56 @@ pub struct QueryStats {
     pub nodes_visited: usize,
     /// Segments whose exact distance was computed.
     pub segments_examined: usize,
+    /// `true` when a top-k query stopped before settling the full
+    /// ranking (always `false` for full-ranking queries).
+    pub early_exit: bool,
 }
 
-/// One AABB-tree node covering the contiguous segment range
-/// `[seg_lo, seg_hi)` of a single trajectory. `left == u32::MAX` marks
-/// a leaf; the bounding box lives in the parallel `boxes` array.
-#[derive(Debug, Clone, Copy)]
-struct Node {
-    left: u32,
-    right: u32,
-    seg_lo: u32,
-    seg_hi: u32,
+/// Observability handles an index records its per-query work into when
+/// attached (see [`crate::obs::EngineMetrics`]); without them a query
+/// touches no atomics.
+#[derive(Debug, Clone)]
+pub struct IndexCounters {
+    /// `engine_index_nodes_visited_total`.
+    pub nodes_visited: Arc<Counter>,
+    /// `engine_index_segments_examined_total`.
+    pub segments_examined: Arc<Counter>,
+    /// `engine_topk_early_exit_total`.
+    pub topk_early_exits: Arc<Counter>,
 }
 
-/// A per-trajectory AABB-tree index over all segments of a
-/// [`TrajectorySet`].
+/// A flat structure-of-arrays forest of per-trajectory 8-ary AABB trees
+/// over all segments of a [`TrajectorySet`].
 #[derive(Debug, Clone)]
 pub struct SegmentIndex {
     dim: usize,
     n_traj: usize,
-    /// Root node id per trajectory.
+    /// Plane-array stride: node count padded by [`BRANCH`] so a full
+    /// 8-lane read at any child base never leaves the allocation.
+    stride: usize,
+    /// First child node id per node; `u32::MAX` marks a leaf. A node's
+    /// children are the consecutive ids `child_base..child_base + child_count`.
+    child_base: Vec<u32>,
+    /// Number of children (0 for leaves, 2..=[`BRANCH`] for internal nodes).
+    child_count: Vec<u8>,
+    /// Segment range `[seg_lo, seg_hi)` covered by each node.
+    seg_lo: Vec<u32>,
+    seg_hi: Vec<u32>,
+    /// Owning trajectory of each node.
+    node_traj: Vec<u32>,
+    /// Root node id per trajectory — also the start of its contiguous
+    /// breadth-first node block (the next root bounds it).
     roots: Vec<u32>,
-    /// Tree nodes, all trajectories pooled.
-    nodes: Vec<Node>,
-    /// Node bounding boxes, stride `2 * dim`: lower then upper corner.
-    boxes: Vec<f64>,
+    /// Box planes, plane-major: for dimension `k`,
+    /// `planes[2k·stride + node]` is the lower corner and
+    /// `planes[(2k+1)·stride + node]` the upper.
+    planes: Vec<f64>,
     /// Segment id → (start, end) deviation percentages; ids are
     /// trajectory-major, matching `TrajectorySet::all_segments`.
     seg_dev: Vec<(f64, f64)>,
     /// Flat endpoint store, stride `2 * dim`: `a` then `b`.
     coords: Vec<f64>,
+    counters: Option<IndexCounters>,
 }
 
 impl SegmentIndex {
@@ -106,62 +185,193 @@ impl SegmentIndex {
         let mut index = SegmentIndex {
             dim,
             n_traj: set.len(),
+            stride: 0,
+            child_base: Vec::new(),
+            child_count: Vec::new(),
+            seg_lo: Vec::new(),
+            seg_hi: Vec::new(),
+            node_traj: Vec::new(),
             roots: Vec::with_capacity(set.len()),
-            nodes: Vec::new(),
-            boxes: Vec::new(),
-            seg_dev: Vec::new(),
-            coords: Vec::new(),
+            planes: Vec::new(),
+            seg_dev: Vec::with_capacity(set.total_segments()),
+            coords: Vec::with_capacity(set.total_segments() * 2 * dim),
+            counters: None,
         };
         for (_, _, d0, p0, d1, p1) in set.all_segments() {
             index.seg_dev.push((d0, d1));
             index.coords.extend_from_slice(p0.coords());
             index.coords.extend_from_slice(p1.coords());
         }
+        // Tree shape first: per trajectory, a breadth-first node block
+        // whose sibling groups are consecutive ids.
+        let mut queue: std::collections::VecDeque<u32> = std::collections::VecDeque::new();
         let mut seg_base = 0u32;
-        for t in set.trajectories() {
+        for (ti, t) in set.trajectories().iter().enumerate() {
             let n = t.segment_count() as u32;
-            let root = index.build_node(seg_base, seg_base + n, leaf_size as u32);
+            let root = index.push_node(seg_base, seg_base + n, ti as u32);
             index.roots.push(root);
+            queue.push_back(root);
+            while let Some(nid) = queue.pop_front() {
+                let (lo, hi) = (index.seg_lo[nid as usize], index.seg_hi[nid as usize]);
+                let count = (hi - lo) as usize;
+                if count <= leaf_size {
+                    continue; // stays a leaf
+                }
+                let chunks = count.div_ceil(leaf_size).clamp(2, BRANCH);
+                let size = (count.div_ceil(chunks)) as u32;
+                index.child_base[nid as usize] = index.child_base.len() as u32;
+                let mut created = 0u8;
+                let mut clo = lo;
+                while clo < hi {
+                    let chi = (clo + size).min(hi);
+                    let cid = index.push_node(clo, chi, ti as u32);
+                    queue.push_back(cid);
+                    created += 1;
+                    clo = chi;
+                }
+                index.child_count[nid as usize] = created;
+            }
             seg_base += n;
         }
+        // Boxes second: one bottom-up pass. Children always carry
+        // higher ids than their parent, so a reverse sweep sees every
+        // child before its parent and internal boxes are unions of
+        // already-final child boxes — no endpoint rescans.
+        let n_nodes = index.child_base.len();
+        index.stride = n_nodes + BRANCH;
+        index.planes = vec![0.0; 2 * dim * index.stride];
+        for nid in (0..n_nodes).rev() {
+            index.refresh_box(nid);
+        }
+        #[cfg(debug_assertions)]
+        index.debug_verify_boxes_against_rescan();
         index
     }
 
-    /// Recursively builds the subtree over global segment ids
-    /// `[seg_lo, seg_hi)` and returns its node id.
-    fn build_node(&mut self, seg_lo: u32, seg_hi: u32, leaf_size: u32) -> u32 {
-        let (left, right) = if seg_hi - seg_lo <= leaf_size {
-            (u32::MAX, u32::MAX)
-        } else {
-            let mid = seg_lo + (seg_hi - seg_lo) / 2;
-            (
-                self.build_node(seg_lo, mid, leaf_size),
-                self.build_node(mid, seg_hi, leaf_size),
-            )
-        };
-        let id = self.nodes.len() as u32;
-        self.nodes.push(Node {
-            left,
-            right,
-            seg_lo,
-            seg_hi,
-        });
-        // Bounding box over every endpoint of the range.
-        let lo_at = self.boxes.len();
-        self.boxes
-            .extend(std::iter::repeat_n(f64::INFINITY, self.dim));
-        self.boxes
-            .extend(std::iter::repeat_n(f64::NEG_INFINITY, self.dim));
-        for s in seg_lo..seg_hi {
-            let base = s as usize * 2 * self.dim;
-            for k in 0..self.dim {
-                for &x in &[self.coords[base + k], self.coords[base + self.dim + k]] {
-                    self.boxes[lo_at + k] = self.boxes[lo_at + k].min(x);
-                    self.boxes[lo_at + self.dim + k] = self.boxes[lo_at + self.dim + k].max(x);
+    /// Appends a node with no children yet and returns its id.
+    fn push_node(&mut self, seg_lo: u32, seg_hi: u32, traj: u32) -> u32 {
+        let id = self.child_base.len() as u32;
+        self.child_base.push(u32::MAX);
+        self.child_count.push(0);
+        self.seg_lo.push(seg_lo);
+        self.seg_hi.push(seg_hi);
+        self.node_traj.push(traj);
+        id
+    }
+
+    /// Recomputes node `nid`'s box: from its segment endpoints for a
+    /// leaf, as the union of its children's (already current) boxes for
+    /// an internal node. Exact either way — min/max over the same
+    /// endpoint multiset gives the identical `f64` regardless of
+    /// association, which is what lets the build skip the rescan.
+    fn refresh_box(&mut self, nid: usize) {
+        let dim = self.dim;
+        let stride = self.stride;
+        if self.child_base[nid] == u32::MAX {
+            for k in 0..dim {
+                let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+                for s in self.seg_lo[nid]..self.seg_hi[nid] {
+                    let base = s as usize * 2 * dim;
+                    for &x in &[self.coords[base + k], self.coords[base + dim + k]] {
+                        lo = lo.min(x);
+                        hi = hi.max(x);
+                    }
                 }
+                self.planes[2 * k * stride + nid] = lo;
+                self.planes[(2 * k + 1) * stride + nid] = hi;
+            }
+        } else {
+            let cb = self.child_base[nid] as usize;
+            let cc = self.child_count[nid] as usize;
+            for k in 0..dim {
+                let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+                for c in cb..cb + cc {
+                    lo = lo.min(self.planes[2 * k * stride + c]);
+                    hi = hi.max(self.planes[(2 * k + 1) * stride + c]);
+                }
+                self.planes[2 * k * stride + nid] = lo;
+                self.planes[(2 * k + 1) * stride + nid] = hi;
             }
         }
-        id
+    }
+
+    /// Debug-build oracle: every node box must equal the box a direct
+    /// rescan of its segment endpoints produces — the invariant the
+    /// O(n) union build rests on.
+    #[cfg(debug_assertions)]
+    fn debug_verify_boxes_against_rescan(&self) {
+        for nid in 0..self.child_base.len() {
+            for k in 0..self.dim {
+                let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+                for s in self.seg_lo[nid]..self.seg_hi[nid] {
+                    let base = s as usize * 2 * self.dim;
+                    for &x in &[self.coords[base + k], self.coords[base + self.dim + k]] {
+                        lo = lo.min(x);
+                        hi = hi.max(x);
+                    }
+                }
+                debug_assert_eq!(
+                    self.planes[2 * k * self.stride + nid],
+                    lo,
+                    "union-built lower box plane diverged from the rescan oracle"
+                );
+                debug_assert_eq!(
+                    self.planes[(2 * k + 1) * self.stride + nid],
+                    hi,
+                    "union-built upper box plane diverged from the rescan oracle"
+                );
+            }
+        }
+    }
+
+    /// Re-indexes one trajectory in place after its geometry changed —
+    /// the incremental path for banks rebuilt at a new test vector. The
+    /// tree shape is topology-only (it depends on the segment count,
+    /// not the coordinates), so only this trajectory's endpoint store
+    /// and its node block's boxes are rewritten; every other
+    /// trajectory's data is untouched and the result is identical to a
+    /// fresh [`SegmentIndex::build`] over the modified set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ti` is out of range, the trajectory's dimension does
+    /// not match the index, or its segment count differs from the
+    /// indexed topology (a changed topology needs a full rebuild).
+    pub fn rebuild_trajectory(&mut self, ti: usize, trajectory: &FaultTrajectory) {
+        assert!(ti < self.n_traj, "trajectory index out of range");
+        assert_eq!(
+            trajectory.dim(),
+            self.dim,
+            "trajectory dimension must match the index"
+        );
+        let root = self.roots[ti] as usize;
+        let (seg_lo, seg_hi) = (self.seg_lo[root], self.seg_hi[root]);
+        assert_eq!(
+            trajectory.segment_count(),
+            (seg_hi - seg_lo) as usize,
+            "segment count changed; incremental rebuild needs the same topology"
+        );
+        for (i, (d0, p0, d1, p1)) in trajectory.segments().enumerate() {
+            let s = seg_lo as usize + i;
+            self.seg_dev[s] = (d0, d1);
+            let base = s * 2 * self.dim;
+            self.coords[base..base + self.dim].copy_from_slice(p0.coords());
+            self.coords[base + self.dim..base + 2 * self.dim].copy_from_slice(p1.coords());
+        }
+        let block_end = self
+            .roots
+            .get(ti + 1)
+            .map_or(self.child_base.len(), |&r| r as usize);
+        for nid in (root..block_end).rev() {
+            self.refresh_box(nid);
+        }
+    }
+
+    /// Attaches observability counters; every subsequent query adds its
+    /// [`QueryStats`] to them. Without this call queries touch no
+    /// atomics.
+    pub fn set_counters(&mut self, counters: IndexCounters) {
+        self.counters = Some(counters);
     }
 
     /// Number of indexed segments.
@@ -191,20 +401,122 @@ impl SegmentIndex {
     /// Total tree nodes across all trajectories.
     #[inline]
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.child_base.len()
     }
 
-    /// Distance from `q` to node `n`'s bounding box (zero inside).
-    fn box_distance(&self, n: usize, q: &[f64]) -> f64 {
-        let base = n * 2 * self.dim;
-        let mut d2 = 0.0;
+    /// Squared distance from `q` to node `nid`'s box (zero inside) —
+    /// scalar single-box twin of the batched kernel, for nodes read
+    /// outside a sibling group (leaf trajectory roots in the
+    /// [`SegmentIndex::query_topk`] frontier).
+    #[inline]
+    fn one_box_dist2(&self, nid: usize, q: &[f64]) -> f64 {
+        let mut acc = 0.0;
         for (k, &qk) in q.iter().enumerate() {
-            let lo = self.boxes[base + k];
-            let hi = self.boxes[base + self.dim + k];
+            let lo = self.planes[2 * k * self.stride + nid];
+            let hi = self.planes[(2 * k + 1) * self.stride + nid];
             let delta = (lo - qk).max(qk - hi).max(0.0);
-            d2 += delta * delta;
+            acc += delta * delta;
         }
-        d2.sqrt()
+        acc
+    }
+
+    /// Squared distances from `q` to the eight box lanes starting at
+    /// node id `base` — the whole sibling group of one internal node in
+    /// one branchless pass over the SoA planes. Always computes all
+    /// [`BRANCH`] lanes (the plane padding keeps the reads in bounds);
+    /// callers consume only the real `child_count`.
+    #[inline]
+    fn child_box_dist2(&self, base: usize, q: &[f64], out: &mut [f64; BRANCH]) {
+        Self::batch_box_dist2(&self.planes, self.stride, base, q, out);
+    }
+
+    /// Batched box test over a plane-major array (`planes[2k·stride +
+    /// lane]` lower, `planes[(2k+1)·stride + lane]` upper): eight
+    /// squared box distances starting at `base`. Requires
+    /// `base + BRANCH <= stride`.
+    #[inline]
+    fn batch_box_dist2(
+        planes: &[f64],
+        stride: usize,
+        base: usize,
+        q: &[f64],
+        out: &mut [f64; BRANCH],
+    ) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            Self::batch_box_dist2_sse2(planes, stride, base, q, out);
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            Self::batch_box_dist2_scalar(planes, stride, base, q, out);
+        }
+    }
+
+    /// Scalar reference for the batched box test: branchless
+    /// clamp-square-accumulate over fixed-width lanes, written so the
+    /// autovectorizer can lower it to SIMD on any target. On x86_64 the
+    /// hot path dispatches to the SSE2 twin instead, and this reference
+    /// is exercised only by the parity test.
+    #[cfg_attr(all(target_arch = "x86_64", not(test)), allow(dead_code))]
+    #[inline]
+    fn batch_box_dist2_scalar(
+        planes: &[f64],
+        stride: usize,
+        base: usize,
+        q: &[f64],
+        out: &mut [f64; BRANCH],
+    ) {
+        out.fill(0.0);
+        for (k, &qk) in q.iter().enumerate() {
+            let lo = &planes[2 * k * stride + base..][..BRANCH];
+            let hi = &planes[(2 * k + 1) * stride + base..][..BRANCH];
+            for j in 0..BRANCH {
+                let delta = (lo[j] - qk).max(qk - hi[j]).max(0.0);
+                out[j] += delta * delta;
+            }
+        }
+    }
+
+    /// Explicit SSE2 path (baseline on x86_64, no feature detection
+    /// needed): identical arithmetic to the scalar reference on the
+    /// finite inputs the index holds, pinned by
+    /// `simd_batch_matches_scalar_reference`.
+    #[cfg(target_arch = "x86_64")]
+    #[inline]
+    fn batch_box_dist2_sse2(
+        planes: &[f64],
+        stride: usize,
+        base: usize,
+        q: &[f64],
+        out: &mut [f64; BRANCH],
+    ) {
+        use std::arch::x86_64::{
+            _mm_add_pd, _mm_loadu_pd, _mm_max_pd, _mm_mul_pd, _mm_set1_pd, _mm_setzero_pd,
+            _mm_storeu_pd, _mm_sub_pd,
+        };
+        debug_assert!(base + BRANCH <= stride);
+        // SAFETY: every load reads two f64 lanes at `base + 2j` with
+        // `base + BRANCH <= stride` guaranteed by the plane padding, and
+        // loadu/storeu carry no alignment requirement.
+        unsafe {
+            let zero = _mm_setzero_pd();
+            let mut acc = [zero; BRANCH / 2];
+            for (k, &qk) in q.iter().enumerate() {
+                let qv = _mm_set1_pd(qk);
+                let lo_ptr = planes.as_ptr().add(2 * k * stride + base);
+                let hi_ptr = planes.as_ptr().add((2 * k + 1) * stride + base);
+                for (j, lane) in acc.iter_mut().enumerate() {
+                    let lo = _mm_loadu_pd(lo_ptr.add(2 * j));
+                    let hi = _mm_loadu_pd(hi_ptr.add(2 * j));
+                    let delta =
+                        _mm_max_pd(_mm_max_pd(_mm_sub_pd(lo, qv), _mm_sub_pd(qv, hi)), zero);
+                    *lane = _mm_add_pd(*lane, _mm_mul_pd(delta, delta));
+                }
+            }
+            for (j, lane) in acc.iter().enumerate() {
+                _mm_storeu_pd(out.as_mut_ptr().add(2 * j), *lane);
+            }
+        }
     }
 
     /// Best `(distance, deviation)` per trajectory, as
@@ -234,66 +546,331 @@ impl SegmentIndex {
         let q = observed.coords();
         let mut stats = QueryStats::default();
         let mut best = Vec::with_capacity(self.n_traj);
+        let mut stack: Vec<(u32, f64)> = Vec::with_capacity(64);
 
         for &root in &self.roots {
-            let mut cur = Best {
-                dist: f64::INFINITY,
-                dev: 0.0,
-                seg: u32::MAX,
-            };
+            let mut cur = Best::none();
             stats.nodes_visited += 1;
-            self.descend(root as usize, q, &mut cur, &mut stats);
+            self.descend(root, q, &mut cur, &mut stack, &mut stats, f64::INFINITY);
             best.push((cur.dist, cur.dev));
         }
+        self.record(&stats);
         (best, stats)
     }
 
-    /// Best-first branch-and-bound over one subtree. The caller has
-    /// already established that the subtree may matter (or that the
-    /// best is still infinite).
-    fn descend(&self, nid: usize, q: &[f64], cur: &mut Best, stats: &mut QueryStats) {
-        let node = self.nodes[nid];
-        if node.left == u32::MAX {
-            for s in node.seg_lo..node.seg_hi {
-                let base = s as usize * 2 * self.dim;
-                let a = &self.coords[base..base + self.dim];
-                let b = &self.coords[base + self.dim..base + 2 * self.dim];
-                let (dist, tpar) = point_segment_distance(q, a, b);
-                stats.segments_examined += 1;
-                if dist < cur.dist || (dist == cur.dist && s < cur.seg) {
-                    let (d0, d1) = self.seg_dev[s as usize];
-                    cur.dist = dist;
-                    cur.dev = d0 + tpar * (d1 - d0);
-                    cur.seg = s;
+    /// Best-first branch-and-bound over one trajectory's tree, using an
+    /// explicit stack of `(node, squared box distance)` frontier
+    /// entries. Entries are re-checked against the (improving) bound at
+    /// pop time, so stale pushes prune instead of descending. `adm2` is
+    /// an additional squared global bound (`f64::INFINITY` for an exact
+    /// full-trajectory result): subtrees whose box lies beyond it are
+    /// skipped, so the caller must prove such segments cannot matter —
+    /// [`SegmentIndex::query_topk`] does, for its returned prefix.
+    fn descend(
+        &self,
+        root: u32,
+        q: &[f64],
+        cur: &mut Best,
+        stack: &mut Vec<(u32, f64)>,
+        stats: &mut QueryStats,
+        adm2: f64,
+    ) {
+        stack.clear();
+        stack.push((root, 0.0));
+        let mut lanes = [0.0f64; BRANCH];
+        while let Some((nid, d2)) = stack.pop() {
+            let bound = cur.dist + prune_slack(cur.dist);
+            if d2 > (bound * bound).min(adm2) {
+                continue;
+            }
+            let nid = nid as usize;
+            let cb = self.child_base[nid];
+            if cb == u32::MAX {
+                self.scan_leaf(nid, q, cur, stats);
+                continue;
+            }
+            let cnt = self.child_count[nid] as usize;
+            self.child_box_dist2(cb as usize, q, &mut lanes);
+            stats.nodes_visited += cnt;
+            // Order the sibling group nearest-first (insertion sort on
+            // at most eight lanes), then push farthest-first so the
+            // nearest child pops next.
+            let mut order = [0u8; BRANCH];
+            for (j, slot) in order.iter_mut().enumerate().take(cnt) {
+                *slot = j as u8;
+            }
+            for i in 1..cnt {
+                let mut j = i;
+                while j > 0 && lanes[order[j] as usize] < lanes[order[j - 1] as usize] {
+                    order.swap(j, j - 1);
+                    j -= 1;
                 }
             }
-            return;
+            let bound2 = (bound * bound).min(adm2);
+            for &oj in order[..cnt].iter().rev() {
+                let d2 = lanes[oj as usize];
+                if d2 <= bound2 {
+                    stack.push((cb + oj as u32, d2));
+                }
+            }
         }
-        let (l, r) = (node.left as usize, node.right as usize);
-        let dl = self.box_distance(l, q);
-        let dr = self.box_distance(r, q);
-        stats.nodes_visited += 2;
-        let (first, d_first, second, d_second) = if dl <= dr {
-            (l, dl, r, dr)
-        } else {
-            (r, dr, l, dl)
-        };
-        if d_first <= cur.dist + prune_slack(cur.dist) {
-            self.descend(first, q, cur, stats);
+    }
+
+    /// Exact scan of one leaf's segments, applying the linear scan's
+    /// first-wins tie rule via the carried segment index.
+    ///
+    /// Candidates are ranked in the squared domain
+    /// ([`point_segment_distance2`]) so the square root is paid only on
+    /// improvements, not per segment. Squared comparison alone would be
+    /// wrong at the last bit: two squared distances an ulp apart can
+    /// round to the *same* square root, where the linear scan's tie rule
+    /// kicks in. A relative band of `1e-14` around the incumbent is far
+    /// wider than the ~1-ulp window in which correctly-rounded square
+    /// roots can collide, so outside it the squared order is provably
+    /// the rooted order, and inside it the exact rooted rule runs.
+    #[inline]
+    fn scan_leaf(&self, nid: usize, q: &[f64], cur: &mut Best, stats: &mut QueryStats) {
+        const LO: f64 = 1.0 - 1e-14;
+        const HI: f64 = 1.0 + 1e-14;
+        let (lo, hi) = (self.seg_lo[nid] as usize, self.seg_hi[nid] as usize);
+        let w = 2 * self.dim;
+        stats.segments_examined += hi - lo;
+        // One bounds check for the whole leaf; `chunks_exact` hands the
+        // distance kernel fixed-width endpoint rows with no per-segment
+        // slice arithmetic.
+        for (i, seg) in self.coords[lo * w..hi * w].chunks_exact(w).enumerate() {
+            let s = (lo + i) as u32;
+            let (a, b) = seg.split_at(self.dim);
+            let (dist2, tpar) = point_segment_distance2(q, a, b);
+            if dist2 > cur.dist2 * HI {
+                continue;
+            }
+            let dist = dist2.sqrt();
+            if dist2 < cur.dist2 * LO || dist < cur.dist || (dist == cur.dist && s < cur.seg) {
+                let (d0, d1) = self.seg_dev[s as usize];
+                cur.dist = dist;
+                cur.dist2 = dist2;
+                cur.dev = d0 + tpar * (d1 - d0);
+                cur.seg = s;
+            }
         }
-        if d_second <= cur.dist + prune_slack(cur.dist) {
-            self.descend(second, q, cur, stats);
+    }
+
+    /// The `k` best trajectories — plus however many more the winner's
+    /// ambiguity set needs — via one global best-first search that
+    /// stops as soon as that prefix is provably settled. The returned
+    /// ranking is bit-identical to sorting the full
+    /// [`SegmentIndex::query`] result by `(distance, trajectory index)`
+    /// and truncating (the [`SegmentQuery::topk_per_trajectory`] oracle);
+    /// `early_exit` reports whether any work was actually skipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch or `k == 0`.
+    pub fn query_topk(
+        &self,
+        observed: &Signature,
+        k: usize,
+        ambiguity_ratio: f64,
+    ) -> (TopkRanking, QueryStats) {
+        assert_eq!(
+            observed.dim(),
+            self.dim,
+            "signature dimension must match the index"
+        );
+        assert!(k > 0, "top-k needs k >= 1");
+        let q = observed.coords();
+        let n = self.n_traj;
+        let k_eff = k.min(n);
+        let mut stats = QueryStats::default();
+        let mut ranked: Vec<(usize, f64, f64)> = Vec::with_capacity(k_eff + 4);
+        // Global frontier over whole unexplored trajectories, tightest
+        // known lower bound first. A root's own box is a poor key: a
+        // long trajectory's box spans most of the signature space, so
+        // the query usually sits *inside* it and the bound degenerates
+        // to zero — the admission bound then discards almost nothing
+        // and nearly every trajectory gets resolved. One batched test
+        // of the root's children instead keys each trajectory by its
+        // nearest child box: still a lower bound on the true distance
+        // (every segment lives in some child), but tight enough that
+        // most of the frontier dies to the admission cut below.
+        // Trajectories resolve in full the first time their root is
+        // reached, so the frontier never grows: a sorted vec walked by
+        // cursor beats a heap, and keys stay squared (monotone in the
+        // true distance) so the square root is paid once per
+        // settlement check, not once per entry. Keys are the raw IEEE
+        // bit patterns: squared distances are always non-negative,
+        // where the bit order *is* the numeric order, so sorting and
+        // comparing stay in cheap integer land.
+        let mut frontier: Vec<(u64, u32)> = Vec::with_capacity(n);
+        let mut lanes = [0.0f64; BRANCH];
+        for &root in &self.roots {
+            let nid = root as usize;
+            stats.nodes_visited += 1;
+            let cb = self.child_base[nid];
+            let key = if cb == u32::MAX {
+                self.one_box_dist2(nid, q)
+            } else {
+                let cnt = self.child_count[nid] as usize;
+                stats.nodes_visited += cnt;
+                self.child_box_dist2(cb as usize, q, &mut lanes);
+                let mut min = f64::INFINITY;
+                for &d2 in lanes.iter().take(cnt) {
+                    min = min.min(d2);
+                }
+                min
+            };
+            frontier.push((key.to_bits(), root));
+        }
+        frontier.sort_unstable();
+        let mut cursor = 0usize;
+        // Exact per-trajectory results awaiting settlement, nearest
+        // first. Each trajectory is resolved in full by one bounded
+        // descent the first time its root pops, so entries are unique
+        // and final — no staleness bookkeeping.
+        let mut by_best: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::with_capacity(2 * k_eff + 8);
+        let mut devs = vec![0.0f64; n];
+        // Global admission bound: once k_eff trajectories are resolved,
+        // nothing farther than `max(k-th smallest result, smallest
+        // result x ambiguity_ratio)` can appear in the returned prefix
+        // (the resolved values over-estimate their true distances, so
+        // this over-estimates both the k-th true distance and the
+        // winner's ambiguity threshold). Subtrees beyond the
+        // slack-padded square of that bound are discarded outright.
+        let mut smallest: BinaryHeap<u64> = BinaryHeap::with_capacity(k_eff + 1);
+        let mut best_resolved = f64::INFINITY;
+        let mut adm2 = f64::INFINITY;
+        let mut stack: Vec<(u32, f64)> = Vec::with_capacity(64);
+        let mut stopped_early = false;
+        while cursor < frontier.len() {
+            let (bd2_bits, root) = frontier[cursor];
+            let bd2 = f64::from_bits(bd2_bits);
+            if bd2 > adm2 {
+                // Sorted frontier: every remaining root is at least this
+                // far, so the admission bound discards the whole tail at
+                // once. The drain below settles what was resolved.
+                break;
+            }
+            // Everything strictly below the slack-padded frontier bound
+            // is exact (no unexplored box can reach it) and ahead of
+            // every unresolved trajectory (whose true distance is at
+            // least the bound minus rounding): settle it, in the full
+            // ranking's (distance, trajectory) order.
+            let bound = bd2.sqrt();
+            let cut = bound - prune_slack(bound);
+            while let Some(&Reverse((bd_bits, ti))) = by_best.peek() {
+                let bd = f64::from_bits(bd_bits);
+                if bd >= cut {
+                    break;
+                }
+                by_best.pop();
+                ranked.push((ti as usize, bd, devs[ti as usize]));
+            }
+            if ranked.len() >= k_eff {
+                let threshold = ranked[0].1.max(1e-12) * ambiguity_ratio;
+                if threshold < cut {
+                    stopped_early = true;
+                    break;
+                }
+            }
+            cursor += 1;
+            let ti = self.node_traj[root as usize] as usize;
+            let mut cur = Best::none();
+            self.descend(root, q, &mut cur, &mut stack, &mut stats, adm2);
+            devs[ti] = cur.dev;
+            let dist_bits = cur.dist.to_bits();
+            by_best.push(Reverse((dist_bits, ti as u32)));
+            best_resolved = best_resolved.min(cur.dist);
+            if smallest.len() < k_eff {
+                smallest.push(dist_bits);
+            } else if let Some(mut top) = smallest.peek_mut() {
+                if dist_bits < *top {
+                    *top = dist_bits;
+                }
+            }
+            if smallest.len() == k_eff {
+                let kth = f64::from_bits(*smallest.peek().expect("k_eff >= 1"));
+                let a = kth.max(best_resolved.max(1e-12) * ambiguity_ratio);
+                let pad = a + prune_slack(a);
+                adm2 = pad * pad;
+            }
+        }
+        if !stopped_early {
+            // Frontier exhausted: settle every resolved trajectory in
+            // (distance, trajectory) order. Admission-discarded
+            // trajectories are provably outside the kept prefix, and
+            // any admission-truncated value sorts beyond it, so the
+            // trim below removes them.
+            while let Some(Reverse((bd_bits, ti))) = by_best.pop() {
+                ranked.push((ti as usize, f64::from_bits(bd_bits), devs[ti as usize]));
+            }
+        }
+        // Trim settled extras down to the oracle's exact prefix length.
+        let keep = topk_prefix_len(&ranked, k_eff, ambiguity_ratio);
+        ranked.truncate(keep);
+        stats.early_exit = ranked.len() < n;
+        if stats.early_exit {
+            if let Some(c) = &self.counters {
+                c.topk_early_exits.inc();
+            }
+        }
+        self.record(&stats);
+        (
+            TopkRanking {
+                early_exit: stats.early_exit,
+                ranked,
+            },
+            stats,
+        )
+    }
+
+    /// Adds one query's stats to the attached counters, if any.
+    #[inline]
+    fn record(&self, stats: &QueryStats) {
+        if let Some(c) = &self.counters {
+            c.nodes_visited.add(stats.nodes_visited as u64);
+            c.segments_examined.add(stats.segments_examined as u64);
         }
     }
 }
 
+/// Length of the prefix a top-k ranking keeps: at least `min(k, n)`
+/// entries and every entry inside the winner's ambiguity set — the same
+/// rule as the `SegmentQuery::topk_per_trajectory` default.
+fn topk_prefix_len(ranked: &[(usize, f64, f64)], k: usize, ambiguity_ratio: f64) -> usize {
+    let n = ranked.len();
+    if n == 0 {
+        return 0;
+    }
+    let threshold = ranked[0].1.max(1e-12) * ambiguity_ratio;
+    let mut keep = k.min(n);
+    while keep < n && ranked[keep].1 <= threshold {
+        keep += 1;
+    }
+    keep
+}
+
 /// Running per-trajectory best during descent; `seg` breaks exact
 /// distance ties toward the lowest segment index, as the linear scan's
-/// first-wins rule does.
+/// first-wins rule does. `dist` is always exactly `dist2.sqrt()` —
+/// [`SegmentIndex::scan_leaf`] ranks candidates on `dist2` and keeps the
+/// rooted value for the pruning bound and the reported result.
 struct Best {
     dist: f64,
+    dist2: f64,
     dev: f64,
     seg: u32,
+}
+
+impl Best {
+    fn none() -> Self {
+        Best {
+            dist: f64::INFINITY,
+            dist2: f64::INFINITY,
+            dev: 0.0,
+            seg: u32::MAX,
+        }
+    }
 }
 
 impl SegmentQuery for SegmentIndex {
@@ -303,6 +880,20 @@ impl SegmentQuery for SegmentIndex {
             "index was built over a different trajectory set"
         );
         self.query(observed)
+    }
+
+    fn topk_per_trajectory(
+        &self,
+        set: &TrajectorySet,
+        observed: &Signature,
+        k: usize,
+        ambiguity_ratio: f64,
+    ) -> TopkRanking {
+        assert!(
+            set.len() == self.n_traj && set.dim() == self.dim && set.total_segments() == self.len(),
+            "index was built over a different trajectory set"
+        );
+        self.query_topk(observed, k, ambiguity_ratio).0
     }
 }
 
@@ -342,6 +933,24 @@ mod tests {
         TrajectorySet::new(TestVector::pair(1.0, 2.0), vec![a, b])
     }
 
+    /// Long dense trajectories fanned around the origin.
+    fn fan_set(n: usize) -> TrajectorySet {
+        let mut trajectories = Vec::new();
+        for i in 0..n {
+            let angle = i as f64 * 0.19;
+            let (s, c) = angle.sin_cos();
+            let devs: Vec<f64> = (-40..=40).map(|k| k as f64).collect();
+            let points: Vec<Signature> = (-40..=40)
+                .map(|k| {
+                    let r = k as f64 / 5.0;
+                    sig(c * r + 0.001 * i as f64, s * r)
+                })
+                .collect();
+            trajectories.push(FaultTrajectory::new(format!("T{i}"), devs, points));
+        }
+        TrajectorySet::new(TestVector::pair(1.0, 2.0), trajectories)
+    }
+
     #[test]
     fn index_shape() {
         let set = cross_set();
@@ -351,6 +960,102 @@ mod tests {
         assert_eq!(idx.trajectory_count(), 2);
         assert!(idx.node_count() >= 2);
         assert!(!idx.is_empty());
+    }
+
+    #[test]
+    fn sibling_groups_are_contiguous_and_bfs_ordered() {
+        let set = fan_set(5);
+        let idx = SegmentIndex::with_leaf_size(&set, 3);
+        for nid in 0..idx.node_count() {
+            let cb = idx.child_base[nid];
+            if cb == u32::MAX {
+                assert_eq!(idx.child_count[nid], 0);
+                continue;
+            }
+            let cnt = idx.child_count[nid] as usize;
+            assert!((2..=BRANCH).contains(&cnt));
+            // Children follow their parent and partition its range.
+            assert!(cb as usize > nid);
+            assert_eq!(idx.seg_lo[cb as usize], idx.seg_lo[nid]);
+            assert_eq!(idx.seg_hi[cb as usize + cnt - 1], idx.seg_hi[nid]);
+            for c in 0..cnt - 1 {
+                assert_eq!(idx.seg_hi[cb as usize + c], idx.seg_lo[cb as usize + c + 1]);
+                assert_eq!(idx.node_traj[cb as usize + c], idx.node_traj[nid]);
+            }
+        }
+    }
+
+    #[test]
+    fn union_boxes_match_rescan_oracle() {
+        // The release-build check of what debug builds assert at build
+        // time: internal boxes built as child unions must be *exactly*
+        // the boxes a full endpoint rescan produces.
+        for leaf in [1, 2, 4, 7] {
+            let set = fan_set(9);
+            let idx = SegmentIndex::with_leaf_size(&set, leaf);
+            for nid in 0..idx.node_count() {
+                for k in 0..idx.dim() {
+                    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+                    for s in idx.seg_lo[nid]..idx.seg_hi[nid] {
+                        let base = s as usize * 2 * idx.dim();
+                        for &x in &[idx.coords[base + k], idx.coords[base + idx.dim() + k]] {
+                            lo = lo.min(x);
+                            hi = hi.max(x);
+                        }
+                    }
+                    assert_eq!(idx.planes[2 * k * idx.stride + nid], lo);
+                    assert_eq!(idx.planes[(2 * k + 1) * idx.stride + nid], hi);
+                }
+            }
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn simd_batch_matches_scalar_reference() {
+        let set = fan_set(13);
+        let idx = SegmentIndex::with_leaf_size(&set, 2);
+        let queries = [
+            sig(0.4, 0.1),
+            sig(-3.0, 7.5),
+            sig(0.0, 0.0),
+            sig(123.0, -456.0),
+        ];
+        let mut checked = 0;
+        for nid in 0..idx.node_count() {
+            let cb = idx.child_base[nid];
+            if cb == u32::MAX {
+                continue;
+            }
+            for q in &queries {
+                let mut scalar = [0.0f64; BRANCH];
+                let mut simd = [0.0f64; BRANCH];
+                SegmentIndex::batch_box_dist2_scalar(
+                    &idx.planes,
+                    idx.stride,
+                    cb as usize,
+                    q.coords(),
+                    &mut scalar,
+                );
+                SegmentIndex::batch_box_dist2_sse2(
+                    &idx.planes,
+                    idx.stride,
+                    cb as usize,
+                    q.coords(),
+                    &mut simd,
+                );
+                assert_eq!(scalar, simd, "lane drift at node {nid} query {q}");
+                // The scalar single-box twin must agree lane for lane
+                // on the real children (it keys the top-k frontier).
+                let cnt = idx.child_count[nid] as usize;
+                for (j, &lane) in simd.iter().enumerate().take(cnt) {
+                    let one = idx.one_box_dist2(cb as usize + j, q.coords());
+                    assert_eq!(one, lane, "single-box drift at node {nid} lane {j}");
+                }
+                checked += 1;
+            }
+        }
+        assert!(checked > 0);
     }
 
     #[test]
@@ -391,20 +1096,7 @@ mod tests {
     fn pruning_actually_skips_segments() {
         // Long dense trajectories: a query near one end must not touch
         // the far segments of any trajectory.
-        let mut trajectories = Vec::new();
-        for i in 0..32 {
-            let angle = i as f64 * 0.19;
-            let (s, c) = angle.sin_cos();
-            let devs: Vec<f64> = (-40..=40).map(|k| k as f64).collect();
-            let points: Vec<Signature> = (-40..=40)
-                .map(|k| {
-                    let r = k as f64 / 5.0;
-                    sig(c * r + 0.001 * i as f64, s * r)
-                })
-                .collect();
-            trajectories.push(FaultTrajectory::new(format!("T{i}"), devs, points));
-        }
-        let set = TrajectorySet::new(TestVector::pair(1.0, 2.0), trajectories);
+        let set = fan_set(32);
         let idx = SegmentIndex::build(&set);
         let (best, stats) = idx.query_stats(&sig(0.4, 0.1));
         assert_eq!(best.len(), 32);
@@ -414,6 +1106,7 @@ mod tests {
             stats.segments_examined,
             idx.len()
         );
+        assert!(!stats.early_exit);
         // Exactness is not traded away.
         let lin = LinearScan.best_per_trajectory(&set, &sig(0.4, 0.1));
         assert_eq!(lin, best);
@@ -434,6 +1127,168 @@ mod tests {
     }
 
     #[test]
+    fn zero_length_segments_are_indexed_exactly() {
+        // Repeated points produce zero-length segments whose boxes are
+        // single points; results must still match the linear scan
+        // bit-for-bit (including the first-wins tie rule).
+        let t = FaultTrajectory::new(
+            "A",
+            vec![-10.0, -5.0, 0.0, 5.0, 10.0],
+            vec![
+                sig(1.0, 1.0),
+                sig(1.0, 1.0),
+                sig(1.0, 1.0),
+                sig(2.0, 2.0),
+                sig(2.0, 2.0),
+            ],
+        );
+        let set = TrajectorySet::new(TestVector::pair(1.0, 2.0), vec![t]);
+        for leaf in [1, 2, 64] {
+            let idx = SegmentIndex::with_leaf_size(&set, leaf);
+            for q in [sig(1.0, 1.0), sig(0.0, 0.0), sig(3.0, 3.0)] {
+                assert_eq!(idx.query(&q), LinearScan.best_per_trajectory(&set, &q));
+            }
+        }
+    }
+
+    #[test]
+    fn rebuild_trajectory_matches_fresh_build() {
+        let set = fan_set(8);
+        let mut idx = SegmentIndex::with_leaf_size(&set, 3);
+        // Re-derive trajectory 5 with shifted geometry (same topology).
+        let old = &set.trajectories()[5];
+        let moved = FaultTrajectory::new(
+            old.component(),
+            old.deviations_pct().to_vec(),
+            old.points()
+                .iter()
+                .map(|p| sig(p.coords()[0] + 0.75, p.coords()[1] - 1.25))
+                .collect(),
+        );
+        let mut trajectories: Vec<FaultTrajectory> = set.trajectories().to_vec();
+        trajectories[5] = moved.clone();
+        let modified = TrajectorySet::new(set.test_vector().clone(), trajectories);
+        idx.rebuild_trajectory(5, &moved);
+        let fresh = SegmentIndex::with_leaf_size(&modified, 3);
+        assert_eq!(idx.planes, fresh.planes);
+        assert_eq!(idx.coords, fresh.coords);
+        assert_eq!(idx.seg_dev, fresh.seg_dev);
+        for q in [sig(0.4, 0.1), sig(-2.0, 3.0), sig(5.5, -5.5)] {
+            assert_eq!(idx.query(&q), LinearScan.best_per_trajectory(&modified, &q));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "same topology")]
+    fn rebuild_rejects_changed_topology() {
+        let set = fan_set(4);
+        let mut idx = SegmentIndex::build(&set);
+        let short = FaultTrajectory::new(
+            "T0",
+            vec![-10.0, 0.0, 10.0],
+            vec![sig(0.0, 0.0), sig(1.0, 0.0), sig(2.0, 0.0)],
+        );
+        idx.rebuild_trajectory(0, &short);
+    }
+
+    #[test]
+    fn topk_matches_full_ranking_prefix() {
+        let set = fan_set(32);
+        let idx = SegmentIndex::build(&set);
+        let ratio = DiagnoserConfig::default().ambiguity_ratio;
+        for q in &[sig(0.4, 0.1), sig(-6.0, 2.0), sig(0.0, 7.9), sig(3.3, 3.3)] {
+            let full = LinearScan.topk_per_trajectory(&set, q, usize::MAX, ratio);
+            for k in [1, 2, 5, 31, 32, 1000] {
+                let (topk, stats) = idx.query_topk(q, k, ratio);
+                let oracle = LinearScan.topk_per_trajectory(&set, q, k, ratio);
+                assert_eq!(topk, oracle, "oracle drift at {q} k={k}");
+                assert_eq!(
+                    topk.ranked,
+                    full.ranked[..topk.ranked.len()],
+                    "not a prefix at {q} k={k}"
+                );
+                assert_eq!(stats.early_exit, topk.early_exit);
+            }
+        }
+    }
+
+    #[test]
+    fn topk_early_exit_saves_work() {
+        let set = fan_set(32);
+        let idx = SegmentIndex::build(&set);
+        let q = sig(0.4, 0.1);
+        let (_, full_stats) = idx.query_stats(&q);
+        let (topk, stats) = idx.query_topk(&q, 1, 1.05);
+        assert!(topk.early_exit, "expected an early exit on a fan of 32");
+        assert!(
+            stats.segments_examined < full_stats.segments_examined,
+            "top-k examined {} segments, full ranking {}",
+            stats.segments_examined,
+            full_stats.segments_examined
+        );
+    }
+
+    #[test]
+    fn topk_with_k_at_universe_is_the_full_ranking() {
+        let set = fan_set(12);
+        let idx = SegmentIndex::build(&set);
+        let q = sig(-1.0, 2.5);
+        let (topk, stats) = idx.query_topk(&q, 12, 1.5);
+        assert!(!topk.early_exit);
+        assert!(!stats.early_exit);
+        assert_eq!(topk.ranked.len(), 12);
+        let full = idx.query(&q);
+        for &(ti, dist, dev) in &topk.ranked {
+            assert_eq!((dist, dev), full[ti]);
+        }
+    }
+
+    #[test]
+    fn diagnose_topk_through_index_matches_linear_oracle() {
+        let set = fan_set(16);
+        let idx = SegmentIndex::build(&set);
+        let diag = Diagnoser::new(set, DiagnoserConfig::default());
+        for q in [sig(0.4, 0.1), sig(-2.0, -2.0), sig(6.0, 1.0)] {
+            let full = diag.diagnose(&q);
+            for k in [1, 3, 16] {
+                let fast = diag.diagnose_topk(&idx, &q, k);
+                let oracle = diag.diagnose_topk(&LinearScan, &q, k);
+                assert_eq!(fast, oracle, "index/oracle drift at {q} k={k}");
+                assert_eq!(fast.best(), full.best());
+                assert_eq!(fast.ambiguity_set(), full.ambiguity_set());
+            }
+        }
+    }
+
+    #[test]
+    fn attached_counters_accumulate_query_work() {
+        let registry = crate::obs::MetricsRegistry::new();
+        let set = fan_set(8);
+        let mut idx = SegmentIndex::build(&set);
+        idx.set_counters(IndexCounters {
+            nodes_visited: registry.counter("engine_index_nodes_visited_total"),
+            segments_examined: registry.counter("engine_index_segments_examined_total"),
+            topk_early_exits: registry.counter("engine_topk_early_exit_total"),
+        });
+        let q = sig(0.4, 0.1);
+        let (_, full) = idx.query_stats(&q);
+        let (_, topk) = idx.query_topk(&q, 1, 1.05);
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter("engine_index_nodes_visited_total"),
+            Some((full.nodes_visited + topk.nodes_visited) as u64)
+        );
+        assert_eq!(
+            snap.counter("engine_index_segments_examined_total"),
+            Some((full.segments_examined + topk.segments_examined) as u64)
+        );
+        assert_eq!(
+            snap.counter("engine_topk_early_exit_total"),
+            Some(u64::from(topk.early_exit))
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "empty")]
     fn empty_set_rejected() {
         let set = TrajectorySet::new(TestVector::pair(1.0, 2.0), vec![]);
@@ -445,5 +1300,12 @@ mod tests {
     fn dimension_mismatch_rejected() {
         let idx = SegmentIndex::build(&cross_set());
         let _ = idx.query(&Signature::new(vec![1.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 1")]
+    fn topk_rejects_k_zero() {
+        let idx = SegmentIndex::build(&cross_set());
+        let _ = idx.query_topk(&sig(1.0, 1.0), 0, 1.5);
     }
 }

@@ -12,10 +12,12 @@
 //!   (unknown sections skip; legacy v1 monolithic banks still load; the
 //!   vendored `serde` is a marker-only shim, so the codec is
 //!   hand-rolled).
-//! * [`SegmentIndex`] — a spatial index over signature space (a forest
-//!   of per-trajectory AABB trees) that answers nearest-segment queries
-//!   without scanning every segment, while staying **bit-identical** to
-//!   the linear scan.
+//! * [`SegmentIndex`] — a spatial index over signature space: a
+//!   cache-flat SoA forest of per-trajectory 8-ary AABB trees with
+//!   SIMD-friendly batched box tests, incremental per-trajectory
+//!   rebuilds, and a top-k early-termination query path — all
+//!   **bit-identical** to the linear scan (the legacy pointer-tree
+//!   baseline survives as [`TreeIndex`]).
 //! * [`DiagnosisEngine`] — single and batched diagnosis over a shared
 //!   loaded bank, fanning batches out over `std::thread::scope` workers
 //!   in input order.
@@ -86,6 +88,7 @@ pub mod obs;
 pub mod pool;
 pub mod store;
 pub mod synthetic;
+pub mod tree_index;
 
 pub use bank::{MappedBank, TrajectoryBank};
 pub use codec::{
@@ -93,8 +96,8 @@ pub use codec::{
     Encoder, Section, SectionEntry, SectionTable, BANK_MAGIC, BANK_VERSION, BANK_VERSION_V1,
     SECTION_DICTIONARY, SECTION_MULTIFAULT, SECTION_TRAJECTORIES,
 };
-pub use engine::{diagnose_batch_with, DiagnosisEngine, EngineConfig};
-pub use index::{QueryStats, SegmentIndex};
+pub use engine::{diagnose_batch_topk_with, diagnose_batch_with, DiagnosisEngine, EngineConfig};
+pub use index::{IndexCounters, QueryStats, SegmentIndex};
 pub use mmap::{FileGen, Mmap};
 pub use obs::{
     bucket_bounds, bucket_index, labeled, Counter, EngineMetrics, Gauge, Histogram,
@@ -103,3 +106,4 @@ pub use obs::{
 pub use pool::{BatchId, ServeHandle, ServeResult};
 pub use store::{diagnose_on, valid_cut_id, BankStore, DiagnosisRequest, StoreConfig, StoreError};
 pub use synthetic::{synthetic_circuit_bank, synthetic_queries, synthetic_trajectory_set};
+pub use tree_index::TreeIndex;

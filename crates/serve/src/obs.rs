@@ -925,6 +925,15 @@ pub struct EngineMetrics {
     /// `engine_lazy_decodes_total` — mapped-bank sections decoded on
     /// first touch.
     pub lazy_decodes: Arc<Counter>,
+    /// `engine_index_nodes_visited_total` — index tree nodes whose
+    /// bounding box was tested, summed over every indexed query.
+    pub index_nodes_visited: Arc<Counter>,
+    /// `engine_index_segments_examined_total` — segments whose exact
+    /// distance was computed; the gap to segments-held is the index win.
+    pub index_segments_examined: Arc<Counter>,
+    /// `engine_topk_early_exit_total` — top-k queries that stopped
+    /// before settling the full ranking.
+    pub topk_early_exits: Arc<Counter>,
 }
 
 impl EngineMetrics {
@@ -935,6 +944,9 @@ impl EngineMetrics {
             indexed: registry.counter("engine_diagnose_indexed_total"),
             linear: registry.counter("engine_diagnose_linear_total"),
             lazy_decodes: registry.counter("engine_lazy_decodes_total"),
+            index_nodes_visited: registry.counter("engine_index_nodes_visited_total"),
+            index_segments_examined: registry.counter("engine_index_segments_examined_total"),
+            topk_early_exits: registry.counter("engine_topk_early_exit_total"),
         }
     }
 }

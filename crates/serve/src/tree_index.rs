@@ -1,0 +1,263 @@
+//! The retained pointer-tree predecessor of [`crate::SegmentIndex`]:
+//! a per-trajectory *binary* AABB forest with per-node heap layout,
+//! scalar box tests, and an O(n log n) endpoint-rescan build.
+//!
+//! [`TreeIndex`] is kept verbatim as the regression baseline the flat
+//! index is benchmarked against (`ftd bench-scan-vs-index` reports
+//! both, and `BENCH_index.json` records the ratio) and as a second
+//! independent oracle in tests: it honours the same [`SegmentQuery`]
+//! contract, so its results are bit-identical to both the linear scan
+//! and the flat index. New code should use [`crate::SegmentIndex`].
+
+use ft_core::geometry::point_segment_distance;
+use ft_core::{SegmentQuery, Signature, TrajectorySet};
+
+use crate::index::prune_slack;
+
+/// Default maximum number of segments per leaf node.
+const DEFAULT_LEAF_SIZE: usize = 4;
+
+/// One AABB-tree node covering the contiguous segment range
+/// `[seg_lo, seg_hi)` of a single trajectory. `left == u32::MAX` marks
+/// a leaf; the bounding box lives in the parallel `boxes` array.
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    left: u32,
+    right: u32,
+    seg_lo: u32,
+    seg_hi: u32,
+}
+
+/// The legacy per-trajectory binary AABB-tree index (see the module
+/// docs); superseded by the flat [`crate::SegmentIndex`] but retained
+/// as the benchmark baseline and test oracle.
+#[derive(Debug, Clone)]
+pub struct TreeIndex {
+    dim: usize,
+    n_traj: usize,
+    /// Root node id per trajectory.
+    roots: Vec<u32>,
+    /// Tree nodes, all trajectories pooled.
+    nodes: Vec<Node>,
+    /// Node bounding boxes, stride `2 * dim`: lower then upper corner.
+    boxes: Vec<f64>,
+    /// Segment id → (start, end) deviation percentages; ids are
+    /// trajectory-major, matching `TrajectorySet::all_segments`.
+    seg_dev: Vec<(f64, f64)>,
+    /// Flat endpoint store, stride `2 * dim`: `a` then `b`.
+    coords: Vec<f64>,
+}
+
+impl TreeIndex {
+    /// Builds the index with the default leaf size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is empty.
+    pub fn build(set: &TrajectorySet) -> Self {
+        Self::with_leaf_size(set, DEFAULT_LEAF_SIZE)
+    }
+
+    /// Builds the index with an explicit maximum leaf size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is empty or `leaf_size` is zero.
+    pub fn with_leaf_size(set: &TrajectorySet, leaf_size: usize) -> Self {
+        assert!(!set.is_empty(), "cannot index an empty trajectory set");
+        assert!(leaf_size > 0, "leaf size must be positive");
+        let dim = set.dim();
+        let mut index = TreeIndex {
+            dim,
+            n_traj: set.len(),
+            roots: Vec::with_capacity(set.len()),
+            nodes: Vec::new(),
+            boxes: Vec::new(),
+            seg_dev: Vec::new(),
+            coords: Vec::new(),
+        };
+        for (_, _, d0, p0, d1, p1) in set.all_segments() {
+            index.seg_dev.push((d0, d1));
+            index.coords.extend_from_slice(p0.coords());
+            index.coords.extend_from_slice(p1.coords());
+        }
+        let mut seg_base = 0u32;
+        for t in set.trajectories() {
+            let n = t.segment_count() as u32;
+            let root = index.build_node(seg_base, seg_base + n, leaf_size as u32);
+            index.roots.push(root);
+            seg_base += n;
+        }
+        index
+    }
+
+    /// Recursively builds the subtree over global segment ids
+    /// `[seg_lo, seg_hi)` and returns its node id. Every internal node
+    /// rescans all endpoints of its range — the O(n log n) the flat
+    /// index's bottom-up union build eliminated.
+    fn build_node(&mut self, seg_lo: u32, seg_hi: u32, leaf_size: u32) -> u32 {
+        let (left, right) = if seg_hi - seg_lo <= leaf_size {
+            (u32::MAX, u32::MAX)
+        } else {
+            let mid = seg_lo + (seg_hi - seg_lo) / 2;
+            (
+                self.build_node(seg_lo, mid, leaf_size),
+                self.build_node(mid, seg_hi, leaf_size),
+            )
+        };
+        let id = self.nodes.len() as u32;
+        self.nodes.push(Node {
+            left,
+            right,
+            seg_lo,
+            seg_hi,
+        });
+        // Bounding box over every endpoint of the range.
+        let lo_at = self.boxes.len();
+        self.boxes
+            .extend(std::iter::repeat_n(f64::INFINITY, self.dim));
+        self.boxes
+            .extend(std::iter::repeat_n(f64::NEG_INFINITY, self.dim));
+        for s in seg_lo..seg_hi {
+            let base = s as usize * 2 * self.dim;
+            for k in 0..self.dim {
+                for &x in &[self.coords[base + k], self.coords[base + self.dim + k]] {
+                    self.boxes[lo_at + k] = self.boxes[lo_at + k].min(x);
+                    self.boxes[lo_at + self.dim + k] = self.boxes[lo_at + self.dim + k].max(x);
+                }
+            }
+        }
+        id
+    }
+
+    /// Number of indexed segments.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.seg_dev.len()
+    }
+
+    /// `true` when no segments are indexed (never, for built indexes).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.seg_dev.is_empty()
+    }
+
+    /// Total tree nodes across all trajectories.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Distance from `q` to node `n`'s bounding box (zero inside).
+    fn box_distance(&self, n: usize, q: &[f64]) -> f64 {
+        let base = n * 2 * self.dim;
+        let mut d2 = 0.0;
+        for (k, &qk) in q.iter().enumerate() {
+            let lo = self.boxes[base + k];
+            let hi = self.boxes[base + self.dim + k];
+            let delta = (lo - qk).max(qk - hi).max(0.0);
+            d2 += delta * delta;
+        }
+        d2.sqrt()
+    }
+
+    /// Best `(distance, deviation)` per trajectory.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn query(&self, observed: &Signature) -> Vec<(f64, f64)> {
+        assert_eq!(
+            observed.dim(),
+            self.dim,
+            "signature dimension must match the index"
+        );
+        let q = observed.coords();
+        let mut best = Vec::with_capacity(self.n_traj);
+        for &root in &self.roots {
+            let mut cur = Best {
+                dist: f64::INFINITY,
+                dev: 0.0,
+                seg: u32::MAX,
+            };
+            self.descend(root as usize, q, &mut cur);
+            best.push((cur.dist, cur.dev));
+        }
+        best
+    }
+
+    /// Best-first recursive branch-and-bound over one subtree.
+    fn descend(&self, nid: usize, q: &[f64], cur: &mut Best) {
+        let node = self.nodes[nid];
+        if node.left == u32::MAX {
+            for s in node.seg_lo..node.seg_hi {
+                let base = s as usize * 2 * self.dim;
+                let a = &self.coords[base..base + self.dim];
+                let b = &self.coords[base + self.dim..base + 2 * self.dim];
+                let (dist, tpar) = point_segment_distance(q, a, b);
+                if dist < cur.dist || (dist == cur.dist && s < cur.seg) {
+                    let (d0, d1) = self.seg_dev[s as usize];
+                    cur.dist = dist;
+                    cur.dev = d0 + tpar * (d1 - d0);
+                    cur.seg = s;
+                }
+            }
+            return;
+        }
+        let (l, r) = (node.left as usize, node.right as usize);
+        let dl = self.box_distance(l, q);
+        let dr = self.box_distance(r, q);
+        let (first, d_first, second, d_second) = if dl <= dr {
+            (l, dl, r, dr)
+        } else {
+            (r, dr, l, dl)
+        };
+        if d_first <= cur.dist + prune_slack(cur.dist) {
+            self.descend(first, q, cur);
+        }
+        if d_second <= cur.dist + prune_slack(cur.dist) {
+            self.descend(second, q, cur);
+        }
+    }
+}
+
+/// Running per-trajectory best during descent; `seg` breaks exact
+/// distance ties toward the lowest segment index.
+struct Best {
+    dist: f64,
+    dev: f64,
+    seg: u32,
+}
+
+impl SegmentQuery for TreeIndex {
+    fn best_per_trajectory(&self, set: &TrajectorySet, observed: &Signature) -> Vec<(f64, f64)> {
+        assert!(
+            set.len() == self.n_traj && set.dim() == self.dim && set.total_segments() == self.len(),
+            "index was built over a different trajectory set"
+        );
+        self.query(observed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::SegmentIndex;
+    use crate::synthetic::{synthetic_queries, synthetic_trajectory_set};
+    use ft_core::LinearScan;
+
+    #[test]
+    fn legacy_tree_flat_index_and_linear_all_agree() {
+        let set = synthetic_trajectory_set(24, 6, 2, 913);
+        let tree = TreeIndex::build(&set);
+        let flat = SegmentIndex::build(&set);
+        assert_eq!(tree.len(), flat.len());
+        assert!(!tree.is_empty());
+        assert!(tree.node_count() >= flat.node_count());
+        for q in synthetic_queries(&set, 60, 914) {
+            let lin = LinearScan.best_per_trajectory(&set, &q);
+            assert_eq!(tree.best_per_trajectory(&set, &q), lin, "tree drift at {q}");
+            assert_eq!(flat.best_per_trajectory(&set, &q), lin, "flat drift at {q}");
+        }
+    }
+}

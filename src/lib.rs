@@ -77,7 +77,7 @@ pub mod prelude {
         ambiguity_groups, evaluate_classifier, grid_search, measure_signature, random_search,
         select_test_vector, sensitivity_heuristic, trajectories_from_dictionary, AtpgConfig,
         Diagnoser, DiagnoserConfig, EvalConfig, FitnessKind, GeometryOptions, LinearScan,
-        NnDictionary, SegmentQuery, Signature, TestVector,
+        NnDictionary, SegmentQuery, Signature, TestVector, TopkRanking,
     };
     pub use ft_evolve::{GaConfig, Selection};
     pub use ft_faults::{
@@ -88,6 +88,6 @@ pub mod prelude {
     pub use ft_serve::{
         BankStore, CodecError, DiagnosisEngine, DiagnosisRequest, EngineConfig, MappedBank,
         MetricsRegistry, SegmentIndex, ServeHandle, Snapshot, StoreConfig, StoreError,
-        TrajectoryBank,
+        TrajectoryBank, TreeIndex,
     };
 }

@@ -1,11 +1,47 @@
 //! Property-based tests for the serving layer: bank codec round-trips,
 //! corruption detection, and indexed-vs-linear diagnosis agreement.
 
+use fault_trajectory::core::{FaultTrajectory, TrajectorySet};
 use fault_trajectory::prelude::*;
 use fault_trajectory::serve::{synthetic_trajectory_set, SegmentIndex};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Builds a deliberately awkward trajectory set from a seed: ragged
+/// point counts per trajectory and a quarter of the steps held in
+/// place, so zero-length (degenerate) segments are common — the shapes
+/// most likely to expose box/tie-break corner cases in the index.
+fn jagged_set_from_seed(seed: u64, components: usize, dim: usize) -> TrajectorySet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut trajectories = Vec::with_capacity(components);
+    for c in 0..components {
+        // Odd point count, symmetric grid: trajectories must contain
+        // the 0% (origin) point.
+        let half = rng.gen_range(1..7i64);
+        let n_pts = (2 * half + 1) as usize;
+        let devs: Vec<f64> = (-half..=half)
+            .map(|i| i as f64 * (20.0 / half as f64))
+            .collect();
+        let mut cur: Vec<f64> = (0..dim).map(|_| rng.gen_range(-8.0..8.0)).collect();
+        let mut points = Vec::with_capacity(n_pts);
+        for _ in 0..n_pts {
+            points.push(Signature::new(cur.clone()));
+            if rng.gen_bool(0.75) {
+                for x in cur.iter_mut() {
+                    *x += rng.gen_range(-2.0..2.0);
+                }
+            }
+        }
+        trajectories.push(FaultTrajectory::new(format!("C{c}"), devs, points));
+    }
+    // One probed frequency per signature dimension so any `dim` is a
+    // valid multiple of the test-vector length.
+    TrajectorySet::new(
+        TestVector::new((1..=dim).map(|i| i as f64).collect()),
+        trajectories,
+    )
+}
 
 /// Builds a small but structurally varied bank from a seed: random
 /// component names, deviation grid, dictionary grid, probe type, and
@@ -116,6 +152,67 @@ proptest! {
             "divergence at ({x}, {y}) for seed {seed}: {:?} vs {:?}",
             linear.best(), indexed.best()
         );
+    }
+
+    /// The flat index stays bit-identical to the linear scan on ragged
+    /// banks full of zero-length segments, down to dimension 1.
+    #[test]
+    fn flat_index_is_bit_identical_on_degenerate_banks(
+        seed in 0i64..1_000_000,
+        components in 1usize..12,
+        dim in 1usize..4,
+    ) {
+        let set = jagged_set_from_seed(seed as u64, components, dim);
+        let index = SegmentIndex::build(&set);
+        let mut rng = StdRng::seed_from_u64(seed as u64 ^ 0x9e37_79b9);
+        for _ in 0..8 {
+            let sig = Signature::new(
+                (0..dim).map(|_| rng.gen_range(-12.0..12.0)).collect::<Vec<f64>>(),
+            );
+            prop_assert_eq!(
+                index.best_per_trajectory(&set, &sig),
+                LinearScan.best_per_trajectory(&set, &sig),
+                "flat drift for seed {} at {}", seed, sig
+            );
+        }
+    }
+
+    /// The early-terminating top-k search returns exactly the oracle's
+    /// (truncated full ranking) answer, which is always a prefix of the
+    /// full `(distance, trajectory)` ranking; whenever the early exit
+    /// fires the prefix is strict.
+    #[test]
+    fn topk_is_a_prefix_of_the_full_ranking(
+        seed in 0i64..1_000_000,
+        components in 2usize..16,
+        k in 1usize..6,
+    ) {
+        let set = jagged_set_from_seed(seed as u64, components, 2);
+        let index = SegmentIndex::build(&set);
+        let ratio = DiagnoserConfig::default().ambiguity_ratio;
+        let mut rng = StdRng::seed_from_u64(seed as u64 ^ 0x5151_5151);
+        for _ in 0..6 {
+            let sig = Signature::new(vec![
+                rng.gen_range(-12.0..12.0),
+                rng.gen_range(-12.0..12.0),
+            ]);
+            let (got, _stats) = index.query_topk(&sig, k, ratio);
+            let oracle = LinearScan.topk_per_trajectory(&set, &sig, k, ratio);
+            prop_assert_eq!(&got, &oracle, "oracle drift for seed {} at {}", seed, sig);
+            let mut full: Vec<(usize, f64, f64)> = LinearScan
+                .best_per_trajectory(&set, &sig)
+                .iter()
+                .enumerate()
+                .map(|(ti, &(d, dev))| (ti, d, dev))
+                .collect();
+            full.sort_by(|a, b| {
+                a.1.partial_cmp(&b.1).expect("finite distances").then(a.0.cmp(&b.0))
+            });
+            prop_assert_eq!(&got.ranked[..], &full[..got.ranked.len()]);
+            if got.early_exit {
+                prop_assert!(got.ranked.len() < set.len());
+            }
+        }
     }
 }
 
