@@ -155,6 +155,13 @@ fn emit_summary(_c: &mut Criterion) {
     let mapped_s = median_secs(9, || {
         DiagnosisEngine::load_mapped(&path, config).expect("mapped load");
     });
+    // Bare v3 open: structural parse only — no trajectory decode, no
+    // checksum, no index build. This is the O(header) piece the aligned
+    // format buys; the engine load above adds the (deliberate)
+    // verification pass and index build on top.
+    let open_s = median_secs(9, || {
+        ft_serve::MappedBank::open(&path).expect("v3 open");
+    });
     std::fs::remove_file(&path).ok();
 
     let json = format!(
@@ -166,21 +173,26 @@ fn emit_summary(_c: &mut Criterion) {
          \"instrumented_vs_pooled\": {:.3},\n  \
          \"cold_load_bank_bytes\": {bank_bytes},\n  \
          \"heap_cold_load_s\": {heap_s:.6e},\n  \"mapped_cold_load_s\": {mapped_s:.6e},\n  \
-         \"mapped_vs_heap_cold_load\": {:.3}\n}}\n",
+         \"mapped_vs_heap_cold_load\": {:.3},\n  \
+         \"v3_open_s\": {open_s:.6e},\n  \
+         \"v3_open_vs_heap_cold_load\": {:.5}\n}}\n",
         scoped_s / pooled_s.max(1e-12),
         instrumented_s / pooled_s.max(1e-12),
         mapped_s / heap_s.max(1e-12),
+        open_s / heap_s.max(1e-12),
     );
     std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
     println!(
         "BENCH_serve.json: persistent pool {:.1}x vs scoped threads \
          ({FRONTEND_BATCH}-request batches, {workers} workers, {segments} segments); \
          metrics overhead {:.3}x; \
-         mmap cold load {:.2}x heap decode on a {:.1} MB bank",
+         mmap cold load {:.2}x heap decode on a {:.1} MB bank \
+         (bare v3 open {:.5}x: O(header), no trajectory decode)",
         scoped_s / pooled_s.max(1e-12),
         instrumented_s / pooled_s.max(1e-12),
         mapped_s / heap_s.max(1e-12),
         bank_bytes as f64 / (1024.0 * 1024.0),
+        open_s / heap_s.max(1e-12),
     );
 }
 

@@ -10,6 +10,14 @@
 /// Numerical tolerance for orientation and containment predicates.
 pub const GEOM_EPS: f64 = 1e-12;
 
+/// `true` when every value is finite — the content gate packed
+/// (zero-copy) trajectory storage runs over whole deviation/coordinate
+/// regions before serving from them.
+#[inline]
+pub fn all_finite(xs: &[f64]) -> bool {
+    xs.iter().all(|x| x.is_finite())
+}
+
 /// A 2-D point.
 pub type P2 = [f64; 2];
 

@@ -104,5 +104,6 @@ pub use signature::{
     measure_signature, sample_response_db, signature_from_db, Signature, TestVector, DB_FLOOR,
 };
 pub use trajectory::{
-    trajectories_exact, trajectories_from_dictionary, FaultTrajectory, TrajectorySet,
+    trajectories_exact, trajectories_from_dictionary, FaultTrajectory, PackedLayoutError,
+    PackedTrajectories, TrajectorySet, TrajectoryView,
 };

@@ -5,12 +5,36 @@
 //! the most positive — connect into a piecewise-linear curve: the
 //! *component parametric fault trajectory*. A [`TrajectorySet`] holds one
 //! trajectory per fault-set component for a given test vector.
+//!
+//! ## Storage and views
+//!
+//! A [`TrajectorySet`] hides one of two storages behind the same
+//! accessor surface:
+//!
+//! * **owned** — the classic `Vec<FaultTrajectory>` the offline pipeline
+//!   builds, each point its own [`Signature`];
+//! * **packed** — [`PackedTrajectories`]: borrowed little-endian `f64`
+//!   runs (deviations, point coordinates) inside a byte buffer the set
+//!   merely keeps alive, typically a memory-mapped bank file. Nothing is
+//!   decoded; slices are cast in place (8-byte alignment is validated at
+//!   construction, so the cast is sound and opening a mapped bank is
+//!   O(header)).
+//!
+//! Hot paths consume [`TrajectoryView`]s ([`TrajectorySet::view`],
+//! [`TrajectorySet::all_segments`]), which read either storage without
+//! copying. The legacy [`TrajectorySet::trajectories`] accessor still
+//! works on packed sets by materialising owned trajectories once, on
+//! first use — cold introspection paths keep working, but they pay the
+//! decode the hot paths avoid.
+
+use std::sync::{Arc, OnceLock};
 
 use ft_circuit::{AcSweepEngine, Circuit, CircuitError, Probe};
 use ft_faults::{FaultDictionary, ParametricFault};
 use ft_numerics::decibel;
 use serde::{Deserialize, Serialize};
 
+use crate::geometry::all_finite;
 use crate::signature::{signature_from_db, Signature, TestVector, DB_FLOOR};
 
 /// One component's fault trajectory in signature space.
@@ -113,6 +137,17 @@ impl FaultTrajectory {
         (0..self.segment_count()).map(move |i| self.segment(i))
     }
 
+    /// This trajectory as a storage-agnostic borrowed [`TrajectoryView`].
+    #[inline]
+    pub fn view(&self) -> TrajectoryView<'_> {
+        TrajectoryView {
+            component: &self.component,
+            deviations_pct: &self.deviations_pct,
+            points: PointsRef::Owned(&self.points),
+            dim: self.dim(),
+        }
+    }
+
     /// Total polyline length (a proxy for fault observability: longer
     /// trajectories are easier to resolve).
     pub fn length(&self) -> f64 {
@@ -137,11 +172,393 @@ impl FaultTrajectory {
     }
 }
 
-/// All fault trajectories of a CUT for one test vector.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// A borrowed, storage-agnostic view of one trajectory: component name,
+/// deviation grid, and point coordinates exposed as plain `f64` slices.
+/// Owned and packed [`TrajectorySet`] storages produce the same view
+/// type, so diagnosis and indexing code written against it runs
+/// zero-copy over mapped banks and unchanged over heap-decoded ones.
+#[derive(Debug, Clone, Copy)]
+pub struct TrajectoryView<'a> {
+    component: &'a str,
+    deviations_pct: &'a [f64],
+    points: PointsRef<'a>,
+    dim: usize,
+}
+
+/// Point coordinates behind a view: per-point [`Signature`]s for owned
+/// storage, one contiguous point-major `f64` run for packed storage.
+#[derive(Debug, Clone, Copy)]
+enum PointsRef<'a> {
+    Owned(&'a [Signature]),
+    Packed(&'a [f64]),
+}
+
+impl<'a> TrajectoryView<'a> {
+    /// The component this trajectory belongs to.
+    #[inline]
+    pub fn component(&self) -> &'a str {
+        self.component
+    }
+
+    /// Deviations in percent, ascending, aligned with the points.
+    #[inline]
+    pub fn deviations_pct(&self) -> &'a [f64] {
+        self.deviations_pct
+    }
+
+    /// Signature-space dimension.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of points.
+    #[inline]
+    pub fn point_count(&self) -> usize {
+        self.deviations_pct.len()
+    }
+
+    /// Coordinates of the `i`-th point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn point(&self, i: usize) -> &'a [f64] {
+        match self.points {
+            PointsRef::Owned(points) => points[i].coords(),
+            PointsRef::Packed(coords) => &coords[i * self.dim..(i + 1) * self.dim],
+        }
+    }
+
+    /// Number of piecewise-linear segments.
+    #[inline]
+    pub fn segment_count(&self) -> usize {
+        self.point_count() - 1
+    }
+
+    /// The `i`-th segment as (start deviation, start coordinates, end
+    /// deviation, end coordinates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn segment(&self, i: usize) -> (f64, &'a [f64], f64, &'a [f64]) {
+        (
+            self.deviations_pct[i],
+            self.point(i),
+            self.deviations_pct[i + 1],
+            self.point(i + 1),
+        )
+    }
+
+    /// Iterator over all segments.
+    pub fn segments(self) -> impl Iterator<Item = (f64, &'a [f64], f64, &'a [f64])> {
+        (0..self.segment_count()).map(move |i| self.segment(i))
+    }
+}
+
+/// A constructed [`PackedTrajectories`] layout that cannot be viewed in
+/// place (misaligned, truncated, inconsistent, or on a platform whose
+/// byte order differs from the bank's little-endian encoding). Callers
+/// fall back to an owned decode or reject the file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedLayoutError(String);
+
+impl std::fmt::Display for PackedLayoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "packed trajectory layout: {}", self.0)
+    }
+}
+
+impl std::error::Error for PackedLayoutError {}
+
+/// Zero-copy trajectory storage over a byte buffer: per-trajectory
+/// component names and point ranges, plus byte offsets of two aligned
+/// little-endian `f64` regions inside `bytes` — the concatenated
+/// deviation grid and the point-major coordinate run. The buffer
+/// (typically an `Arc`'d memory map of a v3 bank) stays alive exactly as
+/// long as the storage.
+///
+/// Construction validates bounds, monotonic point offsets, and 8-byte
+/// alignment of both regions, so the in-place `&[u8] → &[f64]` casts are
+/// sound; it does **not** read the regions themselves — that is what
+/// keeps a mapped open O(header). [`TrajectorySet::validate_deep`] runs
+/// the full content checks (finiteness, deviation ordering) when a
+/// consumer needs them.
+pub struct PackedTrajectories {
+    /// Backing buffer. The `AsRef` implementation must return the same
+    /// slice on every call (memory maps and owned buffers do); the
+    /// alignment validated here is re-asserted on access.
+    bytes: Arc<dyn AsRef<[u8]> + Send + Sync>,
+    components: Vec<String>,
+    /// Prefix sums of per-trajectory point counts; `len() + 1` entries.
+    point_offsets: Vec<u32>,
+    devs_offset: usize,
+    coords_offset: usize,
+    dim: usize,
+    total_points: usize,
+    /// Owned trajectories, decoded once if a legacy accessor needs them.
+    materialized: OnceLock<Vec<FaultTrajectory>>,
+}
+
+impl std::fmt::Debug for PackedTrajectories {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PackedTrajectories")
+            .field("trajectories", &self.components.len())
+            .field("total_points", &self.total_points)
+            .field("dim", &self.dim)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Clone for PackedTrajectories {
+    fn clone(&self) -> Self {
+        PackedTrajectories {
+            bytes: Arc::clone(&self.bytes),
+            components: self.components.clone(),
+            point_offsets: self.point_offsets.clone(),
+            devs_offset: self.devs_offset,
+            coords_offset: self.coords_offset,
+            dim: self.dim,
+            total_points: self.total_points,
+            materialized: self.materialized.clone(),
+        }
+    }
+}
+
+impl PackedTrajectories {
+    /// Assembles packed storage over `bytes`. `point_offsets` are prefix
+    /// sums of per-trajectory point counts (first 0, strictly increasing
+    /// by at least 2 — every trajectory needs two points); `devs_offset`
+    /// / `coords_offset` locate the two `f64` regions, which must lie in
+    /// bounds and start 8-byte aligned in memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PackedLayoutError`] when the layout cannot be viewed in
+    /// place — the caller decides between an owned-decode fallback and
+    /// rejecting the file. Never unsafe: a misaligned or truncated
+    /// buffer is an error here, not undefined behaviour later.
+    pub fn new(
+        bytes: Arc<dyn AsRef<[u8]> + Send + Sync>,
+        components: Vec<String>,
+        point_offsets: Vec<u32>,
+        devs_offset: usize,
+        coords_offset: usize,
+        dim: usize,
+    ) -> Result<Self, PackedLayoutError> {
+        let err = |msg: &str| Err(PackedLayoutError(msg.to_string()));
+        if cfg!(target_endian = "big") {
+            return err("in-place views require a little-endian host");
+        }
+        if components.is_empty() {
+            return err("no trajectories");
+        }
+        if dim == 0 {
+            return err("zero signature dimension");
+        }
+        if point_offsets.len() != components.len() + 1 || point_offsets[0] != 0 {
+            return err("point offset table shape mismatch");
+        }
+        if !point_offsets.windows(2).all(|w| w[0] + 2 <= w[1]) {
+            return err("point offsets must grow by at least two per trajectory");
+        }
+        let total_points = point_offsets[components.len()] as usize;
+        let data: &[u8] = (*bytes).as_ref();
+        let devs_len = total_points
+            .checked_mul(8)
+            .filter(|l| devs_offset.checked_add(*l).is_some_and(|e| e <= data.len()));
+        let coords_len = total_points
+            .checked_mul(dim)
+            .and_then(|n| n.checked_mul(8))
+            .filter(|l| {
+                coords_offset
+                    .checked_add(*l)
+                    .is_some_and(|e| e <= data.len())
+            });
+        if devs_len.is_none() || coords_len.is_none() {
+            return err("f64 regions truncated or out of bounds");
+        }
+        if !(data[devs_offset..].as_ptr() as usize).is_multiple_of(8)
+            || !(data[coords_offset..].as_ptr() as usize).is_multiple_of(8)
+        {
+            return err("f64 regions are not 8-byte aligned in memory");
+        }
+        Ok(PackedTrajectories {
+            bytes,
+            components,
+            point_offsets,
+            devs_offset,
+            coords_offset,
+            dim,
+            total_points,
+            materialized: OnceLock::new(),
+        })
+    }
+
+    /// Number of trajectories.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// `true` when the storage holds no trajectories (never, for
+    /// successfully constructed storage).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Signature-space dimension.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Total points across all trajectories.
+    #[inline]
+    pub fn total_points(&self) -> usize {
+        self.total_points
+    }
+
+    #[inline]
+    fn data(&self) -> &[u8] {
+        (*self.bytes).as_ref()
+    }
+
+    /// In-place view of `len` little-endian `f64`s at `byte_offset`.
+    #[inline]
+    fn f64s(&self, byte_offset: usize, len: usize) -> &[f64] {
+        let bytes = &self.data()[byte_offset..byte_offset + 8 * len];
+        // The constructor validated this; it can only fail if the
+        // backing `AsRef` returns a different slice than it did then,
+        // which its contract forbids. Assert (never cast) so a broken
+        // provider is a panic, not undefined behaviour.
+        assert_eq!(
+            bytes.as_ptr() as usize % 8,
+            0,
+            "packed trajectory buffer moved out of alignment"
+        );
+        // SAFETY: `bytes` spans exactly `8 * len` initialised bytes, is
+        // 8-byte aligned (asserted above), any bit pattern is a valid
+        // f64, and the borrow ties the slice to `self`, which keeps the
+        // backing Arc alive.
+        unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<f64>(), len) }
+    }
+
+    /// The concatenated deviation grid of all trajectories.
+    #[inline]
+    fn devs_all(&self) -> &[f64] {
+        self.f64s(self.devs_offset, self.total_points)
+    }
+
+    /// The point-major coordinate run of all trajectories.
+    #[inline]
+    fn coords_all(&self) -> &[f64] {
+        self.f64s(self.coords_offset, self.total_points * self.dim)
+    }
+
+    /// Borrowed view of trajectory `ti`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ti` is out of range.
+    #[inline]
+    pub fn view(&self, ti: usize) -> TrajectoryView<'_> {
+        let lo = self.point_offsets[ti] as usize;
+        let hi = self.point_offsets[ti + 1] as usize;
+        TrajectoryView {
+            component: &self.components[ti],
+            deviations_pct: &self.devs_all()[lo..hi],
+            points: PointsRef::Packed(&self.coords_all()[lo * self.dim..hi * self.dim]),
+            dim: self.dim,
+        }
+    }
+
+    /// Full content validation — everything construction skipped to stay
+    /// O(header): deviations finite, strictly ascending, containing the
+    /// 0% origin; coordinates finite.
+    fn validate_deep(&self) -> Result<(), String> {
+        if !all_finite(self.coords_all()) {
+            return Err("trajectory coordinates must be finite".to_string());
+        }
+        for ti in 0..self.len() {
+            let devs = self.view(ti).deviations_pct();
+            if !all_finite(devs) {
+                return Err(format!("trajectory {ti}: deviations must be finite"));
+            }
+            if !devs.windows(2).all(|w| w[0] < w[1]) {
+                return Err(format!("trajectory {ti}: deviations must be ascending"));
+            }
+            if !devs.contains(&0.0) {
+                return Err(format!("trajectory {ti}: missing 0% origin deviation"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Owned trajectories, decoded from the packed regions once and
+    /// cached — the compatibility path for cold accessors.
+    fn materialized(&self) -> &[FaultTrajectory] {
+        self.materialized.get_or_init(|| {
+            (0..self.len())
+                .map(|ti| {
+                    let v = self.view(ti);
+                    // Constructed directly (not via the asserting
+                    // `FaultTrajectory::new`): packed content is only
+                    // proven well-formed after `validate_deep`, and
+                    // materialisation must not panic before a caller had
+                    // the chance to run it.
+                    FaultTrajectory {
+                        component: v.component().to_string(),
+                        deviations_pct: v.deviations_pct().to_vec(),
+                        points: (0..v.point_count())
+                            .map(|i| Signature::new(v.point(i).to_vec()))
+                            .collect(),
+                    }
+                })
+                .collect()
+        })
+    }
+}
+
+/// All fault trajectories of a CUT for one test vector, over owned or
+/// packed storage (see the module docs).
+#[derive(Debug, Clone)]
 pub struct TrajectorySet {
     test_vector: TestVector,
-    trajectories: Vec<FaultTrajectory>,
+    storage: TrajectoryStorage,
+}
+
+#[derive(Debug, Clone)]
+enum TrajectoryStorage {
+    Owned(Vec<FaultTrajectory>),
+    Packed(PackedTrajectories),
+}
+
+// The vendored serde is a marker-only shim (see vendor/serde); with the
+// storage enum the derives are spelled out by hand.
+impl Serialize for TrajectorySet {}
+impl<'de> Deserialize<'de> for TrajectorySet {}
+
+/// Equality is over content, not storage: a packed set equals the owned
+/// set holding the same trajectories — what the mapped-vs-heap
+/// byte-identity tests lean on.
+impl PartialEq for TrajectorySet {
+    fn eq(&self, other: &Self) -> bool {
+        if self.test_vector != other.test_vector || self.len() != other.len() {
+            return false;
+        }
+        (0..self.len()).all(|ti| {
+            let (a, b) = (self.view(ti), other.view(ti));
+            a.component() == b.component()
+                && a.deviations_pct() == b.deviations_pct()
+                && a.dim() == b.dim()
+                && (0..a.point_count()).all(|i| a.point(i) == b.point(i))
+        })
+    }
 }
 
 impl TrajectorySet {
@@ -160,7 +577,7 @@ impl TrajectorySet {
         if let Some(first) = trajectories.first() {
             let dim = first.dim();
             assert!(
-                dim > 0 && dim % test_vector.len() == 0,
+                dim > 0 && dim.is_multiple_of(test_vector.len()),
                 "trajectory dimension must be a positive multiple of the test-vector length"
             );
             assert!(
@@ -170,8 +587,33 @@ impl TrajectorySet {
         }
         TrajectorySet {
             test_vector,
-            trajectories,
+            storage: TrajectoryStorage::Owned(trajectories),
         }
+    }
+
+    /// Packages packed (zero-copy) trajectories with the test vector
+    /// that produced them — the mapped-bank open path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the packed dimension is not a positive multiple of the
+    /// test-vector length (the same contract as [`TrajectorySet::new`]).
+    pub fn from_packed(test_vector: TestVector, packed: PackedTrajectories) -> Self {
+        let dim = packed.dim();
+        assert!(
+            dim > 0 && dim.is_multiple_of(test_vector.len()),
+            "trajectory dimension must be a positive multiple of the test-vector length"
+        );
+        TrajectorySet {
+            test_vector,
+            storage: TrajectoryStorage::Packed(packed),
+        }
+    }
+
+    /// `true` when the set runs zero-copy over packed (mapped) bytes.
+    #[inline]
+    pub fn is_packed(&self) -> bool {
+        matches!(self.storage, TrajectoryStorage::Packed(_))
     }
 
     /// The test vector.
@@ -184,9 +626,12 @@ impl TrajectorySet {
     /// channels). Falls back to the test-vector length for an empty set.
     #[inline]
     pub fn dim(&self) -> usize {
-        self.trajectories
-            .first()
-            .map_or(self.test_vector.len(), FaultTrajectory::dim)
+        match &self.storage {
+            TrajectoryStorage::Owned(trajectories) => trajectories
+                .first()
+                .map_or(self.test_vector.len(), FaultTrajectory::dim),
+            TrajectoryStorage::Packed(packed) => packed.dim(),
+        }
     }
 
     /// Number of observation channels (probes) stacked into the
@@ -196,15 +641,52 @@ impl TrajectorySet {
         self.dim() / self.test_vector.len()
     }
 
-    /// All trajectories.
+    /// All trajectories as owned values. On packed storage this decodes
+    /// once and caches — cold accessors and legacy callers only; hot
+    /// paths use [`TrajectorySet::views`].
     #[inline]
     pub fn trajectories(&self) -> &[FaultTrajectory] {
-        &self.trajectories
+        match &self.storage {
+            TrajectoryStorage::Owned(trajectories) => trajectories,
+            TrajectoryStorage::Packed(packed) => packed.materialized(),
+        }
     }
 
-    /// Trajectory of a named component.
+    /// Component name of trajectory `ti` without materialising anything.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ti` is out of range.
+    #[inline]
+    pub fn component(&self, ti: usize) -> &str {
+        match &self.storage {
+            TrajectoryStorage::Owned(trajectories) => trajectories[ti].component(),
+            TrajectoryStorage::Packed(packed) => &packed.components[ti],
+        }
+    }
+
+    /// Borrowed view of trajectory `ti` — zero-copy on either storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ti` is out of range.
+    #[inline]
+    pub fn view(&self, ti: usize) -> TrajectoryView<'_> {
+        match &self.storage {
+            TrajectoryStorage::Owned(trajectories) => trajectories[ti].view(),
+            TrajectoryStorage::Packed(packed) => packed.view(ti),
+        }
+    }
+
+    /// Iterator over borrowed views of all trajectories, in order.
+    pub fn views(&self) -> impl Iterator<Item = TrajectoryView<'_>> + '_ {
+        (0..self.len()).map(move |ti| self.view(ti))
+    }
+
+    /// Trajectory of a named component (owned; materialises packed
+    /// storage — use [`TrajectorySet::views`] on hot paths).
     pub fn trajectory_of(&self, component: &str) -> Option<&FaultTrajectory> {
-        self.trajectories
+        self.trajectories()
             .iter()
             .find(|t| t.component() == component)
     }
@@ -212,36 +694,55 @@ impl TrajectorySet {
     /// Number of trajectories.
     #[inline]
     pub fn len(&self) -> usize {
-        self.trajectories.len()
+        match &self.storage {
+            TrajectoryStorage::Owned(trajectories) => trajectories.len(),
+            TrajectoryStorage::Packed(packed) => packed.len(),
+        }
     }
 
     /// `true` when the set holds no trajectories.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.trajectories.is_empty()
+        self.len() == 0
     }
 
     /// Total number of piecewise-linear segments across all trajectories
     /// — the size of the search space a diagnosis query scans.
     pub fn total_segments(&self) -> usize {
-        self.trajectories
-            .iter()
-            .map(FaultTrajectory::segment_count)
-            .sum()
+        match &self.storage {
+            TrajectoryStorage::Owned(trajectories) => trajectories
+                .iter()
+                .map(FaultTrajectory::segment_count)
+                .sum(),
+            TrajectoryStorage::Packed(packed) => packed.total_points() - packed.len(),
+        }
     }
 
     /// Flat iterator over every segment of every trajectory as
-    /// `(trajectory index, segment index, start deviation, start point,
-    /// end deviation, end point)`, in trajectory-major order — the
-    /// enumeration spatial index builders consume.
+    /// `(trajectory index, segment index, start deviation, start point
+    /// coordinates, end deviation, end point coordinates)`, in
+    /// trajectory-major order — the enumeration spatial index builders
+    /// consume. Zero-copy on either storage.
     pub fn all_segments(
         &self,
-    ) -> impl Iterator<Item = (usize, usize, f64, &Signature, f64, &Signature)> + '_ {
-        self.trajectories.iter().enumerate().flat_map(|(ti, t)| {
-            t.segments()
+    ) -> impl Iterator<Item = (usize, usize, f64, &[f64], f64, &[f64])> + '_ {
+        self.views().enumerate().flat_map(|(ti, v)| {
+            v.segments()
                 .enumerate()
                 .map(move |(si, (d0, p0, d1, p1))| (ti, si, d0, p0, d1, p1))
         })
+    }
+
+    /// Full content validation of packed storage (finite, ascending
+    /// deviation grids containing the 0% origin; finite coordinates).
+    /// Owned storage was validated at construction and returns `Ok`
+    /// immediately. Mapped engines call this once at load, keeping
+    /// `MappedBank::open` O(header) without ever serving NaNs.
+    pub fn validate_deep(&self) -> Result<(), String> {
+        match &self.storage {
+            TrajectoryStorage::Owned(_) => Ok(()),
+            TrajectoryStorage::Packed(packed) => packed.validate_deep(),
+        }
     }
 }
 
@@ -524,5 +1025,147 @@ mod tests {
         let empty = TrajectorySet::new(TestVector::pair(1.0, 2.0), vec![]);
         assert_eq!(empty.dim(), 2);
         assert_eq!(empty.channels(), 1);
+    }
+
+    /// 8-byte-aligned backing storage for packed-view tests: a
+    /// `Vec<u64>` reinterpreted as bytes, so every multiple-of-8 offset
+    /// is guaranteed aligned regardless of allocator whims.
+    struct Aligned(Vec<u64>);
+
+    impl AsRef<[u8]> for Aligned {
+        fn as_ref(&self) -> &[u8] {
+            // SAFETY: u64 → u8 reinterpretation is always valid; the
+            // length covers exactly the Vec's initialized storage.
+            unsafe { std::slice::from_raw_parts(self.0.as_ptr() as *const u8, self.0.len() * 8) }
+        }
+    }
+
+    /// Packs `devs ++ coords` into an [`Aligned`] buffer and returns
+    /// the storage plus the coords region offset.
+    fn packed_buffer(devs: &[f64], coords: &[f64]) -> (Arc<Aligned>, usize) {
+        let words: Vec<u64> = devs
+            .iter()
+            .chain(coords)
+            .map(|x| u64::from_le_bytes(x.to_le_bytes()))
+            .collect();
+        (Arc::new(Aligned(words)), devs.len() * 8)
+    }
+
+    fn owned_pair() -> TrajectorySet {
+        let p = |x: f64, y: f64| Signature::new(vec![x, y]);
+        let t1 = FaultTrajectory::new("R1", vec![-10.0, 0.0], vec![p(-1.0, -2.0), p(0.0, 0.0)]);
+        let t2 = FaultTrajectory::new(
+            "C2",
+            vec![-5.0, 0.0, 5.0],
+            vec![p(1.0, 2.0), p(0.0, 0.0), p(3.0, 4.0)],
+        );
+        TrajectorySet::new(TestVector::pair(1.0, 2.0), vec![t1, t2])
+    }
+
+    #[test]
+    fn packed_storage_matches_owned_everywhere() {
+        let owned = owned_pair();
+        let devs = [-10.0, 0.0, -5.0, 0.0, 5.0];
+        let coords = [-1.0, -2.0, 0.0, 0.0, 1.0, 2.0, 0.0, 0.0, 3.0, 4.0];
+        let (buf, coords_off) = packed_buffer(&devs, &coords);
+        let packed = PackedTrajectories::new(
+            buf,
+            vec!["R1".into(), "C2".into()],
+            vec![0, 2, 5],
+            0,
+            coords_off,
+            2,
+        )
+        .unwrap();
+        let set = TrajectorySet::from_packed(TestVector::pair(1.0, 2.0), packed);
+
+        assert!(set.is_packed());
+        assert!(!owned.is_packed());
+        // Content equality crosses storage kinds.
+        assert_eq!(set, owned);
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.dim(), 2);
+        assert_eq!(set.total_segments(), owned.total_segments());
+        assert_eq!(
+            set.all_segments().collect::<Vec<_>>(),
+            owned.all_segments().collect::<Vec<_>>()
+        );
+        // Views agree point-for-point and segment-for-segment.
+        for (pv, ov) in set.views().zip(owned.views()) {
+            assert_eq!(pv.component(), ov.component());
+            assert_eq!(pv.deviations_pct(), ov.deviations_pct());
+            assert_eq!(pv.point_count(), ov.point_count());
+            for i in 0..pv.point_count() {
+                assert_eq!(pv.point(i), ov.point(i));
+            }
+            assert_eq!(
+                pv.segments().collect::<Vec<_>>(),
+                ov.segments().collect::<Vec<_>>()
+            );
+        }
+        // Materialization produces the very same owned trajectories.
+        assert_eq!(set.trajectories(), owned.trajectories());
+        assert_eq!(
+            set.trajectory_of("C2").unwrap(),
+            owned.trajectory_of("C2").unwrap()
+        );
+        set.validate_deep().unwrap();
+        // A clone shares the backing bytes and stays equal.
+        assert_eq!(set.clone(), owned);
+    }
+
+    #[test]
+    fn packed_storage_rejects_bad_layouts() {
+        let devs = [-10.0, 0.0, -5.0, 0.0, 5.0];
+        let coords = [-1.0, -2.0, 0.0, 0.0, 1.0, 2.0, 0.0, 0.0, 3.0, 4.0];
+        let comps = || vec!["R1".to_string(), "C2".to_string()];
+        let mk = |offsets: Vec<u32>, devs_off: usize, coords_off: usize, dim: usize| {
+            let (buf, _) = packed_buffer(&devs, &coords);
+            PackedTrajectories::new(buf, comps(), offsets, devs_off, coords_off, dim)
+        };
+        let coords_off = devs.len() * 8;
+        // Misaligned region start: rejected, never cast.
+        assert!(mk(vec![0, 2, 5], 4, coords_off, 2)
+            .unwrap_err()
+            .to_string()
+            .contains("aligned"));
+        // Truncation: the coords region would run past the buffer.
+        assert!(mk(vec![0, 2, 5], 0, coords_off + 8, 2)
+            .unwrap_err()
+            .to_string()
+            .contains("truncated"));
+        // Offset table shape and monotonicity.
+        assert!(mk(vec![0, 2], 0, coords_off, 2).is_err());
+        assert!(mk(vec![1, 2, 5], 0, coords_off, 2).is_err());
+        assert!(mk(vec![0, 1, 5], 0, coords_off, 2).is_err());
+        // Single-point "trajectory" (offsets step of 1) is rejected.
+        assert!(mk(vec![0, 4, 5], 0, coords_off, 2).is_err());
+        // Degenerate dims.
+        assert!(mk(vec![0, 2, 5], 0, coords_off, 0).is_err());
+        let (buf, _) = packed_buffer(&devs, &coords);
+        assert!(PackedTrajectories::new(buf, vec![], vec![0], 0, coords_off, 2).is_err());
+    }
+
+    #[test]
+    fn packed_validate_deep_flags_bad_regions() {
+        // Same layout as the equality test but with a NaN coordinate
+        // and a deviation ladder missing 0.0 — structural parsing
+        // accepts it (finite-ness is content, not layout), deep
+        // validation rejects it.
+        let devs = [-10.0, 0.0, -5.0, 1.0, 5.0]; // second traj skips 0.0
+        let coords = [-1.0, f64::NAN, 0.0, 0.0, 1.0, 2.0, 0.0, 0.0, 3.0, 4.0];
+        let (buf, coords_off) = packed_buffer(&devs, &coords);
+        let packed = PackedTrajectories::new(
+            buf,
+            vec!["R1".into(), "C2".into()],
+            vec![0, 2, 5],
+            0,
+            coords_off,
+            2,
+        )
+        .unwrap();
+        let set = TrajectorySet::from_packed(TestVector::pair(1.0, 2.0), packed);
+        let msg = set.validate_deep().unwrap_err();
+        assert!(!msg.is_empty());
     }
 }

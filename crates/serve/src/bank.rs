@@ -4,19 +4,49 @@
 //! product) with the [`TrajectorySet`] materialised at the deployed test
 //! vector — and, optionally, a [`MultiFaultDictionary`] — so the online
 //! phase loads everything from disk instead of re-simulating.
-//! Serialisation uses the sectioned v2 [`codec`](crate::codec) container
+//! Serialisation uses the sectioned [`codec`](crate::codec) container
 //! (one type-tagged, independently checksummed section per artifact;
-//! unknown sections are skipped); legacy v1 monolithic banks still load.
-//! Every structural invariant is re-checked on load before any panicking
-//! constructor runs, so a hostile or corrupt file yields a
-//! [`CodecError`], never a panic.
+//! unknown sections are skipped); legacy v1 monolithic and v2 sectioned
+//! banks still load. Every structural invariant is re-checked on load
+//! before any panicking constructor runs, so a hostile or corrupt file
+//! yields a [`CodecError`], never a panic.
+//!
+//! ## Trajectory section payload, format v3 (zero-copy viewable)
+//!
+//! All fields little-endian; `off` is relative to the payload start.
+//!
+//! ```text
+//! off       size          field
+//! 0         4+8·n_tv      test-vector omegas (u32 count, then f64s)
+//! …         4             trajectory count n_traj (u32)
+//! …         4             signature dimension dim (u32)
+//! …         4             total point count P (u32)
+//! …         …             n_traj × component name (u32 len + UTF-8)
+//! …         4             pad_len (u32, 0..=7)
+//! …         pad_len       zero padding, sized so the next offset is
+//!                         8-byte aligned *in the container file*
+//! A         4·(n_traj+1)  point-offset table: prefix sums of points
+//!                         per trajectory (first 0, last P, step ≥ 2)
+//! …         0 or 4        zero pad iff n_traj+1 is odd (keeps D 8-aligned)
+//! D         8·P           deviations (f64), concatenated per trajectory
+//! C         8·P·dim       point coordinates (f64), point-major
+//! ```
+//!
+//! The writer chooses `pad_len` so the absolute container offset of `A`
+//! is a multiple of 8; since `mmap` returns page-aligned bases, a
+//! mapped reader can view `D` and `C` in place as `&[f64]` — opening a
+//! v3 shard decodes nothing (O(header + n_traj)), and the deviation and
+//! coordinate data the index streams over are the mapped file pages
+//! themselves. v2 banks carry the older length-prefixed trajectory
+//! payload and decode eagerly on open.
 
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex};
 
 use ft_circuit::Probe;
 use ft_core::{
-    trajectories_from_dictionary, FaultTrajectory, Signature, TestVector, TrajectorySet,
+    trajectories_from_dictionary, FaultTrajectory, PackedTrajectories, Signature, TestVector,
+    TrajectorySet,
 };
 use ft_faults::{
     DeviationGrid, DictionaryEntry, FaultDictionary, FaultUniverse, MultiFault,
@@ -25,8 +55,9 @@ use ft_faults::{
 use ft_numerics::{FrequencyGrid, Spacing};
 
 use crate::codec::{
-    peek_version, CodecError, Container, ContainerBuilder, Decoder, Encoder, SectionTable,
-    BANK_VERSION, BANK_VERSION_V1, SECTION_DICTIONARY, SECTION_MULTIFAULT, SECTION_TRAJECTORIES,
+    peek_version, CodecError, Container, ContainerBuilder, Decoder, Encoder, SectionEntry,
+    SectionTable, BANK_VERSION, BANK_VERSION_V1, BANK_VERSION_V2, HEADER_LEN_V2,
+    SECTION_DICTIONARY, SECTION_ENTRY_LEN, SECTION_MULTIFAULT, SECTION_TRAJECTORIES,
 };
 use crate::mmap::{FileGen, Mmap};
 use crate::obs::Counter;
@@ -115,11 +146,37 @@ impl TrajectoryBank {
         self.set.test_vector()
     }
 
-    /// Serialises the bank into a sectioned v2 container: a dictionary
-    /// section, a trajectory section, and — when present — a multi-fault
-    /// section, each independently checksummed.
+    /// Serialises the bank into a sectioned **v3** container: a
+    /// dictionary section, a zero-copy-viewable trajectory section (see
+    /// the module docs for the aligned layout), and — when present — a
+    /// multi-fault section, each independently checksummed.
     pub fn to_bytes(&self) -> Vec<u8> {
+        let dict_payload = encode_dictionary(&self.dict);
+        // The v3 trajectory payload pads itself to an 8-byte-aligned
+        // absolute file offset, so the writer must know where the
+        // payload will land: after the header, the section table
+        // (dictionary + trajectories + optional multifault), and the
+        // dictionary payload.
+        let n_sections = 2 + usize::from(self.multifault.is_some());
+        let traj_offset = HEADER_LEN_V2 + n_sections * SECTION_ENTRY_LEN + dict_payload.len();
         let mut builder = ContainerBuilder::new();
+        builder.push_section(SECTION_DICTIONARY, dict_payload);
+        builder.push_section(
+            SECTION_TRAJECTORIES,
+            encode_trajectory_set_v3(&self.set, traj_offset),
+        );
+        if let Some(mfd) = &self.multifault {
+            builder.push_section(SECTION_MULTIFAULT, encode_multifault(mfd));
+        }
+        builder.finish()
+    }
+
+    /// Serialises the bank as a **v2** sectioned container — the same
+    /// framing as v3, but with the older length-prefixed trajectory
+    /// payload that readers must decode eagerly. Kept for compatibility
+    /// tests and `ftd build-bank --format 2`.
+    pub fn to_bytes_v2(&self) -> Vec<u8> {
+        let mut builder = ContainerBuilder::with_version(BANK_VERSION_V2);
         builder.push_section(SECTION_DICTIONARY, encode_dictionary(&self.dict));
         builder.push_section(SECTION_TRAJECTORIES, encode_trajectory_set(&self.set));
         if let Some(mfd) = &self.multifault {
@@ -141,14 +198,14 @@ impl TrajectoryBank {
     }
 
     /// Deserialises a bank, verifying the container header, checksums,
-    /// and every structural invariant of the decoded data. Both format
-    /// versions load: v1 monolithic payloads and v2 sectioned containers
-    /// (whose unknown sections are skipped, and whose optional
-    /// multi-fault section is decoded when present).
+    /// and every structural invariant of the decoded data. All format
+    /// versions load: v1 monolithic payloads and v2/v3 sectioned
+    /// containers (whose unknown sections are skipped, and whose
+    /// optional multi-fault section is decoded when present).
     ///
     /// # Errors
     ///
-    /// Any corruption or inconsistency yields a [`CodecError`]; v2
+    /// Any corruption or inconsistency yields a [`CodecError`]; v2/v3
     /// corruption is attributed to the section it hit.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
         match peek_version(bytes)? {
@@ -165,14 +222,26 @@ impl TrajectoryBank {
                     multifault: None,
                 })
             }
-            BANK_VERSION => {
+            BANK_VERSION_V2 | BANK_VERSION => {
                 let container = Container::parse(bytes)?;
                 let mut dec = Decoder::over(container.require(SECTION_DICTIONARY)?);
                 let dict = decode_dictionary(&mut dec)?;
                 dec.finish()?;
-                let mut dec = Decoder::over(container.require(SECTION_TRAJECTORIES)?);
-                let set = decode_trajectory_set(&mut dec)?;
-                dec.finish()?;
+                let traj_payload = container.require(SECTION_TRAJECTORIES)?;
+                let set = if container.version() == BANK_VERSION {
+                    let offset = container
+                        .sections()
+                        .iter()
+                        .find(|s| s.kind == SECTION_TRAJECTORIES)
+                        .expect("require located the section")
+                        .offset;
+                    decode_trajectory_set_v3(traj_payload, offset)?
+                } else {
+                    let mut dec = Decoder::over(traj_payload);
+                    let set = decode_trajectory_set(&mut dec)?;
+                    dec.finish()?;
+                    set
+                };
                 let multifault = match container.find(SECTION_MULTIFAULT)? {
                     None => None,
                     Some(payload) => {
@@ -221,10 +290,11 @@ impl TrajectoryBank {
 /// How a [`MappedBank`] reaches its undecoded sections.
 #[derive(Debug)]
 enum MappedPayload {
-    /// A v2 sectioned container: the mapping and its validated section
-    /// table stay resident, and sections decode lazily out of the
-    /// mapped bytes on first touch.
-    Sectioned { map: Mmap, table: SectionTable },
+    /// A sectioned (v2/v3) container: the mapping and its validated
+    /// section table stay resident, and sections decode lazily out of
+    /// the mapped bytes on first touch. The mapping is behind an `Arc`
+    /// because a v3 trajectory set borrows it as packed storage.
+    Sectioned { map: Arc<Mmap>, table: SectionTable },
     /// A v1 monolithic container: the whole payload shares one
     /// checksum, so nothing can be verified lazily — everything decodes
     /// at open and the lazy cells are pre-populated. The mapping is
@@ -232,20 +302,30 @@ enum MappedPayload {
     Legacy,
 }
 
+/// A lazily decoded section: empty until first touch, then caching the
+/// decode result; clearable by section-granular eviction, after which
+/// the next touch decodes again from the mapped bytes.
+type SectionCell<T> = Mutex<Option<Result<T, Arc<CodecError>>>>;
+
 /// A trajectory bank opened zero-copy over a memory-mapped shard file.
 ///
 /// Unlike [`TrajectoryBank::load`], opening verifies only the container
-/// header and section table eagerly, decodes the trajectory section
-/// (the one diagnosis actually needs — its FNV is checked on that first
-/// touch), and leaves the dictionary and multi-fault sections as
-/// untouched mapped bytes: they are neither read, checksummed, nor
-/// decoded until [`dictionary`](MappedBank::dictionary) /
+/// header and section table eagerly. On a **v3** shard the trajectory
+/// section is not decoded at all: its aligned regions are viewed in
+/// place ([`PackedTrajectories`]), making open O(header + trajectory
+/// count) regardless of payload size — callers that serve from the set
+/// run [`MappedBank::verify_trajectory_payload`] plus
+/// [`TrajectorySet::validate_deep`] once before trusting the bytes. On
+/// a v2 shard the trajectory section decodes eagerly (FNV checked at
+/// open), as before. Either way the dictionary and multi-fault sections
+/// stay untouched mapped bytes: neither read, checksummed, nor decoded
+/// until [`dictionary`](MappedBank::dictionary) /
 /// [`multifault_dictionary`](MappedBank::multifault_dictionary) is
-/// called. For dictionary-heavy multi-MB shards that makes a cold open
-/// a fraction of the heap-decode path, and the kernel pages payloads in
-/// on demand rather than through an intermediate `Vec<u8>` copy.
+/// called — and their decoded forms can be dropped again with
+/// [`evict_decoded`](MappedBank::evict_decoded) while the trajectory
+/// view keeps serving.
 ///
-/// The decoded [`TrajectorySet`] is returned by value from
+/// The [`TrajectorySet`] is returned by value from
 /// [`open`](MappedBank::open) so the caller (the engine) owns exactly
 /// one copy.
 #[derive(Debug)]
@@ -253,22 +333,25 @@ pub struct MappedBank {
     payload: MappedPayload,
     path: PathBuf,
     generation: FileGen,
-    dict: OnceLock<Result<FaultDictionary, Arc<CodecError>>>,
-    multifault: OnceLock<Result<Option<MultiFaultDictionary>, Arc<CodecError>>>,
+    dict: SectionCell<Arc<FaultDictionary>>,
+    multifault: SectionCell<Option<Arc<MultiFaultDictionary>>>,
     decode_events: Option<Arc<Counter>>,
 }
 
 impl MappedBank {
     /// Maps `path` and opens it as a bank, returning the mapped handle
-    /// and the eagerly decoded trajectory set. v1 monolithic shards
-    /// open too (fully decoded — see [`MappedPayload::Legacy`]).
+    /// and the trajectory set (packed/zero-copy for v3, decoded for
+    /// v2). v1 monolithic shards open too (fully decoded — see
+    /// [`MappedPayload::Legacy`]).
     ///
     /// # Errors
     ///
     /// I/O and mapping failures, header/table validation failures, and
-    /// any corruption of the trajectory section, annotated with `path`.
-    /// Corruption confined to the *other* sections is deferred to their
-    /// accessors.
+    /// any structural violation of the trajectory section, annotated
+    /// with `path`. v3 trajectory *content* corruption is deferred to
+    /// [`verify_trajectory_payload`](MappedBank::verify_trajectory_payload)
+    /// (open never reads the payload regions); corruption confined to
+    /// the other sections is deferred to their accessors.
     pub fn open(path: impl AsRef<Path>) -> Result<(MappedBank, TrajectorySet), CodecError> {
         let path = path.as_ref();
         MappedBank::open_inner(path).map_err(|e| e.in_file(path))
@@ -284,34 +367,79 @@ impl MappedBank {
                     set,
                     multifault,
                 } = TrajectoryBank::from_bytes(map.bytes())?;
-                let dict_cell = OnceLock::new();
-                dict_cell.set(Ok(dict)).expect("fresh cell");
-                let mfd_cell = OnceLock::new();
-                mfd_cell.set(Ok(multifault)).expect("fresh cell");
                 Ok((
                     MappedBank {
                         payload: MappedPayload::Legacy,
                         path: path.to_path_buf(),
                         generation,
-                        dict: dict_cell,
-                        multifault: mfd_cell,
+                        dict: Mutex::new(Some(Ok(Arc::new(dict)))),
+                        multifault: Mutex::new(Some(Ok(multifault.map(Arc::new)))),
                         decode_events: None,
                     },
                     set,
                 ))
             }
-            BANK_VERSION => {
+            BANK_VERSION_V2 => {
                 let table = SectionTable::parse(map.bytes())?;
                 let mut dec = Decoder::over(table.require(map.bytes(), SECTION_TRAJECTORIES)?);
                 let set = decode_trajectory_set(&mut dec)?;
                 dec.finish()?;
                 Ok((
                     MappedBank {
+                        payload: MappedPayload::Sectioned {
+                            map: Arc::new(map),
+                            table,
+                        },
+                        path: path.to_path_buf(),
+                        generation,
+                        dict: Mutex::new(None),
+                        multifault: Mutex::new(None),
+                        decode_events: None,
+                    },
+                    set,
+                ))
+            }
+            BANK_VERSION => {
+                let map = Arc::new(map);
+                let table = SectionTable::parse(map.bytes())?;
+                // Locate the trajectory section *without* checksumming
+                // its payload — the whole point of the v3 open is that
+                // no payload byte is read.
+                let entry = *unique_entry(&table, SECTION_TRAJECTORIES)?;
+                let payload = entry.payload(map.bytes());
+                let layout = parse_v3_trajectory_payload(payload, entry.offset)?;
+                let tv = TestVector::new(layout.omegas.clone());
+                let packed = if layout.aligned {
+                    PackedTrajectories::new(
+                        Arc::<Mmap>::clone(&map) as Arc<dyn AsRef<[u8]> + Send + Sync>,
+                        layout.components,
+                        layout.point_offsets,
+                        entry.offset + layout.devs_off,
+                        entry.offset + layout.coords_off,
+                        layout.dim,
+                    )
+                    .ok()
+                } else {
+                    // Sections were shifted after encoding (spliced
+                    // container): the regions no longer sit on 8-byte
+                    // file offsets, so no in-place view exists.
+                    None
+                };
+                let set = match packed {
+                    Some(packed) => TrajectorySet::from_packed(tv, packed),
+                    // Misaligned container, big-endian host, or the
+                    // non-unix heap fallback handing out an unaligned
+                    // buffer: decode owned trajectories instead —
+                    // correct, just not zero-copy.
+                    None => decode_trajectory_set_v3(payload, entry.offset)?,
+                };
+                Ok((
+                    MappedBank {
                         payload: MappedPayload::Sectioned { map, table },
                         path: path.to_path_buf(),
                         generation,
-                        dict: OnceLock::new(),
-                        multifault: OnceLock::new(),
+                        dict: Mutex::new(None),
+                        multifault: Mutex::new(None),
                         decode_events: None,
                     },
                     set,
@@ -321,8 +449,29 @@ impl MappedBank {
         }
     }
 
+    /// Verifies the stored FNV checksum of the trajectory section — the
+    /// payload read a v3 open deliberately skips. Serving paths call
+    /// this once at engine load, so a corrupt shard is still rejected
+    /// before any diagnosis reads its bytes, while `open` itself stays
+    /// O(header). No-op for v1/v2 shards (their trajectory payloads
+    /// were verified during open).
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::SectionChecksumMismatch`] attributed to the
+    /// trajectory section, annotated with the shard path.
+    pub fn verify_trajectory_payload(&self) -> Result<(), CodecError> {
+        match &self.payload {
+            MappedPayload::Sectioned { map, table } => table
+                .require(map.bytes(), SECTION_TRAJECTORIES)
+                .map(|_| ())
+                .map_err(|e| e.in_file(&self.path)),
+            MappedPayload::Legacy => Ok(()),
+        }
+    }
+
     /// The single-fault dictionary, decoded (and checksum-verified) out
-    /// of the mapping on first call and cached.
+    /// of the mapping on first call and cached until evicted.
     ///
     /// # Errors
     ///
@@ -330,14 +479,15 @@ impl MappedBank {
     /// and annotated with the shard path; the same error is replayed on
     /// every subsequent call (the mapped bytes cannot have changed —
     /// the store retires the whole shard on file change instead).
-    pub fn dictionary(&self) -> Result<&FaultDictionary, Arc<CodecError>> {
-        self.dict
-            .get_or_init(|| {
+    pub fn dictionary(&self) -> Result<Arc<FaultDictionary>, Arc<CodecError>> {
+        let mut cell = self.dict.lock().expect("dictionary cell lock");
+        if cell.is_none() {
+            *cell = Some(
                 self.decode_section(SECTION_DICTIONARY, decode_dictionary)
-                    .map(|d| d.expect("dictionary section is required"))
-            })
-            .as_ref()
-            .map_err(Arc::clone)
+                    .map(|d| Arc::new(d.expect("dictionary section is required"))),
+            );
+        }
+        cell.as_ref().expect("just populated").clone()
     }
 
     /// The optional multi-fault dictionary, decoded lazily like
@@ -347,12 +497,96 @@ impl MappedBank {
     /// # Errors
     ///
     /// As [`dictionary`](MappedBank::dictionary).
-    pub fn multifault_dictionary(&self) -> Result<Option<&MultiFaultDictionary>, Arc<CodecError>> {
-        self.multifault
-            .get_or_init(|| self.decode_section(SECTION_MULTIFAULT, decode_multifault))
-            .as_ref()
-            .map(Option::as_ref)
-            .map_err(Arc::clone)
+    pub fn multifault_dictionary(
+        &self,
+    ) -> Result<Option<Arc<MultiFaultDictionary>>, Arc<CodecError>> {
+        let mut cell = self.multifault.lock().expect("multifault cell lock");
+        if cell.is_none() {
+            *cell = Some(
+                self.decode_section(SECTION_MULTIFAULT, decode_multifault)
+                    .map(|o| o.map(Arc::new)),
+            );
+        }
+        cell.as_ref().expect("just populated").clone()
+    }
+
+    /// Drops the cached dictionary/multi-fault decodes (the cold
+    /// sections), returning the estimated bytes freed — the
+    /// section-granular eviction primitive. The trajectory view keeps
+    /// serving untouched; a later accessor call simply decodes again
+    /// from the mapped bytes. Legacy v1 shards free nothing (their
+    /// decodes are the only copy of the data).
+    pub fn evict_decoded(&self) -> u64 {
+        let MappedPayload::Sectioned { table, .. } = &self.payload else {
+            return 0;
+        };
+        let mut freed = 0u64;
+        if self
+            .dict
+            .lock()
+            .expect("dictionary cell lock")
+            .take()
+            .is_some()
+        {
+            freed += section_len(table, SECTION_DICTIONARY);
+        }
+        if let Some(prev) = self.multifault.lock().expect("multifault cell lock").take() {
+            if matches!(prev, Ok(Some(_))) {
+                freed += section_len(table, SECTION_MULTIFAULT);
+            }
+        }
+        freed
+    }
+
+    /// Estimated bytes this shard currently pins beyond the mapping
+    /// itself: the trajectory section (always live — packed view or
+    /// decoded set) plus each cold section whose decode is cached. The
+    /// store's memory budget accounts with this, so evicting a decode
+    /// immediately relieves pressure. Legacy v1 shards are accounted at
+    /// whole-file length (everything decoded, nothing evictable).
+    pub fn resident_bytes(&self) -> u64 {
+        match &self.payload {
+            MappedPayload::Sectioned { table, .. } => {
+                let mut total = section_len(table, SECTION_TRAJECTORIES);
+                if self.dict.lock().expect("dictionary cell lock").is_some() {
+                    total += section_len(table, SECTION_DICTIONARY);
+                }
+                if matches!(
+                    &*self.multifault.lock().expect("multifault cell lock"),
+                    Some(Ok(Some(_)))
+                ) {
+                    total += section_len(table, SECTION_MULTIFAULT);
+                }
+                total
+            }
+            MappedPayload::Legacy => self.generation.len(),
+        }
+    }
+
+    /// Per-section residency rows `(kind, payload_bytes, resident)`:
+    /// `resident` is `true` for the trajectory section (always live)
+    /// and for cold sections whose decode is currently cached. Empty
+    /// for legacy v1 shards.
+    pub fn section_residency(&self) -> Vec<(u16, u64, bool)> {
+        let MappedPayload::Sectioned { table, .. } = &self.payload else {
+            return Vec::new();
+        };
+        table
+            .entries()
+            .iter()
+            .map(|e| {
+                let resident = match e.kind {
+                    SECTION_TRAJECTORIES => true,
+                    SECTION_DICTIONARY => self.dict.lock().expect("dictionary cell lock").is_some(),
+                    SECTION_MULTIFAULT => matches!(
+                        &*self.multifault.lock().expect("multifault cell lock"),
+                        Some(Ok(Some(_)))
+                    ),
+                    _ => false,
+                };
+                (e.kind, e.len as u64, resident)
+            })
+            .collect()
     }
 
     /// Attaches a counter incremented once per lazy section decode
@@ -434,6 +668,33 @@ impl MappedBank {
             MappedPayload::Legacy => false,
         }
     }
+}
+
+/// The unique section entry of type `kind`, located structurally (no
+/// payload checksum) — the lookup a v3 O(header) open uses.
+fn unique_entry(table: &SectionTable, kind: u16) -> Result<&SectionEntry, CodecError> {
+    let mut found: Option<&SectionEntry> = None;
+    for e in table.entries() {
+        if e.kind == kind {
+            if found.is_some() {
+                return Err(CodecError::Malformed(format!(
+                    "duplicate section {kind} ({})",
+                    crate::codec::section_name(kind)
+                )));
+            }
+            found = Some(e);
+        }
+    }
+    found.ok_or(CodecError::MissingSection(kind))
+}
+
+/// Declared payload length of section `kind`, or 0 when absent.
+fn section_len(table: &SectionTable, kind: u16) -> u64 {
+    table
+        .entries()
+        .iter()
+        .find(|e| e.kind == kind)
+        .map_or(0, |e| e.len as u64)
 }
 
 // --- section payload encoders/decoders ------------------------------
@@ -657,6 +918,234 @@ fn decode_trajectory_set(dec: &mut Decoder) -> Result<TrajectorySet, CodecError>
             for _ in 0..dim {
                 coords.push(dec.get_f64()?);
             }
+            ensure(
+                coords.iter().all(|x| x.is_finite()),
+                "trajectory points must be finite",
+            )?;
+            points.push(Signature::new(coords));
+        }
+        trajectories.push(FaultTrajectory::new(component, devs, points));
+    }
+    Ok(TrajectorySet::new(tv, trajectories))
+}
+
+/// Encodes a trajectory set as the **v3** aligned payload (module docs
+/// show the layout). `section_offset` is the absolute container offset
+/// the payload will be written at — the padding is computed against it
+/// so the offset table, deviations, and coordinates land 8-byte aligned
+/// in the file.
+fn encode_trajectory_set_v3(set: &TrajectorySet, section_offset: usize) -> Vec<u8> {
+    let n_traj = set.len();
+    let dim = set.dim();
+    let total_points: usize = set.views().map(|v| v.point_count()).sum();
+
+    let mut enc = Encoder::new();
+    enc.put_f64s(set.test_vector().omegas());
+    enc.put_u32(n_traj as u32);
+    enc.put_u32(dim as u32);
+    enc.put_u32(u32::try_from(total_points).expect("point count fits u32"));
+    for v in set.views() {
+        enc.put_str(v.component());
+    }
+    // +4 for the pad_len field itself.
+    let aligned_start = section_offset + enc.len() + 4;
+    let pad = (8 - aligned_start % 8) % 8;
+    enc.put_u32(pad as u32);
+    for _ in 0..pad {
+        enc.put_u8(0);
+    }
+
+    let mut running = 0u32;
+    enc.put_u32(0);
+    for v in set.views() {
+        running += v.point_count() as u32;
+        enc.put_u32(running);
+    }
+    if (n_traj + 1) % 2 == 1 {
+        enc.put_u32(0); // keep the deviation region 8-byte aligned
+    }
+    for v in set.views() {
+        for &d in v.deviations_pct() {
+            enc.put_f64(d);
+        }
+    }
+    for v in set.views() {
+        for i in 0..v.point_count() {
+            for &x in v.point(i) {
+                enc.put_f64(x);
+            }
+        }
+    }
+    enc.into_payload()
+}
+
+/// The structurally parsed shape of a v3 trajectory payload: everything
+/// the header region declares, plus the payload-relative byte offsets of
+/// the two aligned `f64` regions. Parsing is O(header + n_traj) and
+/// touches no region byte.
+struct V3Layout {
+    omegas: Vec<f64>,
+    components: Vec<String>,
+    /// Prefix sums of per-trajectory point counts (`n_traj + 1` values).
+    point_offsets: Vec<u32>,
+    devs_off: usize,
+    coords_off: usize,
+    dim: usize,
+    /// Whether the regions land on 8-byte container offsets. True for
+    /// anything our writer emits; false only for containers whose
+    /// sections were shifted after encoding (readers then decode owned
+    /// instead of viewing in place).
+    aligned: bool,
+}
+
+/// Parses and structurally validates a v3 trajectory payload:
+/// bounds, counts, UTF-8 names, zero padding, offset-table
+/// monotonicity, and exact region tiling (`section_offset` is the
+/// payload's absolute offset, used to report whether the regions land
+/// 8-byte aligned in the container). Region contents (deviation
+/// ordering, finiteness) are deliberately not read — that is
+/// `validate_deep`'s job.
+fn parse_v3_trajectory_payload(
+    payload: &[u8],
+    section_offset: usize,
+) -> Result<V3Layout, CodecError> {
+    let mut dec = Decoder::over(payload);
+    let omegas = dec.get_f64s()?;
+    ensure(!omegas.is_empty(), "test vector is empty")?;
+    ensure(
+        omegas.iter().all(|w| w.is_finite() && *w > 0.0),
+        "test frequencies must be positive and finite",
+    )?;
+    let n_traj = dec.get_u32()? as usize;
+    ensure(n_traj > 0, "bank holds no trajectories")?;
+    let dim = dec.get_u32()? as usize;
+    ensure(dim > 0, "trajectory dimension must be positive")?;
+    ensure(
+        dim.is_multiple_of(omegas.len()),
+        "trajectory dimension must be a multiple of the test-vector length",
+    )?;
+    let total_points = dec.get_u32()? as usize;
+    // Each trajectory needs ≥ 2 points and each point 8·dim coordinate
+    // bytes, so both counts are bounded by the payload before any
+    // allocation sized by them.
+    ensure(
+        total_points >= 2 * n_traj,
+        "total point count below two points per trajectory",
+    )?;
+    ensure(
+        total_points
+            .checked_mul(dim)
+            .and_then(|n| n.checked_mul(8))
+            .is_some_and(|bytes| bytes <= payload.len()),
+        "declared point count exceeds the payload",
+    )?;
+    let mut components = Vec::with_capacity(n_traj.min(payload.len() / 4));
+    for _ in 0..n_traj {
+        components.push(dec.get_str()?);
+    }
+    let pad = dec.get_u32()? as usize;
+    ensure(pad < 8, "v3 alignment padding must be 0..=7 bytes")?;
+    let mut pad_bytes = [0u8; 8];
+    for b in pad_bytes.iter_mut().take(pad) {
+        *b = dec.get_u8()?;
+    }
+    ensure(
+        pad_bytes.iter().all(|b| *b == 0),
+        "v3 alignment padding must be zero",
+    )?;
+
+    // Whether the writer's padding actually lands the regions on 8-byte
+    // container offsets. Our writer always aligns; a container whose
+    // sections were shifted afterwards (say, by a tool splicing in an
+    // unknown section without re-padding) stays decodable — the packed
+    // view is simply refused at construction and readers fall back to
+    // owned decode. Never a hard error here: misalignment costs the
+    // zero-copy fast path, not the data.
+    let table_off = payload.len() - dec.remaining();
+    let aligned = (section_offset + table_off).is_multiple_of(8);
+    let mut point_offsets = Vec::with_capacity(n_traj + 1);
+    for _ in 0..=n_traj {
+        point_offsets.push(dec.get_u32()?);
+    }
+    ensure(
+        point_offsets[0] == 0,
+        "v3 point-offset table must start at zero",
+    )?;
+    ensure(
+        point_offsets.windows(2).all(|w| w[0] + 2 <= w[1]),
+        "v3 point offsets must grow by at least two per trajectory",
+    )?;
+    ensure(
+        point_offsets[n_traj] as usize == total_points,
+        "v3 point-offset table does not cover the declared points",
+    )?;
+    if (n_traj + 1) % 2 == 1 {
+        ensure(dec.get_u32()? == 0, "v3 offset-table padding must be zero")?;
+    }
+    let devs_off = payload.len() - dec.remaining();
+    let coords_off = devs_off + 8 * total_points;
+    let end = coords_off + 8 * total_points * dim;
+    if end != payload.len() {
+        return Err(if end > payload.len() {
+            CodecError::Truncated {
+                needed: end,
+                available: payload.len(),
+            }
+        } else {
+            CodecError::TrailingBytes(payload.len() - end)
+        });
+    }
+    Ok(V3Layout {
+        omegas,
+        components,
+        point_offsets,
+        devs_off,
+        coords_off,
+        dim,
+        aligned,
+    })
+}
+
+/// Decodes a v3 trajectory payload into owned trajectories — the heap
+/// path ([`TrajectoryBank::from_bytes`]) and the fallback for platforms
+/// where the payload cannot be viewed in place. Reads the regions via
+/// explicit little-endian conversion, so it works at any alignment, and
+/// re-checks every content invariant before the panicking constructors
+/// run.
+fn decode_trajectory_set_v3(
+    payload: &[u8],
+    section_offset: usize,
+) -> Result<TrajectorySet, CodecError> {
+    let layout = parse_v3_trajectory_payload(payload, section_offset)?;
+    let tv = TestVector::new(layout.omegas);
+    let f64_at = |off: usize| {
+        f64::from_le_bytes(
+            payload[off..off + 8]
+                .try_into()
+                .expect("8 bytes within the validated region"),
+        )
+    };
+    let mut trajectories = Vec::with_capacity(layout.components.len());
+    for (ti, component) in layout.components.into_iter().enumerate() {
+        let lo = layout.point_offsets[ti] as usize;
+        let hi = layout.point_offsets[ti + 1] as usize;
+        let devs: Vec<f64> = (lo..hi).map(|i| f64_at(layout.devs_off + 8 * i)).collect();
+        ensure(
+            devs.iter().all(|d| d.is_finite()),
+            "trajectory deviations must be finite",
+        )?;
+        ensure(
+            devs.windows(2).all(|w| w[0] < w[1]),
+            "trajectory deviations must be strictly ascending",
+        )?;
+        ensure(
+            devs.contains(&0.0),
+            "trajectory must contain the 0% origin point",
+        )?;
+        let mut points = Vec::with_capacity(hi - lo);
+        for i in lo..hi {
+            let base = layout.coords_off + 8 * layout.dim * i;
+            let coords: Vec<f64> = (0..layout.dim).map(|j| f64_at(base + 8 * j)).collect();
             ensure(
                 coords.iter().all(|x| x.is_finite()),
                 "trajectory points must be finite",
@@ -896,9 +1385,12 @@ mod tests {
         bank.save(&path).unwrap();
         let (mapped, set) = MappedBank::open(&path).unwrap();
         assert_eq!(&set, bank.trajectory_set());
-        assert_eq!(mapped.dictionary().unwrap(), bank.dictionary());
+        assert!(set.is_packed() || !mapped.is_mapped());
+        mapped.verify_trajectory_payload().unwrap();
+        set.validate_deep().unwrap();
+        assert_eq!(&*mapped.dictionary().unwrap(), bank.dictionary());
         assert_eq!(
-            mapped.multifault_dictionary().unwrap(),
+            mapped.multifault_dictionary().unwrap().as_deref(),
             bank.multifault_dictionary()
         );
         assert_eq!(mapped.is_mapped(), cfg!(unix));
@@ -917,7 +1409,7 @@ mod tests {
         std::fs::write(&path, bank.to_bytes_v1()).unwrap();
         let (mapped, set) = MappedBank::open(&path).unwrap();
         assert_eq!(&set, bank.trajectory_set());
-        assert_eq!(mapped.dictionary().unwrap(), bank.dictionary());
+        assert_eq!(&*mapped.dictionary().unwrap(), bank.dictionary());
         assert_eq!(mapped.multifault_dictionary().unwrap(), None);
         assert!(!mapped.is_mapped(), "v1 has no lazily mapped sections");
         assert_eq!(
@@ -957,9 +1449,11 @@ mod tests {
     }
 
     #[test]
-    fn mapped_corruption_in_trajectories_fails_open() {
+    fn mapped_v2_corruption_in_trajectories_fails_open() {
+        // v2 decodes the trajectory section eagerly, so its FNV is
+        // checked at open and corruption is fatal there.
         let bank = rc_bank();
-        let bytes = bank.to_bytes();
+        let bytes = bank.to_bytes_v2();
         let container = Container::parse(&bytes).unwrap();
         let traj_off = container.sections()[1].offset;
         drop(container);
@@ -969,6 +1463,171 @@ mod tests {
         std::fs::write(&path, &corrupt).unwrap();
         let err = MappedBank::open(&path).expect_err("trajectory corruption fails open");
         assert!(err.to_string().contains("trajectories"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mapped_v3_region_corruption_is_caught_by_deferred_verification() {
+        // A v3 open never reads the deviation/coordinate regions, so a
+        // flipped coordinate byte opens fine — and must then be caught
+        // by the explicit verification pass engines run before serving.
+        let bank = rc_bank();
+        let bytes = bank.to_bytes();
+        let container = Container::parse(&bytes).unwrap();
+        let traj = container.sections()[1];
+        // Last byte of the trajectory payload = deep inside the
+        // coordinate region.
+        let hit = traj.offset + traj.payload.len() - 1;
+        drop(container);
+        let mut corrupt = bytes;
+        corrupt[hit] ^= 0x01;
+        let path = std::env::temp_dir().join("ft_serve_mapped_v3_region_corrupt_test.ftb");
+        std::fs::write(&path, &corrupt).unwrap();
+        let (mapped, set) = MappedBank::open(&path).unwrap();
+        assert_eq!(set.len(), bank.trajectory_set().len());
+        let err = mapped
+            .verify_trajectory_payload()
+            .expect_err("region corruption must fail verification");
+        assert!(err.to_string().contains("trajectories"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v3_structural_corruption_fails_open() {
+        // A truncated payload must fail the O(header) open itself,
+        // never reaching the in-place f64 cast; a misaligned region
+        // must never be viewed in place, only decoded owned.
+        let bank = rc_bank();
+        let bytes = bank.to_bytes();
+        let path = std::env::temp_dir().join("ft_serve_v3_structural_test.ftb");
+
+        // Truncation anywhere in the file.
+        for cut in [bytes.len() - 1, bytes.len() - 9, bytes.len() / 2] {
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            assert!(MappedBank::open(&path).is_err(), "cut at {cut} opened");
+        }
+
+        // Misalignment: re-encode the trajectory payload as if the
+        // section sat 4 bytes later. Its internal padding then differs
+        // by 4 mod 8, so against the offset the container actually
+        // assigns, the f64 regions land 4-byte aligned at best — the
+        // shape a tool splicing sections without re-padding produces.
+        // The checksums are valid (the builder recomputes them), so
+        // the data is intact: both readers must fall back to owned
+        // decode (no zero-copy view over unaligned bytes, no error).
+        let container = Container::parse(&bytes).unwrap();
+        let traj = container.sections()[1];
+        let dict_payload = container.require(SECTION_DICTIONARY).unwrap().to_vec();
+        drop(container);
+        let layout = parse_v3_trajectory_payload(traj.payload, traj.offset).unwrap();
+        assert!(layout.aligned, "writer aligns");
+        assert_eq!((traj.offset + layout.devs_off) % 8, 0, "writer aligns");
+        let skewed = encode_trajectory_set_v3(bank.trajectory_set(), traj.offset + 4);
+        let mut b = ContainerBuilder::new();
+        b.push_section(SECTION_DICTIONARY, dict_payload);
+        b.push_section(SECTION_TRAJECTORIES, skewed);
+        let misaligned = b.finish();
+        let skewed_layout = {
+            let c = Container::parse(&misaligned).unwrap();
+            let t = c.sections()[1];
+            parse_v3_trajectory_payload(t.payload, t.offset).unwrap()
+        };
+        assert!(!skewed_layout.aligned, "skew must defeat the padding");
+        std::fs::write(&path, &misaligned).unwrap();
+        let (_, set) = MappedBank::open(&path).expect("misaligned container still opens");
+        assert!(!set.is_packed(), "unaligned bytes must not be viewed");
+        assert_eq!(&set, bank.trajectory_set(), "owned fallback is lossless");
+        // The heap decoder never views in place, so it is indifferent.
+        let back = TrajectoryBank::from_bytes(&misaligned).expect("heap decode tolerates shift");
+        assert_eq!(back.trajectory_set(), bank.trajectory_set());
+
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v3_per_section_corruption_is_attributed() {
+        // One flipped byte per section, each attributed to the section
+        // it hit by the heap loader.
+        let bank = rc_bank().with_multifault(rc_multifault());
+        let bytes = bank.to_bytes();
+        let container = Container::parse(&bytes).unwrap();
+        let hits: Vec<(usize, &str)> = vec![
+            (container.sections()[0].offset, "dictionary"),
+            (
+                // Mid-payload: inside the trajectory f64 regions.
+                container.sections()[1].offset + container.sections()[1].payload.len() / 2,
+                "trajectories",
+            ),
+            (container.sections()[2].offset, "multifault"),
+        ];
+        drop(container);
+        for (pos, name) in hits {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= 0x01;
+            let err = TrajectoryBank::from_bytes(&corrupt)
+                .expect_err("corruption must surface on heap load");
+            assert!(
+                err.to_string().contains(name),
+                "flip at {pos}: expected attribution to {name}, got {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn v3_round_trip_and_reencode_from_v2_are_identical() {
+        let bank = rc_bank().with_multifault(rc_multifault());
+        // v3 round trip is the identity.
+        let v3 = bank.to_bytes();
+        let back = TrajectoryBank::from_bytes(&v3).unwrap();
+        assert_eq!(bank, back);
+        assert_eq!(v3, back.to_bytes(), "v3 encoding is deterministic");
+        // v2 → decode → v3 re-encode equals direct v3 encode.
+        let v2 = bank.to_bytes_v2();
+        assert_ne!(v2, v3);
+        let via_v2 = TrajectoryBank::from_bytes(&v2).unwrap();
+        assert_eq!(bank, via_v2);
+        assert_eq!(via_v2.to_bytes(), v3, "re-encode is byte-identical");
+    }
+
+    #[test]
+    fn section_eviction_frees_and_redecodes() {
+        let bank = rc_bank().with_multifault(rc_multifault());
+        let path = std::env::temp_dir().join("ft_serve_section_evict_test.ftb");
+        bank.save(&path).unwrap();
+        let (mapped, set) = MappedBank::open(&path).unwrap();
+
+        // Fresh open: only the trajectory section is resident.
+        let traj_only = mapped.resident_bytes();
+        assert!(traj_only > 0);
+        assert_eq!(mapped.evict_decoded(), 0, "nothing decoded yet");
+        let residency = mapped.section_residency();
+        assert_eq!(residency.len(), 3);
+        assert!(residency
+            .iter()
+            .all(|(k, _, r)| *r == (*k == SECTION_TRAJECTORIES)));
+
+        // Touch the cold sections: residency and accounting grow.
+        let dict_a = mapped.dictionary().unwrap();
+        assert!(mapped.multifault_dictionary().unwrap().is_some());
+        let all_resident = mapped.resident_bytes();
+        assert!(all_resident > traj_only);
+        assert_eq!(all_resident, mapped.payload_bytes());
+        assert!(mapped.section_residency().iter().all(|(_, _, r)| *r));
+
+        // Evict: the decodes drop, the trajectory set keeps serving.
+        let freed = mapped.evict_decoded();
+        assert_eq!(freed, all_resident - traj_only);
+        assert_eq!(mapped.resident_bytes(), traj_only);
+        assert_eq!(&set, bank.trajectory_set(), "view survives eviction");
+        // An evicted Arc handed out earlier stays valid (refcounted).
+        assert_eq!(&*dict_a, bank.dictionary());
+
+        // Re-touch: decodes again, byte-identical.
+        let dict_b = mapped.dictionary().unwrap();
+        assert_eq!(&*dict_b, bank.dictionary());
+        let mf_b = mapped.multifault_dictionary().unwrap();
+        assert_eq!(mf_b.as_deref(), bank.multifault_dictionary());
+        assert_eq!(mapped.resident_bytes(), all_resident);
         std::fs::remove_file(&path).ok();
     }
 

@@ -39,7 +39,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::bank::{MappedBank, TrajectoryBank};
-use crate::codec::{peek_version, Container, BANK_VERSION, BANK_VERSION_V1};
+use crate::codec::{peek_version, Container, BANK_VERSION, BANK_VERSION_V1, BANK_VERSION_V2};
 use crate::engine::{diagnose_batch_topk_with, diagnose_batch_with, DiagnosisEngine, EngineConfig};
 use crate::index::SegmentIndex;
 use crate::obs::{MetricsRegistry, Snapshot};
@@ -53,13 +53,16 @@ ftd — fault-trajectory diagnosis engine
 
 USAGE:
   ftd build-bank [--out PATH] [--f1 W] [--f2 W] [--grid-points N] [--q Q]
+                 [--format 2|3]
+  ftd reencode IN OUT [--format 2|3]
   ftd diagnose --bank PATH [--fault COMP:PCT]... [--random N]
                [--noise-db S] [--seed N] [--workers N] [--linear | --topk K]
                [--q Q]
   ftd diagnose --bank PATH --requests FILE [--cut-id ID] [--workers N]
                [--linear | --topk K]
   ftd serve --banks DIR [--workers N] [--batch N] [--topk K]
-            [--mem-budget BYTES[K|M|G]] [--stats-file PATH] [--stats-every N]
+            [--mem-budget BYTES[K|M|G]] [--stat-interval-ms N]
+            [--stats-file PATH] [--stats-every N]
   ftd gen-requests --bank PATH --cut-id ID [--count N] [--seed N]
   ftd bank-info [--mapped] PATH
   ftd stats [--prometheus] FILE
@@ -75,6 +78,13 @@ SUBCOMMANDS:
                        fault trajectories at the test vector {--f1, --f2},
                        and persist the bank. Deterministic: repeated runs
                        are byte-identical regardless of worker count.
+                       --format picks the container version: 3 (default)
+                       stores trajectories 8-byte-aligned for zero-copy
+                       mapped serving; 2 writes the previous layout.
+  reencode             Decode a bank in any readable format (v1/v2/v3)
+                       and re-persist it in --format (default 3).
+                       Lossless: serving from the output is
+                       byte-identical to serving from the input.
   diagnose             Load a bank, measure signatures for the requested
                        (--fault R2:+25) and/or --random sampled unknown
                        faults on the same CUT, and diagnose them as one
@@ -99,8 +109,14 @@ SUBCOMMANDS:
                        byte-identical at every worker count. Shards are
                        memory-mapped zero-copy, swap in place when their
                        file changes on disk, and --mem-budget caps
-                       resident shard bytes with LRU eviction (evicted
-                       shards reload on demand; results are unchanged).
+                       resident shard bytes with two-phase eviction:
+                       cold section decodes (dictionaries) drop first,
+                       whole LRU shards only after that (evicted state
+                       reloads on demand; results are unchanged).
+                       --stat-interval-ms throttles the per-hit stat(2)
+                       generation probe: 0 (default) checks every hit,
+                       N>0 trusts a confirmed shard for N ms (a rebuilt
+                       shard is picked up within that window).
                        --stats-file snapshots serving metrics (qps,
                        latency histograms, shard cache hit rate) to a
                        JSON file on exit — and every N requests with
@@ -119,7 +135,9 @@ SUBCOMMANDS:
                        entry counts without serving from it. With
                        --mapped, open through the server's zero-copy
                        mmap path instead and report per-section payload
-                       bytes and which sections decode lazily.
+                       bytes and residency: which sections are viewed in
+                       place (v3 trajectories), which decode lazily, and
+                       how many bytes a fresh open pins.
   stats                Read a --stats-file snapshot and print it as
                        greppable `name value` lines (counters, gauges,
                        histogram count/sum/mean/p50/p90/p99, derived
@@ -159,6 +177,7 @@ pub fn main_from_args(args: Vec<String>) -> i32 {
     }
     let run = match cmd {
         "build-bank" => build_bank(rest),
+        "reencode" => reencode(rest),
         "diagnose" => diagnose(rest),
         "serve" => serve(rest),
         "gen-requests" => gen_requests(rest),
@@ -288,12 +307,32 @@ fn parse_fault(spec: &str) -> Result<ParametricFault, CliError> {
     Ok(ParametricFault::from_percent(comp, pct))
 }
 
+/// Encodes `bank` in container format `format` (2 or 3, validated by
+/// the caller via [`parse_bank_format`]).
+fn encode_bank(bank: &TrajectoryBank, format: u16) -> Vec<u8> {
+    match format {
+        BANK_VERSION_V2 => bank.to_bytes_v2(),
+        _ => bank.to_bytes(),
+    }
+}
+
+fn parse_bank_format(raw: &str) -> Result<u16, CliError> {
+    match raw {
+        "2" => Ok(BANK_VERSION_V2),
+        "3" => Ok(BANK_VERSION),
+        other => Err(usage(format!(
+            "--format must be 2 or 3, got `{other}` (v1 is read-only legacy)"
+        ))),
+    }
+}
+
 fn build_bank(args: &[String]) -> Result<(), CliError> {
     let mut out = "bank.ftb".to_string();
     let mut f1 = 0.6f64;
     let mut f2 = 1.6f64;
     let mut grid_points = 41usize;
     let mut q = 1.0f64;
+    let mut format = BANK_VERSION;
     let mut flags = Flags::new(args);
     while let Some(flag) = flags.next_flag() {
         match flag {
@@ -302,6 +341,7 @@ fn build_bank(args: &[String]) -> Result<(), CliError> {
             "--f2" => f2 = flags.parse("--f2")?,
             "--grid-points" => grid_points = flags.parse("--grid-points")?,
             "--q" => q = flags.parse("--q")?,
+            "--format" => format = parse_bank_format(flags.value("--format")?)?,
             other => return Err(usage(format!("build-bank: unknown flag `{other}`"))),
         }
     }
@@ -319,16 +359,50 @@ fn build_bank(args: &[String]) -> Result<(), CliError> {
     let dict = FaultDictionary::build(&bench.circuit, &universe, &bench.input, &bench.probe, &grid)
         .map_err(runtime)?;
     let bank = TrajectoryBank::build(dict, &TestVector::pair(f1, f2));
-    let bytes = bank.to_bytes();
+    let bytes = encode_bank(&bank, format);
     std::fs::write(&out, &bytes).map_err(runtime)?;
 
     println!(
-        "built bank `{out}`: {} faults x {} grid points, {} trajectories / {} segments at tv {}, {} bytes, {:.2?}",
+        "built bank `{out}` (format v{format}): {} faults x {} grid points, {} trajectories / {} segments at tv {}, {} bytes, {:.2?}",
         bank.dictionary().entries().len(),
         bank.dictionary().grid().len(),
         bank.trajectory_set().len(),
         bank.trajectory_set().total_segments(),
         bank.test_vector(),
+        bytes.len(),
+        started.elapsed(),
+    );
+    Ok(())
+}
+
+/// `ftd reencode IN OUT [--format N]` — decode a bank in any readable
+/// format (v1/v2/v3) and re-persist it in the requested container
+/// format (default: current, v3). Re-encoding is lossless: serving from
+/// the output is byte-identical to serving from the input.
+fn reencode(args: &[String]) -> Result<(), CliError> {
+    let mut paths: Vec<&str> = Vec::new();
+    let mut format = BANK_VERSION;
+    let mut flags = Flags::new(args);
+    while let Some(arg) = flags.next_flag() {
+        match arg {
+            "--format" => format = parse_bank_format(flags.value("--format")?)?,
+            other if other.starts_with("--") => {
+                return Err(usage(format!("reencode: unknown flag `{other}`")))
+            }
+            path => paths.push(path),
+        }
+    }
+    let [input, output] = paths[..] else {
+        return Err(usage("reencode takes IN and OUT paths"));
+    };
+    let started = Instant::now();
+    let bank = TrajectoryBank::load(input).map_err(runtime)?;
+    let bytes = encode_bank(&bank, format);
+    std::fs::write(output, &bytes).map_err(|e| runtime(format!("{output}: {e}")))?;
+    println!(
+        "re-encoded `{input}` -> `{output}` (format v{format}): {} trajectories / {} segments, {} bytes, {:.2?}",
+        bank.trajectory_set().len(),
+        bank.trajectory_set().total_segments(),
         bytes.len(),
         started.elapsed(),
     );
@@ -618,6 +692,7 @@ fn serve(args: &[String]) -> Result<(), CliError> {
     let mut mem_budget: Option<u64> = None;
     let mut stats_file: Option<String> = None;
     let mut stats_every: Option<usize> = None;
+    let mut stat_interval_ms: u64 = 0;
     let mut flags = Flags::new(args);
     while let Some(flag) = flags.next_flag() {
         match flag {
@@ -628,6 +703,7 @@ fn serve(args: &[String]) -> Result<(), CliError> {
             "--mem-budget" => mem_budget = Some(parse_mem_budget(flags.value("--mem-budget")?)?),
             "--stats-file" => stats_file = Some(flags.value("--stats-file")?.to_string()),
             "--stats-every" => stats_every = Some(flags.parse("--stats-every")?),
+            "--stat-interval-ms" => stat_interval_ms = flags.parse("--stat-interval-ms")?,
             other => return Err(usage(format!("serve: unknown flag `{other}`"))),
         }
     }
@@ -663,6 +739,7 @@ fn serve(args: &[String]) -> Result<(), CliError> {
     });
     let store_config = StoreConfig {
         mem_budget,
+        min_stat_interval: std::time::Duration::from_millis(stat_interval_ms),
         ..StoreConfig::new(EngineConfig {
             topk,
             ..EngineConfig::default()
@@ -893,7 +970,14 @@ fn bank_info(args: &[String]) -> Result<(), CliError> {
         BANK_VERSION_V1 => {
             println!("layout: monolithic payload, whole-payload checksum (legacy)");
         }
-        BANK_VERSION => {
+        BANK_VERSION_V2 | BANK_VERSION => {
+            if version == BANK_VERSION {
+                println!(
+                    "layout: sectioned, 8-byte-aligned trajectory regions (zero-copy viewable)"
+                );
+            } else {
+                println!("layout: sectioned, length-prefixed trajectory payload");
+            }
             let container = Container::parse(&bytes).map_err(runtime)?;
             println!("section table ({} sections):", container.sections().len());
             println!("  type  name          offset  payload_bytes  checksum");
@@ -972,24 +1056,45 @@ fn bank_info_mapped(path: &str) -> Result<(), CliError> {
             "heap fallback (platform without mmap)"
         },
     );
-    let sections = bank.section_sizes();
-    if !sections.is_empty() {
-        println!("sections ({}):", sections.len());
-        for (kind, payload_bytes) in sections {
+    // Residency as a fresh `ftd serve` would hold this shard: sampled
+    // before the dictionary reports below force their lazy decodes.
+    let residency = bank.section_residency();
+    if !residency.is_empty() {
+        println!(
+            "sections ({}), {} of {} payload bytes resident at open:",
+            residency.len(),
+            bank.resident_bytes(),
+            bank.payload_bytes(),
+        );
+        for &(kind, payload_bytes, resident) in &residency {
             println!(
-                "  {:>4}  {:<12} {payload_bytes:>13} payload bytes",
+                "  {:>4}  {:<12} {payload_bytes:>13} payload bytes  {}",
                 kind,
                 crate::codec::section_name(kind),
+                if resident {
+                    "resident"
+                } else {
+                    "mapped only (decodes lazily, evicts first)"
+                },
             );
         }
     }
     println!(
-        "trajectories (decoded eagerly): {} trajectories / {} segments, dim {}, tv {}",
+        "trajectories ({}): {} trajectories / {} segments, dim {}, tv {}",
+        if set.is_packed() {
+            "viewed in place, zero-copy"
+        } else {
+            "decoded eagerly"
+        },
         set.len(),
         set.total_segments(),
         set.dim(),
         set.test_vector(),
     );
+    match bank.verify_trajectory_payload() {
+        Ok(()) => println!("trajectory payload checksum: ok"),
+        Err(e) => println!("trajectory payload checksum: FAILED: {e}"),
+    }
     match bank.dictionary() {
         Ok(dict) => println!(
             "dictionary (decoded lazily): {} entries x {} grid points, input {}, probe {}",
@@ -1594,6 +1699,64 @@ mod tests {
             main_from_args(vec!["bank-info".into(), "/nonexistent/bank.ftb".into()]),
             1
         );
+    }
+
+    #[test]
+    fn reencode_round_trips_between_formats() {
+        use crate::synthetic::synthetic_circuit_bank;
+        use ft_core::TestVector;
+
+        let dir = std::env::temp_dir().join("ftd_reencode_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bank = synthetic_circuit_bank(2, 0.5, 7, &TestVector::pair(0.5, 2.0)).unwrap();
+        let v3 = dir.join("v3.ftb");
+        let v2 = dir.join("v2.ftb");
+        let back = dir.join("back.ftb");
+        bank.save(&v3).unwrap();
+
+        // v3 -> v2 -> v3 through the subcommand, byte-identical.
+        let arg = |p: &std::path::Path| p.display().to_string();
+        assert_eq!(
+            main_from_args(vec![
+                "reencode".into(),
+                arg(&v3),
+                arg(&v2),
+                "--format".into(),
+                "2".into(),
+            ]),
+            0
+        );
+        assert_eq!(
+            main_from_args(vec!["reencode".into(), arg(&v2), arg(&back)]),
+            0
+        );
+        assert_eq!(
+            std::fs::read(&v3).unwrap(),
+            std::fs::read(&back).unwrap(),
+            "v3 -> v2 -> v3 must be the identity"
+        );
+        assert_ne!(std::fs::read(&v3).unwrap(), std::fs::read(&v2).unwrap());
+        // Both render through bank-info, plain and mapped.
+        for p in [&v3, &v2] {
+            assert_eq!(main_from_args(vec!["bank-info".into(), arg(p)]), 0);
+            assert_eq!(
+                main_from_args(vec!["bank-info".into(), "--mapped".into(), arg(p)]),
+                0
+            );
+        }
+        // Usage errors: bad --format, missing paths.
+        assert_eq!(
+            main_from_args(vec![
+                "reencode".into(),
+                arg(&v3),
+                arg(&v2),
+                "--format".into(),
+                "1".into(),
+            ]),
+            2
+        );
+        assert_eq!(main_from_args(vec!["reencode".into(), arg(&v3)]), 2);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

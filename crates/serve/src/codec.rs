@@ -6,12 +6,12 @@
 //! corruption-detecting reader that never trusts a length it has not
 //! bounds-checked.
 //!
-//! ## Container layout, format v2 (sectioned)
+//! ## Container layout, formats v2 and v3 (sectioned)
 //!
 //! ```text
 //! offset    size  field
 //! 0         8     magic  b"FTBANK\r\n"
-//! 8         2     format version (u16 LE) = 2
+//! 8         2     format version (u16 LE) = 2 or 3
 //! 10        4     section count n (u32 LE)
 //! 14        8     FNV-1a 64 checksum of the count (bytes 10..14)
 //!                 concatenated with the table (bytes 22..22+18n)
@@ -28,6 +28,14 @@
 //! optional sections never break old readers of the same major version).
 //! The container's total length must equal the header + table + declared
 //! payloads exactly.
+//!
+//! **v3 differs from v2 only inside the trajectory section payload**: it
+//! switches from length-prefixed per-point fields to an 8-byte-aligned,
+//! fixed-stride little-endian layout that a reader can view in place
+//! without decoding (see `bank.rs` for the payload layout). The
+//! container framing above is byte-for-byte the same; [`SectionTable`]
+//! and [`Container`] parse both and report the version they saw so
+//! payload readers can dispatch.
 //!
 //! ## Container layout, format v1 (legacy, monolithic)
 //!
@@ -54,8 +62,13 @@ use std::path::{Path, PathBuf};
 /// PNG-style.
 pub const BANK_MAGIC: [u8; 8] = *b"FTBANK\r\n";
 
-/// Current container format version (sectioned).
-pub const BANK_VERSION: u16 = 2;
+/// Current container format version (sectioned, zero-copy-viewable
+/// trajectory payload).
+pub const BANK_VERSION: u16 = 3;
+
+/// The sectioned container format with a length-prefixed (decode-only)
+/// trajectory payload.
+pub const BANK_VERSION_V2: u16 = 2;
 
 /// The legacy monolithic container format version.
 pub const BANK_VERSION_V1: u16 = 1;
@@ -343,19 +356,52 @@ impl Encoder {
     }
 }
 
-/// Assembles a sectioned **v2** container: push type-tagged payloads,
-/// then [`finish`](ContainerBuilder::finish) seals the header and
-/// section table. Encoding is deterministic — identical sections in
-/// identical order yield identical bytes.
-#[derive(Debug, Default)]
+/// Assembles a sectioned container (v2 or v3 framing — identical bytes
+/// apart from the version field): push type-tagged payloads, then
+/// [`finish`](ContainerBuilder::finish) seals the header and section
+/// table. Encoding is deterministic — identical sections in identical
+/// order yield identical bytes.
+#[derive(Debug)]
 pub struct ContainerBuilder {
+    version: u16,
     sections: Vec<(u16, Vec<u8>)>,
 }
 
+impl Default for ContainerBuilder {
+    fn default() -> Self {
+        ContainerBuilder::new()
+    }
+}
+
 impl ContainerBuilder {
-    /// A builder holding no sections yet.
+    /// A builder holding no sections yet, targeting the current format
+    /// version ([`BANK_VERSION`]).
     pub fn new() -> Self {
-        ContainerBuilder::default()
+        ContainerBuilder::with_version(BANK_VERSION)
+    }
+
+    /// A builder targeting an explicit sectioned format version —
+    /// [`BANK_VERSION_V2`] or [`BANK_VERSION`] — for writers that keep
+    /// emitting the older trajectory payload (`ftd build-bank --format 2`,
+    /// compatibility tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a version with non-sectioned framing.
+    pub fn with_version(version: u16) -> Self {
+        assert!(
+            version == BANK_VERSION_V2 || version == BANK_VERSION,
+            "sectioned container versions are {BANK_VERSION_V2} and {BANK_VERSION}"
+        );
+        ContainerBuilder {
+            version,
+            sections: Vec::new(),
+        }
+    }
+
+    /// The format version this builder will stamp into the header.
+    pub fn version(&self) -> u16 {
+        self.version
     }
 
     /// Appends a section. Sections are written in push order; readers
@@ -391,7 +437,7 @@ impl ContainerBuilder {
 
         let mut out = Vec::with_capacity(HEADER_LEN_V2 + table.len() + body_len);
         out.extend_from_slice(&BANK_MAGIC);
-        out.extend_from_slice(&BANK_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.version.to_le_bytes());
         out.extend_from_slice(&count_le);
         out.extend_from_slice(&table_ck.to_le_bytes());
         out.extend_from_slice(&table);
@@ -435,13 +481,15 @@ impl SectionEntry {
 /// reader actually touches it.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SectionTable {
+    version: u16,
     entries: Vec<SectionEntry>,
     total_len: usize,
 }
 
 impl SectionTable {
-    /// Parses and structurally validates a v2 container's header and
-    /// section table, touching none of the payload bytes.
+    /// Parses and structurally validates a sectioned (v2 or v3)
+    /// container's header and section table, touching none of the
+    /// payload bytes.
     ///
     /// # Errors
     ///
@@ -449,7 +497,7 @@ impl SectionTable {
     /// checksum mismatch, or any size inconsistency.
     pub fn parse(container: &[u8]) -> Result<Self, CodecError> {
         let version = peek_version(container)?;
-        if version != BANK_VERSION {
+        if version != BANK_VERSION_V2 && version != BANK_VERSION {
             return Err(CodecError::UnsupportedVersion(version));
         }
         if container.len() < HEADER_LEN_V2 {
@@ -500,9 +548,17 @@ impl SectionTable {
             return Err(CodecError::TrailingBytes(container.len() - offset));
         }
         Ok(SectionTable {
+            version,
             entries,
             total_len: container.len(),
         })
+    }
+
+    /// The container format version the header declared
+    /// ([`BANK_VERSION_V2`] or [`BANK_VERSION`]) — payload readers
+    /// dispatch the trajectory-section decoding on it.
+    pub fn version(&self) -> u16 {
+        self.version
     }
 
     /// The table entries, in table order (payload checksums not yet
@@ -613,11 +669,13 @@ impl Section<'_> {
 /// at the first bad section.
 #[derive(Debug)]
 pub struct Container<'a> {
+    version: u16,
     sections: Vec<Section<'a>>,
 }
 
 impl<'a> Container<'a> {
-    /// Parses a v2 container's header and section table.
+    /// Parses a sectioned (v2 or v3) container's header and section
+    /// table.
     ///
     /// # Errors
     ///
@@ -637,7 +695,15 @@ impl<'a> Container<'a> {
                 payload: e.payload(container),
             })
             .collect();
-        Ok(Container { sections })
+        Ok(Container {
+            version: table.version(),
+            sections,
+        })
+    }
+
+    /// The container format version the header declared.
+    pub fn version(&self) -> u16 {
+        self.version
     }
 
     /// The sections, in table order (payload checksums not yet verified
@@ -1148,6 +1214,30 @@ mod tests {
         let bytes = sample_v2();
         let table = SectionTable::parse(&bytes).unwrap();
         let _ = table.find(&bytes[..bytes.len() - 1], SECTION_DICTIONARY);
+    }
+
+    #[test]
+    fn sectioned_parser_accepts_v2_and_v3_and_reports_the_version() {
+        for version in [BANK_VERSION_V2, BANK_VERSION] {
+            let mut b = ContainerBuilder::with_version(version);
+            b.push_section(SECTION_DICTIONARY, b"dict".to_vec());
+            let bytes = b.finish();
+            assert_eq!(peek_version(&bytes).unwrap(), version);
+            let table = SectionTable::parse(&bytes).unwrap();
+            assert_eq!(table.version(), version);
+            let c = Container::parse(&bytes).unwrap();
+            assert_eq!(c.version(), version);
+            assert_eq!(c.require(SECTION_DICTIONARY).unwrap(), b"dict");
+        }
+        // An unknown sectioned future version is still rejected.
+        let mut b = ContainerBuilder::new();
+        b.push_section(SECTION_DICTIONARY, b"dict".to_vec());
+        let mut bytes = b.finish();
+        bytes[8] = 4;
+        assert!(matches!(
+            SectionTable::parse(&bytes),
+            Err(CodecError::UnsupportedVersion(4))
+        ));
     }
 
     #[test]

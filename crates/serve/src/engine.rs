@@ -22,7 +22,7 @@ use std::sync::Arc;
 use ft_core::{Diagnoser, DiagnoserConfig, Diagnosis, SegmentQuery, Signature, TrajectorySet};
 
 use crate::bank::{MappedBank, TrajectoryBank};
-use crate::codec::CodecError;
+use crate::codec::{CodecError, SECTION_TRAJECTORIES};
 use crate::index::SegmentIndex;
 use crate::mmap::FileGen;
 use crate::obs::{EngineMetrics, SpanTimer};
@@ -139,7 +139,9 @@ enum BankSource {
     /// A fully decoded in-memory bank (built in-process or heap-loaded
     /// from a file, in which case the file's generation rides along).
     Heap {
-        bank: TrajectoryBank,
+        /// Boxed so the variant stays close in size to `Mapped` (a
+        /// decoded bank is megabytes of owned vectors behind the box).
+        bank: Box<TrajectoryBank>,
         generation: Option<FileGen>,
         file_len: u64,
     },
@@ -169,7 +171,7 @@ impl DiagnosisEngine {
         let diagnoser = Diagnoser::new(bank.trajectory_set().clone(), config.diagnoser);
         DiagnosisEngine {
             source: BankSource::Heap {
-                bank,
+                bank: Box::new(bank),
                 generation: None,
                 file_len: 0,
             },
@@ -197,7 +199,7 @@ impl DiagnosisEngine {
         let diagnoser = Diagnoser::new(bank.trajectory_set().clone(), config.diagnoser);
         Ok(DiagnosisEngine {
             source: BankSource::Heap {
-                bank,
+                bank: Box::new(bank),
                 generation: Some(generation),
                 file_len: generation.len(),
             },
@@ -213,13 +215,25 @@ impl DiagnosisEngine {
     /// sections stay as untouched mapped bytes ([`MappedBank`]), so
     /// [`bank`](DiagnosisEngine::bank) is `None`.
     ///
+    /// A v3 open is O(header) — it reads no trajectory payload bytes —
+    /// so this method immediately runs the verification `open` skipped:
+    /// the trajectory section's checksum and a deep content validation
+    /// (finite coordinates, sound deviation ladders) of the packed
+    /// view. A corrupt shard is therefore still rejected at load, just
+    /// here instead of inside `open`.
+    ///
     /// # Errors
     ///
     /// As [`DiagnosisEngine::load`]; corruption confined to sections
-    /// diagnosis never reads does *not* fail the load (it surfaces if a
-    /// tool later touches them through the mapped bank).
+    /// diagnosis never reads (dictionary, multi-fault) does *not* fail
+    /// the load (it surfaces if a tool later touches them through the
+    /// mapped bank).
     pub fn load_mapped(path: impl AsRef<Path>, config: EngineConfig) -> Result<Self, CodecError> {
+        let path = path.as_ref();
         let (mapped, set) = MappedBank::open(path)?;
+        mapped.verify_trajectory_payload()?;
+        set.validate_deep()
+            .map_err(|msg| CodecError::Malformed(msg).in_file(path))?;
         let index = SegmentIndex::build(&set);
         let diagnoser = Diagnoser::new(set, config.diagnoser);
         Ok(DiagnosisEngine {
@@ -255,7 +269,7 @@ impl DiagnosisEngine {
     #[inline]
     pub fn bank(&self) -> Option<&TrajectoryBank> {
         match &self.source {
-            BankSource::Heap { bank, .. } => Some(bank),
+            BankSource::Heap { bank, .. } => Some(bank.as_ref()),
             BankSource::Mapped(_) => None,
         }
     }
@@ -298,6 +312,47 @@ impl DiagnosisEngine {
         match &self.source {
             BankSource::Heap { file_len, .. } => *file_len,
             BankSource::Mapped(mapped) => mapped.payload_bytes(),
+        }
+    }
+
+    /// Bytes this engine's shard pins resident *right now*: for mapped
+    /// engines, the trajectory section plus whichever cold-section
+    /// decodes are currently cached (see [`MappedBank::resident_bytes`]);
+    /// for heap engines, the whole file. The store's budget accounts
+    /// with this, so section eviction relieves pressure immediately.
+    #[inline]
+    pub fn resident_bytes(&self) -> u64 {
+        match &self.source {
+            BankSource::Heap { file_len, .. } => *file_len,
+            BankSource::Mapped(mapped) => mapped.resident_bytes(),
+        }
+    }
+
+    /// Drops any cached cold-section decodes (dictionary, multi-fault)
+    /// of a mapped engine, returning the bytes freed. The trajectory
+    /// view — and every diagnose path — is untouched; a later accessor
+    /// call simply decodes again from the mapped bytes. Heap engines
+    /// free nothing (their decode *is* the bank).
+    pub fn evict_cold_sections(&self) -> u64 {
+        match &self.source {
+            BankSource::Heap { .. } => 0,
+            BankSource::Mapped(mapped) => mapped.evict_decoded(),
+        }
+    }
+
+    /// Bytes of cold-section decodes currently cached — the part of
+    /// [`resident_bytes`](DiagnosisEngine::resident_bytes) that
+    /// [`evict_cold_sections`](DiagnosisEngine::evict_cold_sections)
+    /// can reclaim. Zero for heap engines.
+    pub fn cold_section_bytes(&self) -> u64 {
+        match &self.source {
+            BankSource::Heap { .. } => 0,
+            BankSource::Mapped(mapped) => mapped
+                .section_residency()
+                .iter()
+                .filter(|(kind, _, resident)| *resident && *kind != SECTION_TRAJECTORIES)
+                .map(|(_, len, _)| len)
+                .sum(),
         }
     }
 

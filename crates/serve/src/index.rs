@@ -75,6 +75,7 @@
 //!
 //! [`Diagnosis`]: ft_core::Diagnosis
 
+use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
@@ -199,14 +200,14 @@ impl SegmentIndex {
         };
         for (_, _, d0, p0, d1, p1) in set.all_segments() {
             index.seg_dev.push((d0, d1));
-            index.coords.extend_from_slice(p0.coords());
-            index.coords.extend_from_slice(p1.coords());
+            index.coords.extend_from_slice(p0);
+            index.coords.extend_from_slice(p1);
         }
         // Tree shape first: per trajectory, a breadth-first node block
         // whose sibling groups are consecutive ids.
         let mut queue: std::collections::VecDeque<u32> = std::collections::VecDeque::new();
         let mut seg_base = 0u32;
-        for (ti, t) in set.trajectories().iter().enumerate() {
+        for (ti, t) in set.views().enumerate() {
             let n = t.segment_count() as u32;
             let root = index.push_node(seg_base, seg_base + n, ti as u32);
             index.roots.push(root);
@@ -673,6 +674,28 @@ impl SegmentIndex {
         k: usize,
         ambiguity_ratio: f64,
     ) -> (TopkRanking, QueryStats) {
+        // The search's working sets (frontier, settlement heaps,
+        // deviation table, descent stack) live in a per-worker scratch
+        // reused across every query the thread runs: after one warm-up
+        // query per (thread, shard-size) pair, the only allocation left
+        // per call is the returned ranking itself.
+        TOPK_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+            Ok(mut scratch) => self.query_topk_with(observed, k, ambiguity_ratio, &mut scratch),
+            // Unreachable re-entrancy (the search calls nothing that
+            // queries), but a fresh scratch is always correct.
+            Err(_) => {
+                self.query_topk_with(observed, k, ambiguity_ratio, &mut TopkScratch::default())
+            }
+        })
+    }
+
+    fn query_topk_with(
+        &self,
+        observed: &Signature,
+        k: usize,
+        ambiguity_ratio: f64,
+        scratch: &mut TopkScratch,
+    ) -> (TopkRanking, QueryStats) {
         assert_eq!(
             observed.dim(),
             self.dim,
@@ -684,6 +707,34 @@ impl SegmentIndex {
         let k_eff = k.min(n);
         let mut stats = QueryStats::default();
         let mut ranked: Vec<(usize, f64, f64)> = Vec::with_capacity(k_eff + 4);
+        let TopkScratch {
+            frontier,
+            by_best,
+            devs,
+            smallest,
+            stack,
+            grows,
+        } = scratch;
+        let caps_in = (
+            frontier.capacity(),
+            by_best.capacity(),
+            devs.capacity(),
+            smallest.capacity(),
+            stack.capacity(),
+        );
+        frontier.clear();
+        by_best.clear();
+        smallest.clear();
+        stack.clear();
+        devs.clear();
+        devs.resize(n, 0.0);
+        // Everything except the descent stack is bounded by the
+        // trajectory count (or k), so one up-front reserve makes every
+        // later same-shard query allocation-free; the stack adapts to
+        // the deepest subtree actually descended and then sticks.
+        frontier.reserve(n);
+        by_best.reserve(n);
+        smallest.reserve(k_eff + 1);
         // Global frontier over whole unexplored trajectories, tightest
         // known lower bound first. A root's own box is a poor key: a
         // long trajectory's box spans most of the signature space, so
@@ -702,7 +753,6 @@ impl SegmentIndex {
         // bit patterns: squared distances are always non-negative,
         // where the bit order *is* the numeric order, so sorting and
         // comparing stay in cheap integer land.
-        let mut frontier: Vec<(u64, u32)> = Vec::with_capacity(n);
         let mut lanes = [0.0f64; BRANCH];
         for &root in &self.roots {
             let nid = root as usize;
@@ -728,8 +778,6 @@ impl SegmentIndex {
         // first. Each trajectory is resolved in full by one bounded
         // descent the first time its root pops, so entries are unique
         // and final — no staleness bookkeeping.
-        let mut by_best: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::with_capacity(2 * k_eff + 8);
-        let mut devs = vec![0.0f64; n];
         // Global admission bound: once k_eff trajectories are resolved,
         // nothing farther than `max(k-th smallest result, smallest
         // result x ambiguity_ratio)` can appear in the returned prefix
@@ -737,10 +785,8 @@ impl SegmentIndex {
         // this over-estimates both the k-th true distance and the
         // winner's ambiguity threshold). Subtrees beyond the
         // slack-padded square of that bound are discarded outright.
-        let mut smallest: BinaryHeap<u64> = BinaryHeap::with_capacity(k_eff + 1);
         let mut best_resolved = f64::INFINITY;
         let mut adm2 = f64::INFINITY;
-        let mut stack: Vec<(u32, f64)> = Vec::with_capacity(64);
         let mut stopped_early = false;
         while cursor < frontier.len() {
             let (bd2_bits, root) = frontier[cursor];
@@ -776,7 +822,7 @@ impl SegmentIndex {
             cursor += 1;
             let ti = self.node_traj[root as usize] as usize;
             let mut cur = Best::none();
-            self.descend(root, q, &mut cur, &mut stack, &mut stats, adm2);
+            self.descend(root, q, &mut cur, stack, &mut stats, adm2);
             devs[ti] = cur.dev;
             let dist_bits = cur.dist.to_bits();
             by_best.push(Reverse((dist_bits, ti as u32)));
@@ -814,6 +860,17 @@ impl SegmentIndex {
                 c.topk_early_exits.inc();
             }
         }
+        if caps_in
+            != (
+                frontier.capacity(),
+                by_best.capacity(),
+                devs.capacity(),
+                smallest.capacity(),
+                stack.capacity(),
+            )
+        {
+            *grows += 1;
+        }
         self.record(&stats);
         (
             TopkRanking {
@@ -848,6 +905,35 @@ fn topk_prefix_len(ranked: &[(usize, f64, f64)], k: usize, ambiguity_ratio: f64)
         keep += 1;
     }
     keep
+}
+
+/// Per-worker reusable working sets for [`SegmentIndex::query_topk`]:
+/// the trajectory frontier, the two settlement heaps, the deviation
+/// table, and the descent stack. One instance lives in a thread-local
+/// and is cleared (capacity kept) at the top of every query, so a
+/// batch worker allocates these once and then runs allocation-free —
+/// `grows` counts the queries that had to enlarge *any* of them, which
+/// a debug test pins to warm-up only.
+#[derive(Default)]
+struct TopkScratch {
+    frontier: Vec<(u64, u32)>,
+    by_best: BinaryHeap<Reverse<(u64, u32)>>,
+    devs: Vec<f64>,
+    smallest: BinaryHeap<u64>,
+    stack: Vec<(u32, f64)>,
+    grows: u64,
+}
+
+thread_local! {
+    static TOPK_SCRATCH: RefCell<TopkScratch> = RefCell::new(TopkScratch::default());
+}
+
+/// How many [`SegmentIndex::query_topk`] calls on *this thread* had to
+/// grow the reused scratch. Steady state is a constant: after one
+/// warm-up query per shard size, subsequent queries reuse capacity.
+/// Exposed for tests and debug assertions, not as a metric.
+pub fn topk_scratch_grows() -> u64 {
+    TOPK_SCRATCH.with(|cell| cell.borrow().grows)
 }
 
 /// Running per-trajectory best during descent; `seg` breaks exact
@@ -1307,5 +1393,40 @@ mod tests {
     fn topk_rejects_k_zero() {
         let idx = SegmentIndex::build(&cross_set());
         let _ = idx.query_topk(&sig(1.0, 1.0), 0, 1.5);
+    }
+
+    #[test]
+    fn topk_scratch_is_allocation_free_after_warmup() {
+        // Run a batch on a dedicated thread so no other test's queries
+        // perturb this thread-local's grow counter.
+        std::thread::spawn(|| {
+            let set = fan_set(24);
+            let idx = SegmentIndex::build(&set);
+            let batch = |idx: &SegmentIndex| {
+                for i in 0..200usize {
+                    let x = (i as f64 * 0.37).sin() * 5.0;
+                    let y = (i as f64 * 0.61).cos() * 5.0;
+                    let k = 1 + i % 3;
+                    let (ranking, _) = idx.query_topk(&sig(x, y), k, 1.0 + (i % 4) as f64 * 0.25);
+                    assert!(!ranking.ranked.is_empty());
+                }
+            };
+            // First pass warms the scratch (the descent stack adapts to
+            // the deepest subtree the batch actually touches).
+            batch(&idx);
+            let warmed = topk_scratch_grows();
+            assert!(warmed >= 1, "warm-up must have allocated something");
+            // Steady state: an identical batch must never enlarge any
+            // reused container — zero allocations beyond the returned
+            // rankings themselves.
+            batch(&idx);
+            assert_eq!(
+                topk_scratch_grows(),
+                warmed,
+                "steady-state top-k queries must not grow the scratch"
+            );
+        })
+        .join()
+        .unwrap();
     }
 }

@@ -251,6 +251,15 @@ impl std::ops::Deref for Mmap {
     }
 }
 
+/// Always returns the same slice for the life of the mapping (the pages
+/// are fixed at `mmap` and released only in `Drop`) — the stability
+/// contract zero-copy trajectory storage relies on.
+impl AsRef<[u8]> for Mmap {
+    fn as_ref(&self) -> &[u8] {
+        self.bytes()
+    }
+}
+
 impl fmt::Debug for Mmap {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Mmap")

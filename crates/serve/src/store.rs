@@ -41,6 +41,7 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 use ft_core::{Diagnosis, Signature};
 
@@ -189,6 +190,13 @@ pub struct StoreConfig {
     /// Load shards zero-copy through the mmap path (default). Disabling
     /// falls back to full heap decode per shard; results are identical.
     pub mapped: bool,
+    /// Minimum age before a cache hit re-`stat(2)`s its shard file for
+    /// hot-reload detection. The default (`Duration::ZERO`) preserves
+    /// the historical stat-per-hit behavior; a serving deployment that
+    /// tolerates a bounded reload delay can raise it to take the
+    /// syscall off the hot path (a rebuilt shard is then picked up
+    /// within this interval rather than on the next request).
+    pub min_stat_interval: Duration,
 }
 
 impl Default for StoreConfig {
@@ -197,6 +205,7 @@ impl Default for StoreConfig {
             engine: EngineConfig::default(),
             mem_budget: None,
             mapped: true,
+            min_stat_interval: Duration::ZERO,
         }
     }
 }
@@ -225,6 +234,9 @@ struct ShardSlot {
     generation: Option<FileGen>,
     bytes: u64,
     last_used: u64,
+    /// When the generation was last confirmed against the file — the
+    /// clock [`StoreConfig::min_stat_interval`] throttles against.
+    last_stat: Instant,
 }
 
 /// The mutex-guarded shard map plus its running resident-byte total.
@@ -232,6 +244,16 @@ struct ShardSlot {
 struct ShardMap {
     slots: HashMap<String, ShardSlot>,
     resident_bytes: u64,
+}
+
+/// Cold-section decode bytes cached across the map's resident shards.
+fn cold_bytes(map: &ShardMap) -> u64 {
+    map.slots
+        .values()
+        .filter(|slot| slot.generation.is_some())
+        .filter_map(|slot| slot.state.as_ref().ok())
+        .map(|engine| engine.cold_section_bytes())
+        .sum()
 }
 
 /// A sharded collection of diagnosis engines keyed by CUT id.
@@ -357,6 +379,14 @@ impl BankStore {
         self.lock_shards().resident_bytes
     }
 
+    /// Bytes of cold-section decodes (dictionary / multi-fault)
+    /// currently cached across resident shards — the portion of
+    /// [`resident_bytes`](BankStore::resident_bytes) that section
+    /// eviction can reclaim without dropping a trajectory view.
+    pub fn cold_section_bytes(&self) -> u64 {
+        cold_bytes(&self.lock_shards())
+    }
+
     /// The store's mutation epoch: changes whenever any slot is
     /// inserted, swapped, evicted, or retired. A cached
     /// `(cut_id → engine)` resolution is still valid iff the epoch it
@@ -411,6 +441,7 @@ impl BankStore {
             generation: None,
             bytes: 0,
             last_used: self.next_tick(),
+            last_stat: Instant::now(),
         };
         let mut map = self.lock_shards();
         if let Some(old) = map.slots.insert(cut_id.to_string(), slot) {
@@ -483,31 +514,54 @@ impl BankStore {
         if !valid_cut_id(cut_id) {
             return Err(StoreError::InvalidCutId(cut_id.to_string()));
         }
-        let cached: Option<(ShardState, Option<FileGen>)> = {
+        let cached: Option<(ShardState, Option<FileGen>, bool)> = {
             let mut map = self.lock_shards();
             match map.slots.get_mut(cut_id) {
                 None => None,
                 Some(slot) => {
                     slot.last_used = self.tick.fetch_add(1, Ordering::Relaxed);
-                    Some((slot.state.clone(), slot.generation))
+                    // A recently confirmed generation is trusted without
+                    // another stat(2) — see StoreConfig::min_stat_interval
+                    // (ZERO by default, so this is never fresh and every
+                    // hit probes, the historical behavior).
+                    let fresh = self.config.min_stat_interval > Duration::ZERO
+                        && slot.last_stat.elapsed() < self.config.min_stat_interval;
+                    Some((slot.state.clone(), slot.generation, fresh))
                 }
             }
         };
         match cached {
             // Pinned in-memory shard: no file to check.
-            Some((state, None)) => {
+            Some((state, None, _)) => {
                 if let Some(m) = &self.metrics {
                     m.cache_hits.inc();
                 }
                 return state.map_err(bank_error(None));
             }
-            Some((state, Some(generation))) => {
+            Some((state, Some(generation), true)) => {
+                if let Some(m) = &self.metrics {
+                    m.cache_hits.inc();
+                }
+                return state.map_err(bank_error(Some(generation)));
+            }
+            Some((state, Some(generation), false)) => {
                 let path = self.shard_path(cut_id)?;
                 if let Some(m) = &self.metrics {
                     m.file_stats.inc();
                 }
                 match FileGen::probe(&path) {
                     Ok(current) if current == generation => {
+                        if self.config.min_stat_interval > Duration::ZERO {
+                            // Restart the freshness window from this
+                            // confirmation (same-generation guard: a
+                            // racing swap must not refresh a stale slot).
+                            let mut map = self.lock_shards();
+                            if let Some(slot) = map.slots.get_mut(cut_id) {
+                                if slot.generation == Some(generation) {
+                                    slot.last_stat = Instant::now();
+                                }
+                            }
+                        }
                         if let Some(m) = &self.metrics {
                             m.cache_hits.inc();
                         }
@@ -593,7 +647,11 @@ impl BankStore {
                 if let Some(m) = &self.metrics {
                     engine.set_metrics(m.engine.clone());
                 }
-                let bytes = engine.source_bytes();
+                // Account what the shard actually pins right now: for a
+                // mapped v3 shard that is just the trajectory section —
+                // cold sections only start counting if a tool decodes
+                // them (and section eviction reclaims them first).
+                let bytes = engine.resident_bytes();
                 // Successful opens capture the generation from the file
                 // they actually read (fd-accurate for mapped shards).
                 let generation = engine.generation().unwrap_or(generation);
@@ -611,6 +669,7 @@ impl BankStore {
             generation: Some(generation),
             bytes,
             last_used: self.next_tick(),
+            last_stat: Instant::now(),
         };
 
         let mut map = self.lock_shards();
@@ -628,23 +687,79 @@ impl BankStore {
         map.resident_bytes += bytes;
         self.evict_over_budget(&mut map, cut_id);
         let resident = map.resident_bytes;
+        let cold = cold_bytes(&map);
         drop(map);
         self.bump_epoch();
         if let Some(m) = &self.metrics {
             m.resident_bytes.set(resident.min(i64::MAX as u64) as i64);
+            m.section_resident_bytes
+                .set(cold.min(i64::MAX as u64) as i64);
         }
         state.map_err(bank_error(Some(generation)))
     }
 
-    /// Evicts least-recently-used file-backed shards until the resident
-    /// total fits the budget. The shard being served (`keep`) is never
-    /// evicted, so a single shard larger than the whole budget still
-    /// serves; in-flight holders of an evicted engine's `Arc` keep it
-    /// alive until their diagnoses finish.
+    /// Brings the resident total back under the budget in two phases.
+    ///
+    /// **Phase 1 — section-granular.** Walks resident shards in LRU
+    /// order and drops their cached cold-section decodes (dictionary /
+    /// multi-fault) via [`DiagnosisEngine::evict_cold_sections`]. The
+    /// shards' hot trajectory views — and every diagnose path — keep
+    /// serving untouched; re-accounting from the engines' live
+    /// [`DiagnosisEngine::resident_bytes`] also absorbs any decode
+    /// growth since the shard loaded. This phase may visit `keep` too:
+    /// dropping its cold decodes is always safe.
+    ///
+    /// **Phase 2 — whole shards.** If still over budget, evicts
+    /// least-recently-used file-backed shards outright. The shard being
+    /// served (`keep`) is never evicted, so a single shard larger than
+    /// the whole budget still serves; in-flight holders of an evicted
+    /// engine's `Arc` keep it alive until their diagnoses finish.
     fn evict_over_budget(&self, map: &mut ShardMap, keep: &str) {
         let Some(budget) = self.config.mem_budget else {
             return;
         };
+        // Re-account every resident shard from its engine's live
+        // residency first: lazy cold-section decodes grow a shard after
+        // it was accounted at load, and this — the pressure point — is
+        // where that growth must become visible to the budget.
+        for slot in map.slots.values_mut() {
+            if slot.generation.is_none() {
+                continue;
+            }
+            let Ok(engine) = &slot.state else { continue };
+            let now = engine.resident_bytes();
+            map.resident_bytes = map.resident_bytes - slot.bytes + now;
+            slot.bytes = now;
+        }
+        if map.resident_bytes > budget {
+            let mut order: Vec<(u64, String)> = map
+                .slots
+                .iter()
+                .filter(|(_, slot)| {
+                    slot.generation.is_some() && slot.state.is_ok() && slot.bytes > 0
+                })
+                .map(|(id, slot)| (slot.last_used, id.clone()))
+                .collect();
+            order.sort_unstable();
+            for (_, id) in order {
+                if map.resident_bytes <= budget {
+                    break;
+                }
+                let slot = map.slots.get_mut(&id).expect("slot came from the map");
+                let Ok(engine) = &slot.state else {
+                    continue;
+                };
+                let freed = engine.evict_cold_sections();
+                let now = engine.resident_bytes();
+                map.resident_bytes = map.resident_bytes - slot.bytes + now;
+                slot.bytes = now;
+                if freed > 0 {
+                    if let Some(m) = &self.metrics {
+                        m.section_evictions.inc();
+                    }
+                }
+            }
+        }
         while map.resident_bytes > budget {
             let victim = map
                 .slots
@@ -1136,5 +1251,149 @@ mod tests {
             let solo = store.diagnose(req).unwrap();
             assert_eq!(got.as_ref().unwrap(), &solo, "order or routing drift");
         }
+    }
+
+    #[test]
+    fn min_stat_interval_throttles_generation_probes() {
+        let dir = std::env::temp_dir().join("ft_store_stat_interval_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        write_shard(&dir.join("cut.ftb"), &rc_bank(1e3));
+        let req = DiagnosisRequest::new("cut", Signature::new(vec![0.5, 0.5]));
+
+        // Default config: every cache hit stats the file.
+        let registry = Arc::new(MetricsRegistry::new());
+        let store = BankStore::open(&dir, EngineConfig::default())
+            .unwrap()
+            .with_metrics(&registry);
+        store.diagnose(&req).unwrap();
+        store.diagnose(&req).unwrap();
+        store.diagnose(&req).unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("store_generation_stats_total"), Some(2));
+
+        // A non-zero interval takes the stat off the hot path entirely
+        // while the confirmation is fresh.
+        let registry = Arc::new(MetricsRegistry::new());
+        let store = BankStore::open_with(
+            &dir,
+            StoreConfig {
+                min_stat_interval: Duration::from_secs(60),
+                ..StoreConfig::default()
+            },
+        )
+        .unwrap()
+        .with_metrics(&registry);
+        let first = store.diagnose(&req).unwrap();
+        for _ in 0..10 {
+            assert_eq!(store.diagnose(&req).unwrap(), first);
+        }
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter("store_generation_stats_total"),
+            Some(0),
+            "fresh hits must not stat"
+        );
+        assert_eq!(snap.counter("store_shard_cache_hits_total"), Some(10));
+        assert_eq!(snap.counter("store_shard_loads_total"), Some(1));
+
+        // Once the interval lapses, the next hit probes again and still
+        // picks up a rebuilt shard (hot reload is delayed, not lost).
+        let registry = Arc::new(MetricsRegistry::new());
+        let store = BankStore::open_with(
+            &dir,
+            StoreConfig {
+                min_stat_interval: Duration::from_millis(20),
+                ..StoreConfig::default()
+            },
+        )
+        .unwrap()
+        .with_metrics(&registry);
+        store.diagnose(&req).unwrap();
+        write_shard(&dir.join("cut.ftb"), &rc_bank(3e3));
+        std::thread::sleep(Duration::from_millis(25));
+        store.diagnose(&req).unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("store_hot_reloads_total"), Some(1));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn section_eviction_reclaims_cold_decodes_before_whole_shards() {
+        let dir = std::env::temp_dir().join("ft_store_section_eviction_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let banks = [rc_bank(1e3), rc_bank(2e3), rc_bank(4e3)];
+        for (i, bank) in banks.iter().enumerate() {
+            bank.save(dir.join(format!("c{i}.ftb"))).unwrap();
+        }
+        // Trajectory-only residency of all three shards (nothing
+        // decodes a cold section on the diagnose path).
+        let all_traj = {
+            let store = BankStore::open(&dir, EngineConfig::default()).unwrap();
+            for i in 0..3 {
+                store.engine(&format!("c{i}")).unwrap();
+            }
+            assert_eq!(store.cold_section_bytes(), 0);
+            store.resident_bytes()
+        };
+        assert!(all_traj > 0);
+
+        let registry = Arc::new(MetricsRegistry::new());
+        let store = BankStore::open_with(
+            &dir,
+            StoreConfig {
+                mem_budget: Some(all_traj),
+                ..StoreConfig::default()
+            },
+        )
+        .unwrap()
+        .with_metrics(&registry);
+        let unbounded = BankStore::open(&dir, EngineConfig::default()).unwrap();
+
+        // Load two shards, then decode c0's dictionary out of the map —
+        // cold bytes the budget does not cover.
+        store.engine("c0").unwrap();
+        store.engine("c1").unwrap();
+        let dict = store
+            .engine("c0")
+            .unwrap()
+            .mapped_bank()
+            .expect("store loads mapped by default")
+            .dictionary()
+            .unwrap();
+        assert!(store.cold_section_bytes() > 0);
+        drop(dict);
+
+        // The third load pushes past the budget; section eviction must
+        // reclaim c0's dictionary decode instead of evicting a shard.
+        store.engine("c2").unwrap();
+        assert_eq!(store.loaded_count(), 3, "no shard was evicted");
+        assert_eq!(store.cold_section_bytes(), 0, "cold decode reclaimed");
+        assert!(store.resident_bytes() <= all_traj);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("store_section_evictions_total"), Some(1));
+        assert_eq!(snap.counter("store_shard_evictions_total"), Some(0));
+        assert_eq!(snap.gauge("store_section_resident_bytes"), Some(0));
+
+        // Every shard still serves, byte-identical to an unbounded
+        // store, and the evicted dictionary decodes again on demand.
+        let sig = Signature::new(vec![0.4, 0.9]);
+        for i in 0..3 {
+            let req = DiagnosisRequest::new(format!("c{i}"), sig.clone());
+            assert_eq!(
+                store.diagnose(&req).unwrap(),
+                unbounded.diagnose(&req).unwrap()
+            );
+        }
+        let redecoded = store
+            .engine("c0")
+            .unwrap()
+            .mapped_bank()
+            .unwrap()
+            .dictionary()
+            .unwrap();
+        assert_eq!(&*redecoded, banks[0].dictionary());
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

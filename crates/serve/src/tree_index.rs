@@ -78,8 +78,8 @@ impl TreeIndex {
         };
         for (_, _, d0, p0, d1, p1) in set.all_segments() {
             index.seg_dev.push((d0, d1));
-            index.coords.extend_from_slice(p0.coords());
-            index.coords.extend_from_slice(p1.coords());
+            index.coords.extend_from_slice(p0);
+            index.coords.extend_from_slice(p1);
         }
         let mut seg_base = 0u32;
         for t in set.trajectories() {

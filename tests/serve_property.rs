@@ -131,6 +131,30 @@ proptest! {
         );
     }
 
+    /// The v3 zero-copy view is indistinguishable from the heap
+    /// decode: same trajectory set, bit-identical diagnoses, and the
+    /// mapped engine really is viewing the file in place.
+    #[test]
+    fn mapped_view_matches_heap_decode(
+        seed in 0i64..1_000_000, x in -9.0f64..9.0, y in -9.0f64..9.0
+    ) {
+        let bank = bank_from_seed(seed as u64);
+        let path = std::env::temp_dir().join(format!("serve_property_mapped_{seed}.ftb"));
+        bank.save(&path).expect("saves");
+        let heap = DiagnosisEngine::load(&path, EngineConfig::default()).expect("heap load");
+        let mapped =
+            DiagnosisEngine::load_mapped(&path, EngineConfig::default()).expect("mapped load");
+        std::fs::remove_file(&path).ok();
+        prop_assert!(
+            mapped.trajectory_set().is_packed(),
+            "v3 shard must be viewed in place (seed {seed})"
+        );
+        prop_assert!(mapped.trajectory_set() == heap.trajectory_set());
+        let sig = Signature::new(vec![x, y]);
+        prop_assert!(heap.diagnose(&sig) == mapped.diagnose(&sig));
+        prop_assert!(heap.diagnose_linear(&sig) == mapped.diagnose_linear(&sig));
+    }
+
     /// The spatial index agrees with the exhaustive linear scan — same
     /// distances, same deviations, same ranking — on random signatures
     /// against random synthetic banks.

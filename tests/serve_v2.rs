@@ -206,32 +206,62 @@ fn mapped_and_heap_engines_diagnose_byte_identically() {
     ] {
         let path = dir.join(format!("{name}.ftb"));
         bank.save(&path).expect("saves");
+        // The same bank in the v2 wire format: the zero-copy view only
+        // exists for v3, so this pins the format migration — a v2 shard
+        // and its v3 re-encode must serve identical answers on every
+        // engine path.
+        let v2_path = dir.join(format!("{name}.v2.ftb"));
+        std::fs::write(&v2_path, bank.to_bytes_v2()).expect("saves v2");
+
         let heap = DiagnosisEngine::load(&path, EngineConfig::default()).expect("heap load");
         let mapped =
             DiagnosisEngine::load_mapped(&path, EngineConfig::default()).expect("mapped load");
+        let mapped_v2 =
+            DiagnosisEngine::load_mapped(&v2_path, EngineConfig::default()).expect("v2 mapped");
         assert!(mapped.bank().is_none(), "mapped engine holds no heap bank");
         assert_eq!(
             heap.generation(),
             mapped.generation(),
             "same file generation"
         );
+        assert!(
+            mapped.trajectory_set().is_packed(),
+            "v3 shard must be viewed in place on `{name}`"
+        );
+        assert!(
+            !mapped_v2.trajectory_set().is_packed(),
+            "v2 shard has no viewable payload"
+        );
 
         let queries = synthetic_queries(bank.trajectory_set(), 23, 42);
+        let reference = heap.diagnose_batch(&queries);
         assert_eq!(
-            heap.diagnose_batch(&queries),
+            reference,
             mapped.diagnose_batch(&queries),
             "indexed batch diverged on `{name}`"
+        );
+        assert_eq!(
+            reference,
+            mapped_v2.diagnose_batch(&queries),
+            "v2-mapped indexed batch diverged on `{name}`"
         );
         assert_eq!(
             heap.diagnose_batch_linear(&queries),
             mapped.diagnose_batch_linear(&queries),
             "linear batch diverged on `{name}`"
         );
+        assert_eq!(
+            heap.diagnose_batch_linear(&queries),
+            mapped_v2.diagnose_batch_linear(&queries),
+            "v2-mapped linear batch diverged on `{name}`"
+        );
         for q in &queries {
+            let want = heap.diagnose(q);
+            assert_eq!(want, mapped.diagnose(q), "single diverged on `{name}`");
             assert_eq!(
-                heap.diagnose(q),
-                mapped.diagnose(q),
-                "single diverged on `{name}`"
+                want,
+                mapped_v2.diagnose(q),
+                "v2-mapped single diverged on `{name}`"
             );
         }
     }
@@ -263,8 +293,17 @@ fn mapped_open_defers_corruption_outside_the_hot_section() {
         std::fs::write(&path, &corrupt).expect("writes");
 
         if kind == fault_trajectory::serve::SECTION_TRAJECTORIES {
-            // The hot section decodes eagerly at open.
-            let err = MappedBank::open(&path).expect_err("trajectory damage fails open");
+            // The v3 open is O(header) and reads no region byte, so the
+            // damage is invisible to it — but the deferred checksum
+            // pass (which every engine load runs before serving)
+            // attributes it, and the engine refuses the shard.
+            let (mapped, _) = MappedBank::open(&path).expect("v3 open skips region bytes");
+            let err = mapped
+                .verify_trajectory_payload()
+                .expect_err("deferred verification detects damage");
+            assert!(err.to_string().contains("trajectories"), "got: {err}");
+            let err = DiagnosisEngine::load_mapped(&path, EngineConfig::default())
+                .expect_err("engine must refuse the damaged shard");
             assert!(err.to_string().contains("trajectories"), "got: {err}");
             continue;
         }
@@ -353,7 +392,19 @@ fn one_shard_budget_serves_three_shard_stream_identically_to_unbounded() {
             tight.resident_bytes()
         );
     }
-    assert_eq!(tight.loaded_count(), 1, "budget holds exactly one shard");
+    // Section-granular residency: the budget that used to hold one
+    // fully-decoded shard now holds all three trajectory views, because
+    // the dictionary-dominated cold sections stay as mapped bytes.
+    assert_eq!(
+        tight.loaded_count(),
+        3,
+        "hot trajectory views of all shards fit once cold sections stay mapped"
+    );
+    assert_eq!(
+        tight.cold_section_bytes(),
+        0,
+        "serving decoded nothing outside the hot section"
+    );
 
     // Through the pooled front-end at 1, 2, and 8 workers.
     let mut requests: Vec<DiagnosisRequest> = Vec::new();
