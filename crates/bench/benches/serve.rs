@@ -12,15 +12,16 @@
 //! one number.
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use ft_bench::paper_setup;
 use ft_core::{Diagnoser, DiagnoserConfig, Signature, TestVector};
 use ft_serve::{
-    diagnose_batch_with, synthetic_circuit_bank, synthetic_queries, synthetic_trajectory_set,
-    BankStore, DiagnosisEngine, DiagnosisRequest, EngineConfig, MetricsRegistry, SegmentIndex,
-    ServeHandle, TrajectoryBank,
+    diagnose_batch_with, run_loadgen, synthetic_circuit_bank, synthetic_queries,
+    synthetic_trajectory_set, BankStore, DiagnosisEngine, DiagnosisRequest, EngineConfig,
+    LoadgenConfig, MetricsRegistry, NetConfig, NetServer, SegmentIndex, ServeHandle,
+    TrajectoryBank,
 };
 
 /// Sustained-traffic workload for the front-end comparison: one batch
@@ -164,6 +165,54 @@ fn emit_summary(_c: &mut Criterion) {
     });
     std::fs::remove_file(&path).ok();
 
+    // TCP tier: an in-process `NetServer` over the same ladder bank,
+    // driven by the pipelined load generator at two connection counts
+    // (the acceptance criterion asks for measured throughput and
+    // latency percentiles at ≥2 configurations).
+    let net_registry = Arc::new(MetricsRegistry::new());
+    let bank = engine.bank().expect("heap-built engine has a bank").clone();
+    let net_store = Arc::new(
+        BankStore::in_memory(EngineConfig {
+            diagnoser: DiagnoserConfig::default(),
+            workers: Some(workers),
+            topk: None,
+        })
+        .with_metrics(&net_registry),
+    );
+    net_store.insert_bank("ladder", bank).expect("valid cut id");
+    let server = NetServer::bind(
+        "127.0.0.1:0",
+        net_store,
+        &net_registry,
+        NetConfig {
+            workers,
+            refresh_interval: Duration::ZERO,
+            ..NetConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr().expect("bound addr").to_string();
+    let net_shutdown = server.shutdown_handle();
+    let net_join = std::thread::spawn(move || server.run().expect("event loop"));
+    const TCP_TOTAL: usize = 20_000;
+    let tcp = |connections: usize| {
+        run_loadgen(
+            &addr,
+            &requests,
+            &LoadgenConfig {
+                connections,
+                depth: 32,
+                total: TCP_TOTAL,
+                capture: false,
+            },
+        )
+        .expect("loadgen run")
+    };
+    let tcp2 = tcp(2);
+    let tcp8 = tcp(8);
+    net_shutdown.shutdown();
+    net_join.join().expect("server thread");
+
     let json = format!(
         "{{\n  \"bank\": \"rlc-ladder-order-3\",\n  \"segments\": {segments},\n  \
          \"batch\": {FRONTEND_BATCH},\n  \"workers\": {workers},\n  \
@@ -175,11 +224,24 @@ fn emit_summary(_c: &mut Criterion) {
          \"heap_cold_load_s\": {heap_s:.6e},\n  \"mapped_cold_load_s\": {mapped_s:.6e},\n  \
          \"mapped_vs_heap_cold_load\": {:.3},\n  \
          \"v3_open_s\": {open_s:.6e},\n  \
-         \"v3_open_vs_heap_cold_load\": {:.5}\n}}\n",
+         \"v3_open_vs_heap_cold_load\": {:.5},\n  \
+         \"tcp_requests_per_config\": {TCP_TOTAL},\n  \"tcp_depth\": 32,\n  \
+         \"tcp_2conn_rps\": {:.0},\n  \"tcp_2conn_p50_us\": {},\n  \
+         \"tcp_2conn_p90_us\": {},\n  \"tcp_2conn_p99_us\": {},\n  \
+         \"tcp_8conn_rps\": {:.0},\n  \"tcp_8conn_p50_us\": {},\n  \
+         \"tcp_8conn_p90_us\": {},\n  \"tcp_8conn_p99_us\": {}\n}}\n",
         scoped_s / pooled_s.max(1e-12),
         instrumented_s / pooled_s.max(1e-12),
         mapped_s / heap_s.max(1e-12),
         open_s / heap_s.max(1e-12),
+        tcp2.rps,
+        tcp2.p50_us,
+        tcp2.p90_us,
+        tcp2.p99_us,
+        tcp8.rps,
+        tcp8.p50_us,
+        tcp8.p90_us,
+        tcp8.p99_us,
     );
     std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
     println!(
@@ -187,12 +249,20 @@ fn emit_summary(_c: &mut Criterion) {
          ({FRONTEND_BATCH}-request batches, {workers} workers, {segments} segments); \
          metrics overhead {:.3}x; \
          mmap cold load {:.2}x heap decode on a {:.1} MB bank \
-         (bare v3 open {:.5}x: O(header), no trajectory decode)",
+         (bare v3 open {:.5}x: O(header), no trajectory decode); \
+         TCP tier {:.0} req/s at 2 conns (p50 {:.0}us p99 {:.0}us), \
+         {:.0} req/s at 8 conns (p50 {:.0}us p99 {:.0}us), depth 32",
         scoped_s / pooled_s.max(1e-12),
         instrumented_s / pooled_s.max(1e-12),
         mapped_s / heap_s.max(1e-12),
         bank_bytes as f64 / (1024.0 * 1024.0),
         open_s / heap_s.max(1e-12),
+        tcp2.rps,
+        tcp2.p50_us,
+        tcp2.p99_us,
+        tcp8.rps,
+        tcp8.p50_us,
+        tcp8.p99_us,
     );
 }
 

@@ -63,6 +63,10 @@ USAGE:
   ftd serve --banks DIR [--workers N] [--batch N] [--topk K]
             [--mem-budget BYTES[K|M|G]] [--stat-interval-ms N]
             [--stats-file PATH] [--stats-every N]
+            [--listen ADDR] [--refresh-ms N] [--max-inflight N]
+            [--write-highwater BYTES[K|M|G]]
+  ftd loadgen --connect ADDR --requests FILE [--connections N]
+            [--depth N] [--total N] [--out PATH] [--json PATH] [--stats]
   ftd gen-requests --bank PATH --cut-id ID [--count N] [--seed N]
   ftd bank-info [--mapped] PATH
   ftd stats [--prometheus] FILE
@@ -127,6 +131,30 @@ SUBCOMMANDS:
                        through the top-k early-termination query path;
                        output lines stay byte-identical to a full-ranking
                        server.
+                       With --listen ADDR the same shard directory is
+                       served over TCP instead of stdin: a non-blocking
+                       epoll event loop speaking length-prefixed,
+                       checksummed request/response frames, with
+                       per-connection pipelining (responses in request
+                       order), bounded backpressure (--max-inflight
+                       requests in flight and --write-highwater unsent
+                       bytes per connection), periodic shard refresh
+                       every --refresh-ms (0 disables), and graceful
+                       drain on SIGINT/SIGTERM: stop accepting, answer
+                       everything in flight, flush, exit 0. Response
+                       lines are byte-identical to stdin serve. Listen
+                       mode always keeps live metrics (a stats frame
+                       serves the Prometheus exposition on demand).
+  loadgen              Drive pipelined request traffic from a requests
+                       file (`gen-requests` format) at a --listen server
+                       over --connections sockets with --depth requests
+                       in flight each, cycling the file until --total
+                       requests (default: one pass). Reports req/s and
+                       p50/p90/p99 latency to stderr, optionally as JSON
+                       with --json; --out (single connection) captures
+                       response lines in request order for byte-exact
+                       comparison against `diagnose --requests`; --stats
+                       prints the server's Prometheus stats afterwards.
   gen-requests         Load a bank and print --count deterministic
                        request lines (signatures jittered around the
                        bank's trajectories) tagged with --cut-id.
@@ -180,6 +208,7 @@ pub fn main_from_args(args: Vec<String>) -> i32 {
         "reencode" => reencode(rest),
         "diagnose" => diagnose(rest),
         "serve" => serve(rest),
+        "loadgen" => loadgen(rest),
         "gen-requests" => gen_requests(rest),
         "bank-info" => bank_info(rest),
         "stats" => stats(rest),
@@ -251,7 +280,7 @@ impl<'a> Flags<'a> {
 /// set. Floats use Rust's shortest round-trip formatting, so two paths
 /// that compute identical values render identical bytes — the property
 /// the CI smoke `cmp`s `serve` output against `diagnose --requests`.
-fn render_diagnosis_line(cut_id: &str, diagnosis: &Diagnosis) -> String {
+pub(crate) fn render_diagnosis_line(cut_id: &str, diagnosis: &Diagnosis) -> String {
     let best = diagnosis.best();
     format!(
         "{cut_id}\t{}\t{}\t{}\t{}",
@@ -692,7 +721,11 @@ fn serve(args: &[String]) -> Result<(), CliError> {
     let mut mem_budget: Option<u64> = None;
     let mut stats_file: Option<String> = None;
     let mut stats_every: Option<usize> = None;
-    let mut stat_interval_ms: u64 = 0;
+    let mut stat_interval_ms: Option<u64> = None;
+    let mut listen: Option<String> = None;
+    let mut refresh_ms = 1000u64;
+    let mut max_inflight = 128usize;
+    let mut write_highwater = 1usize << 20;
     let mut flags = Flags::new(args);
     while let Some(flag) = flags.next_flag() {
         match flag {
@@ -703,7 +736,15 @@ fn serve(args: &[String]) -> Result<(), CliError> {
             "--mem-budget" => mem_budget = Some(parse_mem_budget(flags.value("--mem-budget")?)?),
             "--stats-file" => stats_file = Some(flags.value("--stats-file")?.to_string()),
             "--stats-every" => stats_every = Some(flags.parse("--stats-every")?),
-            "--stat-interval-ms" => stat_interval_ms = flags.parse("--stat-interval-ms")?,
+            "--stat-interval-ms" => stat_interval_ms = Some(flags.parse("--stat-interval-ms")?),
+            "--listen" => listen = Some(flags.value("--listen")?.to_string()),
+            "--refresh-ms" => refresh_ms = flags.parse("--refresh-ms")?,
+            "--max-inflight" => max_inflight = flags.parse("--max-inflight")?,
+            "--write-highwater" => {
+                write_highwater = parse_mem_budget(flags.value("--write-highwater")?)?
+                    .try_into()
+                    .map_err(|_| usage("--write-highwater overflows usize"))?
+            }
             other => return Err(usage(format!("serve: unknown flag `{other}`"))),
         }
     }
@@ -720,6 +761,15 @@ fn serve(args: &[String]) -> Result<(), CliError> {
     if stats_every == Some(0) {
         return Err(usage("--stats-every must be positive"));
     }
+    if listen.is_some() && stats_every.is_some() {
+        return Err(usage("--stats-every applies to stdin serving only"));
+    }
+    if max_inflight == 0 {
+        return Err(usage("--max-inflight must be positive"));
+    }
+    if write_highwater == 0 {
+        return Err(usage("--write-highwater must be positive"));
+    }
     let workers = workers.unwrap_or_else(|| {
         std::thread::available_parallelism()
             .map(|p| p.get())
@@ -731,15 +781,23 @@ fn serve(args: &[String]) -> Result<(), CliError> {
 
     // Metrics exist only when a stats sink was asked for; otherwise the
     // noop registry attaches nothing anywhere and serving runs exactly
-    // the uninstrumented code.
-    let registry = Arc::new(if stats_file.is_some() {
+    // the uninstrumented code. Listen mode is the exception: the stats
+    // frame serves live metrics on demand, so the registry is always on
+    // there (the network round-trip dwarfs the counter costs).
+    let registry = Arc::new(if stats_file.is_some() || listen.is_some() {
         MetricsRegistry::new()
     } else {
         MetricsRegistry::noop()
     });
+    // TCP serving reloads changed shards from the periodic refresh
+    // sweep, so the per-hit stat(2) probe defaults off (one refresh
+    // interval of staleness); stdin serving keeps probing per hit.
+    let default_stat_interval = if listen.is_some() { refresh_ms } else { 0 };
     let store_config = StoreConfig {
         mem_budget,
-        min_stat_interval: std::time::Duration::from_millis(stat_interval_ms),
+        min_stat_interval: std::time::Duration::from_millis(
+            stat_interval_ms.unwrap_or(default_stat_interval),
+        ),
         ..StoreConfig::new(EngineConfig {
             topk,
             ..EngineConfig::default()
@@ -750,6 +808,21 @@ fn serve(args: &[String]) -> Result<(), CliError> {
             .map_err(runtime)?
             .with_metrics(&registry),
     );
+    if let Some(addr) = listen {
+        return serve_listen(
+            &addr,
+            store,
+            registry,
+            crate::net::NetConfig {
+                workers,
+                max_inflight,
+                write_highwater,
+                refresh_interval: std::time::Duration::from_millis(refresh_ms),
+                ..crate::net::NetConfig::default()
+            },
+            stats_file.as_deref(),
+        );
+    }
     eprintln!(
         "serving shard directory `{banks}` ({} CUTs on disk) with {workers} workers, \
          batches of {batch}{}",
@@ -882,6 +955,145 @@ fn serve(args: &[String]) -> Result<(), CliError> {
             errors.get(),
             served.get()
         )));
+    }
+    Ok(())
+}
+
+/// `ftd serve --listen`: the TCP tier over the same store and worker
+/// pool as stdin serving, draining gracefully on SIGINT/SIGTERM.
+fn serve_listen(
+    addr: &str,
+    store: Arc<BankStore>,
+    registry: Arc<MetricsRegistry>,
+    config: crate::net::NetConfig,
+    stats_file: Option<&str>,
+) -> Result<(), CliError> {
+    let cuts_on_disk = store.cut_ids().len();
+    let server =
+        crate::net::NetServer::bind(addr, store, &registry, config.clone()).map_err(runtime)?;
+    let bound = server.local_addr().map_err(runtime)?;
+    crate::net::install_signal_drain(&server.shutdown_handle());
+    eprintln!(
+        "listening on {bound}: shard directory with {cuts_on_disk} CUTs on disk, \
+         {} workers, {} in-flight requests and {} unsent bytes per connection, \
+         shard refresh every {:?} (SIGINT/SIGTERM drains)",
+        config.workers, config.max_inflight, config.write_highwater, config.refresh_interval,
+    );
+    let started = Instant::now();
+    let summary = server.run().map_err(runtime)?;
+    if let Some(path) = stats_file {
+        std::fs::write(path, registry.snapshot().to_json())
+            .map_err(|e| runtime(format!("stats file {path}: {e}")))?;
+        eprintln!("wrote stats snapshot to `{path}`");
+    }
+    eprintln!(
+        "drained: {} connections accepted, {} requests served ({} error lines, \
+         {} protocol errors) in {:.2?}",
+        summary.accepted,
+        summary.served,
+        summary.errors,
+        summary.protocol_errors,
+        started.elapsed(),
+    );
+    Ok(())
+}
+
+/// The `ftd loadgen` subcommand: pipelined client traffic against a
+/// `serve --listen` server, with latency percentiles and optional
+/// byte-exact capture.
+fn loadgen(args: &[String]) -> Result<(), CliError> {
+    let mut connect: Option<String> = None;
+    let mut requests_path: Option<String> = None;
+    let mut config = crate::net::LoadgenConfig::default();
+    let mut out: Option<String> = None;
+    let mut json: Option<String> = None;
+    let mut stats = false;
+    let mut flags = Flags::new(args);
+    while let Some(flag) = flags.next_flag() {
+        match flag {
+            "--connect" => connect = Some(flags.value("--connect")?.to_string()),
+            "--requests" => requests_path = Some(flags.value("--requests")?.to_string()),
+            "--connections" => config.connections = flags.parse("--connections")?,
+            "--depth" => config.depth = flags.parse("--depth")?,
+            "--total" => config.total = flags.parse("--total")?,
+            "--out" => out = Some(flags.value("--out")?.to_string()),
+            "--json" => json = Some(flags.value("--json")?.to_string()),
+            "--stats" => stats = true,
+            other => return Err(usage(format!("loadgen: unknown flag `{other}`"))),
+        }
+    }
+    let connect = connect.ok_or_else(|| usage("loadgen needs --connect ADDR"))?;
+    let requests_path = requests_path.ok_or_else(|| usage("loadgen needs --requests FILE"))?;
+    if config.connections == 0 {
+        return Err(usage("--connections must be positive"));
+    }
+    if config.depth == 0 {
+        return Err(usage("--depth must be positive"));
+    }
+    if out.is_some() && config.connections != 1 {
+        return Err(usage(
+            "--out captures responses in request order, which needs --connections 1",
+        ));
+    }
+    config.capture = out.is_some();
+    let text = std::fs::read_to_string(&requests_path)
+        .map_err(|e| runtime(format!("{requests_path}: {e}")))?;
+    let mut requests: Vec<DiagnosisRequest> = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if let Some(req) = parse_request_line(line, i + 1)? {
+            requests.push(req);
+        }
+    }
+    if requests.is_empty() {
+        return Err(runtime(format!("{requests_path}: no request lines")));
+    }
+    let report = crate::net::run_loadgen(&connect, &requests, &config).map_err(runtime)?;
+    if let (Some(path), Some(lines)) = (&out, &report.lines) {
+        let mut body = lines.join("\n");
+        if !body.is_empty() {
+            body.push('\n');
+        }
+        std::fs::write(path, body).map_err(|e| runtime(format!("{path}: {e}")))?;
+    }
+    eprintln!(
+        "loadgen: {} requests over {} connections at depth {} in {:.3}s — \
+         {:.0} req/s, latency p50 {:.0}us p90 {:.0}us p99 {:.0}us \
+         ({} error lines, {} bytes out, {} bytes in)",
+        report.requests,
+        report.connections,
+        report.depth,
+        report.elapsed_s,
+        report.rps,
+        report.p50_us,
+        report.p90_us,
+        report.p99_us,
+        report.error_lines,
+        report.bytes_out,
+        report.bytes_in,
+    );
+    if let Some(path) = &json {
+        let body = format!(
+            "{{\n  \"connections\": {},\n  \"depth\": {},\n  \"requests\": {},\n  \
+             \"responses\": {},\n  \"error_lines\": {},\n  \"elapsed_s\": {},\n  \
+             \"rps\": {},\n  \"p50_us\": {},\n  \"p90_us\": {},\n  \"p99_us\": {},\n  \
+             \"bytes_out\": {},\n  \"bytes_in\": {}\n}}\n",
+            report.connections,
+            report.depth,
+            report.requests,
+            report.responses,
+            report.error_lines,
+            report.elapsed_s,
+            report.rps,
+            report.p50_us,
+            report.p90_us,
+            report.p99_us,
+            report.bytes_out,
+            report.bytes_in,
+        );
+        std::fs::write(path, body).map_err(|e| runtime(format!("{path}: {e}")))?;
+    }
+    if stats {
+        print!("{}", crate::net::fetch_stats(&connect).map_err(runtime)?);
     }
     Ok(())
 }

@@ -33,9 +33,14 @@
 //!   lock-free counters, gauges, and log₂-bucket latency histograms
 //!   over the engine, store, and pool, snapshotted to JSON, greppable
 //!   text, or Prometheus exposition — and provably inert when disabled.
-//! * the `ftd` binary ([`cli`]) — `build-bank`, `diagnose`, `serve`,
-//!   `gen-requests`, `bank-info`, `stats`, and `bench-scan-vs-index`
-//!   front ends over the same API.
+//! * [`NetServer`] ([`net`]) — the non-blocking TCP serving tier: a
+//!   hand-rolled epoll/poll readiness loop speaking a length-prefixed,
+//!   checksummed frame protocol, with per-connection pipelining,
+//!   bounded-memory backpressure, graceful drain, and a matching
+//!   pipelined load generator ([`run_loadgen`]).
+//! * the `ftd` binary ([`cli`]) — `build-bank`, `diagnose`, `serve`
+//!   (stdin or `--listen`), `loadgen`, `gen-requests`, `bank-info`,
+//!   `stats`, and `bench-scan-vs-index` front ends over the same API.
 //!
 //! ## Example
 //!
@@ -84,6 +89,7 @@ pub mod codec;
 pub mod engine;
 pub mod index;
 pub mod mmap;
+pub mod net;
 pub mod obs;
 pub mod pool;
 pub mod store;
@@ -99,11 +105,17 @@ pub use codec::{
 pub use engine::{diagnose_batch_topk_with, diagnose_batch_with, DiagnosisEngine, EngineConfig};
 pub use index::{IndexCounters, QueryStats, SegmentIndex};
 pub use mmap::{FileGen, Mmap};
+pub use net::{
+    connect_retry, fetch_stats, install_signal_drain, response_line, run_loadgen, FrameError,
+    LoadgenConfig, LoadgenReport, NetConfig, NetError, NetServer, NetSummary, ShutdownHandle,
+};
 pub use obs::{
     bucket_bounds, bucket_index, labeled, Counter, EngineMetrics, Gauge, Histogram,
-    HistogramSnapshot, MetricsRegistry, PoolMetrics, Snapshot, SpanTimer, StoreMetrics,
+    HistogramSnapshot, MetricsRegistry, NetMetrics, PoolMetrics, Snapshot, SpanTimer, StoreMetrics,
 };
 pub use pool::{BatchId, ServeHandle, ServeResult};
-pub use store::{diagnose_on, valid_cut_id, BankStore, DiagnosisRequest, StoreConfig, StoreError};
+pub use store::{
+    diagnose_on, valid_cut_id, BankStore, DiagnosisRequest, RefreshSummary, StoreConfig, StoreError,
+};
 pub use synthetic::{synthetic_circuit_bank, synthetic_queries, synthetic_trajectory_set};
 pub use tree_index::TreeIndex;

@@ -1071,6 +1071,75 @@ impl PoolMetrics {
     }
 }
 
+/// Pre-resolved handles for the [`crate::NetServer`] TCP tier.
+#[derive(Debug, Clone)]
+pub struct NetMetrics {
+    registry: Arc<MetricsRegistry>,
+    /// `net_active_connections` — connections currently registered with
+    /// the event loop.
+    pub active_connections: Arc<Gauge>,
+    /// `net_connections_accepted_total` — connections accepted.
+    pub accepted: Arc<Counter>,
+    /// `net_connections_closed_total` — connections torn down (clean or
+    /// not).
+    pub closed: Arc<Counter>,
+    /// `net_requests_total` — request frames decoded off the wire.
+    pub requests: Arc<Counter>,
+    /// `net_request_wire_us` — frame-decoded to response-flushed wall
+    /// time, per request. Distinct from the pool's end-to-end
+    /// `serve_request_latency_us`: this one includes in-order response
+    /// queueing on the connection but not kernel transmit time.
+    pub wire_latency: Arc<Histogram>,
+    /// `net_bytes_in_total` — bytes read off accepted sockets.
+    pub bytes_in: Arc<Counter>,
+    /// `net_bytes_out_total` — bytes written to accepted sockets.
+    pub bytes_out: Arc<Counter>,
+    /// `net_backpressure_stalls_total` — transitions into the stalled
+    /// state (read interest dropped because the in-flight budget or the
+    /// write-buffer high-water mark was hit).
+    pub backpressure_stalls: Arc<Counter>,
+    /// `net_protocol_errors_total` — malformed / oversized /
+    /// checksum-failed frames (also counted per peer and kind via
+    /// labeled counters).
+    pub protocol_errors: Arc<Counter>,
+    /// `net_refresh_ticks_total` — periodic [`crate::BankStore::refresh`]
+    /// sweeps driven off the event-loop timer.
+    pub refresh_ticks: Arc<Counter>,
+}
+
+impl NetMetrics {
+    /// Resolves the network tier's handles from `registry` (kept, for
+    /// the labeled per-peer protocol-error counters).
+    pub fn from_registry(registry: &Arc<MetricsRegistry>) -> NetMetrics {
+        NetMetrics {
+            active_connections: registry.gauge("net_active_connections"),
+            accepted: registry.counter("net_connections_accepted_total"),
+            closed: registry.counter("net_connections_closed_total"),
+            requests: registry.counter("net_requests_total"),
+            wire_latency: registry.histogram("net_request_wire_us"),
+            bytes_in: registry.counter("net_bytes_in_total"),
+            bytes_out: registry.counter("net_bytes_out_total"),
+            backpressure_stalls: registry.counter("net_backpressure_stalls_total"),
+            protocol_errors: registry.counter("net_protocol_errors_total"),
+            refresh_ticks: registry.counter("net_refresh_ticks_total"),
+            registry: Arc::clone(registry),
+        }
+    }
+
+    /// Counts a protocol error, attributed to the peer address and the
+    /// frame-error kind — the same attribution style as
+    /// [`crate::CodecError::InFile`] on the storage side.
+    pub fn record_protocol_error(&self, peer: &str, kind: &str) {
+        self.protocol_errors.inc();
+        self.registry
+            .counter(&labeled(
+                "net_protocol_errors_total",
+                &[("peer", peer), ("kind", kind)],
+            ))
+            .inc();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

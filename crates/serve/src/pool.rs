@@ -94,7 +94,7 @@ impl ServeHandle {
     /// blocking on it behind a mutex, so each job goes to exactly one
     /// worker and a free worker picks up the next job immediately.
     pub fn new(store: Arc<BankStore>, workers: usize) -> Self {
-        ServeHandle::build(store, workers, None)
+        ServeHandle::build(store, workers, None, None)
     }
 
     /// Like [`ServeHandle::new`], but wires the pool's counters,
@@ -109,10 +109,36 @@ impl ServeHandle {
         let metrics = registry
             .is_enabled()
             .then(|| PoolMetrics::from_registry(registry));
-        ServeHandle::build(store, workers, metrics)
+        ServeHandle::build(store, workers, metrics, None)
     }
 
-    fn build(store: Arc<BankStore>, workers: usize, metrics: Option<PoolMetrics>) -> Self {
+    /// Like [`ServeHandle::with_metrics`], but additionally installs a
+    /// completion notifier: workers call `notify` after publishing each
+    /// finished run. A non-blocking front-end (the TCP event loop) uses
+    /// this to wake its poller — e.g. by writing one byte to a self-pipe
+    /// registered for read interest — and then collects the completed
+    /// batches with [`ServeHandle::try_drain_one`] instead of parking on
+    /// the blocking [`ServeHandle::drain_one`].
+    ///
+    /// `notify` runs on worker threads and must be cheap and non-blocking.
+    pub fn with_notifier(
+        store: Arc<BankStore>,
+        workers: usize,
+        registry: &Arc<MetricsRegistry>,
+        notify: Arc<dyn Fn() + Send + Sync>,
+    ) -> Self {
+        let metrics = registry
+            .is_enabled()
+            .then(|| PoolMetrics::from_registry(registry));
+        ServeHandle::build(store, workers, metrics, Some(notify))
+    }
+
+    fn build(
+        store: Arc<BankStore>,
+        workers: usize,
+        metrics: Option<PoolMetrics>,
+        notify: Option<Arc<dyn Fn() + Send + Sync>>,
+    ) -> Self {
         let workers = workers.max(1);
         let (job_tx, job_rx) = channel::<Job>();
         let (res_tx, res_rx) = channel();
@@ -127,6 +153,7 @@ impl ServeHandle {
                 let worker_metrics = metrics
                     .as_ref()
                     .map(|m| (Arc::clone(&m.queue_depth), m.worker_jobs(i)));
+                let notify = notify.clone();
                 std::thread::spawn(move || {
                     loop {
                         // Hold the queue lock only for the take; the
@@ -211,6 +238,11 @@ impl ServeHandle {
                         if res_tx.send((job.batch, job.start, results)).is_err() {
                             break; // handle dropped mid-flight
                         }
+                        // Published after the send so the waking caller's
+                        // try_recv is guaranteed to see the run.
+                        if let Some(notify) = &notify {
+                            notify();
+                        }
                     }
                 })
             })
@@ -292,27 +324,21 @@ impl ServeHandle {
         id
     }
 
-    /// Blocks until the **oldest** outstanding batch completes and
-    /// returns its results in input order; `None` when nothing is
-    /// outstanding. Younger batches keep being served in the background
-    /// while this waits.
-    pub fn drain_one(&mut self) -> Option<Vec<ServeResult>> {
-        let (id, len) = *self.submitted.front()?;
-        while self.pending.get(&id).expect("pending entry exists").filled < len {
-            let (batch, start, results) = self
-                .results
-                .recv()
-                .expect("workers alive while batches are outstanding");
-            let entry = self
-                .pending
-                .get_mut(&batch)
-                .expect("result for known batch");
-            for (offset, result) in results.into_iter().enumerate() {
-                debug_assert!(entry.slots[start + offset].is_none(), "slot filled twice");
-                entry.slots[start + offset] = Some(result);
-                entry.filled += 1;
-            }
+    /// Slots one worker run into its batch's reassembly buffer.
+    fn absorb(&mut self, batch: BatchId, start: usize, results: Vec<ServeResult>) {
+        let entry = self
+            .pending
+            .get_mut(&batch)
+            .expect("result for known batch");
+        for (offset, result) in results.into_iter().enumerate() {
+            debug_assert!(entry.slots[start + offset].is_none(), "slot filled twice");
+            entry.slots[start + offset] = Some(result);
+            entry.filled += 1;
         }
+    }
+
+    /// Pops the completed oldest batch and returns it in input order.
+    fn finish_front(&mut self, id: BatchId) -> Vec<ServeResult> {
         self.submitted.pop_front();
         let entry = self.pending.remove(&id).expect("completed batch present");
         let batch: Vec<ServeResult> = entry
@@ -333,7 +359,40 @@ impl ServeHandle {
                 }
             }
         }
-        Some(batch)
+        batch
+    }
+
+    /// Blocks until the **oldest** outstanding batch completes and
+    /// returns its results in input order; `None` when nothing is
+    /// outstanding. Younger batches keep being served in the background
+    /// while this waits.
+    pub fn drain_one(&mut self) -> Option<Vec<ServeResult>> {
+        let (id, len) = *self.submitted.front()?;
+        while self.pending.get(&id).expect("pending entry exists").filled < len {
+            let (batch, start, results) = self
+                .results
+                .recv()
+                .expect("workers alive while batches are outstanding");
+            self.absorb(batch, start, results);
+        }
+        Some(self.finish_front(id))
+    }
+
+    /// Non-blocking [`ServeHandle::drain_one`]: absorbs every worker run
+    /// already published, then returns the oldest batch **iff** it is
+    /// complete. `None` means "nothing outstanding" or "oldest batch
+    /// still in flight" — callers driven by a completion notifier (see
+    /// [`ServeHandle::with_notifier`]) simply call again on the next
+    /// wake. Never parks the calling thread.
+    pub fn try_drain_one(&mut self) -> Option<Vec<ServeResult>> {
+        while let Ok((batch, start, results)) = self.results.try_recv() {
+            self.absorb(batch, start, results);
+        }
+        let (id, len) = *self.submitted.front()?;
+        if self.pending.get(&id).expect("pending entry exists").filled < len {
+            return None;
+        }
+        Some(self.finish_front(id))
     }
 
     /// Blocks until **every** outstanding batch completes; returns them
@@ -574,6 +633,50 @@ mod tests {
         quiet.drain();
         assert!(noop.snapshot().counters.is_empty());
         assert!(noop.snapshot().histograms.is_empty());
+    }
+
+    #[test]
+    fn try_drain_with_notifier_matches_blocking_drain() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        let (store, requests) = two_cut_store();
+        let mut blocking = ServeHandle::new(Arc::clone(&store), 3);
+        let chunks: Vec<Vec<DiagnosisRequest>> = requests.chunks(5).map(|c| c.to_vec()).collect();
+        for chunk in &chunks {
+            blocking.submit(chunk.clone());
+        }
+        let reference = blocking.drain();
+
+        let wakes = Arc::new(AtomicUsize::new(0));
+        let registry = Arc::new(MetricsRegistry::noop());
+        let counter = Arc::clone(&wakes);
+        let mut handle = ServeHandle::with_notifier(
+            store,
+            3,
+            &registry,
+            Arc::new(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            }),
+        );
+        assert!(handle.try_drain_one().is_none(), "nothing outstanding yet");
+        for chunk in &chunks {
+            handle.submit(chunk.clone());
+        }
+        let mut drained = Vec::new();
+        while drained.len() < chunks.len() {
+            match handle.try_drain_one() {
+                Some(batch) => drained.push(batch),
+                None => std::thread::yield_now(),
+            }
+        }
+        assert!(handle.try_drain_one().is_none());
+        assert!(wakes.load(Ordering::SeqCst) > 0, "workers signalled runs");
+        for (a, b) in reference.iter().zip(&drained) {
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.as_ref().unwrap(), y.as_ref().unwrap());
+            }
+        }
     }
 
     #[test]
