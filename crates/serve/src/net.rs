@@ -43,12 +43,13 @@
 //! [`Encoder`]: crate::codec::Encoder
 //! [`Decoder`]: crate::codec::Decoder
 
+use std::borrow::Cow;
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicI32, AtomicU64, Ordering};
 use std::sync::mpsc::sync_channel;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::codec::{checksum_parts, CodecError, Decoder, Encoder};
@@ -187,12 +188,36 @@ pub fn decode_request(payload: &[u8]) -> Result<DiagnosisRequest, FrameError> {
     Ok(DiagnosisRequest::new(cut_id, Signature::new(coords)))
 }
 
+/// Appended in place of whatever [`clip_text`] cut off.
+const TRUNCATION_MARK: &str = "\n# truncated to fit the frame cap\n";
+
+/// Clips `text` to at most `max` bytes (on a char boundary), replacing
+/// the tail with [`TRUNCATION_MARK`] when anything was cut. Server
+/// frame payloads echo peer-controlled input (a response line carries
+/// the request's CUT id) or grow with registry contents (the stats
+/// exposition), so every server-side encode path clips rather than
+/// trusting itself to stay under [`MAX_FRAME_PAYLOAD`] — an oversized
+/// body must degrade, never hit the [`encode_frame`] cap and panic the
+/// event loop.
+fn clip_text(text: &str, max: usize) -> Cow<'_, str> {
+    if text.len() <= max {
+        return Cow::Borrowed(text);
+    }
+    let mut end = max - TRUNCATION_MARK.len();
+    while !text.is_char_boundary(end) {
+        end -= 1;
+    }
+    Cow::Owned(format!("{}{}", &text[..end], TRUNCATION_MARK))
+}
+
 /// Encodes a response frame: status byte (0 ok, 1 error) + the serve
-/// output line.
+/// output line (clipped via [`clip_text`] in the pathological case of
+/// a line that would overflow the frame cap).
 pub fn encode_response(line: &str, is_error: bool) -> Vec<u8> {
     let mut enc = Encoder::new();
     enc.put_u8(u8::from(is_error));
-    enc.put_str(line);
+    // Payload overhead: 1 status byte + 4-byte string length prefix.
+    enc.put_str(&clip_text(line, MAX_FRAME_PAYLOAD as usize - 5));
     encode_frame(FRAME_RESPONSE, &enc.into_payload())
 }
 
@@ -211,9 +236,12 @@ pub fn decode_response(payload: &[u8]) -> Result<(bool, String), FrameError> {
 }
 
 /// Encodes a single-string frame ([`FRAME_STATS`] or [`FRAME_ERROR`]).
+/// Oversized text — a Prometheus snapshot can outgrow the wire cap —
+/// is clipped via [`clip_text`] instead of panicking.
 pub fn encode_text_frame(kind: u16, text: &str) -> Vec<u8> {
     let mut enc = Encoder::new();
-    enc.put_str(text);
+    // Payload overhead: the 4-byte string length prefix.
+    enc.put_str(&clip_text(text, MAX_FRAME_PAYLOAD as usize - 4));
     encode_frame(kind, &enc.into_payload())
 }
 
@@ -1108,8 +1136,9 @@ impl NetServer {
     /// Portable blocking fallback: one thread per connection, requests
     /// served in arrival order straight off the store. Same protocol,
     /// same response bytes, same drain semantics (stop accepting,
-    /// connections finish when their peer half-closes) — used as
-    /// [`NetServer::run`] off unix, and kept compiled and tested
+    /// connections finish when their peer half-closes, stragglers are
+    /// force-closed once [`NetConfig::drain_deadline`] passes) — used
+    /// as [`NetServer::run`] off unix, and kept compiled and tested
     /// everywhere so it cannot rot.
     ///
     /// # Errors
@@ -1130,6 +1159,11 @@ impl NetServer {
             .is_enabled()
             .then(|| NetMetrics::from_registry(&registry));
         let counters = Arc::new(BlockingCounters::default());
+        // Clones of every live accepted stream, so the drain watchdog
+        // can `shutdown(Both)` stragglers (which unblocks their
+        // connection thread's read/write); each thread removes its own
+        // entry on exit so the registry doesn't grow with server age.
+        let tracked: Arc<Mutex<Vec<(u64, TcpStream)>>> = Arc::new(Mutex::new(Vec::new()));
         let mut joins = Vec::new();
         let mut accepted = 0u64;
         let mut next_refresh = (config.refresh_interval > Duration::ZERO)
@@ -1142,10 +1176,15 @@ impl NetServer {
                         m.accepted.inc();
                         m.active_connections.add(1);
                     }
+                    let id = accepted;
+                    if let Ok(clone) = stream.try_clone() {
+                        lock_tracked(&tracked).push((id, clone));
+                    }
                     let store = Arc::clone(&store);
                     let registry = Arc::clone(&registry);
                     let metrics = metrics.clone();
                     let counters = Arc::clone(&counters);
+                    let tracked = Arc::clone(&tracked);
                     joins.push(std::thread::spawn(move || {
                         serve_blocking(
                             stream,
@@ -1155,6 +1194,7 @@ impl NetServer {
                             metrics,
                             counters,
                         );
+                        lock_tracked(&tracked).retain(|(tid, _)| *tid != id);
                     }));
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -1179,9 +1219,33 @@ impl NetServer {
             }
         }
         drop(listener);
+        // Honor the drain deadline (the analog of the event loop's
+        // force-close): a watchdog shuts down every still-tracked
+        // stream once it passes, so an idle connected peer cannot
+        // block shutdown indefinitely.
+        let drained = Arc::new(AtomicBool::new(false));
+        let watchdog = {
+            let tracked = Arc::clone(&tracked);
+            let drained = Arc::clone(&drained);
+            let deadline = Instant::now() + config.drain_deadline;
+            std::thread::spawn(move || {
+                while !drained.load(Ordering::SeqCst) {
+                    let left = deadline.saturating_duration_since(Instant::now());
+                    if left.is_zero() {
+                        for (_, stream) in lock_tracked(&tracked).iter() {
+                            let _ = stream.shutdown(Shutdown::Both);
+                        }
+                        return;
+                    }
+                    std::thread::sleep(left.min(Duration::from_millis(20)));
+                }
+            })
+        };
         for join in joins {
             let _ = join.join();
         }
+        drained.store(true, Ordering::SeqCst);
+        let _ = watchdog.join();
         Ok(NetSummary {
             accepted,
             served: counters.served.load(Ordering::SeqCst),
@@ -1189,6 +1253,17 @@ impl NetServer {
             protocol_errors: counters.protocol_errors.load(Ordering::SeqCst),
         })
     }
+}
+
+/// Locks the blocking tier's stream registry, recovering from
+/// poisoning the same way the metrics registry does (the state is just
+/// a list of fds; a panicked holder leaves it usable).
+fn lock_tracked(
+    tracked: &Mutex<Vec<(u64, TcpStream)>>,
+) -> std::sync::MutexGuard<'_, Vec<(u64, TcpStream)>> {
+    tracked
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 #[derive(Debug, Default)]
@@ -1813,7 +1888,8 @@ pub fn connect_retry(addr: &str, timeout: Duration) -> io::Result<TcpStream> {
 /// Drives pipelined traffic at a running server and measures it.
 ///
 /// Each connection runs a writer thread (frames out, pipeline depth
-/// bounded by a rendezvous channel of send timestamps) and a reader
+/// bounded by a slot channel acquired *before* the send timestamp is
+/// taken, so backpressure waits don't count as latency) and a reader
 /// (responses in, per-request latency off the matching timestamp).
 /// Request *i* of the run goes to connection `i % connections`, so with
 /// one connection the stream order is exactly the input order.
@@ -1918,15 +1994,20 @@ fn drive_connection(
         .map(|a| a.to_string())
         .unwrap_or_else(|_| addr.to_string());
 
-    // The channel carries one send-timestamp per in-flight request and
-    // its capacity *is* the pipeline depth: the writer blocks pushing
-    // timestamp depth+1 until the reader has consumed a response.
-    let (times_tx, times_rx) = sync_channel::<Instant>(depth);
+    // Depth gating and timestamping are separate channels: the slot
+    // channel's capacity *is* the pipeline depth, so the writer blocks
+    // acquiring slot depth+1 until the reader consumes a response —
+    // and only timestamps once it holds the slot, immediately before
+    // the write. Timestamps ride an unbounded channel the send never
+    // blocks on, so a saturated pipeline's backpressure wait is not
+    // counted as request latency.
+    let (slots_tx, slots_rx) = sync_channel::<()>(depth);
+    let (times_tx, times_rx) = std::sync::mpsc::channel::<Instant>();
     let writer = std::thread::spawn(move || -> io::Result<u64> {
         let mut stream = stream;
         let mut sent = 0u64;
         for frame in &frames {
-            if times_tx.send(Instant::now()).is_err() {
+            if slots_tx.send(()).is_err() || times_tx.send(Instant::now()).is_err() {
                 break; // reader bailed; stop writing
             }
             stream.write_all(frame)?;
@@ -1974,6 +2055,7 @@ fn drive_connection(
                             context: "loadgen timestamps".into(),
                             source: io::Error::other("writer gone"),
                         })?;
+                        let _ = slots_rx.recv(); // response in: release a pipeline slot
                         outcome
                             .latencies_us
                             .push(sent_at.elapsed().as_micros().min(u64::MAX as u128) as u64);
@@ -2035,6 +2117,7 @@ fn drive_connection(
     })();
     // Unblock and join the writer whatever happened.
     drop(times_rx);
+    drop(slots_rx);
     match writer.join() {
         Ok(Ok(sent)) => outcome.bytes_out = sent,
         Ok(Err(e)) => {
@@ -2198,6 +2281,40 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn oversized_server_text_clips_instead_of_panicking() {
+        // A stats snapshot bigger than the wire cap (e.g. from many
+        // labeled counters) must encode to a valid, decodable frame —
+        // never trip the encode_frame assert on the event loop.
+        let big = "x".repeat(MAX_FRAME_PAYLOAD as usize + 4096);
+        let frame = encode_text_frame(FRAME_STATS, &big);
+        assert!(frame.len() <= FRAME_HEADER_LEN + MAX_FRAME_PAYLOAD as usize);
+        let (kind, payload, _) = decode_frame(&frame).unwrap().unwrap();
+        assert_eq!(kind, FRAME_STATS);
+        let text = decode_text_frame(payload).unwrap();
+        assert!(
+            text.ends_with(TRUNCATION_MARK),
+            "truncation must be visible"
+        );
+        assert!(text.starts_with("xxx"));
+
+        // Same guarantee for response lines (a near-cap CUT id echoes
+        // back into the line) — and clipping respects char boundaries.
+        let line = "é".repeat(MAX_FRAME_PAYLOAD as usize);
+        let frame = encode_response(&line, false);
+        assert!(frame.len() <= FRAME_HEADER_LEN + MAX_FRAME_PAYLOAD as usize);
+        let (kind, payload, _) = decode_frame(&frame).unwrap().unwrap();
+        assert_eq!(kind, FRAME_RESPONSE);
+        let (is_error, got) = decode_response(payload).unwrap();
+        assert!(!is_error);
+        assert!(got.ends_with(TRUNCATION_MARK));
+
+        // Under the cap nothing changes.
+        let small = encode_text_frame(FRAME_STATS, "ok");
+        let (_, payload, _) = decode_frame(&small).unwrap().unwrap();
+        assert_eq!(decode_text_frame(payload).unwrap(), "ok");
     }
 
     #[test]

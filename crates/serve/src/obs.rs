@@ -26,7 +26,7 @@
 //! [`PoolMetrics`]) pre-resolve every hot-path handle once at
 //! attachment, so instrumented code never touches the registry map.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::Path;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -1071,10 +1071,21 @@ impl PoolMetrics {
     }
 }
 
+/// Upper bound on distinct `peer` label values in the labeled
+/// `net_protocol_errors_total{peer,kind}` counters. Peers are labeled
+/// by IP only (never the ephemeral port), and once this many distinct
+/// addresses have been seen, further ones collapse into
+/// `peer="other"` — a hostile client cycling source addresses cannot
+/// grow the registry (or the stats exposition) without bound.
+pub const MAX_PEER_LABELS: usize = 64;
+
 /// Pre-resolved handles for the [`crate::NetServer`] TCP tier.
 #[derive(Debug, Clone)]
 pub struct NetMetrics {
     registry: Arc<MetricsRegistry>,
+    /// Distinct peer IPs already used as label values, shared across
+    /// clones so the [`MAX_PEER_LABELS`] cap is global.
+    peer_labels: Arc<Mutex<BTreeSet<String>>>,
     /// `net_active_connections` — connections currently registered with
     /// the event loop.
     pub active_connections: Arc<Gauge>,
@@ -1099,8 +1110,8 @@ pub struct NetMetrics {
     /// write-buffer high-water mark was hit).
     pub backpressure_stalls: Arc<Counter>,
     /// `net_protocol_errors_total` — malformed / oversized /
-    /// checksum-failed frames (also counted per peer and kind via
-    /// labeled counters).
+    /// checksum-failed frames (also counted per peer IP and kind via
+    /// labeled counters, bounded by [`MAX_PEER_LABELS`]).
     pub protocol_errors: Arc<Counter>,
     /// `net_refresh_ticks_total` — periodic [`crate::BankStore::refresh`]
     /// sweeps driven off the event-loop timer.
@@ -1123,18 +1134,34 @@ impl NetMetrics {
             protocol_errors: registry.counter("net_protocol_errors_total"),
             refresh_ticks: registry.counter("net_refresh_ticks_total"),
             registry: Arc::clone(registry),
+            peer_labels: Arc::new(Mutex::new(BTreeSet::new())),
         }
     }
 
-    /// Counts a protocol error, attributed to the peer address and the
+    /// Counts a protocol error, attributed to the peer and the
     /// frame-error kind — the same attribution style as
-    /// [`crate::CodecError::InFile`] on the storage side.
+    /// [`crate::CodecError::InFile`] on the storage side. The label
+    /// value is the peer's IP, never its ephemeral port, and at most
+    /// [`MAX_PEER_LABELS`] distinct IPs are ever registered (the rest
+    /// share `peer="other"`), so misbehaving peers add bounded state no
+    /// matter how many addresses they arrive from.
     pub fn record_protocol_error(&self, peer: &str, kind: &str) {
         self.protocol_errors.inc();
+        // `rsplit_once` keeps bracketed IPv6 forms ("[::1]:80") whole.
+        let ip = peer.rsplit_once(':').map_or(peer, |(ip, _)| ip);
+        let ip = {
+            let mut seen = lock(&self.peer_labels);
+            if seen.contains(ip) || seen.len() < MAX_PEER_LABELS {
+                seen.insert(ip.to_string());
+                ip
+            } else {
+                "other"
+            }
+        };
         self.registry
             .counter(&labeled(
                 "net_protocol_errors_total",
-                &[("peer", peer), ("kind", kind)],
+                &[("peer", ip), ("kind", kind)],
             ))
             .inc();
     }
@@ -1176,6 +1203,44 @@ mod tests {
         let p99 = snap.quantile(0.99);
         assert!((512.0..=1023.0).contains(&p99), "p99 = {p99}");
         assert_eq!(snap.quantile(0.0), 0.0);
+    }
+
+    #[test]
+    fn protocol_error_peer_labels_are_bounded() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let net = NetMetrics::from_registry(&registry);
+        // Same IP across ephemeral ports collapses to one label.
+        net.record_protocol_error("10.1.2.3:50001", "checksum");
+        net.record_protocol_error("10.1.2.3:50002", "checksum");
+        // Thousands of distinct source addresses...
+        for i in 0..4096u32 {
+            net.record_protocol_error(
+                &format!("10.9.{}.{}:{}", i / 256, i % 256, 40000 + i),
+                "oversized",
+            );
+        }
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.counter("net_protocol_errors_total"), Some(4098));
+        assert_eq!(
+            snapshot.counter("net_protocol_errors_total{peer=\"10.1.2.3\",kind=\"checksum\"}"),
+            Some(2),
+            "ports must be stripped from the peer label"
+        );
+        // ...register at most MAX_PEER_LABELS distinct peer values plus
+        // the shared overflow bucket.
+        let labeled_variants = snapshot
+            .counters
+            .iter()
+            .filter(|(name, _)| name.starts_with("net_protocol_errors_total{"))
+            .count();
+        assert!(
+            labeled_variants <= MAX_PEER_LABELS + 1,
+            "unbounded peer label cardinality: {labeled_variants} variants"
+        );
+        let overflow = snapshot
+            .counter("net_protocol_errors_total{peer=\"other\",kind=\"oversized\"}")
+            .expect("overflow peers share one label");
+        assert!(overflow > 0);
     }
 
     #[test]

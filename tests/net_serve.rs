@@ -326,10 +326,11 @@ fn bad_frame_kills_only_its_connection() {
     assert_eq!(summary.protocol_errors, 1);
     let snapshot = registry.snapshot();
     assert_eq!(snapshot.counter("net_protocol_errors_total"), Some(1));
-    // The labeled variant attributes peer and kind.
+    // The labeled variant attributes peer (by IP — ports are ephemeral
+    // and would make label cardinality unbounded) and kind.
     let prometheus = snapshot.to_prometheus();
     assert!(
-        prometheus.contains("net_protocol_errors_total{peer=\"127.0.0.1:")
+        prometheus.contains("net_protocol_errors_total{peer=\"127.0.0.1\"")
             && prometheus.contains("kind=\"checksum\""),
         "missing labeled protocol error:\n{prometheus}"
     );
@@ -368,6 +369,40 @@ fn blocking_fallback_serves_the_same_bytes() {
     shutdown.shutdown();
     let summary = join.join().unwrap();
     assert_eq!(summary.served, requests.len() as u64);
+}
+
+#[test]
+fn blocking_fallback_honors_drain_deadline() {
+    let (store, _) = store_and_requests();
+    let registry = Arc::new(MetricsRegistry::new());
+    let server = NetServer::bind(
+        "127.0.0.1:0",
+        store,
+        &registry,
+        NetConfig {
+            refresh_interval: Duration::ZERO,
+            drain_deadline: Duration::from_millis(200),
+            ..NetConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let shutdown = server.shutdown_handle();
+    let join = thread::spawn(move || server.run_blocking().unwrap());
+    // An idle peer that never sends a byte and never closes: without
+    // the force-close watchdog this would block shutdown forever.
+    let idle = TcpStream::connect(&addr).unwrap();
+    thread::sleep(Duration::from_millis(100)); // let the accept loop adopt it
+    shutdown.shutdown();
+    let started = Instant::now();
+    let summary = join.join().unwrap();
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "drain took {:?}, deadline was 200ms",
+        started.elapsed()
+    );
+    assert_eq!(summary.accepted, 1);
+    drop(idle);
 }
 
 proptest! {
